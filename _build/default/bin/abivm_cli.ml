@@ -1,0 +1,263 @@
+(* abivm — command-line front-end for the asymmetric batch IVM planner.
+
+   Subcommands:
+     simulate   compare maintenance strategies on an analytic instance
+     calibrate  measure TPC-R maintenance cost curves from the engine
+     demo       end-to-end TPC-R run: calibrate, plan, execute, validate
+     tightness  print the §3.2 LGM tightness table *)
+
+open Cmdliner
+
+let strategies_doc = "NAIVE, OPT-LGM, ADAPT, ONLINE"
+
+(* --- converters ------------------------------------------------------------ *)
+
+let cost_conv =
+  let parse text =
+    match Cost.Func.of_string text with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Cost.Func.name f))
+
+let stream_conv =
+  let parse text =
+    match Workload.Arrivals.stream_of_string text with
+    | Ok s -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<stream>")
+
+(* --- simulate --------------------------------------------------------------- *)
+
+let print_outcomes spec outcomes =
+  Util.Tablefmt.print
+    ~aligns:
+      [ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right;
+        Util.Tablefmt.Right; Util.Tablefmt.Left ]
+    ~header:[ "strategy"; "total cost"; "cost/mod"; "actions"; "valid" ]
+    (List.map
+       (fun (o : Abivm.Simulate.outcome) ->
+         [
+           o.name;
+           Util.Tablefmt.float_cell o.total_cost;
+           Util.Tablefmt.float_cell ~decimals:4
+             (Abivm.Simulate.cost_per_modification spec o);
+           string_of_int o.actions;
+           string_of_bool o.valid;
+         ])
+       outcomes)
+
+let simulate costs limit horizon streams seed adapt_t0 show_plans =
+  if costs = [] then `Error (false, "at least one --cost is required")
+  else if List.length streams <> List.length costs then
+    `Error (false, "need exactly one --stream per --cost")
+  else begin
+    let arrivals =
+      Workload.Arrivals.generate ~seed ~horizon (Array.of_list streams)
+    in
+    let spec =
+      Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
+    in
+    let outcomes = Abivm.Simulate.all ?adapt_t0 spec in
+    print_outcomes spec outcomes;
+    if show_plans then
+      List.iter
+        (fun (o : Abivm.Simulate.outcome) ->
+          Printf.printf "\n%s plan:\n%s" o.name
+            (Abivm.Visualize.timeline spec o.plan))
+        outcomes;
+    `Ok ()
+  end
+
+let simulate_cmd =
+  let costs =
+    Arg.(
+      value
+      & opt_all cost_conv []
+      & info [ "cost" ] ~docv:"FUNC"
+          ~doc:
+            "Per-table cost function (repeatable): linear:A, affine:A,B, \
+             sqrt:A,B, log:A,B, blocked:C,B, plateau:A,CAP, step:EPS,C.")
+  in
+  let limit =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "limit"; "C" ] ~docv:"COST"
+          ~doc:"Response-time constraint $(docv).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 500
+      & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time (default 500).")
+  in
+  let streams =
+    Arg.(
+      value
+      & opt_all stream_conv []
+      & info [ "stream" ] ~docv:"STREAM"
+          ~doc:
+            "Per-table arrival stream (repeatable): constant:N, \
+             burst:P,MU,SIGMA, poisson:M, onoff:ON,OFF,RATE, or ss/su/fs/fu.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let adapt_t0 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "adapt-t0" ] ~docv:"T0"
+          ~doc:"Refresh-time estimate used by ADAPT (default T/2).")
+  in
+  let show_plans =
+    Arg.(value & flag & info [ "plans" ] ~doc:"Also print each plan's actions.")
+  in
+  let doc = "compare " ^ strategies_doc ^ " on an analytic problem instance" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const simulate $ costs $ limit $ horizon $ streams $ seed $ adapt_t0
+       $ show_plans))
+
+(* --- calibrate --------------------------------------------------------------- *)
+
+let calibrate scale seed sizes =
+  let db = Tpcr.Gen.generate ~seed ~scale () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter
+      (Tpcr.Gen.min_supplycost_view db)
+  in
+  Relation.Meter.reset db.Tpcr.Gen.meter;
+  let feeds = Tpcr.Updates.paper_feeds ~seed:(seed + 1) db in
+  let ps = Bridge.Calibrate.measure_curve m feeds ~table:0 ~sizes in
+  let s = Bridge.Calibrate.measure_curve m feeds ~table:1 ~sizes in
+  Util.Tablefmt.print
+    ~aligns:[ Util.Tablefmt.Right; Util.Tablefmt.Right; Util.Tablefmt.Right ]
+    ~header:[ "batch"; "partsupp cost"; "supplier cost" ]
+    (List.map2
+       (fun (k, cp) (_, cs) ->
+         [ string_of_int k; Util.Tablefmt.float_cell cp; Util.Tablefmt.float_cell cs ])
+       ps s);
+  let _, fit_ps = Bridge.Calibrate.fitted ~name:"ps" ps in
+  let _, fit_s = Bridge.Calibrate.fitted ~name:"s" s in
+  Printf.printf "fits: partsupp affine:%.4g,%.4g | supplier affine:%.4g,%.4g\n"
+    fit_ps.Cost.Fit.a fit_ps.Cost.Fit.b fit_s.Cost.Fit.a fit_s.Cost.Fit.b
+
+let calibrate_cmd =
+  let scale =
+    Arg.(
+      value & opt float 0.01
+      & info [ "scale" ] ~docv:"SF" ~doc:"TPC-R scale factor (default 0.01).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1; 5; 10; 20; 50; 100; 200 ]
+      & info [ "sizes" ] ~docv:"K,K,..." ~doc:"Batch sizes to measure.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"measure TPC-R maintenance cost curves from the live engine")
+    Term.(const calibrate $ scale $ seed $ sizes)
+
+(* --- demo -------------------------------------------------------------------- *)
+
+let demo scale horizon =
+  Printf.printf "Generating TPC-R database (scale %.3f)...\n%!" scale;
+  let db = Tpcr.Gen.generate ~scale () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter
+      (Tpcr.Gen.min_supplycost_view db)
+  in
+  Relation.Meter.reset db.Tpcr.Gen.meter;
+  let feeds = Tpcr.Updates.paper_feeds ~seed:7 db in
+  Printf.printf "Calibrating cost functions...\n%!";
+  let sizes = [ 1; 5; 10; 20; 50; 100; 200 ] in
+  let f_ps =
+    Bridge.Calibrate.tabulated ~name:"c_dPartSupp"
+      (Bridge.Calibrate.measure_curve m feeds ~table:0 ~sizes)
+  in
+  let f_s =
+    Bridge.Calibrate.tabulated ~name:"c_dSupplier"
+      (Bridge.Calibrate.measure_curve m feeds ~table:1 ~sizes)
+  in
+  let limit = 2.0 *. Cost.Func.eval f_ps 1 in
+  Printf.printf "Constraint C = %.0f cost units; horizon T = %d\n%!" limit horizon;
+  let untouched = Cost.Func.linear ~a:1.0 in
+  let spec =
+    Abivm.Spec.make
+      ~costs:[| f_ps; f_s; untouched; untouched |]
+      ~limit
+      ~arrivals:(Array.init (horizon + 1) (fun _ -> [| 1; 1; 0; 0 |]))
+  in
+  let outcomes = Abivm.Simulate.all spec in
+  print_outcomes spec outcomes;
+  Printf.printf "\nExecuting the ONLINE plan against the engine...\n%!";
+  let db2 = Tpcr.Gen.generate ~seed:43 ~scale () in
+  let m2 =
+    Ivm.Maintainer.create ~meter:db2.Tpcr.Gen.meter
+      (Tpcr.Gen.min_supplycost_view db2)
+  in
+  Relation.Meter.reset db2.Tpcr.Gen.meter;
+  let feeds2 = Tpcr.Updates.paper_feeds ~seed:8 db2 in
+  let online = Abivm.Online.plan spec in
+  let result = Bridge.Runner.run_plan m2 feeds2 spec online in
+  Printf.printf
+    "executed cost %.0f units (simulated %.0f), view consistent: %b, wall %.2fs\n"
+    result.Bridge.Runner.total_cost_units
+    (Abivm.Plan.cost spec online)
+    result.Bridge.Runner.final_consistent result.Bridge.Runner.wall_seconds
+
+let demo_cmd =
+  let scale =
+    Arg.(
+      value & opt float 0.02
+      & info [ "scale" ] ~docv:"SF" ~doc:"TPC-R scale factor (default 0.02).")
+  in
+  let horizon =
+    Arg.(value & opt int 300 & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"end-to-end TPC-R run: calibrate, plan, execute, validate")
+    Term.(const demo $ scale $ horizon)
+
+(* --- tightness ---------------------------------------------------------------- *)
+
+let tightness () =
+  Util.Tablefmt.print
+    ~aligns:(List.init 4 (fun _ -> Util.Tablefmt.Right))
+    ~header:[ "eps"; "OPT"; "OPT-LGM"; "ratio" ]
+    (List.map
+       (fun eps ->
+         let limit = 10.0 in
+         let f = Cost.Func.step_tightness ~eps ~limit in
+         let per_step = int_of_float (2.0 /. eps) + 1 in
+         let spec =
+           Abivm.Spec.make ~costs:[| f |] ~limit
+             ~arrivals:(Array.make 4 [| per_step |])
+         in
+         let exact, _ = Abivm.Exact.solve spec in
+         let lgm, _, _ = Abivm.Astar.solve spec in
+         [
+           Printf.sprintf "%.3f" eps;
+           Util.Tablefmt.float_cell exact;
+           Util.Tablefmt.float_cell lgm;
+           Util.Tablefmt.float_cell ~decimals:3 (lgm /. exact);
+         ])
+       [ 1.0; 0.5; 0.25; 0.125 ])
+
+let tightness_cmd =
+  Cmd.v
+    (Cmd.info "tightness" ~doc:"print the §3.2 factor-2 tightness table")
+    Term.(const tightness $ const ())
+
+let main_cmd =
+  let doc = "asymmetric batch incremental view maintenance" in
+  Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
+    [ simulate_cmd; calibrate_cmd; demo_cmd; tightness_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/adaptive.ml: Abivm Array Cost List Printf Workload

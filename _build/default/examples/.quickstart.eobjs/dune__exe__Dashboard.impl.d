@@ -1,0 +1,1 @@
+examples/dashboard.ml: Array Cost List Multiview Printf Workload

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Cost List Opflow Printf

@@ -1,0 +1,1 @@
+examples/pubsub.ml: Abivm Agg Array Bridge Cost Datatype Expr Float Ivm Meter Printf Relation Schema Table Tpcr Tuple Util Value Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abivm Agg Array Bridge Cost Datatype Expr Ivm List Meter Printf Relation Schema Table Tpcr Tuple Util Value

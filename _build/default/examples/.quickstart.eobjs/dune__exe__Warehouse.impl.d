@@ -1,0 +1,1 @@
+examples/warehouse.ml: Abivm Array Bridge Cost Float Ivm List Printf Relation Sqlview Tpcr

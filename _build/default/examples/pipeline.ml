@@ -1,0 +1,65 @@
+(* Operator-level asymmetric batching (the paper's §7 third future-work
+   direction, prototyped in lib/opflow):
+
+     dune exec examples/pipeline.exe
+
+   A maintenance query for a filtered join view is a chain of operators:
+
+     base deltas -> [filter, cheap, drops 80%]
+                 -> [join against a big table, expensive per batch]
+                 -> [aggregate, cheap]
+                 -> view
+
+   Propagating a delta batch through the cheap filter *shrinks* it (and is
+   nearly free), while the join stage costs almost the same whether it
+   processes 10 or 400 items (its cost plateaus).  So the good strategy
+   pushes deltas through the filter eagerly and lets them pile up in front
+   of the join — asymmetric batching between operators of one maintenance
+   query, rather than between base tables. *)
+
+let stage name cost selectivity = { Opflow.Pipeline.name; cost; selectivity }
+
+let chain limit =
+  Opflow.Pipeline.make ~limit
+    [
+      stage "filter" (Cost.Func.linear ~a:1.0) 0.2;
+      stage "join" (Cost.Func.plateau ~a:30.0 ~cap:800.0) 1.0;
+      stage "aggregate" (Cost.Func.linear ~a:0.5) 1.0;
+    ]
+
+let describe p =
+  Printf.printf "pipeline (C = %.0f):\n" (Opflow.Pipeline.limit p);
+  for i = 0 to Opflow.Pipeline.n_stages p - 1 do
+    let s = Opflow.Pipeline.stage p i in
+    Printf.printf "  %d. %-9s cost %s, selectivity %.1f\n" i s.Opflow.Pipeline.name
+      (Cost.Func.name s.Opflow.Pipeline.cost)
+      s.Opflow.Pipeline.selectivity
+  done
+
+let () =
+  let p = chain 900.0 in
+  describe p;
+  let arrivals = Array.make 1000 2 in
+  Printf.printf "\n2 base modifications per step for %d steps.\n\n"
+    (Array.length arrivals);
+  let naive = Opflow.Strategy.naive p ~arrivals in
+  let greedy = Opflow.Strategy.greedy p ~arrivals in
+  assert (naive.Opflow.Strategy.valid && greedy.Opflow.Strategy.valid);
+  let flushes (trace : Opflow.Strategy.trace) i =
+    List.length (List.filter (fun (_, a) -> a.(i)) trace.Opflow.Strategy.actions)
+  in
+  Printf.printf "%-24s %12s %8s %8s %8s\n" "strategy" "total cost" "filter"
+    "join" "agg";
+  List.iter
+    (fun (name, trace) ->
+      Printf.printf "%-24s %12.0f %8d %8d %8d\n" name
+        trace.Opflow.Strategy.total_cost (flushes trace 0) (flushes trace 1)
+        (flushes trace 2))
+    [ ("NAIVE (flush all ops)", naive); ("GREEDY (asymmetric)", greedy) ];
+  Printf.printf
+    "\nGREEDY propagates through the filter %dx as often as it runs the \
+     expensive join —\nexactly the \"propagate through some operators, batch \
+     in front of others\" idea.\n"
+    (flushes greedy 0 / max 1 (flushes greedy 1));
+  Printf.printf "cost advantage over the symmetric baseline: %.2fx\n"
+    (naive.Opflow.Strategy.total_cost /. greedy.Opflow.Strategy.total_cost)

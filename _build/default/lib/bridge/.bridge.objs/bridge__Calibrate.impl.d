@@ -1,0 +1,1 @@
+lib/bridge/calibrate.ml: Cost Float Int Ivm List Relation Tpcr

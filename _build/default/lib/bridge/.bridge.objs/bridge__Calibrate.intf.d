@@ -1,0 +1,1 @@
+lib/bridge/calibrate.mli: Cost Ivm Tpcr

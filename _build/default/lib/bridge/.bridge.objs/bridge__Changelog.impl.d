@@ -1,0 +1,1 @@
+lib/bridge/changelog.ml: Array Fun Hashtbl Ivm List Printf Queue String Tpcr

@@ -1,0 +1,1 @@
+lib/bridge/changelog.mli: Ivm Tpcr

@@ -1,0 +1,1 @@
+lib/bridge/runner.ml: Abivm Array Ivm List Relation Tpcr Unix

@@ -1,0 +1,1 @@
+lib/bridge/runner.mli: Abivm Ivm Tpcr

@@ -1,0 +1,33 @@
+let measure_curve m feeds ~table ~sizes =
+  if Ivm.Maintainer.pending_size m table <> 0 then
+    invalid_arg "Calibrate.measure_curve: pending queue not empty";
+  List.map
+    (fun k ->
+      if k < 0 then invalid_arg "Calibrate.measure_curve: negative batch size";
+      for _ = 1 to k do
+        Ivm.Maintainer.on_arrive m table (feeds.Tpcr.Updates.next table)
+      done;
+      let delta = Ivm.Maintainer.process m table k in
+      (k, Relation.Meter.cost_units delta))
+    sizes
+
+let fitted ~name samples =
+  let fit = Cost.Fit.affine samples in
+  (Cost.Fit.to_func ~name fit, fit)
+
+let tabulated ~name samples =
+  (* Drop duplicate sizes and enforce monotone non-decreasing costs so the
+     tabulated function honours the planner's contract even under
+     measurement noise. *)
+  let sorted = List.sort_uniq (fun (a, _) (b, _) -> Int.compare a b) samples in
+  let monotone =
+    List.rev
+      (List.fold_left
+         (fun acc (k, c) ->
+           match acc with
+           | (_, prev) :: _ -> (k, Float.max c prev) :: acc
+           | [] -> [ (k, c) ])
+         [] sorted)
+  in
+  let positive = List.filter (fun (k, _) -> k > 0) monotone in
+  Cost.Func.tabulated ~name positive

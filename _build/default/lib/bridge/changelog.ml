@@ -1,0 +1,101 @@
+type entry = { time : int; table : int; change : Ivm.Change.t }
+
+let to_lines entries =
+  List.map
+    (fun e ->
+      Printf.sprintf "%d\t%d\t%s" e.time e.table
+        (Ivm.Codec.change_to_string e.change))
+    entries
+
+let of_lines lines =
+  let parse_line lineno line =
+    match String.split_on_char '\t' line with
+    | time :: table :: rest when rest <> [] -> (
+        match (int_of_string_opt time, int_of_string_opt table) with
+        | Some time, Some table when time >= 0 && table >= 0 -> (
+            match Ivm.Codec.change_of_string (String.concat "\t" rest) with
+            | Ok change -> Ok { time; table; change }
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+        | _ -> Error (Printf.sprintf "line %d: malformed time/table" lineno))
+    | _ -> Error (Printf.sprintf "line %d: expected time<TAB>table<TAB>change" lineno)
+  in
+  let rec loop lineno acc last_time = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then
+          loop (lineno + 1) acc last_time rest
+        else (
+          match parse_line lineno line with
+          | Error e -> Error e
+          | Ok entry ->
+              if entry.time < last_time then
+                Error
+                  (Printf.sprintf "line %d: time goes backwards (%d < %d)"
+                     lineno entry.time last_time)
+              else loop (lineno + 1) (entry :: acc) entry.time rest)
+  in
+  loop 1 [] 0 lines
+
+let save ~path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# abivm modification trace: time\ttable\tchange\n";
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines entries))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (read []))
+
+let record feeds ~arrivals =
+  let out = ref [] in
+  Array.iteri
+    (fun time row ->
+      Array.iteri
+        (fun table count ->
+          for _ = 1 to count do
+            out :=
+              { time; table; change = feeds.Tpcr.Updates.next table } :: !out
+          done)
+        row)
+    arrivals;
+  List.rev !out
+
+let replay entries =
+  (* Per-table FIFO queues of recorded changes. *)
+  let queues : (int, Ivm.Change.t Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let q =
+        match Hashtbl.find_opt queues e.table with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add queues e.table q;
+            q
+      in
+      Queue.add e.change q)
+    entries;
+  let next table =
+    match Hashtbl.find_opt queues table with
+    | Some q when not (Queue.is_empty q) -> Queue.pop q
+    | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Changelog.replay: no recorded changes left for table %d"
+             table)
+  in
+  { Tpcr.Updates.next }

@@ -1,0 +1,29 @@
+(** Capture and replay of modification traces.
+
+    A trace is a text file with one timestamped modification per line:
+
+    {v
+    <time>\t<table>\t<change encoding per Ivm.Codec>
+    v}
+
+    Traces make experiments portable: record the update stream of one run
+    (or a production system), replay it elsewhere, diff results. *)
+
+type entry = { time : int; table : int; change : Ivm.Change.t }
+
+val to_lines : entry list -> string list
+val of_lines : string list -> (entry list, string) result
+(** Blank lines and lines starting with ['#'] are skipped.  Entries must
+    be non-decreasing in [time] ([Error] otherwise). *)
+
+val save : path:string -> entry list -> unit
+val load : path:string -> (entry list, string) result
+
+val record :
+  Tpcr.Updates.feeds -> arrivals:int array array -> entry list
+(** Materialize the modifications a feed would produce for an arrival
+    matrix, in the order {!Bridge.Runner.run_plan} would draw them. *)
+
+val replay : entry list -> Tpcr.Updates.feeds
+(** A feed that returns the recorded modifications in order, per table.
+    Raises [Invalid_argument] when a table's recorded entries run out. *)

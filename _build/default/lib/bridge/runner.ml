@@ -1,0 +1,46 @@
+type result = {
+  total_cost_units : float;
+  action_costs : (int * float) list;
+  final_consistent : bool;
+  wall_seconds : float;
+}
+
+let run_plan m feeds spec plan =
+  let n = Abivm.Spec.n_tables spec in
+  if n <> Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) then
+    invalid_arg "Runner.run_plan: spec/view table count mismatch";
+  let horizon = Abivm.Spec.horizon spec in
+  let started = Unix.gettimeofday () in
+  let total = ref 0.0 in
+  let action_costs = ref [] in
+  for t = 0 to horizon do
+    let d = (Abivm.Spec.arrivals spec).(t) in
+    Array.iteri
+      (fun i count ->
+        for _ = 1 to count do
+          Ivm.Maintainer.on_arrive m i (feeds.Tpcr.Updates.next i)
+        done)
+      d;
+    match Abivm.Plan.action_at plan t with
+    | None -> ()
+    | Some action ->
+        let cost = ref 0.0 in
+        Array.iteri
+          (fun i k ->
+            if k > 0 then begin
+              let delta = Ivm.Maintainer.process m i k in
+              cost := !cost +. Relation.Meter.cost_units delta
+            end)
+          action;
+        total := !total +. !cost;
+        action_costs := (t, !cost) :: !action_costs
+  done;
+  let final_consistent = Ivm.Maintainer.check_consistent m = Ok () in
+  {
+    total_cost_units = !total;
+    action_costs = List.rev !action_costs;
+    final_consistent;
+    wall_seconds = Unix.gettimeofday () -. started;
+  }
+
+let simulated_cost = Abivm.Plan.cost

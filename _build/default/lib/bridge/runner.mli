@@ -1,0 +1,27 @@
+(** Executed-mode experiments: drive a real {!Ivm.Maintainer.t} with a
+    maintenance plan and measure actual engine cost — the paper's §5
+    "validation" of its simulation methodology (Fig. 5).
+
+    The runner replays the spec's arrival sequence, pulling concrete
+    modifications from the update feeds, and performs exactly the batch
+    actions the plan prescribes.  Per-action engine costs (in meter cost
+    units) come back alongside the total, so they can be compared with the
+    simulated costs [f_i(k)] the planner assumed. *)
+
+type result = {
+  total_cost_units : float;
+  action_costs : (int * float) list;  (** (time, cost units) per action *)
+  final_consistent : bool;
+      (** view content equals a from-scratch recompute after the run *)
+  wall_seconds : float;
+}
+
+val run_plan :
+  Ivm.Maintainer.t -> Tpcr.Updates.feeds -> Abivm.Spec.t -> Abivm.Plan.t -> result
+(** Raises [Invalid_argument] if the plan asks to process more
+    modifications than are pending (i.e. the plan is invalid for the
+    spec).  The consistency check at the end is unmetered. *)
+
+val simulated_cost : Abivm.Spec.t -> Abivm.Plan.t -> float
+(** Convenience re-export of {!Abivm.Plan.cost} for side-by-side
+    comparison tables. *)

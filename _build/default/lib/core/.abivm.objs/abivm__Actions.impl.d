@@ -1,0 +1,1 @@
+lib/core/actions.ml: Array List Spec Statevec Util

@@ -1,0 +1,1 @@
+lib/core/actions.mli: Spec Statevec

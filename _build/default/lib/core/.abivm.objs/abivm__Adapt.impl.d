@@ -1,0 +1,1 @@
+lib/core/adapt.ml: Array Astar Hashtbl List Plan Spec Statevec

@@ -1,0 +1,1 @@
+lib/core/astar.ml: Actions Array Cost Float Hashtbl Int List Plan Spec Statevec Util

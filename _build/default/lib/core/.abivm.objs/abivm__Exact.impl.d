@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Hashtbl Int List Plan Printf Spec Statevec

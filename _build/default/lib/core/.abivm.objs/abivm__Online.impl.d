@@ -1,0 +1,1 @@
+lib/core/online.ml: Actions Array Cost Float List Plan Spec Statevec

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Cost Format List Printf Spec Statevec String

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Adapt Array Astar List Naive Online Plan Spec

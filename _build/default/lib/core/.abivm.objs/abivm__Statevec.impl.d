@@ -1,0 +1,1 @@
+lib/core/statevec.ml: Array Int List String

@@ -1,0 +1,1 @@
+lib/core/transforms.ml: Actions Array List Plan Spec Statevec

@@ -1,0 +1,1 @@
+lib/core/visualize.ml: Array Buffer List Plan Printf Spec Statevec String

@@ -1,0 +1,32 @@
+let greedy_of_subset pre subset = Statevec.restrict_to pre subset
+
+let feasible_subset spec pre subset =
+  let post = Statevec.sub pre (greedy_of_subset pre subset) in
+  not (Spec.is_full spec post)
+
+let minimal_greedy spec pre =
+  let active = Array.of_list (Statevec.support pre) in
+  let m = Array.length active in
+  if m > 16 then
+    invalid_arg "Actions.minimal_greedy: too many non-empty tables";
+  (* Work over positions within [active], then translate back. *)
+  let ok positions =
+    feasible_subset spec pre (List.map (fun j -> active.(j)) positions)
+  in
+  let minimal = Util.Subsets.minimal_satisfying m ok in
+  List.map (fun positions -> List.map (fun j -> active.(j)) positions) minimal
+
+let minimal_greedy_actions spec pre =
+  List.map (greedy_of_subset pre) (minimal_greedy spec pre)
+
+let minimize spec pre action =
+  let current = Statevec.copy action in
+  Array.iteri
+    (fun i k ->
+      if k > 0 then begin
+        current.(i) <- 0;
+        let post = Statevec.sub pre current in
+        if Spec.is_full spec post then current.(i) <- k
+      end)
+    action;
+  current

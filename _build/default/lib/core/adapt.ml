@@ -1,0 +1,50 @@
+type result = { plan : Plan.t; rescues : int }
+
+let replay spec ~t0 ~t0_plan =
+  if t0 < 0 then invalid_arg "Adapt.replay: negative t0";
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let scheduled = Hashtbl.create 16 in
+  List.iter
+    (fun (t, a) -> Hashtbl.replace scheduled t (Statevec.support a))
+    (Plan.actions t0_plan);
+  let state = ref (Statevec.zero n) in
+  let out = ref [] in
+  let rescues = ref 0 in
+  for t = 0 to horizon do
+    let pre = Statevec.add !state (Spec.arrivals spec).(t) in
+    let action =
+      if t = horizon then pre
+      else begin
+        let slot = t mod (t0 + 1) in
+        match Hashtbl.find_opt scheduled slot with
+        | Some subset ->
+            let a = Statevec.restrict_to pre subset in
+            let post = Statevec.sub pre a in
+            if Spec.is_full spec post then begin
+              (* Scheduled action no longer suffices under deviated
+                 arrivals: flush everything. *)
+              incr rescues;
+              pre
+            end
+            else a
+        | None ->
+            if Spec.is_full spec pre then begin
+              incr rescues;
+              pre
+            end
+            else Statevec.zero n
+      end
+    in
+    if not (Statevec.is_zero action) then out := (t, action) :: !out;
+    state := Statevec.sub pre action
+  done;
+  { plan = Plan.of_actions (List.rev !out); rescues = !rescues }
+
+let plan spec ~t0 =
+  let projected =
+    if t0 <= Spec.horizon spec then Spec.truncate spec t0
+    else Spec.extend_cyclic spec t0
+  in
+  let _, t0_plan, _ = Astar.solve projected in
+  (replay spec ~t0 ~t0_plan).plan

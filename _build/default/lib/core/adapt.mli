@@ -1,0 +1,26 @@
+(** Adapting a precomputed optimal LGM plan to an arbitrary refresh time
+    (§4.2).
+
+    The plan [q_{T_0}] was optimized for an estimated refresh time [T_0].
+    At run time the actual refresh happens at [T]: if [T < T_0] we execute
+    the plan's prefix and flush everything at [T]; if [T > T_0] we replay
+    the plan cyclically with period [T_0 + 1] (the §4.2 periodicity
+    assumption) and flush at [T].
+
+    Actions are replayed by *subset*, not by exact vector: an LGM action
+    empties a set of delta tables, which stays meaningful when the actual
+    arrivals deviate from the projection.  If the constraint is violated at
+    a step where no action is scheduled (possible only when arrivals
+    deviate), the executor falls back to flushing everything — the count of
+    such rescues is reported. *)
+
+type result = { plan : Plan.t; rescues : int }
+
+val replay : Spec.t -> t0:int -> t0_plan:Plan.t -> result
+(** [replay spec ~t0 ~t0_plan] executes the adaptation against [spec]'s
+    actual arrivals and horizon. *)
+
+val plan : Spec.t -> t0:int -> Plan.t
+(** Convenience: compute the optimal LGM plan for the spec truncated (or
+    cyclically extended) to horizon [t0], then {!replay} it.  This is the
+    ADAPT line of Fig. 6/7. *)

@@ -1,0 +1,172 @@
+type stats = { expanded : int; generated : int }
+
+module Key = struct
+  type t = int * int list
+
+  let equal (t1, s1) (t2, s2) = t1 = t2 && List.equal Int.equal s1 s2
+  let hash = Hashtbl.hash
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let key t s = (t, Array.to_list s)
+
+(* Suffix sums K.(t).(i) = total arrivals to table i during [t, T], and the
+   global per-table one-step maximum m_i. *)
+let precompute spec =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let suffix = Array.make_matrix (horizon + 2) n 0 in
+  for t = horizon downto 0 do
+    for i = 0 to n - 1 do
+      suffix.(t).(i) <- suffix.(t + 1).(i) + (Spec.arrivals spec).(t).(i)
+    done
+  done;
+  let m = Array.make n 0 in
+  Array.iter
+    (fun row -> Array.iteri (fun i c -> m.(i) <- max m.(i) c) row)
+    (Spec.arrivals spec);
+  (suffix, m)
+
+let batch_bounds spec m suffix =
+  let n = Spec.n_tables spec in
+  Array.init n (fun i ->
+      let cap = max 1 (suffix.(0).(i) + m.(i) + 1) in
+      let best =
+        Cost.Check.max_batch (Spec.cost_fn spec i) ~limit:(Spec.limit spec) ~cap
+      in
+      max 1 (m.(i) + best))
+
+(* Per-table lower bound on the cost of processing M remaining
+   modifications: the paper's batch-count bound floor(M / b_i) * f_i(b_i)
+   (any lazy batch holds at most b_i modifications), strengthened with the
+   subadditive bound f_i(M).  Both are admissible, so their max is.
+
+   Note a deviation from the paper: Lemma 7 claims this heuristic is
+   consistent, but it is not — crossing a floor boundary can drop the
+   batch-count term by f_i(b_i) while the connecting edge costs only
+   f_i(q) < f_i(b_i).  The search below therefore allows node reopening,
+   which keeps A* optimal for any admissible heuristic. *)
+let make_heuristic spec =
+  let suffix, m = precompute spec in
+  let b = batch_bounds spec m suffix in
+  let fb = Array.mapi (fun i bi -> Cost.Func.eval (Spec.cost_fn spec i) bi) b in
+  let horizon = Spec.horizon spec in
+  fun ~t (s : Statevec.t) ->
+    (* K_i counts arrivals in (t, T]. *)
+    let start = min (t + 1) (horizon + 1) in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i si ->
+        let remaining = si + suffix.(start).(i) in
+        let batch_bound = float_of_int (remaining / b.(i)) *. fb.(i) in
+        let subadditive_bound = Cost.Func.eval (Spec.cost_fn spec i) remaining in
+        acc := !acc +. Float.max batch_bound subadditive_bound)
+      s;
+    !acc
+
+let heuristic spec ~t s = (make_heuristic spec) ~t s
+
+(* Walk arrivals forward from [t0 + 1] accumulating into a copy of [s];
+   return either the first full pre-action time with its state, or the
+   final (non-full) pre-action state at the horizon. *)
+type scan_result =
+  | Full_at of int * Statevec.t
+  | Horizon_state of Statevec.t
+
+let scan_to_full spec t0 s =
+  let horizon = Spec.horizon spec in
+  let acc = Statevec.copy s in
+  let rec loop t =
+    if t > horizon then Horizon_state acc
+    else begin
+      Statevec.add_in_place acc (Spec.arrivals spec).(t);
+      if t < horizon && Spec.is_full spec acc then Full_at (t, Statevec.copy acc)
+      else loop (t + 1)
+    end
+  in
+  loop (t0 + 1)
+
+let solve ?(use_heuristic = true) spec =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let h = if use_heuristic then make_heuristic spec else fun ~t:_ _ -> 0.0 in
+  let queue = Util.Pqueue.create () in
+  let g : float Ktbl.t = Ktbl.create 1024 in
+  let parent : (Key.t * int * Statevec.t) Ktbl.t = Ktbl.create 1024 in
+  let expanded = ref 0 and generated = ref 0 in
+  let source = key (-1) (Statevec.zero n) in
+  let dest = key horizon (Statevec.zero n) in
+  Ktbl.replace g source 0.0;
+  Util.Pqueue.push queue ~priority:(h ~t:(-1) (Statevec.zero n)) source;
+  let relax ~from ~time ~action node_key node_time node_state =
+    incr generated;
+    let weight = Spec.f spec action in
+    let tentative = Ktbl.find g from +. weight in
+    let better =
+      match Ktbl.find_opt g node_key with
+      | Some existing -> tentative < existing -. 1e-12
+      | None -> true
+    in
+    if better then begin
+      (* The heuristic is admissible but not consistent (see above), so a
+         shorter path to an already-expanded node must reopen it. *)
+      Ktbl.replace g node_key tentative;
+      Ktbl.replace parent node_key (from, time, action);
+      Util.Pqueue.push queue
+        ~priority:(tentative +. h ~t:node_time node_state)
+        node_key
+    end
+  in
+  let expand node_key =
+    let t0, s_list = node_key in
+    let s = Array.of_list s_list in
+    match scan_to_full spec t0 s with
+    | Horizon_state pre ->
+        (* Single edge to the destination: flush everything at T (also
+           covers the t2 = T case). *)
+        relax ~from:node_key ~time:horizon ~action:pre dest horizon
+          (Statevec.zero n)
+    | Full_at (t2, pre) ->
+        List.iter
+          (fun action ->
+            let post = Statevec.sub pre action in
+            relax ~from:node_key ~time:t2 ~action (key t2 post) t2 post)
+          (Actions.minimal_greedy_actions spec pre)
+  in
+  let rec search () =
+    match Util.Pqueue.pop queue with
+    | None -> None
+    | Some (priority, node_key) ->
+        if Key.equal node_key dest then Some (Ktbl.find g node_key)
+        else begin
+          (* Skip stale queue entries: the node has been relaxed to a
+             better g since this entry was pushed. *)
+          let t, s_list = node_key in
+          let current =
+            Ktbl.find g node_key +. h ~t (Array.of_list s_list)
+          in
+          if priority > current +. 1e-9 then search ()
+          else begin
+            incr expanded;
+            expand node_key;
+            search ()
+          end
+        end
+  in
+  match search () with
+  | None -> invalid_arg "Astar.solve: no plan found (unreachable)"
+  | Some cost ->
+      (* Rebuild the plan by following parent pointers from the
+         destination. *)
+      let rec rebuild node acc =
+        if Key.equal node source then acc
+        else
+          match Ktbl.find_opt parent node with
+          | Some (from, time, action) -> rebuild from ((time, action) :: acc)
+          | None -> acc
+      in
+      let actions =
+        List.filter (fun (_, a) -> not (Statevec.is_zero a)) (rebuild dest [])
+      in
+      (cost, Plan.of_actions actions, { expanded = !expanded; generated = !generated })

@@ -1,0 +1,28 @@
+(** Optimal LGM plans via A* over the plan-space graph (§4.1).
+
+    Nodes are (time, post-action state) pairs; an edge leaves a node at the
+    first future time its pre-action state becomes full and carries one
+    minimal greedy valid action.  The paper's heuristic
+    [h(x) = Σ_i floor((s[i] + K_i) / b_i) * f_i(b_i)] is admissible; we
+    additionally take the max with the subadditive bound [Σ_i f_i(s[i] +
+    K_i)].
+
+    Deviation from the paper: Lemma 7 claims the heuristic consistent, but
+    crossing a floor boundary can decrease the batch-count term by
+    [f_i(b_i)] while the edge costs only [f_i(q) < f_i(b_i)], so it is
+    not.  The search therefore reopens nodes when a cheaper path appears
+    (skipping stale queue entries), which keeps A* optimal under any
+    admissible heuristic.  See DESIGN.md. *)
+
+type stats = {
+  expanded : int;  (** nodes settled *)
+  generated : int;  (** edges relaxed *)
+}
+
+val solve : ?use_heuristic:bool -> Spec.t -> float * Plan.t * stats
+(** Returns the cost of the best LGM plan, the plan, and search statistics.
+    [use_heuristic:false] degrades to uniform-cost (Dijkstra) search — used
+    by the ablation bench to show how much the heuristic prunes. *)
+
+val heuristic : Spec.t -> t:int -> Statevec.t -> float
+(** Exposed for the consistency property test. *)

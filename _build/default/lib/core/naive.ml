@@ -1,0 +1,14 @@
+let plan spec =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let state = ref (Statevec.zero n) in
+  let actions = ref [] in
+  for t = 0 to horizon do
+    let pre = Statevec.add !state (Spec.arrivals spec).(t) in
+    if t = horizon || Spec.is_full spec pre then begin
+      if not (Statevec.is_zero pre) then actions := (t, pre) :: !actions;
+      state := Statevec.zero n
+    end
+    else state := pre
+  done;
+  Plan.of_actions (List.rev !actions)

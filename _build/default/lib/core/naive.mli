@@ -1,0 +1,6 @@
+(** The symmetric baseline (§1): batch everything, and whenever the
+    response-time constraint would be violated, process all accumulated
+    modifications on all tables. *)
+
+val plan : Spec.t -> Plan.t
+(** Lazy and greedy but not minimal; always valid. *)

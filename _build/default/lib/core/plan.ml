@@ -1,0 +1,178 @@
+type t = (int * Statevec.t) list
+
+let of_actions actions =
+  let rec check prev = function
+    | [] -> ()
+    | (t, a) :: rest ->
+        if t <= prev then
+          invalid_arg "Plan.of_actions: times must be strictly increasing";
+        if Statevec.is_zero a then
+          invalid_arg "Plan.of_actions: zero action (omit it instead)";
+        check t rest
+  in
+  check (-1) actions;
+  actions
+
+let actions plan = plan
+
+let action_at plan t = List.assoc_opt t plan
+
+let cost spec plan =
+  List.fold_left (fun acc (_, a) -> acc +. Spec.f spec a) 0.0 plan
+
+let cost_per_table spec plan =
+  let n = Spec.n_tables spec in
+  let out = Array.make n 0.0 in
+  List.iter
+    (fun (_, a) ->
+      Array.iteri
+        (fun i k ->
+          if k > 0 then out.(i) <- out.(i) +. Cost.Func.eval (Spec.cost_fn spec i) k)
+        a)
+    plan;
+  out
+
+let action_count_per_table plan ~n =
+  let out = Array.make n 0 in
+  List.iter
+    (fun (_, a) ->
+      Array.iteri (fun i k -> if k > 0 then out.(i) <- out.(i) + 1) a)
+    plan;
+  out
+
+type violation =
+  | Action_exceeds_pending of { time : int; table : int }
+  | Constraint_violated of { time : int; refresh_cost : float }
+  | Not_empty_at_refresh of { leftover : Statevec.t }
+  | Action_after_horizon of { time : int }
+
+let pp_violation fmt = function
+  | Action_exceeds_pending { time; table } ->
+      Format.fprintf fmt "action at t=%d processes more than pending on table %d"
+        time table
+  | Constraint_violated { time; refresh_cost } ->
+      Format.fprintf fmt
+        "post-action state at t=%d has refresh cost %.3f above the limit" time
+        refresh_cost
+  | Not_empty_at_refresh { leftover } ->
+      Format.fprintf fmt "delta tables not empty at refresh: %s"
+        (Statevec.to_string leftover)
+  | Action_after_horizon { time } ->
+      Format.fprintf fmt "action at t=%d is beyond the horizon" time
+
+let exceeding_table pre action =
+  let n = Array.length pre in
+  let rec loop i =
+    if i >= n then None
+    else if action.(i) > pre.(i) || action.(i) < 0 then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Execute the plan step by step, calling [on_step] on each transition.
+   Shared by validation, state reconstruction, and the LGM predicates. *)
+let run spec plan ~on_step =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let state = ref (Statevec.zero n) in
+  let remaining = ref plan in
+  let result = ref (Ok ()) in
+  let t = ref 0 in
+  while !result = Ok () && !t <= horizon do
+    let pre = Statevec.add !state (Spec.arrivals spec).(!t) in
+    let action =
+      match !remaining with
+      | (time, a) :: rest when time = !t ->
+          remaining := rest;
+          a
+      | _ :: _ | [] -> Statevec.zero n
+    in
+    (match exceeding_table pre action with
+    | Some table ->
+        result := Error (Action_exceeds_pending { time = !t; table })
+    | None ->
+        let post = Statevec.sub pre action in
+        (match on_step ~t:!t ~pre ~action ~post with
+        | Ok () -> state := post
+        | Error e -> result := Error e));
+    incr t
+  done;
+  (match (!result, !remaining) with
+  | Ok (), (time, _) :: _ -> result := Error (Action_after_horizon { time })
+  | Ok (), [] | Error _, _ -> ());
+  !result
+
+let validate spec plan =
+  let horizon = Spec.horizon spec in
+  run spec plan ~on_step:(fun ~t ~pre:_ ~action:_ ~post ->
+      if t < horizon then
+        if Spec.is_full spec post then
+          Error (Constraint_violated { time = t; refresh_cost = Spec.f spec post })
+        else Ok ()
+      else if not (Statevec.is_zero post) then
+        Error (Not_empty_at_refresh { leftover = post })
+      else Ok ())
+
+let is_valid spec plan = validate spec plan = Ok ()
+
+let is_lazy spec plan =
+  let horizon = Spec.horizon spec in
+  let ok = ref true in
+  let _ =
+    run spec plan ~on_step:(fun ~t ~pre ~action ~post:_ ->
+        if t < horizon && (not (Statevec.is_zero action)) && not (Spec.is_full spec pre)
+        then ok := false;
+        Ok ())
+  in
+  !ok
+
+let is_greedy spec plan =
+  let ok = ref true in
+  let _ =
+    run spec plan ~on_step:(fun ~t:_ ~pre ~action ~post:_ ->
+        Array.iteri
+          (fun i k -> if k <> 0 && k <> pre.(i) then ok := false)
+          action;
+        Ok ())
+  in
+  !ok
+
+let is_minimal spec plan =
+  let horizon = Spec.horizon spec in
+  let ok = ref true in
+  let _ =
+    run spec plan ~on_step:(fun ~t ~pre ~action ~post:_ ->
+        if t < horizon && not (Statevec.is_zero action) then
+          (* Try zeroing each non-zero component in turn. *)
+          Array.iteri
+            (fun i k ->
+              if k > 0 then begin
+                let reduced = Statevec.copy action in
+                reduced.(i) <- 0;
+                let post' = Statevec.sub pre reduced in
+                if not (Spec.is_full spec post') then ok := false
+              end)
+            action;
+        Ok ())
+  in
+  !ok
+
+let is_lgm spec plan =
+  is_valid spec plan && is_lazy spec plan && is_greedy spec plan
+  && is_minimal spec plan
+
+let states spec plan =
+  let horizon = Spec.horizon spec in
+  let out = Array.make (horizon + 1) (Statevec.zero 0, Statevec.zero 0) in
+  let _ =
+    run spec plan ~on_step:(fun ~t ~pre ~action:_ ~post ->
+        out.(t) <- (pre, post);
+        Ok ())
+  in
+  out
+
+let to_string plan =
+  String.concat "; "
+    (List.map
+       (fun (t, a) -> Printf.sprintf "t=%d:%s" t (Statevec.to_string a))
+       plan)

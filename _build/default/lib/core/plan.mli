@@ -1,0 +1,56 @@
+(** Maintenance plans and their validation.
+
+    A plan is stored sparsely: a list of [(time, action)] pairs in strictly
+    increasing time order; all omitted times take no action.  The final
+    action (at the horizon) must flush everything that remains — the
+    refresh. *)
+
+type t
+
+val of_actions : (int * Statevec.t) list -> t
+(** Raises [Invalid_argument] if times are not strictly increasing or any
+    action is the zero vector (omit those instead). *)
+
+val actions : t -> (int * Statevec.t) list
+val action_at : t -> int -> Statevec.t option
+val cost : Spec.t -> t -> float
+(** [Σ_t f(p_t)] — does not check validity. *)
+
+val cost_per_table : Spec.t -> t -> float array
+val action_count_per_table : t -> n:int -> int array
+(** [|P(i)|] in the paper's notation: number of actions touching each
+    table. *)
+
+type violation =
+  | Action_exceeds_pending of { time : int; table : int }
+  | Constraint_violated of { time : int; refresh_cost : float }
+      (** A post-action state before the horizon is full. *)
+  | Not_empty_at_refresh of { leftover : Statevec.t }
+  | Action_after_horizon of { time : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val validate : Spec.t -> t -> (unit, violation) result
+(** Definition 1: every action feasible, every pre-horizon post-action
+    state non-full, and the horizon action empties all delta tables. *)
+
+val is_valid : Spec.t -> t -> bool
+
+val is_lazy : Spec.t -> t -> bool
+(** Every pre-horizon action happens at a full pre-action state. *)
+
+val is_greedy : Spec.t -> t -> bool
+(** Every action component is all-or-nothing w.r.t. the pre-action state. *)
+
+val is_minimal : Spec.t -> t -> bool
+(** No pre-horizon action can drop a non-zero component and still satisfy
+    the constraint. *)
+
+val is_lgm : Spec.t -> t -> bool
+
+val states : Spec.t -> t -> (Statevec.t * Statevec.t) array
+(** [states spec plan].(t) = (pre-action, post-action) state at time [t],
+    assuming the plan is valid enough to execute (raises like {!Statevec.sub}
+    otherwise). *)
+
+val to_string : t -> string

@@ -1,0 +1,42 @@
+type outcome = {
+  name : string;
+  total_cost : float;
+  plan : Plan.t;
+  valid : bool;
+  actions : int;
+}
+
+let run_plan ~name spec plan =
+  {
+    name;
+    total_cost = Plan.cost spec plan;
+    plan;
+    valid = Plan.is_valid spec plan;
+    actions = List.length (Plan.actions plan);
+  }
+
+let naive spec = run_plan ~name:"NAIVE" spec (Naive.plan spec)
+
+let opt_lgm spec =
+  let _, plan, _ = Astar.solve spec in
+  run_plan ~name:"OPT-LGM" spec plan
+
+let adapt spec ~t0 = run_plan ~name:"ADAPT" spec (Adapt.plan spec ~t0)
+
+let online ?predictor spec =
+  run_plan ~name:"ONLINE" spec (Online.plan ?predictor spec)
+
+let all ?adapt_t0 spec =
+  let t0 =
+    match adapt_t0 with Some t -> t | None -> max 1 (Spec.horizon spec / 2)
+  in
+  [ naive spec; opt_lgm spec; adapt spec ~t0; online spec ]
+
+let cost_per_modification spec outcome =
+  let total_mods =
+    Array.fold_left
+      (fun acc row -> acc + Array.fold_left ( + ) 0 row)
+      0 (Spec.arrivals spec)
+  in
+  if total_mods = 0 then 0.0
+  else outcome.total_cost /. float_of_int total_mods

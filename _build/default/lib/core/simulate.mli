@@ -1,0 +1,26 @@
+(** Convenience front-end: run each maintenance strategy of the paper over
+    a problem instance and report cost — the "simulation" mode of §5 (plan
+    costs computed from the cost functions, no engine execution). *)
+
+type outcome = {
+  name : string;
+  total_cost : float;
+  plan : Plan.t;
+  valid : bool;
+  actions : int;  (** number of non-zero actions taken *)
+}
+
+val run_plan : name:string -> Spec.t -> Plan.t -> outcome
+
+val naive : Spec.t -> outcome
+val opt_lgm : Spec.t -> outcome
+val adapt : Spec.t -> t0:int -> outcome
+val online : ?predictor:Online.predictor -> Spec.t -> outcome
+
+val all : ?adapt_t0:int -> Spec.t -> outcome list
+(** NAIVE, OPT-LGM, ADAPT (with [adapt_t0], default [horizon / 2]) and
+    ONLINE, in the paper's Fig. 6 order. *)
+
+val cost_per_modification : Spec.t -> outcome -> float
+(** Total cost divided by the number of modifications that arrived — the
+    metric of the paper's §1 example. *)

@@ -1,0 +1,53 @@
+type t = {
+  costs : Cost.Func.t array;
+  limit : float;
+  arrivals : int array array;
+}
+
+let make ~costs ~limit ~arrivals =
+  let n = Array.length costs in
+  if n = 0 then invalid_arg "Spec.make: no tables";
+  if limit < 0.0 then invalid_arg "Spec.make: negative limit";
+  if Array.length arrivals = 0 then invalid_arg "Spec.make: empty arrivals";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Spec.make: arrival row width mismatch";
+      Array.iter
+        (fun c -> if c < 0 then invalid_arg "Spec.make: negative arrival count")
+        row)
+    arrivals;
+  { costs; limit; arrivals }
+
+let n_tables spec = Array.length spec.costs
+
+let horizon spec = Array.length spec.arrivals - 1
+
+let limit spec = spec.limit
+
+let costs spec = spec.costs
+
+let cost_fn spec i = spec.costs.(i)
+
+let arrivals spec = spec.arrivals
+
+let arrivals_at spec t = Array.copy spec.arrivals.(t)
+
+let f spec v =
+  let acc = ref 0.0 in
+  Array.iteri (fun i k -> acc := !acc +. Cost.Func.eval spec.costs.(i) k) v;
+  !acc
+
+let is_full spec s = f spec s > spec.limit
+
+let truncate spec t =
+  if t < 0 || t > horizon spec then invalid_arg "Spec.truncate: bad horizon";
+  { spec with arrivals = Array.sub spec.arrivals 0 (t + 1) }
+
+let extend_cyclic spec t =
+  if t < horizon spec then invalid_arg "Spec.extend_cyclic: bad horizon";
+  let period = Array.length spec.arrivals in
+  let arrivals =
+    Array.init (t + 1) (fun u -> Array.copy spec.arrivals.(u mod period))
+  in
+  { spec with arrivals }

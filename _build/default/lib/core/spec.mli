@@ -1,0 +1,37 @@
+(** Problem instances (§2): cost functions, response-time limit, and a
+    modification arrival sequence over [\[0, T\]] with the view refreshed at
+    [T]. *)
+
+type t
+
+val make :
+  costs:Cost.Func.t array -> limit:float -> arrivals:int array array -> t
+(** Raises [Invalid_argument] if the arrival matrix is empty, ragged, has a
+    row width different from [Array.length costs], contains negative
+    counts, or if [limit < 0]. *)
+
+val n_tables : t -> int
+val horizon : t -> int
+(** [T]: the refresh time; [arrivals] covers [0 .. T]. *)
+
+val limit : t -> float
+val costs : t -> Cost.Func.t array
+val cost_fn : t -> int -> Cost.Func.t
+val arrivals : t -> int array array
+val arrivals_at : t -> int -> Statevec.t
+(** Fresh copy of [d_t]. *)
+
+val f : t -> Statevec.t -> float
+(** The paper's [f(v) = Σ_i f_i(v\[i\])]. *)
+
+val is_full : t -> Statevec.t -> bool
+(** [f s > C]. *)
+
+val truncate : t -> int -> t
+(** [truncate spec t] is the same instance with the refresh moved to
+    [t <= horizon]. *)
+
+val extend_cyclic : t -> int -> t
+(** [extend_cyclic spec t] repeats the arrival sequence periodically
+    (period [horizon + 1]) out to a new horizon [t >= horizon] — the §4.2
+    periodicity assumption for [T > T_0]. *)

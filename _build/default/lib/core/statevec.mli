@@ -1,0 +1,32 @@
+(** Non-negative integer vectors indexing delta-table sizes.
+
+    Both system states (pending modification counts per table) and plan
+    actions (modifications processed per table) are such vectors. *)
+
+type t = int array
+
+val zero : int -> t
+val copy : t -> t
+val is_zero : t -> bool
+val add : t -> t -> t
+(** Componentwise sum; raises on length mismatch. *)
+
+val sub : t -> t -> t
+(** Componentwise difference; raises [Invalid_argument] if any component
+    would go negative (an action cannot process more than is pending). *)
+
+val add_in_place : t -> t -> unit
+val leq : t -> t -> bool
+(** Componentwise [<=]. *)
+
+val total : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val restrict_to : t -> int list -> t
+(** [restrict_to s members] keeps [s.(i)] for [i] in [members], zero
+    elsewhere — the greedy action flushing exactly those tables. *)
+
+val support : t -> int list
+(** Indices with non-zero components, ascending. *)
+
+val to_string : t -> string

@@ -1,0 +1,43 @@
+let make_lazy spec plan =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let pending = ref (Statevec.zero n) in
+  (* accumulated, unapplied input actions *)
+  let state = ref (Statevec.zero n) in
+  (* pre/post state under the lazy plan *)
+  let out = ref [] in
+  for t = 0 to horizon do
+    (match Plan.action_at plan t with
+    | Some a -> pending := Statevec.add !pending a
+    | None -> ());
+    let pre = Statevec.add !state (Spec.arrivals spec).(t) in
+    if Spec.is_full spec pre || t = horizon then begin
+      let action = if t = horizon then pre else !pending in
+      if not (Statevec.is_zero action) then out := (t, action) :: !out;
+      state := Statevec.sub pre action;
+      pending := Statevec.zero n
+    end
+    else state := pre
+  done;
+  Plan.of_actions (List.rev !out)
+
+let make_lgm spec plan =
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let p_states = Plan.states spec plan in
+  let state = ref (Statevec.zero n) in
+  let out = ref [] in
+  for t = 0 to horizon - 1 do
+    let pre = Statevec.add !state (Spec.arrivals spec).(t) in
+    if Spec.is_full spec pre then begin
+      let _, p_post = p_states.(t) in
+      let draft = Array.init n (fun i -> if pre.(i) > p_post.(i) then pre.(i) else 0) in
+      let action = Actions.minimize spec pre draft in
+      if not (Statevec.is_zero action) then out := (t, action) :: !out;
+      state := Statevec.sub pre action
+    end
+    else state := pre
+  done;
+  let final_pre = Statevec.add !state (Spec.arrivals spec).(horizon) in
+  if not (Statevec.is_zero final_pre) then out := (horizon, final_pre) :: !out;
+  Plan.of_actions (List.rev !out)

@@ -1,0 +1,15 @@
+(** The paper's constructive plan transforms (§3).
+
+    These underpin the approximation results: {!make_lazy} proves the best
+    lazy plan optimal (Lemma 1), and {!make_lgm} proves the best LGM plan a
+    2-approximation (Theorem 1) — exact for affine cost functions
+    (Theorem 2).  They are exercised heavily by property tests. *)
+
+val make_lazy : Spec.t -> Plan.t -> Plan.t
+(** MakeLazyPlan: defers and merges the input plan's actions until forced.
+    The result is lazy, valid whenever the input is valid, and by
+    subadditivity never costlier. *)
+
+val make_lgm : Spec.t -> Plan.t -> Plan.t
+(** MakeLGMPlan: converts a valid plan into a valid LGM plan whose
+    per-table cost is at most twice the input's (Lemma 2-4). *)

@@ -1,0 +1,55 @@
+let timeline ?(width = 60) ?names spec plan =
+  if width < 1 then invalid_arg "Visualize.timeline: width must be positive";
+  let n = Spec.n_tables spec in
+  let horizon = Spec.horizon spec in
+  let names =
+    match names with
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Visualize.timeline: names length mismatch";
+        a
+    | None -> Array.init n (Printf.sprintf "t%d")
+  in
+  let states = Plan.states spec plan in
+  let buckets = min width (horizon + 1) in
+  let bucket_of t = t * buckets / (horizon + 1) in
+  (* Per table, per bucket: ' ' < '.' < 'p' < 'F'. *)
+  let grid = Array.make_matrix n buckets '.' in
+  let flush_counts = Array.make n 0 in
+  List.iter
+    (fun (t, action) ->
+      let pre = fst states.(t) in
+      Array.iteri
+        (fun i k ->
+          if k > 0 then begin
+            flush_counts.(i) <- flush_counts.(i) + 1;
+            let b = bucket_of t in
+            let mark = if k = pre.(i) then 'F' else 'p' in
+            if grid.(i).(b) <> 'F' then grid.(i).(b) <- mark
+          end)
+        action)
+    (Plan.actions plan);
+  let name_width =
+    Array.fold_left (fun acc s -> max acc (String.length s)) 0 names
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%*s t=0%*s t=%d\n" name_width "" (buckets - 1) "" horizon);
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s|  %d flushes\n" name_width names.(i)
+           (String.init buckets (Array.get row))
+           flush_counts.(i)))
+    grid;
+  Buffer.contents buf
+
+let action_summary spec plan =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (t, action) ->
+      Buffer.add_string buf
+        (Printf.sprintf "t=%-5d process %s  cost %.2f\n" t
+           (Statevec.to_string action) (Spec.f spec action)))
+    (Plan.actions plan);
+  Buffer.contents buf

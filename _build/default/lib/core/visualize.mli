@@ -1,0 +1,22 @@
+(** Plain-text visualization of maintenance plans.
+
+    Renders one row per table across the horizon, bucketing time into a
+    fixed-width band so long horizons stay readable:
+
+    {v
+    t=0                                                              t=500
+    partsupp  |..........................F...........................F|  2 flushes
+    supplier  |...F....F....F....F....F....F....F....F....F....F....F.|  11 flushes
+    v}
+
+    A bucket shows ['F'] if any action in it fully flushed the table,
+    ['p'] for a partial (non-greedy) processing, ['.'] otherwise. *)
+
+val timeline : ?width:int -> ?names:string array -> Spec.t -> Plan.t -> string
+(** [timeline spec plan] renders the plan (default [width] 60 buckets).
+    [names] labels the rows (defaults to [t0], [t1], ...).  Raises like
+    {!Plan.states} if the plan is not executable against the spec. *)
+
+val action_summary : Spec.t -> Plan.t -> string
+(** One line per action: time, processed vector, action cost — for small
+    plans and debugging. *)

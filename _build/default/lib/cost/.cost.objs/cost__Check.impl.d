@@ -1,0 +1,1 @@
+lib/cost/check.ml: Array Func

@@ -1,0 +1,1 @@
+lib/cost/fit.mli: Func

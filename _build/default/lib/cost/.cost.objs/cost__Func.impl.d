@@ -1,0 +1,1 @@
+lib/cost/func.ml: Array Float List Printf String

@@ -1,0 +1,42 @@
+let tol = 1e-9
+
+let is_monotone ?(upto = 256) f =
+  let rec loop k = k >= upto || (Func.eval f (k + 1) >= Func.eval f k -. tol && loop (k + 1)) in
+  loop 0
+
+let is_subadditive ?(upto = 256) f =
+  let values = Array.init (upto + 1) (Func.eval f) in
+  let ok = ref true in
+  let x = ref 1 in
+  while !ok && !x <= upto / 2 do
+    let y = ref !x in
+    while !ok && !x + !y <= upto do
+      if values.(!x + !y) > values.(!x) +. values.(!y) +. tol then ok := false;
+      incr y
+    done;
+    incr x
+  done;
+  !ok
+
+let max_batch f ~limit ~cap =
+  if cap < 1 then invalid_arg "Cost.Check.max_batch: cap must be >= 1";
+  if Func.eval f 1 > limit then 0
+  else begin
+    (* Doubling phase: find hi with f hi > limit (or hit the cap). *)
+    let rec double k = if k >= cap then cap else if Func.eval f k > limit then k else double (2 * k) in
+    let hi = double 1 in
+    if Func.eval f hi <= limit then hi
+    else begin
+      (* Invariant: f lo <= limit < f hi. *)
+      let lo = ref (hi / 2) and hi = ref hi in
+      while !hi - !lo > 1 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if Func.eval f mid <= limit then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+let first_exceeding f ~limit ~cap =
+  let k = max_batch f ~limit ~cap in
+  if k >= cap then None else Some (k + 1)

@@ -1,0 +1,18 @@
+(** Property checks and planner-facing queries on cost functions. *)
+
+val is_monotone : ?upto:int -> Func.t -> bool
+(** [is_monotone ~upto f] verifies [f (k+1) >= f k - tol] for all
+    [k < upto] (default 256).  A small tolerance absorbs float noise in
+    measured curves. *)
+
+val is_subadditive : ?upto:int -> Func.t -> bool
+(** Verifies [f (x + y) <= f x + f y + tol] for all [1 <= x <= y],
+    [x + y <= upto] (default 256). *)
+
+val max_batch : Func.t -> limit:float -> cap:int -> int
+(** Largest [k <= cap] with [f k <= limit], assuming [f] monotone; [0] when
+    even a single modification exceeds the limit.  Doubling search followed
+    by bisection. *)
+
+val first_exceeding : Func.t -> limit:float -> cap:int -> int option
+(** Smallest [k <= cap] with [f k > limit], or [None] if no such [k]. *)

@@ -1,0 +1,15 @@
+type affine_fit = { a : float; b : float; r2 : float }
+
+let affine samples =
+  let pts =
+    Array.of_list (List.map (fun (k, c) -> (float_of_int k, c)) samples)
+  in
+  let slope, intercept = Util.Stats.linear_fit pts in
+  let intercept = Float.max 0.0 intercept in
+  let r2 = Util.Stats.r_squared pts ~slope ~intercept in
+  { a = slope; b = intercept; r2 }
+
+let to_func ?name fit =
+  let a = if fit.a <= 0.0 then 1e-9 else fit.a in
+  let f = Func.affine ~a ~b:fit.b in
+  match name with Some n -> Func.rename n f | None -> f

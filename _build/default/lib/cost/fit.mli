@@ -1,0 +1,11 @@
+(** Fitting analytic cost models to measured samples. *)
+
+type affine_fit = { a : float; b : float; r2 : float }
+
+val affine : (int * float) list -> affine_fit
+(** Least-squares [a k + b] through the samples.  [b] is clamped at [0.]
+    (a cost function cannot have a negative setup term). *)
+
+val to_func : ?name:string -> affine_fit -> Func.t
+(** The fitted function as a {!Func.t} (degenerate [a <= 0] fits are clamped
+    to a tiny positive slope to preserve the monotone contract). *)

@@ -1,0 +1,175 @@
+type t = { name : string; raw : int -> float }
+
+let name f = f.name
+
+let eval f k =
+  if k < 0 then invalid_arg "Cost.Func.eval: negative batch size";
+  if k = 0 then 0.0 else f.raw k
+
+let linear ~a =
+  if a <= 0.0 then invalid_arg "Cost.Func.linear: a must be positive";
+  { name = Printf.sprintf "linear(a=%g)" a; raw = (fun k -> a *. float_of_int k) }
+
+let affine ~a ~b =
+  if a <= 0.0 then invalid_arg "Cost.Func.affine: a must be positive";
+  if b < 0.0 then invalid_arg "Cost.Func.affine: b must be non-negative";
+  {
+    name = Printf.sprintf "affine(a=%g,b=%g)" a b;
+    raw = (fun k -> (a *. float_of_int k) +. b);
+  }
+
+let concave_sqrt ~a ~b =
+  if a <= 0.0 then invalid_arg "Cost.Func.concave_sqrt: a must be positive";
+  if b < 0.0 then invalid_arg "Cost.Func.concave_sqrt: b must be non-negative";
+  {
+    name = Printf.sprintf "sqrt(a=%g,b=%g)" a b;
+    raw = (fun k -> (a *. sqrt (float_of_int k)) +. b);
+  }
+
+let logarithmic ~a ~b =
+  if a <= 0.0 then invalid_arg "Cost.Func.logarithmic: a must be positive";
+  if b < 0.0 then invalid_arg "Cost.Func.logarithmic: b must be non-negative";
+  {
+    name = Printf.sprintf "log(a=%g,b=%g)" a b;
+    raw = (fun k -> (a *. log (1.0 +. float_of_int k)) +. b);
+  }
+
+let blocked ~per_block ~block_size =
+  if per_block <= 0.0 then invalid_arg "Cost.Func.blocked: per_block must be positive";
+  if block_size <= 0 then invalid_arg "Cost.Func.blocked: block_size must be positive";
+  {
+    name = Printf.sprintf "blocked(c=%g,B=%d)" per_block block_size;
+    raw =
+      (fun k ->
+        let blocks = (k + block_size - 1) / block_size in
+        per_block *. float_of_int blocks);
+  }
+
+let plateau ~a ~cap =
+  if a <= 0.0 then invalid_arg "Cost.Func.plateau: a must be positive";
+  if cap <= 0.0 then invalid_arg "Cost.Func.plateau: cap must be positive";
+  {
+    name = Printf.sprintf "plateau(a=%g,cap=%g)" a cap;
+    raw = (fun k -> Float.min (a *. float_of_int k) cap);
+  }
+
+let validate_breakpoints points =
+  if points = [] then invalid_arg "Cost.Func: empty breakpoint list";
+  let rec check prev_k prev_c = function
+    | [] -> ()
+    | (k, c) :: rest ->
+        if k <= prev_k then
+          invalid_arg "Cost.Func: breakpoints must be strictly increasing in k";
+        if c < prev_c then
+          invalid_arg "Cost.Func: breakpoint costs must be non-decreasing";
+        check k c rest
+  in
+  check 0 0.0 points
+
+let interpolate points =
+  let pts = Array.of_list ((0, 0.0) :: points) in
+  let n = Array.length pts in
+  let last_slope =
+    let ka, ca = pts.(n - 2) and kb, cb = pts.(n - 1) in
+    (cb -. ca) /. float_of_int (kb - ka)
+  in
+  fun k ->
+    let kf = float_of_int k in
+    let last_k, last_c = pts.(n - 1) in
+    if k >= last_k then last_c +. (last_slope *. (kf -. float_of_int last_k))
+    else begin
+      (* Binary search for the segment containing k. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fst pts.(mid) <= k then lo := mid else hi := mid
+      done;
+      let ka, ca = pts.(!lo) and kb, cb = pts.(!hi) in
+      let w = (kf -. float_of_int ka) /. float_of_int (kb - ka) in
+      ca +. (w *. (cb -. ca))
+    end
+
+let piecewise_linear points =
+  validate_breakpoints points;
+  { name = "piecewise"; raw = interpolate points }
+
+let tabulated ~name points =
+  validate_breakpoints points;
+  { name; raw = interpolate points }
+
+let step_tightness ~eps ~limit =
+  if eps <= 0.0 || eps > 1.0 then
+    invalid_arg "Cost.Func.step_tightness: eps must be in (0, 1]";
+  if limit <= 0.0 then
+    invalid_arg "Cost.Func.step_tightness: limit must be positive";
+  (* The construction is subadditive only when the knee 2/eps is an
+     integer (the paper assumes 1/eps integral); snap eps accordingly. *)
+  let knee = max 2 (int_of_float (Float.round (2.0 /. eps))) in
+  let eps = 2.0 /. float_of_int knee in
+  {
+    name = Printf.sprintf "step(eps=%g,C=%g)" eps limit;
+    raw =
+      (fun k ->
+        if k <= knee then eps *. float_of_int k /. 2.0 *. limit
+        else (1.0 +. (eps /. 2.0)) *. limit);
+  }
+
+let subadditive_hull ~upto f =
+  if upto < 1 then invalid_arg "Cost.Func.subadditive_hull: upto must be >= 1";
+  let hull = Array.make (upto + 1) 0.0 in
+  for k = 1 to upto do
+    let best = ref (eval f k) in
+    for j = 1 to k / 2 do
+      let split = hull.(j) +. hull.(k - j) in
+      if split < !best then best := split
+    done;
+    hull.(k) <- !best
+  done;
+  let tail_slope =
+    if upto >= 2 then hull.(upto) -. hull.(upto - 1) else hull.(1)
+  in
+  {
+    name = Printf.sprintf "subadditive_hull(%s)" (name f);
+    raw =
+      (fun k ->
+        if k <= upto then hull.(k)
+        else hull.(upto) +. (tail_slope *. float_of_int (k - upto)));
+  }
+
+let sum f g =
+  {
+    name = Printf.sprintf "(%s + %s)" f.name g.name;
+    raw = (fun k -> f.raw k +. g.raw k);
+  }
+
+let scale c f =
+  if c <= 0.0 then invalid_arg "Cost.Func.scale: factor must be positive";
+  { name = Printf.sprintf "%g*%s" c f.name; raw = (fun k -> c *. f.raw k) }
+
+let rename name f = { f with name }
+
+let of_fn ~name raw = { name; raw }
+
+let of_string text =
+  let fail () = Error (Printf.sprintf "cannot parse cost function %S" text) in
+  match String.index_opt text ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub text 0 i in
+      let args =
+        String.split_on_char ','
+          (String.sub text (i + 1) (String.length text - i - 1))
+        |> List.map float_of_string_opt
+      in
+      let guard f = try Ok (f ()) with Invalid_argument msg -> Error msg in
+      match (kind, args) with
+      | "linear", [ Some a ] -> guard (fun () -> linear ~a)
+      | "affine", [ Some a; Some b ] -> guard (fun () -> affine ~a ~b)
+      | "sqrt", [ Some a; Some b ] -> guard (fun () -> concave_sqrt ~a ~b)
+      | "log", [ Some a; Some b ] -> guard (fun () -> logarithmic ~a ~b)
+      | "blocked", [ Some per_block; Some size ] ->
+          guard (fun () -> blocked ~per_block ~block_size:(int_of_float size))
+      | "plateau", [ Some a; Some cap ] -> guard (fun () -> plateau ~a ~cap)
+      | "step", [ Some eps; Some limit ] ->
+          guard (fun () -> step_tightness ~eps ~limit)
+      | _ -> fail ())

@@ -1,0 +1,92 @@
+(** Batch-maintenance cost functions [f : Z+ -> R].
+
+    The planner's contract with a cost function is the paper's (§2):
+    monotonicity ([f x >= f y] for [x >= y]) and subadditivity
+    ([f 0 = 0] and [f (x + y) <= f x + f y]).  All constructors here
+    produce functions satisfying both; {!Check} verifies the properties
+    for arbitrary (e.g. measured) functions.
+
+    Every function evaluates to [0.] at [k = 0] by construction — the
+    paper's "linear" form [a k + b] means [b] is charged per non-empty
+    batch, not at rest. *)
+
+type t
+
+val name : t -> string
+val eval : t -> int -> float
+(** Raises [Invalid_argument] on negative batch sizes. *)
+
+(** {1 Analytic families} *)
+
+val linear : a:float -> t
+(** [f k = a * k].  Requires [a > 0]. *)
+
+val affine : a:float -> b:float -> t
+(** The paper's §3.3 form: [f 0 = 0], [f k = a * k + b] for [k >= 1].
+    Requires [a > 0] and [b >= 0]. *)
+
+val concave_sqrt : a:float -> b:float -> t
+(** [f k = a * sqrt k + b] for [k >= 1]; strictly concave growth. *)
+
+val logarithmic : a:float -> b:float -> t
+(** [f k = a * log (1 + k) + b] for [k >= 1]. *)
+
+val blocked : per_block:float -> block_size:int -> t
+(** I/O-style cost [per_block * ceil (k / block_size)]: subadditive but not
+    concave (the paper's §2 example). *)
+
+val plateau : a:float -> cap:float -> t
+(** [f k = min (a * k) cap]: models an indexed maintenance path whose cost
+    stops growing once supporting structures are memory-resident (the
+    PartSupp curve in Fig. 4). *)
+
+val piecewise_linear : (int * float) list -> t
+(** Monotone interpolation through [(0, 0)] and the given breakpoints
+    (sorted by batch size, positive, non-decreasing cost); beyond the last
+    breakpoint extrapolates with the final segment's slope.  Raises
+    [Invalid_argument] on malformed breakpoints.  Note: subadditivity is
+    only guaranteed if the breakpoints are themselves subadditive — use
+    {!Check.is_subadditive} for measured data. *)
+
+val tabulated : name:string -> (int * float) list -> t
+(** Like {!piecewise_linear} but keeps the given name; intended for
+    measured cost curves from calibration. *)
+
+val step_tightness : eps:float -> limit:float -> t
+(** The §3.2 lower-bound instance: [f x = (eps * x / 2) * limit] for
+    [x <= 2 / eps] and [(1 + eps / 2) * limit] beyond.  Monotone and
+    subadditive but not concave.  Requires [0 < eps <= 1]. *)
+
+val subadditive_hull : upto:int -> t -> t
+(** The greatest subadditive minorant of [f] on [\[0, upto\]], extended
+    beyond [upto] with the hull's final slope.  Computed by the DP
+    [f*(k) = min (f k) (min_j f*(j) + f*(k - j))].  Use to repair measured
+    cost curves whose noise breaks subadditivity (the paper's §7 notes such
+    curves arise from real optimizers).  Requires [upto >= 1]. *)
+
+(** {1 Combinators} *)
+
+val sum : t -> t -> t
+(** Pointwise sum (preserves monotonicity and subadditivity). *)
+
+val scale : float -> t -> t
+(** Pointwise scaling by a positive factor. *)
+
+val rename : string -> t -> t
+
+val of_fn : name:string -> (int -> float) -> t
+(** Escape hatch: wrap an arbitrary function.  The caller is responsible
+    for monotonicity/subadditivity; [f 0] is forced to [0.]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a cost-function description, as accepted by the CLI:
+
+    - ["linear:A"]
+    - ["affine:A,B"]
+    - ["sqrt:A,B"]
+    - ["log:A,B"]
+    - ["blocked:PER_BLOCK,BLOCK_SIZE"]
+    - ["plateau:A,CAP"]
+    - ["step:EPS,LIMIT"]
+
+    Returns [Error msg] on malformed input or invalid parameters. *)

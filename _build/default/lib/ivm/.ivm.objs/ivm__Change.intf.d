@@ -1,0 +1,1 @@
+lib/ivm/change.mli: Relation

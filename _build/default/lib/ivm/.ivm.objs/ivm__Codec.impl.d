@@ -1,0 +1,1 @@
+lib/ivm/codec.ml: Array Buffer Change List Printf Relation Result String

@@ -1,0 +1,1 @@
+lib/ivm/codec.mli: Change Relation

@@ -1,0 +1,1 @@
+lib/ivm/groups.ml: Array Hashtbl List Relation String

@@ -1,0 +1,1 @@
+lib/ivm/groups.mli: Relation

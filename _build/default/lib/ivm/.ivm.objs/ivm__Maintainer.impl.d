@@ -1,0 +1,1 @@
+lib/ivm/maintainer.ml: Array Change Groups Hashtbl List Option Pending Printf Relation Viewdef

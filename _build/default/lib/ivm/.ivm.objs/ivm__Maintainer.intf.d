@@ -1,0 +1,1 @@
+lib/ivm/maintainer.mli: Change Relation Viewdef

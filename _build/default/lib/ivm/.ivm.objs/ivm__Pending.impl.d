@@ -1,0 +1,1 @@
+lib/ivm/pending.ml: Change List Util

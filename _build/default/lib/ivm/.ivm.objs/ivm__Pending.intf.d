@@ -1,0 +1,1 @@
+lib/ivm/pending.mli: Change

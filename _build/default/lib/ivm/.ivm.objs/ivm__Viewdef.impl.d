@@ -1,0 +1,1 @@
+lib/ivm/viewdef.ml: Array Hashtbl List Option Relation

@@ -1,0 +1,1 @@
+lib/ivm/viewdef.mli: Relation

@@ -1,0 +1,15 @@
+type t =
+  | Insert of Relation.Tuple.t
+  | Delete of Relation.Tuple.t
+  | Update of { before : Relation.Tuple.t; after : Relation.Tuple.t }
+
+let signed_tuples = function
+  | Insert t -> [ (t, 1) ]
+  | Delete t -> [ (t, -1) ]
+  | Update { before; after } -> [ (before, -1); (after, 1) ]
+
+let to_string = function
+  | Insert t -> "+" ^ Relation.Tuple.to_string t
+  | Delete t -> "-" ^ Relation.Tuple.to_string t
+  | Update { before; after } ->
+      Relation.Tuple.to_string before ^ " -> " ^ Relation.Tuple.to_string after

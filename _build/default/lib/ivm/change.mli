@@ -1,0 +1,17 @@
+(** Base-table modifications.
+
+    A modification stream is generated against the *logical* database state
+    (processed plus pending modifications, in order), so that replaying a
+    table's queue in FIFO order against its processed state always finds
+    the tuples it deletes.  See DESIGN.md on state-bug handling. *)
+
+type t =
+  | Insert of Relation.Tuple.t
+  | Delete of Relation.Tuple.t
+  | Update of { before : Relation.Tuple.t; after : Relation.Tuple.t }
+
+val signed_tuples : t -> (Relation.Tuple.t * int) list
+(** The modification as signed delta tuples: insert [+1], delete [-1],
+    update [(before, -1); (after, +1)]. *)
+
+val to_string : t -> string

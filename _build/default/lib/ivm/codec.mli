@@ -1,0 +1,16 @@
+(** Text serialization of values, tuples, and modifications — the basis of
+    {!Changelog} trace files.
+
+    Values encode as type-prefixed literals ([i:42], [f:3.5], [s:text],
+    [b:true], [null]); strings escape backslash, tab and newline so a
+    tuple is a single tab-separated line. *)
+
+val value_to_string : Relation.Value.t -> string
+val value_of_string : string -> (Relation.Value.t, string) result
+
+val tuple_to_string : Relation.Tuple.t -> string
+val tuple_of_string : string -> (Relation.Tuple.t, string) result
+(** The empty tuple encodes as [()]. *)
+
+val change_to_string : Change.t -> string
+val change_of_string : string -> (Change.t, string) result

@@ -1,0 +1,327 @@
+module Thash = Hashtbl.Make (struct
+  type t = Relation.Tuple.t
+
+  let equal = Relation.Tuple.equal
+  let hash = Relation.Tuple.hash
+end)
+
+module Vhash = Hashtbl.Make (struct
+  type t = Relation.Value.t
+
+  let equal = Relation.Value.equal
+  let hash = Relation.Value.hash
+end)
+
+type content =
+  | Bag of { counts : int Thash.t; positions : int array }
+      (** projected-tuple multiplicities; [positions] maps joined-schema
+          positions to output positions *)
+  | Grouped of Groups.t
+
+type t = {
+  view : Viewdef.t;
+  pending : Pending.t array;
+  content : content;
+  filter_fn : (Relation.Tuple.t -> bool) option;
+  meter : Relation.Meter.t;
+}
+
+let view m = m.view
+let meter m = m.meter
+
+let bag_apply counts tuple count =
+  let current = match Thash.find_opt counts tuple with Some c -> c | None -> 0 in
+  let updated = current + count in
+  if updated < 0 then
+    invalid_arg "Maintainer: view tuple multiplicity would go negative";
+  if updated = 0 then Thash.remove counts tuple
+  else Thash.replace counts tuple updated
+
+let create ?meter view =
+  let tables = Viewdef.tables view in
+  let meter =
+    match meter with Some m -> m | None -> Relation.Table.meter tables.(0)
+  in
+  let joined_schema = Viewdef.joined_schema view in
+  let filter_fn =
+    Option.map (Relation.Expr.compile_pred joined_schema) (Viewdef.filter view)
+  in
+  let joined_rows = Relation.Ra.eval (Viewdef.joined_plan view) in
+  let content =
+    if Viewdef.aggs view <> [] then begin
+      let groups =
+        Groups.create ~schema:joined_schema ~group_by:(Viewdef.group_by view)
+          ~specs:(Viewdef.aggs view)
+      in
+      List.iter (fun row -> Groups.apply groups row 1) joined_rows;
+      Grouped groups
+    end
+    else begin
+      let positions =
+        match Viewdef.projection view with
+        | Some cols -> snd (Relation.Schema.project joined_schema cols)
+        | None ->
+            Array.init (Relation.Schema.arity joined_schema) (fun i -> i)
+      in
+      let counts = Thash.create 256 in
+      List.iter
+        (fun row -> bag_apply counts (Relation.Tuple.project row positions) 1)
+        joined_rows;
+      Bag { counts; positions }
+    end
+  in
+  {
+    view;
+    pending = Array.map (fun _ -> Pending.create ()) tables;
+    content;
+    filter_fn;
+    meter;
+  }
+
+let on_arrive m i change =
+  if i < 0 || i >= Array.length m.pending then
+    invalid_arg "Maintainer.on_arrive: bad table index";
+  Pending.push m.pending.(i) change
+
+let pending_sizes m = Array.map Pending.size m.pending
+
+let pending_size m i = Pending.size m.pending.(i)
+
+(* --- delta join expansion ---------------------------------------------- *)
+
+(* A partial result binds a subset of the tables to concrete tuples. *)
+type partial = { bindings : Relation.Tuple.t option array; sign : int }
+
+let bind partial j tuple =
+  let bindings = Array.copy partial.bindings in
+  bindings.(j) <- Some tuple;
+  { partial with bindings }
+
+(* Candidate expansion edges: those with exactly one endpoint bound,
+   normalized so [left] is the bound side. *)
+let frontier_edges view bound =
+  List.filter_map
+    (fun (e : Viewdef.join_edge) ->
+      if bound.(e.left) && not bound.(e.right) then Some e
+      else if bound.(e.right) && not bound.(e.left) then
+        Some
+          {
+            Viewdef.left = e.right;
+            left_col = e.right_col;
+            right = e.left;
+            right_col = e.left_col;
+          }
+      else None)
+    (Viewdef.join_edges view)
+
+(* Estimated cost of expanding one partial across an edge: an indexed
+   partner costs a probe returning its average bucket size; an unindexed
+   partner costs its full row count (shared scan, but a conservative
+   per-partial proxy keeps the heuristic simple). *)
+let edge_cost_estimate view ~delta (e : Viewdef.join_edge) =
+  let dst = (Viewdef.tables view).(e.right) in
+  let rows = float_of_int (max 1 (Relation.Table.row_count dst)) in
+  if
+    Relation.Table.has_index dst e.right_col
+    && not (Viewdef.force_scan view ~delta ~partner:e.right)
+  then rows /. float_of_int (max 1 (Relation.Table.distinct_estimate dst e.right_col))
+  else rows
+
+(* Pick the next join edge from a bound table to an unbound one: first in
+   edge-list order (Fixed) or cheapest estimated expansion (Adaptive). *)
+let next_edge view ~delta bound =
+  match frontier_edges view bound with
+  | [] -> None
+  | first :: rest -> (
+      match Viewdef.join_order view with
+      | Viewdef.Fixed -> Some first
+      | Viewdef.Adaptive ->
+          Some
+            (List.fold_left
+               (fun best e ->
+                 if
+                   edge_cost_estimate view ~delta e
+                   < edge_cost_estimate view ~delta best
+                 then e
+                 else best)
+               first rest))
+
+let expand_step m ~delta partials (e : Viewdef.join_edge) =
+  let tables = Viewdef.tables m.view in
+  let src_table = tables.(e.left) and dst_table = tables.(e.right) in
+  let src_pos =
+    Relation.Schema.index_of (Relation.Table.schema src_table) e.left_col
+  in
+  let bound_value p =
+    match p.bindings.(e.left) with
+    | Some tuple -> Relation.Tuple.get tuple src_pos
+    | None -> assert false
+  in
+  if
+    Relation.Table.has_index dst_table e.right_col
+    && not (Viewdef.force_scan m.view ~delta ~partner:e.right)
+  then
+    (* Indexed nested-loop: one probe per partial. *)
+    List.concat_map
+      (fun p ->
+        let matches = Relation.Table.lookup dst_table e.right_col (bound_value p) in
+        List.map (fun rt -> bind p e.right rt) matches)
+      partials
+  else begin
+    (* No index: build a hash over the batch, scan the partner once. *)
+    let dst_pos =
+      Relation.Schema.index_of (Relation.Table.schema dst_table) e.right_col
+    in
+    let by_value = Vhash.create (max 16 (List.length partials)) in
+    List.iter
+      (fun p ->
+        Relation.Meter.bump_hash_build m.meter 1;
+        Vhash.add by_value (bound_value p) p)
+      partials;
+    let out = ref [] in
+    Relation.Table.scan dst_table (fun _ rt ->
+        Relation.Meter.bump_hash_probe m.meter 1;
+        let v = Relation.Tuple.get rt dst_pos in
+        List.iter
+          (fun p -> out := bind p e.right rt :: !out)
+          (Vhash.find_all by_value v));
+    List.rev !out
+  end
+
+let joined_tuple m partial =
+  let tables = Viewdef.tables m.view in
+  let parts =
+    Array.mapi
+      (fun j _ ->
+        match partial.bindings.(j) with
+        | Some tuple -> tuple
+        | None -> assert false)
+      tables
+  in
+  Array.concat (Array.to_list parts)
+
+(* Compute the signed joined contributions of a batch of delta tuples from
+   table [i]. *)
+let expand_batch m i deltas =
+  let n = Viewdef.n_tables m.view in
+  let bound = Array.make n false in
+  bound.(i) <- true;
+  let partials =
+    List.map
+      (fun (tuple, sign) ->
+        let bindings = Array.make n None in
+        bindings.(i) <- Some tuple;
+        { bindings; sign })
+      deltas
+  in
+  let rec expand partials bound =
+    match next_edge m.view ~delta:i bound with
+    | None -> partials
+    | Some e ->
+        let expanded = expand_step m ~delta:i partials e in
+        bound.(e.right) <- true;
+        expand expanded bound
+  in
+  let full = expand partials bound in
+  (* Net the contributions per distinct joined row: expansion order depends
+     on the physical path (index probes preserve delta order, shared scans
+     emit in scan order), and a batch touching the same row twice must not
+     apply a removal before the matching insertion.  Netting makes the
+     application order-insensitive. *)
+  let net = Thash.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let row = joined_tuple m p in
+      let keep = match m.filter_fn with Some pred -> pred row | None -> true in
+      if keep then
+        match Thash.find_opt net row with
+        | Some cell -> cell := !cell + p.sign
+        | None ->
+            Thash.add net row (ref p.sign);
+            order := row :: !order)
+    full;
+  List.rev !order
+  |> List.map (fun row -> (row, !(Thash.find net row)))
+  |> List.filter (fun (_, count) -> count <> 0)
+
+let apply_contribution m (row, sign) =
+  Relation.Meter.bump_output m.meter 1;
+  match m.content with
+  | Bag { counts; positions } ->
+      bag_apply counts (Relation.Tuple.project row positions) sign
+  | Grouped groups -> Groups.apply groups row sign
+
+let apply_to_base m i change =
+  let table = (Viewdef.tables m.view).(i) in
+  match change with
+  | Change.Insert t -> ignore (Relation.Table.insert table t)
+  | Change.Delete t ->
+      if not (Relation.Table.delete_tuple table t) then
+        invalid_arg
+          (Printf.sprintf
+             "Maintainer.process: delete of missing tuple %s from %s"
+             (Relation.Tuple.to_string t)
+             (Relation.Table.name table))
+  | Change.Update { before; after } ->
+      if not (Relation.Table.delete_tuple table before) then
+        invalid_arg
+          (Printf.sprintf
+             "Maintainer.process: update of missing tuple %s in %s"
+             (Relation.Tuple.to_string before)
+             (Relation.Table.name table));
+      ignore (Relation.Table.insert table after)
+
+let process m i k =
+  if i < 0 || i >= Array.length m.pending then
+    invalid_arg "Maintainer.process: bad table index";
+  let before = Relation.Meter.snapshot m.meter in
+  if k > 0 then begin
+    let batch = Pending.take m.pending.(i) k in
+    Relation.Meter.bump_batch_setup m.meter 1;
+    let deltas = List.concat_map Change.signed_tuples batch in
+    let contributions = expand_batch m i deltas in
+    List.iter (apply_contribution m) contributions;
+    List.iter (apply_to_base m i) batch
+  end;
+  Relation.Meter.diff (Relation.Meter.snapshot m.meter) before
+
+let refresh m =
+  let before = Relation.Meter.snapshot m.meter in
+  Array.iteri (fun i q -> ignore (process m i (Pending.size q))) m.pending;
+  Relation.Meter.diff (Relation.Meter.snapshot m.meter) before
+
+let rows m =
+  match m.content with
+  | Bag { counts; _ } ->
+      let out = ref [] in
+      Thash.iter
+        (fun tuple count ->
+          for _ = 1 to count do
+            out := tuple :: !out
+          done)
+        counts;
+      List.sort Relation.Tuple.compare !out
+  | Grouped groups -> Groups.rows groups
+
+let output_schema m =
+  match m.content with
+  | Bag _ -> Viewdef.output_schema m.view
+  | Grouped groups -> Groups.output_schema groups
+
+let check_consistent m =
+  let reference =
+    List.sort Relation.Tuple.compare
+      (Relation.Ra.eval (Viewdef.reference_plan m.view))
+  in
+  let actual = rows m in
+  (* Approximate comparison: incremental float aggregates sum in a
+     different order than the recompute. *)
+  if List.equal (Relation.Tuple.approx_equal ~eps:1e-9) reference actual then
+    Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "view %s: incremental content (%d rows) differs from reference (%d \
+          rows)"
+         (Viewdef.name m.view) (List.length actual) (List.length reference))

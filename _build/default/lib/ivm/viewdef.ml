@@ -1,0 +1,242 @@
+type join_edge = {
+  left : int;
+  left_col : string;
+  right : int;
+  right_col : string;
+}
+
+type join_order = Fixed | Adaptive
+
+type t = {
+  name : string;
+  tables : Relation.Table.t array;
+  aliases : string array;
+  join : join_edge list;
+  filter : Relation.Expr.t option;
+  group_by : string list;
+  aggs : Relation.Agg.spec list;
+  projection : string list option;
+  scan_hints : (int * int) list;
+  join_order : join_order;
+  joined_schema : Relation.Schema.t;
+}
+
+let check_connected n join =
+  if n > 1 then begin
+    let adj = Array.make n [] in
+    List.iter
+      (fun e ->
+        adj.(e.left) <- e.right :: adj.(e.left);
+        adj.(e.right) <- e.left :: adj.(e.right))
+      join;
+    let visited = Array.make n false in
+    let rec dfs i =
+      if not visited.(i) then begin
+        visited.(i) <- true;
+        List.iter dfs adj.(i)
+      end
+    in
+    dfs 0;
+    if not (Array.for_all (fun v -> v) visited) then
+      invalid_arg "Viewdef.make: join graph is not connected"
+  end
+
+let make ~name ~tables ?aliases ~join ?filter ?group_by ?aggs ?projection
+    ?(scan_hints = []) ?(join_order = Fixed) () =
+  let n = Array.length tables in
+  if n = 0 then invalid_arg "Viewdef.make: no tables";
+  let aliases =
+    match aliases with
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Viewdef.make: aliases length mismatch";
+        a
+    | None -> Array.map Relation.Table.name tables
+  in
+  List.iter
+    (fun e ->
+      if e.left < 0 || e.left >= n || e.right < 0 || e.right >= n then
+        invalid_arg "Viewdef.make: join edge references unknown table";
+      if e.left = e.right then
+        invalid_arg "Viewdef.make: self-join edges are not supported";
+      (* Column existence check (raises if unknown). *)
+      ignore
+        (Relation.Schema.index_of
+           (Relation.Table.schema tables.(e.left))
+           e.left_col);
+      ignore
+        (Relation.Schema.index_of
+           (Relation.Table.schema tables.(e.right))
+           e.right_col))
+    join;
+  check_connected n join;
+  (* Parallel edges (a second equality between an already-linked table
+     pair) would be silently ignored by the single-edge-per-expansion
+     delta join; demand they be written as filter conjuncts instead. *)
+  let seen_pairs = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let pair = (min e.left e.right, max e.left e.right) in
+      if Hashtbl.mem seen_pairs pair then
+        invalid_arg
+          "Viewdef.make: parallel join edges between the same tables; express \
+           the extra equality as a filter conjunct";
+      Hashtbl.add seen_pairs pair ())
+    join;
+  let group_by = match group_by with Some g -> g | None -> [] in
+  let aggs = match aggs with Some a -> a | None -> [] in
+  if aggs = [] && group_by <> [] then
+    invalid_arg "Viewdef.make: group_by without aggregates";
+  if aggs <> [] && projection <> None then
+    invalid_arg "Viewdef.make: aggregates and projection are exclusive";
+  let joined_schema =
+    Array.to_list tables
+    |> List.mapi (fun i table ->
+           Relation.Schema.qualify aliases.(i) (Relation.Table.schema table))
+    |> List.fold_left
+         (fun acc s ->
+           match acc with
+           | None -> Some s
+           | Some a -> Some (Relation.Schema.concat a s))
+         None
+    |> Option.get
+  in
+  (* Validate column references against the joined schema. *)
+  (match filter with
+  | Some f ->
+      List.iter
+        (fun c -> ignore (Relation.Schema.index_of joined_schema c))
+        (Relation.Expr.columns f)
+  | None -> ());
+  List.iter
+    (fun c -> ignore (Relation.Schema.index_of joined_schema c))
+    group_by;
+  (match projection with
+  | Some cols ->
+      List.iter
+        (fun c -> ignore (Relation.Schema.index_of joined_schema c))
+        cols
+  | None -> ());
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Viewdef.make: scan hint references unknown table")
+    scan_hints;
+  {
+    name;
+    tables;
+    aliases;
+    join;
+    filter;
+    group_by;
+    aggs;
+    projection;
+    scan_hints;
+    join_order;
+    joined_schema;
+  }
+
+let name v = v.name
+let tables v = v.tables
+let n_tables v = Array.length v.tables
+let alias v i = v.aliases.(i)
+let join_edges v = v.join
+let filter v = v.filter
+let group_by v = v.group_by
+let aggs v = v.aggs
+let projection v = v.projection
+let joined_schema v = v.joined_schema
+
+let output_schema v =
+  if v.aggs <> [] then begin
+    let group_cols =
+      List.map
+        (fun name ->
+          let i = Relation.Schema.index_of v.joined_schema name in
+          ( Relation.Schema.column_name v.joined_schema i,
+            Relation.Schema.column_type v.joined_schema i ))
+        v.group_by
+    in
+    let agg_cols =
+      List.map
+        (fun (spec : Relation.Agg.spec) ->
+          (spec.as_name, Relation.Agg.output_type v.joined_schema spec.func))
+        v.aggs
+    in
+    Relation.Schema.make (group_cols @ agg_cols)
+  end
+  else
+    match v.projection with
+    | Some cols -> fst (Relation.Schema.project v.joined_schema cols)
+    | None -> v.joined_schema
+
+let joined_plan v =
+  let n = Array.length v.tables in
+  (* Left-deep join tree in table order; each new table must connect to an
+     already-joined one (guaranteed for connected graphs after reordering,
+     but table order may not be a valid build order, so BFS from table 0). *)
+  let added = Array.make n false in
+  let plan = ref (Relation.Ra.scan ~alias:v.aliases.(0) v.tables.(0)) in
+  added.(0) <- true;
+  let remaining = ref (n - 1) in
+  while !remaining > 0 do
+    (* Find an edge with exactly one endpoint added. *)
+    let edge =
+      List.find_opt
+        (fun e -> added.(e.left) <> added.(e.right))
+        v.join
+    in
+    match edge with
+    | None ->
+        (* Disconnected graphs are rejected by [make]; n = 1 never enters. *)
+        invalid_arg "Viewdef.reference_plan: no connecting edge"
+    | Some e ->
+        let new_table, new_col, old_table, old_col =
+          if added.(e.left) then (e.right, e.right_col, e.left, e.left_col)
+          else (e.left, e.left_col, e.right, e.right_col)
+        in
+        let scan = Relation.Ra.scan ~alias:v.aliases.(new_table) v.tables.(new_table) in
+        let left_col = v.aliases.(old_table) ^ "." ^ old_col in
+        let right_col = v.aliases.(new_table) ^ "." ^ new_col in
+        plan :=
+          Relation.Ra.equijoin ~on:[ (left_col, right_col) ] !plan scan;
+        added.(new_table) <- true;
+        decr remaining
+  done;
+  (* The joined column order from a left-deep tree differs from the
+     canonical joined schema when the BFS order differs from table order;
+     re-project into canonical order. *)
+  let canonical =
+    Array.to_list
+      (Array.map
+         (fun (c : Relation.Schema.column) -> c.name)
+         (Relation.Schema.columns v.joined_schema))
+  in
+  let joined = Relation.Ra.project canonical !plan in
+  match v.filter with
+  | Some f -> Relation.Ra.select f joined
+  | None -> joined
+
+let reference_plan v =
+  let filtered = joined_plan v in
+  if v.aggs <> [] then
+    Relation.Ra.aggregate ~group_by:v.group_by v.aggs filtered
+  else
+    match v.projection with
+    | Some cols -> Relation.Ra.project cols filtered
+    | None -> filtered
+
+let force_scan v ~delta ~partner =
+  List.exists (fun (a, b) -> a = delta && b = partner) v.scan_hints
+
+let join_order v = v.join_order
+
+let edges_of_table v i =
+  List.filter_map
+    (fun e ->
+      if e.left = i then Some e
+      else if e.right = i then
+        Some
+          { left = i; left_col = e.right_col; right = e.left; right_col = e.left_col }
+      else None)
+    v.join

@@ -1,0 +1,82 @@
+(** Materialized view definitions: select / equi-join / project views over
+    [n] base tables, optionally topped by grouped aggregation.
+
+    Columns in [filter], [group_by], [aggs] and [projection] refer to the
+    *joined schema*: the concatenation of every base table's schema
+    qualified by its alias, in table order.  The join graph must be
+    connected. *)
+
+type join_edge = {
+  left : int;  (** table index *)
+  left_col : string;  (** unqualified column in the left table *)
+  right : int;
+  right_col : string;
+}
+
+type t
+
+type join_order =
+  | Fixed  (** expand along the first listed edge with a bound endpoint —
+               the edge list order is the maintenance join order *)
+  | Adaptive
+      (** pick the next expansion edge by estimated cost: indexed partners
+          by expected probe fan-out, unindexed partners by table size —
+          what a cost-based optimizer would emit *)
+
+val make :
+  name:string ->
+  tables:Relation.Table.t array ->
+  ?aliases:string array ->
+  join:join_edge list ->
+  ?filter:Relation.Expr.t ->
+  ?group_by:string list ->
+  ?aggs:Relation.Agg.spec list ->
+  ?projection:string list ->
+  ?scan_hints:(int * int) list ->
+  ?join_order:join_order ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when the join graph is disconnected (for two
+    or more tables), an edge references unknown tables/columns, or both
+    [aggs] and [projection] are given.
+
+    [scan_hints] lists [(delta_table, partner)] pairs: when maintaining a
+    delta batch of [delta_table], expansion into [partner] must use the
+    shared-scan strategy even when [partner] has a usable index — modelling
+    a maintenance statement that loads/hashes the partner once per batch
+    (the paper's "small joining tables are loaded into memory" effect,
+    which makes that delta's cost curve flat in the batch size). *)
+
+val name : t -> string
+val tables : t -> Relation.Table.t array
+val n_tables : t -> int
+val alias : t -> int -> string
+val join_edges : t -> join_edge list
+val filter : t -> Relation.Expr.t option
+val group_by : t -> string list
+val aggs : t -> Relation.Agg.spec list
+val projection : t -> string list option
+
+val joined_schema : t -> Relation.Schema.t
+(** Concatenation of qualified base schemas in table order. *)
+
+val output_schema : t -> Relation.Schema.t
+
+val reference_plan : t -> Relation.Ra.t
+(** A from-scratch evaluation plan for the view — ground truth for
+    consistency checks and initial materialization. *)
+
+val joined_plan : t -> Relation.Ra.t
+(** Like {!reference_plan} but stopping before aggregation/projection: the
+    filtered join result in canonical joined-schema column order.  Used to
+    seed incremental state. *)
+
+val edges_of_table : t -> int -> join_edge list
+(** Edges incident to a table (normalized so [left] is that table). *)
+
+val force_scan : t -> delta:int -> partner:int -> bool
+(** Whether a scan hint covers expanding into [partner] while maintaining a
+    batch from [delta]. *)
+
+val join_order : t -> join_order
+(** The configured expansion-order policy (default [Fixed]). *)

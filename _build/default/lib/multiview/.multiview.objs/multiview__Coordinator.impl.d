@@ -1,0 +1,1 @@
+lib/multiview/coordinator.ml: Abivm Array Cost Float List Printf

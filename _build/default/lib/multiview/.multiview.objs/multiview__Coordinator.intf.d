@@ -1,0 +1,1 @@
+lib/multiview/coordinator.mli: Cost

@@ -1,0 +1,1 @@
+lib/opflow/pipeline.ml: Array Cost Float List

@@ -1,0 +1,1 @@
+lib/opflow/pipeline.mli: Cost

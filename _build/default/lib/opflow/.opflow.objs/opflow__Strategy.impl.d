@@ -1,0 +1,1 @@
+lib/opflow/strategy.ml: Array Float Hashtbl Int List Pipeline Util

@@ -1,0 +1,1 @@
+lib/opflow/strategy.mli: Pipeline

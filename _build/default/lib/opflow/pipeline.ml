@@ -1,0 +1,65 @@
+type stage = { name : string; cost : Cost.Func.t; selectivity : float }
+
+type t = { stages : stage array; limit : float }
+
+let make ~limit stages =
+  if stages = [] then invalid_arg "Opflow.Pipeline.make: empty chain";
+  if limit <= 0.0 then invalid_arg "Opflow.Pipeline.make: limit must be positive";
+  List.iter
+    (fun s ->
+      if s.selectivity < 0.0 then
+        invalid_arg "Opflow.Pipeline.make: negative selectivity")
+    stages;
+  { stages = Array.of_list stages; limit }
+
+let n_stages p = Array.length p.stages
+
+let limit p = p.limit
+
+let stage p i = p.stages.(i)
+
+(* Ceiling, not rounding: with round-to-nearest a plan could flush in
+   batches small enough that round(sel * k) = 0 and make derived work
+   vanish entirely — an artifact, not an optimization.  Ceiling is
+   superadditive under splitting, so splitting a batch never produces
+   less downstream work than processing it whole. *)
+let output_size s k =
+  if k <= 0 then 0
+  else int_of_float (Float.ceil (s.selectivity *. float_of_int k))
+
+let refresh_cost p state =
+  if Array.length state <> Array.length p.stages then
+    invalid_arg "Opflow.Pipeline: state width mismatch";
+  let total = ref 0.0 and carry = ref 0 in
+  Array.iteri
+    (fun i q ->
+      let k = q + !carry in
+      total := !total +. Cost.Func.eval p.stages.(i).cost k;
+      carry := output_size p.stages.(i) k)
+    state;
+  !total
+
+let is_full p state = refresh_cost p state > p.limit
+
+type action = bool array
+
+let apply p state action =
+  if Array.length action <> Array.length p.stages then
+    invalid_arg "Opflow.Pipeline.apply: action width mismatch";
+  let post = Array.copy state in
+  let cost = ref 0.0 in
+  Array.iteri
+    (fun i flush ->
+      if flush then begin
+        let k = post.(i) in
+        cost := !cost +. Cost.Func.eval p.stages.(i).cost k;
+        post.(i) <- 0;
+        let out = output_size p.stages.(i) k in
+        if i + 1 < Array.length post then post.(i + 1) <- post.(i + 1) + out
+      end)
+    action;
+  (post, !cost)
+
+let arrive state k =
+  if k < 0 then invalid_arg "Opflow.Pipeline.arrive: negative count";
+  state.(0) <- state.(0) + k

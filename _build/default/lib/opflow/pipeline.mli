@@ -1,0 +1,60 @@
+(** Operator-level asymmetric batching — a working prototype of the
+    paper's §7 third future-work direction:
+
+    "in the query plan representing a maintenance query, different
+    operators may be more or less amenable to batch processing.
+    Propagating modifications through some operators while batching them
+    in front of others may lead to further savings."
+
+    The model: a maintenance query is a linear chain of operators
+    (stages).  Base modifications enter the queue in front of stage 0;
+    *propagating* a batch of [k] queued items through stage [i] costs
+    [cost_i k] and deposits [ceil (selectivity_i * k)] derived items in
+    the queue in front of stage [i + 1] (or reaches the view after the
+    last stage).  A refresh must push everything to the view; the
+    response-time constraint bounds that cascading cost at all times.
+
+    Note this is strictly harder than the paper's core model: the refresh
+    cost is no longer separable per queue — flushing an upstream queue
+    changes what downstream stages will have to process — which is exactly
+    why the paper left it open.  Plans here use greedy (whole-queue)
+    subset actions, mirroring the LGM restriction. *)
+
+type stage = {
+  name : string;
+  cost : Cost.Func.t;  (** cost of propagating a batch of k queued items *)
+  selectivity : float;  (** output items per input item, >= 0 *)
+}
+
+type t
+
+val make : limit:float -> stage list -> t
+(** Raises [Invalid_argument] on an empty chain, non-positive limit, or a
+    negative selectivity. *)
+
+val n_stages : t -> int
+val limit : t -> float
+val stage : t -> int -> stage
+
+val output_size : stage -> int -> int
+(** [ceil (selectivity * k)] (ceiling so that splitting a batch can never
+    make derived work vanish). *)
+
+val refresh_cost : t -> int array -> float
+(** Cost of cascading every queue to the view: stage [i] processes its own
+    queue plus everything the upstream flush just delivered. *)
+
+val is_full : t -> int array -> bool
+(** [refresh_cost state > limit]. *)
+
+type action = bool array
+(** [action.(i)] — flush the entire queue in front of stage [i].  Applied
+    upstream to downstream, so flushing stages [i] and [i+1] together
+    cascades stage [i]'s output through stage [i+1] in the same action. *)
+
+val apply : t -> int array -> action -> int array * float
+(** [apply p state action] returns the post-action queue state and the
+    action's processing cost. *)
+
+val arrive : int array -> int -> unit
+(** [arrive state k]: [k] new base modifications join queue 0. *)

@@ -1,0 +1,125 @@
+type trace = {
+  total_cost : float;
+  actions : (int * Pipeline.action) list;
+  valid : bool;
+}
+
+let all_flush p = Array.make (Pipeline.n_stages p) true
+
+let run p ~arrivals ~decide =
+  let n = Pipeline.n_stages p in
+  let horizon = Array.length arrivals - 1 in
+  let state = Array.make n 0 in
+  let total = ref 0.0 and actions = ref [] and valid = ref true in
+  for t = 0 to horizon do
+    Pipeline.arrive state arrivals.(t);
+    if t = horizon then begin
+      (* Final refresh: cascade everything to the view. *)
+      let post, cost = Pipeline.apply p state (all_flush p) in
+      if cost > 0.0 then actions := (t, all_flush p) :: !actions;
+      total := !total +. cost;
+      Array.blit post 0 state 0 n;
+      if Array.exists (fun q -> q <> 0) state then valid := false
+    end
+    else if Pipeline.is_full p state then begin
+      let action = decide ~t ~state:(Array.copy state) in
+      let post, cost = Pipeline.apply p state action in
+      total := !total +. cost;
+      actions := (t, action) :: !actions;
+      Array.blit post 0 state 0 n;
+      if Pipeline.is_full p state then valid := false
+    end
+  done;
+  { total_cost = !total; actions = List.rev !actions; valid = !valid }
+
+let naive p ~arrivals = run p ~arrivals ~decide:(fun ~t:_ ~state:_ -> all_flush p)
+
+(* Enumerate subset actions; the subset {i1 < i2 < ...} flushes those
+   stages upstream-to-downstream (Pipeline.apply's order). *)
+let subset_actions p =
+  let n = Pipeline.n_stages p in
+  if n > 16 then invalid_arg "Opflow.Strategy: too many stages";
+  List.filter_map
+    (fun members ->
+      if members = [] then None
+      else begin
+        let action = Array.make n false in
+        List.iter (fun i -> action.(i) <- true) members;
+        Some action
+      end)
+    (Util.Subsets.all n)
+
+let greedy p ~arrivals =
+  let candidates = subset_actions p in
+  let decide ~t:_ ~state =
+    let feasible =
+      List.filter_map
+        (fun action ->
+          let post, cost = Pipeline.apply p state action in
+          if Pipeline.is_full p post then None
+          else
+            Some (cost, Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 action, action))
+        candidates
+    in
+    match
+      List.sort
+        (fun (c1, s1, _) (c2, s2, _) ->
+          match Float.compare c1 c2 with 0 -> Int.compare s1 s2 | c -> c)
+        feasible
+    with
+    | (_, _, best) :: _ -> best
+    | [] -> all_flush p
+  in
+  run p ~arrivals ~decide
+
+(* --- exact DP over subset-action plans ------------------------------------- *)
+
+module Key = struct
+  type t = int * int list
+
+  let equal (t1, s1) (t2, s2) = t1 = t2 && List.equal Int.equal s1 s2
+  let hash = Hashtbl.hash
+end
+
+module Memo = Hashtbl.Make (Key)
+
+let exact ?(max_expansions = 2_000_000) p ~arrivals =
+  let horizon = Array.length arrivals - 1 in
+  let candidates = subset_actions p in
+  let memo = Memo.create 4096 in
+  let expansions = ref 0 in
+  (* best t state = min future cost with [state] the queue contents after
+     this step's arrivals and before any action. *)
+  let rec best t state =
+    let key = (t, Array.to_list state) in
+    match Memo.find_opt memo key with
+    | Some v -> v
+    | None ->
+        incr expansions;
+        if !expansions > max_expansions then
+          invalid_arg "Opflow.Strategy.exact: expansion budget exceeded";
+        let result =
+          if t = horizon then snd (Pipeline.apply p state (all_flush p))
+          else begin
+            let continue post =
+              let next = Array.copy post in
+              Pipeline.arrive next arrivals.(t + 1);
+              best (t + 1) next
+            in
+            let no_action =
+              if Pipeline.is_full p state then infinity else continue state
+            in
+            List.fold_left
+              (fun acc action ->
+                let post, cost = Pipeline.apply p state action in
+                if Pipeline.is_full p post then acc
+                else Float.min acc (cost +. continue post))
+              no_action candidates
+          end
+        in
+        Memo.add memo key result;
+        result
+  in
+  let initial = Array.make (Pipeline.n_stages p) 0 in
+  Pipeline.arrive initial arrivals.(0);
+  best 0 initial

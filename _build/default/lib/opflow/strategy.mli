@@ -1,0 +1,41 @@
+(** Maintenance strategies over an operator pipeline.
+
+    All strategies consume a per-step arrival sequence into the source
+    queue and must (a) keep {!Pipeline.refresh_cost} within the limit
+    after every step and (b) leave all queues empty after the final
+    refresh. *)
+
+type trace = {
+  total_cost : float;
+  actions : (int * Pipeline.action) list;  (** (time, flush subset) taken *)
+  valid : bool;
+}
+
+val run :
+  Pipeline.t ->
+  arrivals:int array ->
+  decide:(t:int -> state:int array -> Pipeline.action) ->
+  trace
+(** Generic executor: after each step's arrivals, if the state is full the
+    [decide] callback picks an action (it must restore the constraint —
+    checked, reflected in [valid]); everything is flushed at the horizon. *)
+
+val naive : Pipeline.t -> arrivals:int array -> trace
+(** Flush every queue whenever the constraint trips — the symmetric
+    baseline lifted to operator granularity. *)
+
+val greedy : Pipeline.t -> arrivals:int array -> trace
+(** When the constraint trips, flush the cheapest subset of queues that
+    restores it (ties: fewer stages, then upstream-most).  This is the
+    operator-level analogue of asymmetric batching: cheap shrinking
+    operators (filters) are propagated through eagerly, expensive ones
+    keep batching.  Note there is no dominance guarantee over {!naive} on
+    arbitrary pipelines — the refresh cost is not separable per queue, so
+    the core model's theorems do not transfer (the reason the paper left
+    this open); on filter-before-expensive-join chains it wins clearly
+    (see the [opflow] bench section). *)
+
+val exact : ?max_expansions:int -> Pipeline.t -> arrivals:int array -> float
+(** Minimum total cost over all subset-action plans, by memoized DP —
+    small instances only (raises [Invalid_argument] past the expansion
+    budget, default 2,000,000). *)

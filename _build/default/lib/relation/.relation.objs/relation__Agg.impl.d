@@ -1,0 +1,1 @@
+lib/relation/agg.ml: Datatype List Schema Tuple Value

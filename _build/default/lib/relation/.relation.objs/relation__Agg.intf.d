@@ -1,0 +1,1 @@
+lib/relation/agg.mli: Datatype Schema Tuple Value

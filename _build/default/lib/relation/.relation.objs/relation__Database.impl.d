@@ -1,0 +1,1 @@
+lib/relation/database.ml: Hashtbl List Meter Printf String Table

@@ -1,0 +1,1 @@
+lib/relation/database.mli: Meter Schema Table

@@ -1,0 +1,1 @@
+lib/relation/meter.ml: Format

@@ -1,0 +1,1 @@
+lib/relation/meter.mli: Format

@@ -1,0 +1,1 @@
+lib/relation/ordindex.ml: Int List Map Seq Set Value

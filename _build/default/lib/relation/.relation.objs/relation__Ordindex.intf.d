@@ -1,0 +1,1 @@
+lib/relation/ordindex.mli: Value

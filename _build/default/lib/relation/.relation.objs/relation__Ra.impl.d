@@ -1,0 +1,1 @@
+lib/relation/ra.ml: Agg Array Expr Hashtbl List Meter Printf Schema String Table Tuple

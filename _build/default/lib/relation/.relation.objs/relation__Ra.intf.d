@@ -1,0 +1,1 @@
+lib/relation/ra.mli: Agg Expr Schema Table Tuple

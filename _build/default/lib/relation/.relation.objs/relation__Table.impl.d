@@ -1,0 +1,1 @@
+lib/relation/table.ml: Hashtbl Index List Meter Ordindex Printf Schema String Tuple Util Value

@@ -1,0 +1,1 @@
+lib/relation/table.mli: Meter Schema Tuple Value

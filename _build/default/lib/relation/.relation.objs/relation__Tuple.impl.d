@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Datatype Float Format Schema String Value

@@ -1,0 +1,1 @@
+lib/relation/vmultiset.ml: Int List Map Value

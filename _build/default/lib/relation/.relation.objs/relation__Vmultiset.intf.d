@@ -1,0 +1,1 @@
+lib/relation/vmultiset.mli: Value

@@ -1,0 +1,66 @@
+type func =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+  | Avg of string
+
+type spec = { func : func; as_name : string }
+
+let count as_name = { func = Count; as_name }
+let sum col ~as_name = { func = Sum col; as_name }
+let min_of col ~as_name = { func = Min col; as_name }
+let max_of col ~as_name = { func = Max col; as_name }
+let avg col ~as_name = { func = Avg col; as_name }
+
+let arg_type schema col = Schema.column_type schema (Schema.index_of schema col)
+
+let output_type schema = function
+  | Count -> Datatype.TInt
+  | Avg _ -> Datatype.TFloat
+  | Sum col | Min col | Max col -> arg_type schema col
+
+let column_values schema col tuples =
+  let i = Schema.index_of schema col in
+  List.filter_map
+    (fun t ->
+      let v = Tuple.get t i in
+      if Value.is_null v then None else Some v)
+    tuples
+
+let numeric_sum values =
+  List.fold_left (fun acc v -> acc +. Value.as_float v) 0.0 values
+
+let all_ints values =
+  List.for_all (function Value.Int _ -> true | _ -> false) values
+
+let apply schema func tuples =
+  match func with
+  | Count -> Value.Int (List.length tuples)
+  | Sum col -> (
+      match column_values schema col tuples with
+      | [] -> Value.Null
+      | values ->
+          if all_ints values then
+            Value.Int
+              (List.fold_left (fun acc v -> acc + Value.as_int v) 0 values)
+          else Value.Float (numeric_sum values))
+  | Min col -> (
+      match column_values schema col tuples with
+      | [] -> Value.Null
+      | v :: rest ->
+          List.fold_left
+            (fun acc x -> if Value.compare x acc < 0 then x else acc)
+            v rest)
+  | Max col -> (
+      match column_values schema col tuples with
+      | [] -> Value.Null
+      | v :: rest ->
+          List.fold_left
+            (fun acc x -> if Value.compare x acc > 0 then x else acc)
+            v rest)
+  | Avg col -> (
+      match column_values schema col tuples with
+      | [] -> Value.Null
+      | values ->
+          Value.Float (numeric_sum values /. float_of_int (List.length values)))

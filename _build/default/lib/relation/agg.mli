@@ -1,0 +1,28 @@
+(** Aggregate function specifications and reference (recompute) evaluation.
+
+    Incremental evaluation of these aggregates lives in {!Ivm.Groups}; this
+    module is the ground truth both for the query evaluator and for tests
+    that compare incremental state to a full recompute. *)
+
+type func =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+  | Avg of string
+
+type spec = { func : func; as_name : string }
+
+val count : string -> spec
+val sum : string -> as_name:string -> spec
+val min_of : string -> as_name:string -> spec
+val max_of : string -> as_name:string -> spec
+val avg : string -> as_name:string -> spec
+
+val output_type : Schema.t -> func -> Datatype.t
+(** Result column type: [Count] is int, [Avg] is float, [Sum]/[Min]/[Max]
+    inherit the argument column's type ([Sum] over int stays int). *)
+
+val apply : Schema.t -> func -> Tuple.t list -> Value.t
+(** Evaluate over a group's tuples.  Empty groups yield [Int 0] for [Count]
+    and [Null] for the others. *)

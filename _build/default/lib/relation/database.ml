@@ -1,0 +1,30 @@
+type t = { meter : Meter.t; tables : (string, Table.t) Hashtbl.t }
+
+let create ?meter () =
+  let meter = match meter with Some m -> m | None -> Meter.create () in
+  { meter; tables = Hashtbl.create 16 }
+
+let meter db = db.meter
+
+let add_table db table =
+  let name = Table.name table in
+  if Hashtbl.mem db.tables name then
+    invalid_arg (Printf.sprintf "Database: table %S already exists" name);
+  Hashtbl.add db.tables name table
+
+let create_table db ~name ~schema ?(indexes = []) () =
+  let table = Table.create ~meter:db.meter ~name ~schema () in
+  add_table db table;
+  List.iter (Table.create_index table) indexes;
+  table
+
+let find db name = Hashtbl.find_opt db.tables name
+
+let get db name =
+  match find db name with Some t -> t | None -> raise Not_found
+
+let table_names db =
+  List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys db.tables))
+
+let total_rows db =
+  Hashtbl.fold (fun _ table acc -> acc + Table.row_count table) db.tables 0

@@ -1,0 +1,30 @@
+(** A named collection of tables sharing one cost meter — the catalog unit
+    the SQL front-end and examples work against. *)
+
+type t
+
+val create : ?meter:Meter.t -> unit -> t
+(** Fresh empty database; all its tables share the (given or fresh)
+    meter. *)
+
+val meter : t -> Meter.t
+
+val create_table :
+  t -> name:string -> schema:Schema.t -> ?indexes:string list -> unit -> Table.t
+(** Create and register a table; [indexes] columns get hash indexes.
+    Raises [Invalid_argument] if the name is taken. *)
+
+val add_table : t -> Table.t -> unit
+(** Register an externally created table.  Raises on duplicate names.
+    The table keeps its own meter (normally already the shared one). *)
+
+val find : t -> string -> Table.t option
+(** Lookup by name — directly usable as the SQL front-end's [catalog]. *)
+
+val get : t -> string -> Table.t
+(** Like {!find} but raises [Not_found]. *)
+
+val table_names : t -> string list
+(** Registered names, sorted. *)
+
+val total_rows : t -> int

@@ -1,0 +1,18 @@
+type t = TInt | TFloat | TString | TBool
+
+let to_string = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TString -> "string"
+  | TBool -> "bool"
+
+let pp fmt ty = Format.pp_print_string fmt (to_string ty)
+
+let admits ty v =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | TInt, Value.Int _ -> true
+  | TFloat, (Value.Float _ | Value.Int _) -> true
+  | TString, Value.Str _ -> true
+  | TBool, Value.Bool _ -> true
+  | (TInt | TFloat | TString | TBool), _ -> false

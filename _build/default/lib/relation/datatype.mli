@@ -1,0 +1,11 @@
+(** Column data types. *)
+
+type t = TInt | TFloat | TString | TBool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val admits : t -> Value.t -> bool
+(** [admits ty v] iff [v] may be stored in a column of type [ty].
+    [Null] is admitted by every type; [Int] values are admitted by
+    [TFloat] columns (implicit widening). *)

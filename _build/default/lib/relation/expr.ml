@@ -1,0 +1,151 @@
+type t =
+  | Const of Value.t
+  | Col of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let int x = Const (Value.Int x)
+let float x = Const (Value.Float x)
+let str s = Const (Value.Str s)
+let bool b = Const (Value.Bool b)
+let col name = Col name
+
+let arith op_name fi ff a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> Value.Int (fi x y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      Value.Float (ff (Value.as_float a) (Value.as_float b))
+  | (Value.Str _ | Value.Bool _), _ | _, (Value.Str _ | Value.Bool _) ->
+      invalid_arg (Printf.sprintf "Expr: %s on non-numeric values" op_name)
+
+let cmp rel a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> Value.Bool (rel (Value.compare a b) 0)
+
+let logic_and a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool x, Value.Bool y -> Value.Bool (x && y)
+  | Value.Null, (Value.Bool _ | Value.Null) | Value.Bool _, Value.Null ->
+      Value.Null
+  | (Value.Int _ | Value.Float _ | Value.Str _), _
+  | _, (Value.Int _ | Value.Float _ | Value.Str _) ->
+      invalid_arg "Expr: AND on non-boolean values"
+
+let logic_or a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool x, Value.Bool y -> Value.Bool (x || y)
+  | Value.Null, (Value.Bool _ | Value.Null) | Value.Bool _, Value.Null ->
+      Value.Null
+  | (Value.Int _ | Value.Float _ | Value.Str _), _
+  | _, (Value.Int _ | Value.Float _ | Value.Str _) ->
+      invalid_arg "Expr: OR on non-boolean values"
+
+let logic_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | Value.Int _ | Value.Float _ | Value.Str _ ->
+      invalid_arg "Expr: NOT on non-boolean value"
+
+let rec compile schema expr =
+  match expr with
+  | Const v -> fun _ -> v
+  | Col name ->
+      let i = Schema.index_of schema name in
+      fun tuple -> Tuple.get tuple i
+  | Add (a, b) -> binop schema (arith "+" ( + ) ( +. )) a b
+  | Sub (a, b) -> binop schema (arith "-" ( - ) ( -. )) a b
+  | Mul (a, b) -> binop schema (arith "*" ( * ) ( *. )) a b
+  | Div (a, b) ->
+      let div_int x y =
+        if y = 0 then invalid_arg "Expr: division by zero" else x / y
+      in
+      binop schema (arith "/" div_int ( /. )) a b
+  | Eq (a, b) -> binop schema (cmp ( = )) a b
+  | Ne (a, b) -> binop schema (cmp ( <> )) a b
+  | Lt (a, b) -> binop schema (cmp ( < )) a b
+  | Le (a, b) -> binop schema (cmp ( <= )) a b
+  | Gt (a, b) -> binop schema (cmp ( > )) a b
+  | Ge (a, b) -> binop schema (cmp ( >= )) a b
+  | And (a, b) -> binop schema logic_and a b
+  | Or (a, b) -> binop schema logic_or a b
+  | Not a ->
+      let fa = compile schema a in
+      fun tuple -> logic_not (fa tuple)
+
+and binop schema f a b =
+  let fa = compile schema a and fb = compile schema b in
+  fun tuple -> f (fa tuple) (fb tuple)
+
+let compile_pred schema expr =
+  let f = compile schema expr in
+  fun tuple ->
+    match f tuple with
+    | Value.Bool b -> b
+    | Value.Null -> false
+    | Value.Int _ | Value.Float _ | Value.Str _ ->
+        invalid_arg "Expr: predicate did not evaluate to a boolean"
+
+let columns expr =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec walk = function
+    | Const _ -> ()
+    | Col name ->
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          out := name :: !out
+        end
+    | Add (a, b)
+    | Sub (a, b)
+    | Mul (a, b)
+    | Div (a, b)
+    | Eq (a, b)
+    | Ne (a, b)
+    | Lt (a, b)
+    | Le (a, b)
+    | Gt (a, b)
+    | Ge (a, b)
+    | And (a, b)
+    | Or (a, b) ->
+        walk a;
+        walk b
+    | Not a -> walk a
+  in
+  walk expr;
+  List.rev !out
+
+let rec to_string = function
+  | Const v -> Value.to_string v
+  | Col name -> name
+  | Add (a, b) -> infix "+" a b
+  | Sub (a, b) -> infix "-" a b
+  | Mul (a, b) -> infix "*" a b
+  | Div (a, b) -> infix "/" a b
+  | Eq (a, b) -> infix "=" a b
+  | Ne (a, b) -> infix "<>" a b
+  | Lt (a, b) -> infix "<" a b
+  | Le (a, b) -> infix "<=" a b
+  | Gt (a, b) -> infix ">" a b
+  | Ge (a, b) -> infix ">=" a b
+  | And (a, b) -> infix "AND" a b
+  | Or (a, b) -> infix "OR" a b
+  | Not a -> "NOT (" ^ to_string a ^ ")"
+
+and infix op a b = "(" ^ to_string a ^ " " ^ op ^ " " ^ to_string b ^ ")"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

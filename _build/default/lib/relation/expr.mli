@@ -1,0 +1,41 @@
+(** Scalar expressions and predicates over tuples.
+
+    Expressions are compiled against a schema once, yielding a closure that
+    resolves column references to positions ahead of evaluation. *)
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val col : string -> t
+
+val compile : Schema.t -> t -> Tuple.t -> Value.t
+(** Raises [Invalid_argument] during compilation for unknown/ambiguous
+    columns, and during evaluation for type errors (e.g. adding strings). *)
+
+val compile_pred : Schema.t -> t -> Tuple.t -> bool
+(** Like {!compile} but coerces the result to bool; [Null] is false
+    (SQL-style filtering). *)
+
+val columns : t -> string list
+(** Column names referenced, without duplicates, in first-use order. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

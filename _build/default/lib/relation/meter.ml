@@ -1,0 +1,113 @@
+type snapshot = {
+  seq_scanned : int;
+  index_probes : int;
+  index_entries : int;
+  inserted : int;
+  deleted : int;
+  updated : int;
+  hash_build : int;
+  hash_probe : int;
+  output : int;
+  batch_setup : int;
+}
+
+type t = {
+  mutable seq_scanned : int;
+  mutable index_probes : int;
+  mutable index_entries : int;
+  mutable inserted : int;
+  mutable deleted : int;
+  mutable updated : int;
+  mutable hash_build : int;
+  mutable hash_probe : int;
+  mutable output : int;
+  mutable batch_setup : int;
+}
+
+let create () =
+  {
+    seq_scanned = 0;
+    index_probes = 0;
+    index_entries = 0;
+    inserted = 0;
+    deleted = 0;
+    updated = 0;
+    hash_build = 0;
+    hash_probe = 0;
+    output = 0;
+    batch_setup = 0;
+  }
+
+let reset m =
+  m.seq_scanned <- 0;
+  m.index_probes <- 0;
+  m.index_entries <- 0;
+  m.inserted <- 0;
+  m.deleted <- 0;
+  m.updated <- 0;
+  m.hash_build <- 0;
+  m.hash_probe <- 0;
+  m.output <- 0;
+  m.batch_setup <- 0
+
+let snapshot m : snapshot =
+  {
+    seq_scanned = m.seq_scanned;
+    index_probes = m.index_probes;
+    index_entries = m.index_entries;
+    inserted = m.inserted;
+    deleted = m.deleted;
+    updated = m.updated;
+    hash_build = m.hash_build;
+    hash_probe = m.hash_probe;
+    output = m.output;
+    batch_setup = m.batch_setup;
+  }
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    seq_scanned = a.seq_scanned - b.seq_scanned;
+    index_probes = a.index_probes - b.index_probes;
+    index_entries = a.index_entries - b.index_entries;
+    inserted = a.inserted - b.inserted;
+    deleted = a.deleted - b.deleted;
+    updated = a.updated - b.updated;
+    hash_build = a.hash_build - b.hash_build;
+    hash_probe = a.hash_probe - b.hash_probe;
+    output = a.output - b.output;
+    batch_setup = a.batch_setup - b.batch_setup;
+  }
+
+let bump_seq_scanned m n = m.seq_scanned <- m.seq_scanned + n
+let bump_index_probes m n = m.index_probes <- m.index_probes + n
+let bump_index_entries m n = m.index_entries <- m.index_entries + n
+let bump_inserted m n = m.inserted <- m.inserted + n
+let bump_deleted m n = m.deleted <- m.deleted + n
+let bump_updated m n = m.updated <- m.updated + n
+let bump_hash_build m n = m.hash_build <- m.hash_build + n
+let bump_hash_probe m n = m.hash_probe <- m.hash_probe + n
+let bump_output m n = m.output <- m.output + n
+let bump_batch_setup m n = m.batch_setup <- m.batch_setup + n
+
+(* Weights: a sequential tuple touch costs 1; an index probe pays a lookup
+   overhead of 4 plus 1 per returned entry; structural modifications pay
+   slightly more than a touch; a maintenance-statement setup models the
+   paper's fixed "b" term (parsing, optimization, building hash tables). *)
+let cost_units (s : snapshot) =
+  (1.0 *. float_of_int s.seq_scanned)
+  +. (4.0 *. float_of_int s.index_probes)
+  +. (1.0 *. float_of_int s.index_entries)
+  +. (2.0 *. float_of_int s.inserted)
+  +. (2.0 *. float_of_int s.deleted)
+  +. (2.0 *. float_of_int s.updated)
+  +. (1.5 *. float_of_int s.hash_build)
+  +. (1.0 *. float_of_int s.hash_probe)
+  +. (0.5 *. float_of_int s.output)
+  +. (50.0 *. float_of_int s.batch_setup)
+
+let pp fmt (s : snapshot) =
+  Format.fprintf fmt
+    "{scan=%d; probes=%d; entries=%d; ins=%d; del=%d; upd=%d; hbuild=%d; \
+     hprobe=%d; out=%d; setup=%d; units=%.1f}"
+    s.seq_scanned s.index_probes s.index_entries s.inserted s.deleted s.updated
+    s.hash_build s.hash_probe s.output s.batch_setup (cost_units s)

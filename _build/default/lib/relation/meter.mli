@@ -1,0 +1,45 @@
+(** Cost accounting for engine operations.
+
+    The planner consumes abstract cost functions; the executed-mode runner
+    needs a deterministic, machine-independent cost measurement of actual
+    maintenance work.  Every physical operation in the engine bumps a counter
+    on the meter attached to the table; {!cost_units} converts the counters
+    to a scalar using fixed weights that approximate relative I/O and CPU
+    costs (a sequential tuple touch is the unit). *)
+
+type t
+
+type snapshot = {
+  seq_scanned : int;  (** tuples touched by sequential scans *)
+  index_probes : int;  (** index lookups performed *)
+  index_entries : int;  (** tuples returned by index lookups *)
+  inserted : int;
+  deleted : int;
+  updated : int;
+  hash_build : int;  (** tuples inserted into transient hash tables *)
+  hash_probe : int;  (** probes of transient hash tables *)
+  output : int;  (** tuples emitted by operators *)
+  batch_setup : int;  (** fixed per-maintenance-statement setups *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — per-field subtraction. *)
+
+val bump_seq_scanned : t -> int -> unit
+val bump_index_probes : t -> int -> unit
+val bump_index_entries : t -> int -> unit
+val bump_inserted : t -> int -> unit
+val bump_deleted : t -> int -> unit
+val bump_updated : t -> int -> unit
+val bump_hash_build : t -> int -> unit
+val bump_hash_probe : t -> int -> unit
+val bump_output : t -> int -> unit
+val bump_batch_setup : t -> int -> unit
+
+val cost_units : snapshot -> float
+(** Weighted scalar cost of a snapshot (or of a {!diff}). *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,73 @@
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  column : int;
+  mutable buckets : Int_set.t Vmap.t;
+  mutable entries : int;
+}
+
+let create ~column = { column; buckets = Vmap.empty; entries = 0 }
+
+let column idx = idx.column
+
+let add idx v row =
+  let existing =
+    match Vmap.find_opt v idx.buckets with
+    | Some set -> set
+    | None -> Int_set.empty
+  in
+  if not (Int_set.mem row existing) then begin
+    idx.buckets <- Vmap.add v (Int_set.add row existing) idx.buckets;
+    idx.entries <- idx.entries + 1
+  end
+
+let remove idx v row =
+  match Vmap.find_opt v idx.buckets with
+  | None -> ()
+  | Some set ->
+      if Int_set.mem row set then begin
+        let set = Int_set.remove row set in
+        idx.buckets <-
+          (if Int_set.is_empty set then Vmap.remove v idx.buckets
+           else Vmap.add v set idx.buckets);
+        idx.entries <- idx.entries - 1
+      end
+
+let lookup idx v =
+  match Vmap.find_opt v idx.buckets with
+  | Some set -> Int_set.elements set
+  | None -> []
+
+let range idx ?lo ?hi () =
+  let in_hi v = match hi with None -> true | Some h -> Value.compare v h <= 0 in
+  (* Seek to the first key >= lo, then walk ascending until past hi. *)
+  let start =
+    match lo with
+    | None -> Vmap.to_seq idx.buckets
+    | Some l -> Vmap.to_seq_from l idx.buckets
+  in
+  Seq.take_while (fun (v, _) -> in_hi v) start
+  |> Seq.fold_left
+       (fun acc (_, set) -> List.rev_append (Int_set.elements set) acc)
+       []
+  |> List.rev
+
+let min_value idx =
+  match Vmap.min_binding_opt idx.buckets with
+  | Some (v, _) -> Some v
+  | None -> None
+
+let max_value idx =
+  match Vmap.max_binding_opt idx.buckets with
+  | Some (v, _) -> Some v
+  | None -> None
+
+let entry_count idx = idx.entries
+
+let cardinality idx = Vmap.cardinal idx.buckets

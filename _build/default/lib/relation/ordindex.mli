@@ -1,0 +1,25 @@
+(** Ordered secondary index: a balanced-tree multimap from column values to
+    row-id sets, supporting range lookups.
+
+    Complements the hash {!Index} (point lookups): use this for columns
+    queried by range (e.g. a price threshold subscription). *)
+
+type t
+
+val create : column:int -> t
+val column : t -> int
+val add : t -> Value.t -> int -> unit
+val remove : t -> Value.t -> int -> unit
+(** No-op if the pair is absent. *)
+
+val lookup : t -> Value.t -> int list
+(** Point lookup. *)
+
+val range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> int list
+(** Row ids whose value [v] satisfies [lo <= v <= hi] (each bound optional,
+    inclusive), in ascending value order. *)
+
+val min_value : t -> Value.t option
+val max_value : t -> Value.t option
+val entry_count : t -> int
+val cardinality : t -> int

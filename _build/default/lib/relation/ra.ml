@@ -1,0 +1,267 @@
+type join_algo = Auto | Nested_loop | Hash_join | Index_nested_loop
+
+type t =
+  | Scan of { table : Table.t; alias : string }
+  | Select of Expr.t * t
+  | Project of string list * t
+  | Join of { on : (string * string) list; algo : join_algo; left : t; right : t }
+  | Product of t * t
+  | Aggregate of { group_by : string list; specs : Agg.spec list; input : t }
+
+let scan ?alias table =
+  let alias = match alias with Some a -> a | None -> Table.name table in
+  Scan { table; alias }
+
+let select pred input = Select (pred, input)
+let project cols input = Project (cols, input)
+
+let equijoin ?(algo = Auto) ~on left right =
+  if on = [] then invalid_arg "Ra.equijoin: empty join condition";
+  Join { on; algo; left; right }
+
+let product a b = Product (a, b)
+
+let aggregate ~group_by specs input =
+  if specs = [] && group_by = [] then
+    invalid_arg "Ra.aggregate: nothing to compute";
+  Aggregate { group_by; specs; input }
+
+let rec schema_of = function
+  | Scan { table; alias } -> Schema.qualify alias (Table.schema table)
+  | Select (_, input) -> schema_of input
+  | Project (cols, input) -> fst (Schema.project (schema_of input) cols)
+  | Join { left; right; _ } | Product (left, right) ->
+      Schema.concat (schema_of left) (schema_of right)
+  | Aggregate { group_by; specs; input } ->
+      let s = schema_of input in
+      let group_cols =
+        List.map
+          (fun name ->
+            let i = Schema.index_of s name in
+            (Schema.column_name s i, Schema.column_type s i))
+          group_by
+      in
+      let agg_cols =
+        List.map
+          (fun (spec : Agg.spec) ->
+            (spec.as_name, Agg.output_type s spec.func))
+          specs
+      in
+      Schema.make (group_cols @ agg_cols)
+
+(* --- physical operators ------------------------------------------------ *)
+
+module Thash = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let key_of positions tuple = Array.map (fun i -> Tuple.get tuple i) positions
+
+let join_positions schema_l schema_r on =
+  let lpos = Array.of_list (List.map (fun (l, _) -> Schema.index_of schema_l l) on) in
+  let rpos = Array.of_list (List.map (fun (_, r) -> Schema.index_of schema_r r) on) in
+  (lpos, rpos)
+
+let nested_loop_join meter lpos rpos lrows rrows =
+  let out = ref [] in
+  List.iter
+    (fun lt ->
+      let lk = key_of lpos lt in
+      List.iter
+        (fun rt ->
+          Meter.bump_hash_probe meter 1;
+          if Tuple.equal lk (key_of rpos rt) then begin
+            Meter.bump_output meter 1;
+            out := Tuple.concat lt rt :: !out
+          end)
+        rrows)
+    lrows;
+  List.rev !out
+
+let hash_join meter lpos rpos lrows rrows =
+  (* Build on the right input, probe with the left. *)
+  let table = Thash.create (max 16 (List.length rrows)) in
+  List.iter
+    (fun rt ->
+      Meter.bump_hash_build meter 1;
+      let k = key_of rpos rt in
+      Thash.add table k rt)
+    rrows;
+  let out = ref [] in
+  List.iter
+    (fun lt ->
+      Meter.bump_hash_probe meter 1;
+      let k = key_of lpos lt in
+      (* Hashtbl.find_all returns most-recent first; reverse for stability. *)
+      List.iter
+        (fun rt ->
+          Meter.bump_output meter 1;
+          out := Tuple.concat lt rt :: !out)
+        (List.rev (Thash.find_all table k)))
+    lrows;
+  List.rev !out
+
+let index_inner = function
+  | Scan { table; alias = _ } -> Some table
+  | Select _ | Project _ | Join _ | Product _ | Aggregate _ -> None
+
+(* --- evaluation --------------------------------------------------------- *)
+
+let rec eval_node node =
+  match node with
+  | Scan { table; alias = _ } -> Table.to_list table
+  | Select (pred, input) ->
+      let s = schema_of input in
+      let p = Expr.compile_pred s pred in
+      List.filter p (eval_node input)
+  | Project (cols, input) ->
+      let s = schema_of input in
+      let _, positions = Schema.project s cols in
+      List.map (fun t -> Tuple.project t positions) (eval_node input)
+  | Product (left, right) ->
+      let lrows = eval_node left and rrows = eval_node right in
+      List.concat_map (fun lt -> List.map (fun rt -> Tuple.concat lt rt) rrows) lrows
+  | Join { on; algo; left; right } -> eval_join on algo left right
+  | Aggregate { group_by; specs; input } -> eval_aggregate group_by specs input
+
+and eval_join on algo left right =
+  let schema_l = schema_of left and schema_r = schema_of right in
+  let lpos, rpos = join_positions schema_l schema_r on in
+  let algo =
+    match algo with
+    | Auto -> (
+        match index_inner right with
+        | Some table
+          when List.for_all (fun (_, r) -> Table.has_index table (strip r)) on ->
+            Index_nested_loop
+        | Some _ | None -> Hash_join)
+    | Nested_loop | Hash_join | Index_nested_loop -> algo
+  in
+  match algo with
+  | Nested_loop ->
+      let lrows = eval_node left and rrows = eval_node right in
+      let meter = meter_of left in
+      nested_loop_join meter lpos rpos lrows rrows
+  | Hash_join | Auto ->
+      let lrows = eval_node left and rrows = eval_node right in
+      let meter = meter_of left in
+      hash_join meter lpos rpos lrows rrows
+  | Index_nested_loop -> (
+      match index_inner right with
+      | None ->
+          invalid_arg "Ra: index nested-loop join requires a scan as inner input"
+      | Some table ->
+          let inner_cols = List.map (fun (_, r) -> strip r) on in
+          List.iter
+            (fun c ->
+              if not (Table.has_index table c) then
+                invalid_arg
+                  (Printf.sprintf "Ra: inner table %s lacks index on %S"
+                     (Table.name table) c))
+            inner_cols;
+          let lrows = eval_node left in
+          let first_col = List.hd inner_cols in
+          let meter = Table.meter table in
+          let out = ref [] in
+          List.iter
+            (fun lt ->
+              let lk = key_of lpos lt in
+              (* Probe on the first join column, re-check the rest. *)
+              let candidates = Table.lookup table first_col lk.(0) in
+              List.iter
+                (fun rt ->
+                  if Tuple.equal lk (key_of rpos rt) then begin
+                    Meter.bump_output meter 1;
+                    out := Tuple.concat lt rt :: !out
+                  end)
+                candidates)
+            lrows;
+          List.rev !out)
+
+and eval_aggregate group_by specs input =
+  let s = schema_of input in
+  let rows = eval_node input in
+  let positions = Array.of_list (List.map (Schema.index_of s) group_by) in
+  if group_by = [] then
+    [ Array.of_list (List.map (fun (sp : Agg.spec) -> Agg.apply s sp.func rows) specs) ]
+  else begin
+    let groups = Thash.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun t ->
+        let k = key_of positions t in
+        match Thash.find_opt groups k with
+        | Some cell -> cell := t :: !cell
+        | None ->
+            Thash.add groups k (ref [ t ]);
+            order := k :: !order)
+      rows;
+    List.rev_map
+      (fun k ->
+        let members = List.rev !(Thash.find groups k) in
+        let aggs = List.map (fun (sp : Agg.spec) -> Agg.apply s sp.func members) specs in
+        Array.append k (Array.of_list aggs))
+      !order
+  end
+
+and meter_of node =
+  match node with
+  | Scan { table; _ } -> Table.meter table
+  | Select (_, input) | Project (_, input) | Aggregate { input; _ } ->
+      meter_of input
+  | Join { left; _ } | Product (left, _) -> meter_of left
+
+and strip name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let eval = eval_node
+
+let rec explain_lines indent node =
+  let pad = String.make indent ' ' in
+  match node with
+  | Scan { table; alias } ->
+      [ Printf.sprintf "%sScan %s as %s (%d rows)" pad (Table.name table) alias
+          (Table.row_count table) ]
+  | Select (pred, input) ->
+      (pad ^ "Select " ^ Expr.to_string pred) :: explain_lines (indent + 2) input
+  | Project (cols, input) ->
+      (pad ^ "Project " ^ String.concat ", " cols)
+      :: explain_lines (indent + 2) input
+  | Product (l, r) ->
+      (pad ^ "Product") :: (explain_lines (indent + 2) l @ explain_lines (indent + 2) r)
+  | Join { on; algo; left; right } ->
+      let algo_name =
+        match algo with
+        | Auto -> "auto"
+        | Nested_loop -> "nested-loop"
+        | Hash_join -> "hash"
+        | Index_nested_loop -> "index-nl"
+      in
+      let cond = String.concat " AND " (List.map (fun (l, r) -> l ^ " = " ^ r) on) in
+      (Printf.sprintf "%sJoin[%s] %s" pad algo_name cond)
+      :: (explain_lines (indent + 2) left @ explain_lines (indent + 2) right)
+  | Aggregate { group_by; specs; input } ->
+      let parts =
+        List.map
+          (fun (sp : Agg.spec) ->
+            let f =
+              match sp.func with
+              | Agg.Count -> "COUNT(*)"
+              | Agg.Sum c -> "SUM(" ^ c ^ ")"
+              | Agg.Min c -> "MIN(" ^ c ^ ")"
+              | Agg.Max c -> "MAX(" ^ c ^ ")"
+              | Agg.Avg c -> "AVG(" ^ c ^ ")"
+            in
+            f ^ " AS " ^ sp.as_name)
+          specs
+      in
+      let grp = if group_by = [] then "" else " GROUP BY " ^ String.concat ", " group_by in
+      (pad ^ "Aggregate " ^ String.concat ", " parts ^ grp)
+      :: explain_lines (indent + 2) input
+
+let explain node = String.concat "\n" (explain_lines 0 node)

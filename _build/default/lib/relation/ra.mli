@@ -1,0 +1,43 @@
+(** Relational algebra: logical plans with selectable physical join
+    operators, evaluated to materialized bags of tuples.
+
+    This evaluator is the system's "recompute from scratch" path: it defines
+    reference view contents for the incremental maintainer, serves ad-hoc
+    queries in the examples, and — because all access paths are metered — it
+    is also what calibration measures to derive cost functions. *)
+
+type join_algo =
+  | Auto  (** indexed nested-loop when the inner is an indexed scan, else hash *)
+  | Nested_loop
+  | Hash_join
+  | Index_nested_loop  (** requires the inner input to be a [scan] of a table
+                           with an index on the inner join column *)
+
+type t
+
+val scan : ?alias:string -> Table.t -> t
+(** Leaf node.  Output columns are qualified as ["alias.col"]; [alias]
+    defaults to the table name. *)
+
+val select : Expr.t -> t -> t
+val project : string list -> t -> t
+
+val equijoin : ?algo:join_algo -> on:(string * string) list -> t -> t -> t
+(** [equijoin ~on:\[(l, r); ...\] left right]: bag equi-join with the listed
+    (left column, right column) equality pairs. *)
+
+val product : t -> t -> t
+
+val aggregate : group_by:string list -> Agg.spec list -> t -> t
+(** Grouped aggregation.  With [group_by = \[\]] the output is a single row
+    (even over empty input, SQL-style). *)
+
+val schema_of : t -> Schema.t
+(** Output schema (computed without evaluating). *)
+
+val eval : t -> Tuple.t list
+(** Materialize the plan's output bag.  All table access is metered on the
+    underlying tables' meters. *)
+
+val explain : t -> string
+(** One-line-per-node textual plan for debugging and examples. *)

@@ -1,0 +1,91 @@
+type column = { name : string; ty : Datatype.t }
+
+type t = column array
+
+let make cols =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" name);
+      Hashtbl.add seen name ())
+    cols;
+  Array.of_list (List.map (fun (name, ty) -> { name; ty }) cols)
+
+let columns s = s
+
+let arity = Array.length
+
+let column_name s i = s.(i).name
+
+let column_type s i = s.(i).ty
+
+let unqualified name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let resolve s name =
+  let exact = ref [] and suffix = ref [] in
+  Array.iteri
+    (fun i col ->
+      if String.equal col.name name then exact := i :: !exact
+      else if String.equal (unqualified col.name) name then suffix := i :: !suffix)
+    s;
+  match (!exact, !suffix) with
+  | [ i ], _ -> Some i
+  | [], [ i ] -> Some i
+  | [], [] -> None
+  | _ :: _ :: _, _ | [], _ :: _ :: _ ->
+      invalid_arg (Printf.sprintf "Schema: ambiguous column reference %S" name)
+
+let find_index s name = resolve s name
+
+let index_of s name =
+  match resolve s name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown column %S" name)
+
+let mem s name = match resolve s name with Some _ -> true | None -> false
+
+let qualify alias s =
+  Array.map (fun col -> { col with name = alias ^ "." ^ unqualified col.name }) s
+
+let concat a b =
+  let out = Array.append a b in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun col ->
+      if Hashtbl.mem seen col.name then
+        invalid_arg
+          (Printf.sprintf "Schema.concat: duplicate column %S" col.name);
+      Hashtbl.add seen col.name ())
+    out;
+  out
+
+let project s names =
+  let positions = Array.of_list (List.map (index_of s) names) in
+  let cols = Array.map (fun i -> s.(i)) positions in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun col ->
+      if Hashtbl.mem seen col.name then
+        invalid_arg
+          (Printf.sprintf "Schema.project: duplicate output column %S" col.name);
+      Hashtbl.add seen col.name ())
+    cols;
+  (cols, positions)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.ty = y.ty) a b
+
+let pp fmt s =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> c.name ^ ":" ^ Datatype.to_string c.ty)
+             s)))
+
+let to_string s = Format.asprintf "%a" pp s

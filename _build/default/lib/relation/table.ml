@@ -1,0 +1,259 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  meter : Meter.t;
+  rows : Tuple.t option Util.Vec.t;
+  mutable live : int;
+  indexes : (string, Index.t) Hashtbl.t;
+  ordered_indexes : (string, Ordindex.t) Hashtbl.t;
+}
+
+let create ?meter ~name ~schema () =
+  let meter = match meter with Some m -> m | None -> Meter.create () in
+  {
+    name;
+    schema;
+    meter;
+    rows = Util.Vec.create ();
+    live = 0;
+    indexes = Hashtbl.create 4;
+    ordered_indexes = Hashtbl.create 4;
+  }
+
+let name t = t.name
+let schema t = t.schema
+let meter t = t.meter
+let row_count t = t.live
+
+let canonical_column t col = Schema.column_name t.schema (Schema.index_of t.schema col)
+
+let insert t tuple =
+  if not (Tuple.conforms t.schema tuple) then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): tuple %s does not conform to %s"
+         t.name (Tuple.to_string tuple) (Schema.to_string t.schema));
+  let row = Util.Vec.length t.rows in
+  Util.Vec.push t.rows (Some tuple);
+  t.live <- t.live + 1;
+  Meter.bump_inserted t.meter 1;
+  Hashtbl.iter
+    (fun _ idx -> Index.add idx (Tuple.get tuple (Index.column idx)) row)
+    t.indexes;
+  Hashtbl.iter
+    (fun _ idx -> Ordindex.add idx (Tuple.get tuple (Ordindex.column idx)) row)
+    t.ordered_indexes;
+  row
+
+let get_row t row =
+  if row < 0 || row >= Util.Vec.length t.rows then None
+  else Util.Vec.get t.rows row
+
+let delete_row t row =
+  match get_row t row with
+  | None -> false
+  | Some tuple ->
+      Util.Vec.set t.rows row None;
+      t.live <- t.live - 1;
+      Meter.bump_deleted t.meter 1;
+      Hashtbl.iter
+        (fun _ idx -> Index.remove idx (Tuple.get tuple (Index.column idx)) row)
+        t.indexes;
+      Hashtbl.iter
+        (fun _ idx ->
+          Ordindex.remove idx (Tuple.get tuple (Ordindex.column idx)) row)
+        t.ordered_indexes;
+      true
+
+let update_row t row tuple =
+  match get_row t row with
+  | None -> false
+  | Some old ->
+      if not (Tuple.conforms t.schema tuple) then
+        invalid_arg
+          (Printf.sprintf "Table.update_row(%s): non-conforming tuple" t.name);
+      Util.Vec.set t.rows row (Some tuple);
+      Meter.bump_updated t.meter 1;
+      Hashtbl.iter
+        (fun _ idx ->
+          let c = Index.column idx in
+          let before = Tuple.get old c and after = Tuple.get tuple c in
+          if not (Value.equal before after) then begin
+            Index.remove idx before row;
+            Index.add idx after row
+          end)
+        t.indexes;
+      Hashtbl.iter
+        (fun _ idx ->
+          let c = Ordindex.column idx in
+          let before = Tuple.get old c and after = Tuple.get tuple c in
+          if not (Value.equal before after) then begin
+            Ordindex.remove idx before row;
+            Ordindex.add idx after row
+          end)
+        t.ordered_indexes;
+      true
+
+let create_index t col =
+  let col = canonical_column t col in
+  if not (Hashtbl.mem t.indexes col) then begin
+    let idx = Index.create ~column:(Schema.index_of t.schema col) in
+    Util.Vec.iteri
+      (fun row slot ->
+        match slot with
+        | Some tuple -> Index.add idx (Tuple.get tuple (Index.column idx)) row
+        | None -> ())
+      t.rows;
+    Hashtbl.add t.indexes col idx
+  end
+
+let create_ordered_index t col =
+  let col = canonical_column t col in
+  if not (Hashtbl.mem t.ordered_indexes col) then begin
+    let idx = Ordindex.create ~column:(Schema.index_of t.schema col) in
+    Util.Vec.iteri
+      (fun row slot ->
+        match slot with
+        | Some tuple -> Ordindex.add idx (Tuple.get tuple (Ordindex.column idx)) row
+        | None -> ())
+      t.rows;
+    Hashtbl.add t.ordered_indexes col idx
+  end
+
+let has_index t col =
+  match Schema.find_index t.schema col with
+  | None -> false
+  | Some i -> Hashtbl.mem t.indexes (Schema.column_name t.schema i)
+
+let has_ordered_index t col =
+  match Schema.find_index t.schema col with
+  | None -> false
+  | Some i -> Hashtbl.mem t.ordered_indexes (Schema.column_name t.schema i)
+
+let indexed_columns t =
+  List.sort_uniq String.compare
+    (List.of_seq (Hashtbl.to_seq_keys t.indexes)
+    @ List.of_seq (Hashtbl.to_seq_keys t.ordered_indexes))
+
+let range_lookup t col ?lo ?hi () =
+  let col = canonical_column t col in
+  match Hashtbl.find_opt t.ordered_indexes col with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.range_lookup(%s): no ordered index on %S" t.name
+           col)
+  | Some idx ->
+      Meter.bump_index_probes t.meter 1;
+      let rows = Ordindex.range idx ?lo ?hi () in
+      let out =
+        List.filter_map (fun row -> get_row t row) rows
+      in
+      Meter.bump_index_entries t.meter (List.length out);
+      out
+
+let distinct_estimate t col =
+  let col = canonical_column t col in
+  match Hashtbl.find_opt t.indexes col with
+  | Some idx -> Index.cardinality idx
+  | None -> (
+      match Hashtbl.find_opt t.ordered_indexes col with
+      | Some idx -> Ordindex.cardinality idx
+      | None -> t.live)
+
+let lookup_rows t col value =
+  let col = canonical_column t col in
+  match Hashtbl.find_opt t.indexes col with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.lookup(%s): no index on column %S" t.name col)
+  | Some idx ->
+      Meter.bump_index_probes t.meter 1;
+      let rows = Index.lookup idx value in
+      let out =
+        List.filter_map
+          (fun row ->
+            match get_row t row with
+            | Some tuple -> Some (row, tuple)
+            | None -> None)
+          rows
+      in
+      Meter.bump_index_entries t.meter (List.length out);
+      out
+
+let lookup t col value = List.map snd (lookup_rows t col value)
+
+let scan t f =
+  Util.Vec.iteri
+    (fun row slot ->
+      match slot with
+      | Some tuple ->
+          Meter.bump_seq_scanned t.meter 1;
+          f row tuple
+      | None -> ())
+    t.rows
+
+let scan_where t pred =
+  let out = ref [] in
+  scan t (fun _ tuple -> if pred tuple then out := tuple :: !out);
+  List.rev !out
+
+let to_list t = scan_where t (fun _ -> true)
+
+let to_list_unmetered t =
+  let out = ref [] in
+  Util.Vec.iter
+    (fun slot -> match slot with Some tuple -> out := tuple :: !out | None -> ())
+    t.rows;
+  List.rev !out
+
+let delete_tuple t tuple =
+  (* Use the most selective index (most distinct keys); fall back to a
+     scan when the table has none. *)
+  let best_index =
+    Hashtbl.fold
+      (fun _ idx best ->
+        match best with
+        | Some b when Index.cardinality b >= Index.cardinality idx -> best
+        | Some _ | None -> Some idx)
+      t.indexes None
+  in
+  match best_index with
+  | Some idx ->
+      let v = Tuple.get tuple (Index.column idx) in
+      Meter.bump_index_probes t.meter 1;
+      let rows = Index.lookup idx v in
+      Meter.bump_index_entries t.meter (List.length rows);
+      let rec try_rows = function
+        | [] -> false
+        | row :: rest -> (
+            match get_row t row with
+            | Some candidate when Tuple.equal candidate tuple ->
+                delete_row t row
+            | Some _ | None -> try_rows rest)
+      in
+      try_rows rows
+  | None -> (
+      let victim = ref None in
+      (try
+         Util.Vec.iteri
+           (fun row slot ->
+             match slot with
+             | Some candidate ->
+                 Meter.bump_seq_scanned t.meter 1;
+                 if !victim = None && Tuple.equal candidate tuple then begin
+                   victim := Some row;
+                   raise Exit
+                 end
+             | None -> ())
+           t.rows
+       with Exit -> ());
+      match !victim with Some row -> delete_row t row | None -> false)
+
+let clear t =
+  Util.Vec.clear t.rows;
+  t.live <- 0;
+  let hash_cols = List.of_seq (Hashtbl.to_seq_keys t.indexes) in
+  let ordered_cols = List.of_seq (Hashtbl.to_seq_keys t.ordered_indexes) in
+  Hashtbl.reset t.indexes;
+  Hashtbl.reset t.ordered_indexes;
+  List.iter (fun col -> create_index t col) hash_cols;
+  List.iter (fun col -> create_ordered_index t col) ordered_cols

@@ -1,0 +1,77 @@
+(** Mutable in-memory tables with optional secondary indexes and cost
+    metering.
+
+    Rows live in a growable array indexed by row id; deletion leaves a
+    tombstone.  Every read/write path bumps the table's {!Meter.t}, which is
+    typically shared across all tables of a database so an experiment can
+    measure total work. *)
+
+type t
+
+val create : ?meter:Meter.t -> name:string -> schema:Schema.t -> unit -> t
+(** A fresh empty table.  If [meter] is omitted a private meter is made. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val meter : t -> Meter.t
+val row_count : t -> int
+(** Live rows (excluding tombstones). *)
+
+val insert : t -> Tuple.t -> int
+(** Returns the new row id.  Raises [Invalid_argument] if the tuple does not
+    conform to the schema. *)
+
+val get_row : t -> int -> Tuple.t option
+(** [None] for deleted or out-of-range ids. *)
+
+val delete_row : t -> int -> bool
+(** [true] iff the row existed and was deleted. *)
+
+val update_row : t -> int -> Tuple.t -> bool
+(** Replace a live row in place, keeping its id; indexes are maintained.
+    [false] if the row does not exist. *)
+
+val delete_tuple : t -> Tuple.t -> bool
+(** Delete one live row equal to the tuple (using an index when one covers
+    some column, otherwise a scan).  [false] if no match. *)
+
+val create_index : t -> string -> unit
+(** Build a hash index on the named column (idempotent). *)
+
+val create_ordered_index : t -> string -> unit
+(** Build an ordered (tree) index on the named column (idempotent);
+    enables {!range_lookup}. *)
+
+val has_index : t -> string -> bool
+val has_ordered_index : t -> string -> bool
+val indexed_columns : t -> string list
+
+val range_lookup :
+  t -> string -> ?lo:Value.t -> ?hi:Value.t -> unit -> Tuple.t list
+(** Rows whose value in the named column lies in [\[lo, hi\]] (inclusive,
+    each bound optional), ascending by that value.  Requires an ordered
+    index on the column ([Invalid_argument] otherwise).  Metered like an
+    index probe. *)
+
+val distinct_estimate : t -> string -> int
+(** Estimated number of distinct values in the column: exact from an index
+    (hash or ordered) when one exists, otherwise the row count (as if
+    unique).  Used by cost-based join ordering. *)
+
+val lookup : t -> string -> Value.t -> Tuple.t list
+(** Index lookup; raises [Invalid_argument] if the column has no index.
+    Bumps probe/entry counters. *)
+
+val lookup_rows : t -> string -> Value.t -> (int * Tuple.t) list
+(** Like {!lookup} but also returns row ids. *)
+
+val scan : t -> (int -> Tuple.t -> unit) -> unit
+(** Iterate all live rows; bumps the sequential-scan counter per live row. *)
+
+val scan_where : t -> (Tuple.t -> bool) -> Tuple.t list
+val to_list : t -> Tuple.t list
+val to_list_unmetered : t -> Tuple.t list
+(** Like {!to_list} but without touching the meter — for snapshots and test
+    assertions that must not perturb cost measurements. *)
+
+val clear : t -> unit

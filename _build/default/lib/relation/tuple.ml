@@ -1,0 +1,53 @@
+type t = Value.t array
+
+let make = Array.of_list
+
+let arity = Array.length
+
+let get t i = t.(i)
+
+let concat = Array.append
+
+let project t positions = Array.map (fun i -> t.(i)) positions
+
+let set t i v =
+  let out = Array.copy t in
+  out.(i) <- v;
+  out
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let value_approx_equal eps a b =
+  match (a, b) with
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      let x = Value.as_float a and y = Value.as_float b in
+      Float.abs (x -. y) <= eps *. (1.0 +. Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.equal a b
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b && Array.for_all2 (value_approx_equal eps) a b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let conforms schema t =
+  Array.length t = Schema.arity schema
+  && Array.for_all
+       (fun i -> Datatype.admits (Schema.column_type schema i) t.(i))
+       (Array.init (Array.length t) (fun i -> i))
+
+let to_string t =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

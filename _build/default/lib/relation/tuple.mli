@@ -1,0 +1,26 @@
+(** Tuples (rows): immutable-by-convention arrays of values. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val concat : t -> t -> t
+val project : t -> int array -> t
+val set : t -> int -> Value.t -> t
+(** Functional update: returns a fresh tuple. *)
+
+val equal : t -> t -> bool
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Like {!equal} but numeric values compare within relative tolerance
+    [eps] (default [1e-9]) — for checking incrementally maintained
+    aggregates against recomputed ones, where float summation order
+    differs. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+val conforms : Schema.t -> t -> bool
+(** Arity and per-column type check. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type t = { counts : int Vmap.t; size : int }
+
+let empty = { counts = Vmap.empty; size = 0 }
+
+let is_empty m = m.size = 0
+
+let cardinal m = m.size
+
+let distinct m = Vmap.cardinal m.counts
+
+let count m v = match Vmap.find_opt v m.counts with Some c -> c | None -> 0
+
+let add ?(times = 1) m v =
+  if times < 0 then invalid_arg "Vmultiset.add: negative count";
+  if times = 0 then m
+  else
+    let counts =
+      Vmap.update v
+        (function None -> Some times | Some c -> Some (c + times))
+        m.counts
+    in
+    { counts; size = m.size + times }
+
+let remove ?(times = 1) m v =
+  if times < 0 then invalid_arg "Vmultiset.remove: negative count";
+  if times = 0 then m
+  else
+    let present = count m v in
+    if present < times then
+      invalid_arg "Vmultiset.remove: removing more copies than present";
+    let counts =
+      if present = times then Vmap.remove v m.counts
+      else Vmap.add v (present - times) m.counts
+    in
+    { counts; size = m.size - times }
+
+let min_elt m =
+  match Vmap.min_binding_opt m.counts with
+  | Some (v, _) -> Some v
+  | None -> None
+
+let max_elt m =
+  match Vmap.max_binding_opt m.counts with
+  | Some (v, _) -> Some v
+  | None -> None
+
+let sum m =
+  Vmap.fold
+    (fun v c acc -> acc +. (float_of_int c *. Value.as_float v))
+    m.counts 0.0
+
+let to_list m = Vmap.bindings m.counts
+
+let of_list vs = List.fold_left (fun m v -> add m v) empty vs
+
+let equal a b = a.size = b.size && Vmap.equal Int.equal a.counts b.counts

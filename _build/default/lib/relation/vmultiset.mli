@@ -1,0 +1,30 @@
+(** Multiset of values with counted membership.
+
+    The workhorse behind MIN/MAX aggregate maintenance: deleting the current
+    minimum must expose the next one, which requires remembering all values,
+    not just the extremum (the paper's "MIN is not incrementally
+    maintainable" case). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+(** Total number of elements counting multiplicity. *)
+
+val distinct : t -> int
+val count : t -> Value.t -> int
+val add : ?times:int -> t -> Value.t -> t
+val remove : ?times:int -> t -> Value.t -> t
+(** Raises [Invalid_argument] when removing more copies than present. *)
+
+val min_elt : t -> Value.t option
+val max_elt : t -> Value.t option
+val sum : t -> float
+(** Numeric sum; raises on non-numeric members. *)
+
+val to_list : t -> (Value.t * int) list
+(** Sorted ascending by value. *)
+
+val of_list : Value.t list -> t
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/sqlview/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/sqlview/lexer.mli:

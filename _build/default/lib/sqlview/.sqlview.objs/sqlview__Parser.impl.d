@@ -1,0 +1,1 @@
+lib/sqlview/parser.ml: Ast Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/sqlview/translate.ml: Array Ast Hashtbl Ivm List Option Parser Printf Relation

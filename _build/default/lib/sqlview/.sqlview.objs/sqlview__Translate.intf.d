@@ -1,0 +1,1 @@
+lib/sqlview/translate.mli: Ast Ivm Relation

@@ -1,0 +1,45 @@
+(** Abstract syntax for the SQL subset. *)
+
+type colref = { qualifier : string option; column : string }
+
+type scalar =
+  | Lit_int of int
+  | Lit_float of float
+  | Lit_string of string
+  | Lit_bool of bool
+  | Col of colref
+  | Binop of binop * scalar * scalar
+  | Unop_not of scalar
+
+and binop =
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_div
+  | Op_eq
+  | Op_neq
+  | Op_lt
+  | Op_le
+  | Op_gt
+  | Op_ge
+  | Op_and
+  | Op_or
+
+type agg_kind = Agg_min | Agg_max | Agg_sum | Agg_avg | Agg_count_star
+
+type select_item =
+  | Sel_col of colref * string option  (** column, optional AS alias *)
+  | Sel_agg of agg_kind * colref option * string option
+      (** aggregate, argument (None for COUNT-star), optional AS alias *)
+  | Sel_star
+
+type table_ref = { table : string; alias : string option }
+
+type query = {
+  select : select_item list;
+  from : table_ref list;
+  where : scalar option;
+  group_by : colref list;
+}
+
+val colref_to_string : colref -> string

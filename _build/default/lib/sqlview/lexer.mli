@@ -1,0 +1,44 @@
+(** Tokenizer for the SQL subset (see {!Parser} for the grammar). *)
+
+type token =
+  | Ident of string  (** bare identifier, lowercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** single-quoted; quotes stripped *)
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_group
+  | Kw_by
+  | Kw_as
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_min
+  | Kw_max
+  | Kw_sum
+  | Kw_count
+  | Kw_avg
+  | Kw_true
+  | Kw_false
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token list, string) result
+(** Keywords are case-insensitive; identifiers are lowercased.  Returns
+    [Error] with a position message on unexpected characters or an
+    unterminated string literal. *)

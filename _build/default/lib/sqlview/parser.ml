@@ -1,0 +1,206 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect st token what =
+  let got = advance st in
+  if got <> token then
+    fail "expected %s but found %s" what (Lexer.token_to_string got)
+
+let accept st token =
+  match peek st with
+  | Some t when t = token ->
+      ignore (advance st);
+      true
+  | Some _ | None -> false
+
+let ident st what =
+  match advance st with
+  | Lexer.Ident name -> name
+  | t -> fail "expected %s but found %s" what (Lexer.token_to_string t)
+
+(* colref := ident ['.' ident] *)
+let colref st =
+  let first = ident st "column name" in
+  if accept st Lexer.Dot then
+    { Ast.qualifier = Some first; column = ident st "column name" }
+  else { Ast.qualifier = None; column = first }
+
+(* --- expressions ---------------------------------------------------------- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let left = and_expr st in
+  if accept st Lexer.Kw_or then Ast.Binop (Ast.Op_or, left, or_expr st)
+  else left
+
+and and_expr st =
+  let left = not_expr st in
+  if accept st Lexer.Kw_and then Ast.Binop (Ast.Op_and, left, and_expr st)
+  else left
+
+and not_expr st =
+  if accept st Lexer.Kw_not then Ast.Unop_not (not_expr st) else comparison st
+
+and comparison st =
+  let left = additive st in
+  let op =
+    match peek st with
+    | Some Lexer.Eq -> Some Ast.Op_eq
+    | Some Lexer.Neq -> Some Ast.Op_neq
+    | Some Lexer.Lt -> Some Ast.Op_lt
+    | Some Lexer.Le -> Some Ast.Op_le
+    | Some Lexer.Gt -> Some Ast.Op_gt
+    | Some Lexer.Ge -> Some Ast.Op_ge
+    | Some _ | None -> None
+  in
+  match op with
+  | Some op ->
+      ignore (advance st);
+      Ast.Binop (op, left, additive st)
+  | None -> left
+
+and additive st =
+  let rec chain left =
+    if accept st Lexer.Plus then chain (Ast.Binop (Ast.Op_add, left, multiplicative st))
+    else if accept st Lexer.Minus then
+      chain (Ast.Binop (Ast.Op_sub, left, multiplicative st))
+    else left
+  in
+  chain (multiplicative st)
+
+and multiplicative st =
+  let rec chain left =
+    if accept st Lexer.Star then chain (Ast.Binop (Ast.Op_mul, left, primary st))
+    else if accept st Lexer.Slash then
+      chain (Ast.Binop (Ast.Op_div, left, primary st))
+    else left
+  in
+  chain (primary st)
+
+and primary st =
+  match advance st with
+  | Lexer.Int_lit n -> Ast.Lit_int n
+  | Lexer.Float_lit x -> Ast.Lit_float x
+  | Lexer.String_lit s -> Ast.Lit_string s
+  | Lexer.Kw_true -> Ast.Lit_bool true
+  | Lexer.Kw_false -> Ast.Lit_bool false
+  | Lexer.Lparen ->
+      let inner = expr st in
+      expect st Lexer.Rparen "')'";
+      inner
+  | Lexer.Ident first ->
+      if accept st Lexer.Dot then
+        Ast.Col { Ast.qualifier = Some first; column = ident st "column name" }
+      else Ast.Col { Ast.qualifier = None; column = first }
+  | t -> fail "unexpected token %s in expression" (Lexer.token_to_string t)
+
+(* --- select list ----------------------------------------------------------- *)
+
+let agg_kind = function
+  | Lexer.Kw_min -> Some Ast.Agg_min
+  | Lexer.Kw_max -> Some Ast.Agg_max
+  | Lexer.Kw_sum -> Some Ast.Agg_sum
+  | Lexer.Kw_avg -> Some Ast.Agg_avg
+  | _ -> None
+
+let optional_alias st =
+  if accept st Lexer.Kw_as then Some (ident st "alias after AS")
+  else
+    match peek st with
+    | Some (Lexer.Ident _) -> Some (ident st "alias")
+    | Some _ | None -> None
+
+let select_item st =
+  match peek st with
+  | Some Lexer.Kw_count ->
+      ignore (advance st);
+      expect st Lexer.Lparen "'(' after COUNT";
+      expect st Lexer.Star "'*' in COUNT(*)";
+      expect st Lexer.Rparen "')' after COUNT(*";
+      Ast.Sel_agg (Ast.Agg_count_star, None, optional_alias st)
+  | Some t when agg_kind t <> None ->
+      ignore (advance st);
+      let kind = Option.get (agg_kind t) in
+      expect st Lexer.Lparen "'(' after aggregate";
+      let arg = colref st in
+      expect st Lexer.Rparen "')' after aggregate argument";
+      Ast.Sel_agg (kind, Some arg, optional_alias st)
+  | Some _ | None ->
+      let c = colref st in
+      Ast.Sel_col (c, optional_alias st)
+
+let select_list st =
+  if accept st Lexer.Star then [ Ast.Sel_star ]
+  else begin
+    let rec items acc =
+      let item = select_item st in
+      if accept st Lexer.Comma then items (item :: acc)
+      else List.rev (item :: acc)
+    in
+    items []
+  end
+
+(* --- from / group by --------------------------------------------------------- *)
+
+let table_ref st =
+  let table = ident st "table name" in
+  let alias =
+    if accept st Lexer.Kw_as then Some (ident st "table alias")
+    else
+      match peek st with
+      | Some (Lexer.Ident _) -> Some (ident st "table alias")
+      | Some _ | None -> None
+  in
+  { Ast.table; alias }
+
+let from_list st =
+  let rec refs acc =
+    let r = table_ref st in
+    if accept st Lexer.Comma then refs (r :: acc) else List.rev (r :: acc)
+  in
+  refs []
+
+let group_by_list st =
+  let rec cols acc =
+    let c = colref st in
+    if accept st Lexer.Comma then cols (c :: acc) else List.rev (c :: acc)
+  in
+  cols []
+
+let query st =
+  expect st Lexer.Kw_select "SELECT";
+  let select = select_list st in
+  expect st Lexer.Kw_from "FROM";
+  let from = from_list st in
+  let where = if accept st Lexer.Kw_where then Some (expr st) else None in
+  let group_by =
+    if accept st Lexer.Kw_group then begin
+      expect st Lexer.Kw_by "BY after GROUP";
+      group_by_list st
+    end
+    else []
+  in
+  (match peek st with
+  | None -> ()
+  | Some t -> fail "trailing input starting at %s" (Lexer.token_to_string t));
+  { Ast.select; from; where; group_by }
+
+let parse text =
+  match Lexer.tokenize text with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      let st = { tokens } in
+      try Ok (query st) with Parse_error msg -> Error msg)

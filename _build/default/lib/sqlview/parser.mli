@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SQL subset:
+
+    {v
+    query       ::= SELECT select_list FROM table_list
+                    [WHERE expr] [GROUP BY colref_list]
+    select_list ::= '*' | select_item (',' select_item)*
+    select_item ::= AGG '(' colref ')' [AS ident]
+                  | COUNT '(' '*' ')' [AS ident]
+                  | colref [AS ident]
+    AGG         ::= MIN | MAX | SUM | AVG
+    table_list  ::= ident [AS? ident] (',' ident [AS? ident])*
+    expr        ::= usual precedence: OR < AND < NOT < comparison
+                    < additive < multiplicative < primary
+    colref      ::= ident ['.' ident]
+    v} *)
+
+val parse : string -> (Ast.query, string) result
+(** Tokenize and parse a complete query; trailing input is an error. *)

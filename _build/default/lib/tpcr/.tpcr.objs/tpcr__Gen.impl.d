@@ -1,0 +1,1 @@
+lib/tpcr/gen.ml: Agg Array Datatype Expr Float Ivm Meter Printf Relation Schema Table Util Value

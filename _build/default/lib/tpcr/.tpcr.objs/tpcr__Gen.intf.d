@@ -1,0 +1,1 @@
+lib/tpcr/gen.mli: Ivm Relation

@@ -1,0 +1,1 @@
+lib/tpcr/synth.ml: Agg Array Datatype Ivm List Meter Relation Schema Table Tuple Updates Util Value

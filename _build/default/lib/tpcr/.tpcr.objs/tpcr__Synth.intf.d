@@ -1,0 +1,1 @@
+lib/tpcr/synth.mli: Ivm Relation Updates

@@ -1,0 +1,1 @@
+lib/tpcr/updates.ml: Gen Ivm List Printf Relation Schema Table Tuple Util Value

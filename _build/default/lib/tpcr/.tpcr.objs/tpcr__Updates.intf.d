@@ -1,0 +1,1 @@
+lib/tpcr/updates.mli: Gen Ivm Relation Util

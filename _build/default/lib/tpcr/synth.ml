@@ -1,0 +1,90 @@
+open Relation
+
+type db2 = { r : Table.t; s : Table.t; meter : Meter.t }
+
+let r_schema =
+  Schema.make
+    [ ("rk", Datatype.TInt); ("jk", Datatype.TInt); ("rval", Datatype.TFloat) ]
+
+let s_schema =
+  Schema.make
+    [ ("sk", Datatype.TInt); ("jk", Datatype.TInt); ("sval", Datatype.TFloat) ]
+
+let generate ?(seed = 7) ~r_rows ~s_rows ?join_domain () =
+  if r_rows < 0 || s_rows < 0 then invalid_arg "Synth.generate: negative sizes";
+  let domain =
+    match join_domain with
+    | Some d ->
+        if d <= 0 then invalid_arg "Synth.generate: join_domain must be positive";
+        d
+    | None -> max 1 (max r_rows s_rows / 4)
+  in
+  let prng = Util.Prng.create ~seed in
+  let meter = Meter.create () in
+  let r = Table.create ~meter ~name:"r" ~schema:r_schema () in
+  let s = Table.create ~meter ~name:"s" ~schema:s_schema () in
+  for i = 1 to r_rows do
+    ignore
+      (Table.insert r
+         [|
+           Value.Int i;
+           Value.Int (Util.Prng.int prng domain);
+           Value.Float (Util.Prng.float prng 100.0);
+         |])
+  done;
+  for i = 1 to s_rows do
+    ignore
+      (Table.insert s
+         [|
+           Value.Int i;
+           Value.Int (Util.Prng.int prng domain);
+           Value.Float (Util.Prng.float prng 100.0);
+         |])
+  done;
+  (* The asymmetry: R is indexed on the join attribute, S is not. *)
+  Table.create_index r "jk";
+  Meter.reset meter;
+  { r; s; meter }
+
+let join_view db =
+  Ivm.Viewdef.make ~name:"r_join_s" ~tables:[| db.r; db.s |]
+    ~join:[ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+    ~aggs:[ Agg.count "pairs" ]
+    ()
+
+let insert_feeds ~seed db =
+  let root = Util.Prng.create ~seed in
+  let r_prng = Util.Prng.split root and s_prng = Util.Prng.split root in
+  let domain_of table =
+    (* Recover the domain from current contents; inserts stay within it. *)
+    List.fold_left
+      (fun acc t -> max acc (Value.as_int (Tuple.get t 1)))
+      0
+      (Table.to_list_unmetered table)
+    + 1
+  in
+  let r_domain = domain_of db.r and s_domain = domain_of db.s in
+  let next_key = Array.make 2 1_000_000_000 in
+  let next i =
+    let fresh () =
+      next_key.(i) <- next_key.(i) + 1;
+      next_key.(i)
+    in
+    match i with
+    | 0 ->
+        Ivm.Change.Insert
+          [|
+            Value.Int (fresh ());
+            Value.Int (Util.Prng.int r_prng (max r_domain s_domain));
+            Value.Float (Util.Prng.float r_prng 100.0);
+          |]
+    | 1 ->
+        Ivm.Change.Insert
+          [|
+            Value.Int (fresh ());
+            Value.Int (Util.Prng.int s_prng (max r_domain s_domain));
+            Value.Float (Util.Prng.float s_prng 100.0);
+          |]
+    | _ -> invalid_arg "Synth.insert_feeds: only tables 0 and 1 exist"
+  in
+  { Updates.next }

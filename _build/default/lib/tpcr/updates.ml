@@ -1,0 +1,60 @@
+open Relation
+
+type shadow = { schema : Schema.t; rows : Tuple.t Util.Vec.t }
+
+let shadow_of_table table =
+  let rows = Util.Vec.create () in
+  (* Unmetered walk: snapshotting must not perturb cost measurements. *)
+  List.iter (fun t -> Util.Vec.push rows t) (Table.to_list_unmetered table);
+  { schema = Table.schema table; rows }
+
+let shadow_size s = Util.Vec.length s.rows
+
+let pick prng s =
+  let n = Util.Vec.length s.rows in
+  if n = 0 then invalid_arg "Updates: empty shadow";
+  Util.Prng.int prng n
+
+let update_column prng s ~column ~value =
+  let pos = Schema.index_of s.schema column in
+  let i = pick prng s in
+  let before = Util.Vec.get s.rows i in
+  let after = Tuple.set before pos (value prng) in
+  Util.Vec.set s.rows i after;
+  Ivm.Change.Update { before; after }
+
+let insert_row prng s ~make =
+  let t = make prng in
+  Util.Vec.push s.rows t;
+  Ivm.Change.Insert t
+
+let delete_random prng s =
+  let i = pick prng s in
+  let victim = Util.Vec.get s.rows i in
+  (* Swap-remove keeps the shadow compact. *)
+  let last = Util.Vec.length s.rows - 1 in
+  Util.Vec.set s.rows i (Util.Vec.get s.rows last);
+  ignore (Util.Vec.pop s.rows);
+  Ivm.Change.Delete victim
+
+type feeds = { next : int -> Ivm.Change.t }
+
+let paper_feeds ~seed (db : Gen.db) =
+  let root = Util.Prng.create ~seed in
+  let ps_prng = Util.Prng.split root and s_prng = Util.Prng.split root in
+  let ps_shadow = shadow_of_table db.partsupp in
+  let s_shadow = shadow_of_table db.supplier in
+  let n_nations = Table.row_count db.nation in
+  let next i =
+    match i with
+    | 0 ->
+        update_column ps_prng ps_shadow ~column:"supplycost"
+          ~value:(fun g -> Value.Float (1.0 +. Util.Prng.float g 999.0))
+    | 1 ->
+        update_column s_prng s_shadow ~column:"nationkey"
+          ~value:(fun g -> Value.Int (Util.Prng.int g n_nations))
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Updates.paper_feeds: table %d has no update stream" i)
+  in
+  { next }

@@ -1,0 +1,40 @@
+(** Update-stream generation.
+
+    Streams are generated against a *shadow* copy of each table's logical
+    state (processed plus already-generated pending modifications), so a
+    generated [Update]'s [before] tuple is always exactly what the real
+    table will contain when the modification is processed in FIFO order. *)
+
+type shadow
+
+val shadow_of_table : Relation.Table.t -> shadow
+(** Snapshot the table's current rows. *)
+
+val shadow_size : shadow -> int
+
+val update_column :
+  Util.Prng.t ->
+  shadow ->
+  column:string ->
+  value:(Util.Prng.t -> Relation.Value.t) ->
+  Ivm.Change.t
+(** Pick a uniformly random shadow row, replace the named column with a
+    freshly drawn value, record the change in the shadow, and return the
+    [Update].  Raises [Invalid_argument] on an empty shadow. *)
+
+val insert_row :
+  Util.Prng.t -> shadow -> make:(Util.Prng.t -> Relation.Tuple.t) -> Ivm.Change.t
+
+val delete_random : Util.Prng.t -> shadow -> Ivm.Change.t
+(** Raises [Invalid_argument] on an empty shadow. *)
+
+(** {1 The paper's §5 streams} *)
+
+type feeds = { next : int -> Ivm.Change.t }
+(** [next i] draws the next modification for planner table [i]. *)
+
+val paper_feeds : seed:int -> Gen.db -> feeds
+(** Table indexing follows {!Gen.min_supplycost_view}: 0 = PartSupp
+    (random [supplycost] update), 1 = Supplier (random [nationkey] update).
+    Indices 2 and 3 (Nation, Region) raise — the experiments never modify
+    them. *)

@@ -1,0 +1,47 @@
+(* Pairing heap: O(1) push, amortized O(log n) pop. *)
+
+type 'a node = { prio : float; value : 'a; mutable children : 'a node list }
+
+type 'a t = { mutable root : 'a node option; mutable size : int }
+
+let create () = { root = None; size = 0 }
+
+let is_empty q = q.root = None
+
+let length q = q.size
+
+let meld a b =
+  if a.prio <= b.prio then begin
+    a.children <- b :: a.children;
+    a
+  end
+  else begin
+    b.children <- a :: b.children;
+    b
+  end
+
+let push q ~priority value =
+  let node = { prio = priority; value; children = [] } in
+  q.size <- q.size + 1;
+  match q.root with
+  | None -> q.root <- Some node
+  | Some root -> q.root <- Some (meld root node)
+
+(* Two-pass pairing merge of the root's children. *)
+let rec merge_pairs = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld a b in
+      match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+
+let pop q =
+  match q.root with
+  | None -> None
+  | Some root ->
+      q.root <- merge_pairs root.children;
+      q.size <- q.size - 1;
+      Some (root.prio, root.value)
+
+let peek q =
+  match q.root with None -> None | Some root -> Some (root.prio, root.value)

@@ -1,0 +1,21 @@
+(** Imperative min-priority queue (pairing heap).
+
+    Used by the A* planner ({!Abivm.Astar}), where keys are float path
+    estimates.  Duplicate insertions of the same element with different
+    priorities are allowed; stale entries are skipped by the caller. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue ordered by float priority (smallest first). *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element, or [None] if empty.
+    Ties are broken arbitrarily. *)
+
+val peek : 'a t -> (float * 'a) option

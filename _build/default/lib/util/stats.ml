@@ -1,0 +1,80 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty array";
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let linear_fit samples =
+  let n = Array.length samples in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two samples";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    samples;
+  let fn = float_of_int n in
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: x values are all equal";
+  let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. fn in
+  (slope, intercept)
+
+let r_squared samples ~slope ~intercept =
+  let ys = Array.map snd samples in
+  let ybar = mean ys in
+  let ss_tot = Array.fold_left (fun a y -> a +. ((y -. ybar) *. (y -. ybar))) 0.0 ys in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 samples
+  in
+  if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)
+
+let mean_absolute_percentage_error ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then
+    invalid_arg "Stats.mape: length mismatch";
+  let acc = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if a <> 0.0 then begin
+        acc := !acc +. Float.abs ((a -. predicted.(i)) /. a);
+        incr count
+      end)
+    actual;
+  if !count = 0 then 0.0 else !acc /. float_of_int !count

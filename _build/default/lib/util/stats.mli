@@ -1,0 +1,27 @@
+(** Small statistics toolkit used by calibration, workload checks, and
+    benchmark reporting. *)
+
+val sum : float array -> float
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation between
+    order statistics.  Does not mutate [xs]. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit samples] returns [(slope, intercept)] of the least-squares
+    line through the [(x, y)] samples.  Requires at least two samples with
+    distinct [x]. *)
+
+val r_squared : (float * float) array -> slope:float -> intercept:float -> float
+(** Coefficient of determination of a fitted line on the given samples. *)
+
+val mean_absolute_percentage_error : actual:float array -> predicted:float array -> float
+(** MAPE over pairs with non-zero actual value, as a fraction (0.1 = 10%). *)

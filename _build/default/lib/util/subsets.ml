@@ -1,0 +1,27 @@
+let of_mask n mask =
+  let rec collect i acc =
+    if i < 0 then acc
+    else if mask land (1 lsl i) <> 0 then collect (i - 1) (i :: acc)
+    else collect (i - 1) acc
+  in
+  ignore n;
+  collect (n - 1) []
+
+let all n =
+  if n < 0 || n > 20 then invalid_arg "Subsets.all: n out of range";
+  List.init (1 lsl n) (fun mask -> of_mask n mask)
+
+let non_empty n = List.filter (fun s -> s <> []) (all n)
+
+let remove_one s =
+  (* All subsets of [s] obtained by dropping exactly one element. *)
+  List.map (fun x -> List.filter (fun y -> y <> x) s) s
+
+let is_minimal_satisfying s ok =
+  ok s && List.for_all (fun s' -> not (ok s')) (remove_one s)
+
+let minimal_satisfying n ok =
+  if ok [] then [ [] ]
+  else
+    let candidates = non_empty n in
+    List.filter (fun s -> is_minimal_satisfying s ok) candidates

@@ -1,0 +1,27 @@
+(** Enumeration of subsets of a small index set [\[0, n)].
+
+    The planner's greedy actions correspond to subsets of base tables whose
+    delta batch is flushed entirely; minimality of an action is minimality of
+    its subset under a monotone feasibility predicate. *)
+
+val all : int -> int list list
+(** [all n] lists every subset of [\[0, n)] including the empty set, in
+    increasing bitmask order.  Requires [n <= 20]. *)
+
+val non_empty : int -> int list list
+(** All non-empty subsets of [\[0, n)]. *)
+
+val of_mask : int -> int -> int list
+(** [of_mask n mask] decodes a bitmask into its sorted member list. *)
+
+val minimal_satisfying : int -> (int list -> bool) -> int list list
+(** [minimal_satisfying n ok] returns the subsets [s] such that [ok s] holds
+    and [ok] fails on every proper subset of [s].  [ok] must be monotone
+    (adding elements never falsifies it) for the result to be the full
+    antichain of minimal feasible sets; monotonicity is the caller's
+    responsibility.  The empty set is considered iff [ok \[\]]. *)
+
+val is_minimal_satisfying : int list -> (int list -> bool) -> bool
+(** [is_minimal_satisfying s ok] holds iff [ok s] and removing any single
+    element of [s] falsifies [ok] (for monotone [ok] this is equivalent to
+    no proper subset satisfying [ok]). *)

@@ -1,0 +1,73 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    Array.init ncols (fun i ->
+        match List.nth_opt aligns i with Some a -> a | None -> Left)
+  in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  account header;
+  List.iter account rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < ncols then Buffer.add_string buf (pad aligns.(i) widths.(i) cell)
+        else Buffer.add_string buf cell)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv ~header rows =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_csv ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv ~header rows))

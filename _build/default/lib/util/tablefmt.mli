@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark and CLI output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in fixed-width columns with a
+    separator rule under the header.  [aligns] defaults to [Left] for every
+    column; shorter lists are padded with [Left]. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering with a default of 2 decimals. *)
+
+val to_csv : header:string list -> string list list -> string
+(** The same data as RFC-4180-ish CSV (fields containing commas, quotes or
+    newlines are quoted; quotes doubled). *)
+
+val write_csv : path:string -> header:string list -> string list list -> unit
+(** {!to_csv} written to a file (truncating). *)

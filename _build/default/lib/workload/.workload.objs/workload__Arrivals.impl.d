@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Array Float List Printf String Util

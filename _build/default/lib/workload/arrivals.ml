@@ -1,0 +1,98 @@
+type stream =
+  | Constant of int
+  | Normal_burst of { p : float; mu : float; sigma : float }
+  | Poisson of float
+  | Periodic of int array
+  | On_off of { on_len : int; off_len : int; rate : int }
+  | Trace of int array
+
+let positive_normal_ceil g ~mu ~sigma =
+  (* Sample X ~ N(mu, sigma) conditioned on X > 0, return ceil X.
+     Rejection sampling; for the paper's parameters acceptance is >= 0.5. *)
+  let rec draw attempts =
+    if attempts > 10_000 then 1
+    else
+      let x = Util.Prng.normal g ~mu ~sigma in
+      if x > 0.0 then int_of_float (Float.ceil x) else draw (attempts + 1)
+  in
+  draw 0
+
+let step_count g stream t =
+  match stream with
+  | Constant c ->
+      if c < 0 then invalid_arg "Arrivals: negative constant rate";
+      c
+  | Normal_burst { p; mu; sigma } ->
+      if Util.Prng.bernoulli g p then positive_normal_ceil g ~mu ~sigma else 0
+  | Poisson mean -> Util.Prng.poisson g ~mean
+  | Periodic counts ->
+      if Array.length counts = 0 then 0 else counts.(t mod Array.length counts)
+  | On_off { on_len; off_len; rate } ->
+      if on_len <= 0 then 0
+      else
+        let cycle = on_len + max off_len 0 in
+        if t mod cycle < on_len then rate else 0
+  | Trace counts -> if t < Array.length counts then counts.(t) else 0
+
+let generate ~seed ~horizon streams =
+  if horizon < 0 then invalid_arg "Arrivals.generate: negative horizon";
+  let root = Util.Prng.create ~seed in
+  let gens = Array.map (fun _ -> Util.Prng.split root) streams in
+  Array.init (horizon + 1) (fun t ->
+      Array.mapi (fun i stream -> step_count gens.(i) stream t) streams)
+
+let slow_stable = Normal_burst { p = 0.5; mu = 1.0; sigma = 1.0 }
+let slow_unstable = Normal_burst { p = 0.5; mu = 1.0; sigma = 5.0 }
+let fast_stable = Normal_burst { p = 0.9; mu = 1.0; sigma = 1.0 }
+let fast_unstable = Normal_burst { p = 0.9; mu = 1.0; sigma = 5.0 }
+
+let stream_of_string text =
+  let fail () = Error (Printf.sprintf "cannot parse stream %S" text) in
+  match text with
+  | "ss" -> Ok slow_stable
+  | "su" -> Ok slow_unstable
+  | "fs" -> Ok fast_stable
+  | "fu" -> Ok fast_unstable
+  | _ -> (
+      match String.index_opt text ':' with
+      | None -> fail ()
+      | Some i -> (
+          let kind = String.sub text 0 i in
+          let args =
+            String.split_on_char ','
+              (String.sub text (i + 1) (String.length text - i - 1))
+            |> List.map float_of_string_opt
+          in
+          match (kind, args) with
+          | "constant", [ Some n ] when n >= 0.0 ->
+              Ok (Constant (int_of_float n))
+          | "burst", [ Some p; Some mu; Some sigma ]
+            when p >= 0.0 && p <= 1.0 && sigma > 0.0 ->
+              Ok (Normal_burst { p; mu; sigma })
+          | "poisson", [ Some mean ] when mean >= 0.0 -> Ok (Poisson mean)
+          | "onoff", [ Some on; Some off; Some rate ]
+            when on >= 1.0 && off >= 0.0 && rate >= 0.0 ->
+              Ok
+                (On_off
+                   {
+                     on_len = int_of_float on;
+                     off_len = int_of_float off;
+                     rate = int_of_float rate;
+                   })
+          | _ -> fail ()))
+
+let n_tables d = if Array.length d = 0 then 0 else Array.length d.(0)
+
+let totals d =
+  let out = Array.make (n_tables d) 0 in
+  Array.iter (fun row -> Array.iteri (fun i c -> out.(i) <- out.(i) + c) row) d;
+  out
+
+let max_step d =
+  let out = Array.make (n_tables d) 0 in
+  Array.iter (fun row -> Array.iteri (fun i c -> out.(i) <- max out.(i) c) row) d;
+  out
+
+let mean_rates d =
+  let steps = float_of_int (max 1 (Array.length d)) in
+  Array.map (fun total -> float_of_int total /. steps) (totals d)

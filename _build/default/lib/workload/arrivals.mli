@@ -1,0 +1,56 @@
+(** Modification arrival sequences.
+
+    An arrival sequence for [n] tables over horizon [T] is a dense matrix
+    [d] with [d.(t).(i)] = number of modifications to table [i] arriving at
+    time [t], for [t] in [0, T].  Generators are deterministic in the seed. *)
+
+type stream =
+  | Constant of int
+      (** The same number of modifications every step (Fig. 6 uses 1). *)
+  | Normal_burst of { p : float; mu : float; sigma : float }
+      (** The paper's §5 model: with probability [p] at least one
+          modification arrives; the count is [ceil X] for [X ~ N(mu, sigma)]
+          conditioned on [X > 0]. *)
+  | Poisson of float  (** Poisson-distributed count with the given mean. *)
+  | Periodic of int array
+      (** Cycles through the array: step [t] brings [counts.(t mod len)]. *)
+  | On_off of { on_len : int; off_len : int; rate : int }
+      (** Bursty phases: [rate] per step for [on_len] steps, then silence
+          for [off_len] steps. *)
+  | Trace of int array
+      (** Explicit per-step counts; steps beyond the array bring zero. *)
+
+val stream_of_string : string -> (stream, string) result
+(** Parse a stream description, as accepted by the CLI:
+
+    - ["constant:N"]
+    - ["burst:P,MU,SIGMA"] (the §5 model)
+    - ["poisson:MEAN"]
+    - ["onoff:ON,OFF,RATE"]
+    - ["ss" | "su" | "fs" | "fu"] (the paper's four §5 streams) *)
+
+val generate : seed:int -> horizon:int -> stream array -> int array array
+(** [generate ~seed ~horizon streams] produces the [(horizon + 1) x n]
+    arrival matrix.  Each table gets an independent sub-generator split from
+    the seed, so adding a table does not perturb the others' draws. *)
+
+val slow_stable : stream
+(** §5's SS stream: [p = 0.5], [mu = 1], [sigma = 1]. *)
+
+val slow_unstable : stream
+(** SU: [p = 0.5], [mu = 1], [sigma = 5]. *)
+
+val fast_stable : stream
+(** FS: [p = 0.9], [mu = 1], [sigma = 1]. *)
+
+val fast_unstable : stream
+(** FU: [p = 0.9], [mu = 1], [sigma = 5]. *)
+
+val totals : int array array -> int array
+(** Per-table totals over the whole sequence. *)
+
+val max_step : int array array -> int array
+(** Per-table maximum arrivals in any single step. *)
+
+val mean_rates : int array array -> float array
+(** Per-table empirical arrival rate (total / steps). *)

@@ -1,0 +1,1 @@
+test/test_algos.ml: Abivm Alcotest Array Cost List Util Workload

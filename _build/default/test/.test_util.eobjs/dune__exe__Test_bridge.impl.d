@@ -1,0 +1,1 @@
+test/test_bridge.ml: Abivm Alcotest Array Bridge Cost Filename Float Ivm List Printf Relation String Sys Tpcr Tuple Value

@@ -1,0 +1,1 @@
+test/test_ivm.ml: Agg Alcotest Array Datatype Expr Ivm List Meter Printf Ra Relation Schema Table Tuple Value

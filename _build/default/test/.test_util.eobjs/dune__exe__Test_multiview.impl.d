@@ -1,0 +1,1 @@
+test/test_multiview.ml: Alcotest Array Cost Float Multiview

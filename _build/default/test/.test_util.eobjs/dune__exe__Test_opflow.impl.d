@@ -1,0 +1,1 @@
+test/test_opflow.ml: Alcotest Array Cost List Opflow Printf Util

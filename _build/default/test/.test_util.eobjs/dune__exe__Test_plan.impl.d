@@ -1,0 +1,1 @@
+test/test_plan.ml: Abivm Alcotest Array Cost List Printf String

@@ -1,0 +1,1 @@
+test/test_props.ml: Abivm Alcotest Array Cost Datatype Float Gen Ivm List Meter Opflow Ordindex Printf QCheck QCheck_alcotest Relation Schema String Table Tpcr Util Value Vmultiset Workload

@@ -1,0 +1,1 @@
+test/test_relation.ml: Agg Alcotest Database Datatype Expr Index List Meter Ordindex Ra Relation Schema String Table Tuple Value Vmultiset

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Datatype Ivm List Meter Relation Schema Sqlview String Table Tpcr Tuple Value

@@ -1,0 +1,1 @@
+test/test_tpcr.ml: Alcotest Bridge Hashtbl Ivm List Meter Relation Table Tpcr Tuple Util Value

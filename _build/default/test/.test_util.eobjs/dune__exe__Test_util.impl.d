@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Float Int List String Sys Util

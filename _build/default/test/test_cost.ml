@@ -1,0 +1,279 @@
+(* Tests for the cost-function algebra: every constructor family, the
+   monotonicity/subadditivity contract, max-batch queries, and fitting. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let families =
+  [
+    Cost.Func.linear ~a:2.0;
+    Cost.Func.affine ~a:1.5 ~b:10.0;
+    Cost.Func.concave_sqrt ~a:3.0 ~b:1.0;
+    Cost.Func.logarithmic ~a:5.0 ~b:0.5;
+    Cost.Func.blocked ~per_block:4.0 ~block_size:7;
+    Cost.Func.plateau ~a:2.0 ~cap:50.0;
+    Cost.Func.piecewise_linear [ (1, 3.0); (10, 12.0); (100, 20.0) ];
+    Cost.Func.step_tightness ~eps:0.25 ~limit:100.0;
+    Cost.Func.sum (Cost.Func.linear ~a:1.0) (Cost.Func.plateau ~a:1.0 ~cap:5.0);
+    Cost.Func.scale 0.5 (Cost.Func.affine ~a:2.0 ~b:4.0);
+  ]
+
+let test_zero_at_zero () =
+  List.iter (fun f -> checkf (Cost.Func.name f) 0.0 (Cost.Func.eval f 0)) families
+
+let test_all_families_monotone () =
+  List.iter
+    (fun f -> checkb (Cost.Func.name f) true (Cost.Check.is_monotone ~upto:200 f))
+    families
+
+let test_all_families_subadditive () =
+  List.iter
+    (fun f ->
+      checkb (Cost.Func.name f) true (Cost.Check.is_subadditive ~upto:200 f))
+    families
+
+let test_negative_batch_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cost.Func.eval: negative batch size") (fun () ->
+      ignore (Cost.Func.eval (Cost.Func.linear ~a:1.0) (-1)))
+
+let test_linear_values () =
+  let f = Cost.Func.linear ~a:2.5 in
+  checkf "f 4" 10.0 (Cost.Func.eval f 4)
+
+let test_affine_values () =
+  let f = Cost.Func.affine ~a:2.0 ~b:5.0 in
+  checkf "f 1" 7.0 (Cost.Func.eval f 1);
+  checkf "f 10" 25.0 (Cost.Func.eval f 10);
+  checkf "f 0 forced to zero" 0.0 (Cost.Func.eval f 0)
+
+let test_affine_validation () =
+  Alcotest.check_raises "a <= 0"
+    (Invalid_argument "Cost.Func.affine: a must be positive") (fun () ->
+      ignore (Cost.Func.affine ~a:0.0 ~b:1.0));
+  Alcotest.check_raises "b < 0"
+    (Invalid_argument "Cost.Func.affine: b must be non-negative") (fun () ->
+      ignore (Cost.Func.affine ~a:1.0 ~b:(-1.0)))
+
+let test_blocked_steps () =
+  let f = Cost.Func.blocked ~per_block:10.0 ~block_size:5 in
+  checkf "one block" 10.0 (Cost.Func.eval f 1);
+  checkf "exactly one block" 10.0 (Cost.Func.eval f 5);
+  checkf "two blocks" 20.0 (Cost.Func.eval f 6)
+
+let test_blocked_not_concave_but_subadditive () =
+  (* ceil(x/B) jumps: non-concave, but Check must still accept it. *)
+  let f = Cost.Func.blocked ~per_block:1.0 ~block_size:3 in
+  checkb "subadditive" true (Cost.Check.is_subadditive ~upto:100 f)
+
+let test_plateau_caps () =
+  let f = Cost.Func.plateau ~a:10.0 ~cap:35.0 in
+  checkf "below cap" 10.0 (Cost.Func.eval f 1);
+  checkf "at cap" 35.0 (Cost.Func.eval f 4);
+  checkf "capped" 35.0 (Cost.Func.eval f 1000)
+
+let test_piecewise_interpolation () =
+  let f = Cost.Func.piecewise_linear [ (2, 4.0); (10, 20.0) ] in
+  checkf "interior point" 4.0 (Cost.Func.eval f 2);
+  checkf "midpoint" 12.0 (Cost.Func.eval f 6);
+  checkf "between 0 and first" 2.0 (Cost.Func.eval f 1);
+  (* extrapolation uses last slope (20-4)/8 = 2 *)
+  checkf "extrapolated" 22.0 (Cost.Func.eval f 11)
+
+let test_piecewise_validation () =
+  Alcotest.check_raises "unordered"
+    (Invalid_argument "Cost.Func: breakpoints must be strictly increasing in k")
+    (fun () -> ignore (Cost.Func.piecewise_linear [ (5, 1.0); (2, 2.0) ]));
+  Alcotest.check_raises "decreasing cost"
+    (Invalid_argument "Cost.Func: breakpoint costs must be non-decreasing")
+    (fun () -> ignore (Cost.Func.piecewise_linear [ (1, 5.0); (2, 1.0) ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Cost.Func: empty breakpoint list")
+    (fun () -> ignore (Cost.Func.piecewise_linear []))
+
+let test_step_tightness_shape () =
+  (* The §3.2 construction: f(x) = (eps x / 2) C up to 2/eps, then
+     (1 + eps/2) C. *)
+  let eps = 0.5 and limit = 10.0 in
+  let f = Cost.Func.step_tightness ~eps ~limit in
+  checkf "at knee (x = 4)" limit (Cost.Func.eval f 4);
+  checkf "beyond knee" ((1.0 +. (eps /. 2.0)) *. limit) (Cost.Func.eval f 5);
+  checkf "half knee" (limit /. 2.0) (Cost.Func.eval f 2);
+  checkb "monotone" true (Cost.Check.is_monotone ~upto:50 f);
+  checkb "subadditive" true (Cost.Check.is_subadditive ~upto:50 f)
+
+let test_sum_and_scale () =
+  let f = Cost.Func.sum (Cost.Func.linear ~a:1.0) (Cost.Func.linear ~a:2.0) in
+  checkf "sum" 9.0 (Cost.Func.eval f 3);
+  let g = Cost.Func.scale 0.5 f in
+  checkf "scaled" 4.5 (Cost.Func.eval g 3)
+
+let test_rename_of_fn () =
+  let f = Cost.Func.rename "mine" (Cost.Func.linear ~a:1.0) in
+  Alcotest.check Alcotest.string "renamed" "mine" (Cost.Func.name f);
+  let g = Cost.Func.of_fn ~name:"custom" (fun k -> float_of_int (k * k)) in
+  checkf "of_fn" 9.0 (Cost.Func.eval g 3);
+  checkf "of_fn zero forced" 0.0 (Cost.Func.eval g 0)
+
+let test_subadditive_hull_repairs () =
+  (* A slightly convex (hence non-subadditive) measured-style curve. *)
+  let bad =
+    Cost.Func.of_fn ~name:"convex" (fun k ->
+        let x = float_of_int k in
+        (10.0 *. x) +. (0.02 *. x *. x))
+  in
+  checkb "input is not subadditive" false (Cost.Check.is_subadditive ~upto:100 bad);
+  let hull = Cost.Func.subadditive_hull ~upto:200 bad in
+  checkb "hull is subadditive" true (Cost.Check.is_subadditive ~upto:150 hull);
+  checkb "hull is monotone" true (Cost.Check.is_monotone ~upto:150 hull);
+  checkb "hull below input" true
+    (List.for_all
+       (fun k -> Cost.Func.eval hull k <= Cost.Func.eval bad k +. 1e-9)
+       [ 1; 10; 50; 100 ])
+
+let test_subadditive_hull_identity_on_subadditive () =
+  let f = Cost.Func.affine ~a:2.0 ~b:5.0 in
+  let hull = Cost.Func.subadditive_hull ~upto:100 f in
+  List.iter
+    (fun k -> checkf "unchanged" (Cost.Func.eval f k) (Cost.Func.eval hull k))
+    [ 1; 7; 50; 100 ]
+
+let test_subadditive_hull_tail_extension () =
+  let f = Cost.Func.linear ~a:3.0 in
+  let hull = Cost.Func.subadditive_hull ~upto:10 f in
+  checkf "beyond upto extends with final slope" 60.0 (Cost.Func.eval hull 20)
+
+(* --- Check --------------------------------------------------------------- *)
+
+let test_monotone_detects_violation () =
+  let bad = Cost.Func.of_fn ~name:"bad" (fun k -> if k = 5 then 1.0 else float_of_int k) in
+  checkb "violation found" false (Cost.Check.is_monotone ~upto:10 bad)
+
+let test_subadditive_detects_violation () =
+  (* Superadditive k^2 fails. *)
+  let bad = Cost.Func.of_fn ~name:"quad" (fun k -> float_of_int (k * k)) in
+  checkb "violation found" false (Cost.Check.is_subadditive ~upto:10 bad)
+
+let test_max_batch_linear () =
+  let f = Cost.Func.linear ~a:2.0 in
+  checki "50 fits in 100" 50 (Cost.Check.max_batch f ~limit:100.0 ~cap:1_000_000);
+  checki "caps out" 10 (Cost.Check.max_batch f ~limit:100.0 ~cap:10)
+
+let test_max_batch_zero_when_first_exceeds () =
+  let f = Cost.Func.affine ~a:1.0 ~b:100.0 in
+  checki "even one too big" 0 (Cost.Check.max_batch f ~limit:50.0 ~cap:1000)
+
+let test_max_batch_exact_boundary () =
+  let f = Cost.Func.linear ~a:1.0 in
+  checki "boundary included" 100 (Cost.Check.max_batch f ~limit:100.0 ~cap:1000)
+
+let test_first_exceeding () =
+  let f = Cost.Func.linear ~a:1.0 in
+  checkb "101 first over" true
+    (Cost.Check.first_exceeding f ~limit:100.0 ~cap:1000 = Some 101);
+  checkb "never within cap" true
+    (Cost.Check.first_exceeding f ~limit:1e9 ~cap:1000 = None)
+
+(* --- of_string ------------------------------------------------------------ *)
+
+let test_of_string_ok () =
+  List.iter
+    (fun (text, k, expected) ->
+      match Cost.Func.of_string text with
+      | Ok f -> checkf text expected (Cost.Func.eval f k)
+      | Error msg -> Alcotest.fail msg)
+    [
+      ("linear:2", 3, 6.0);
+      ("affine:2,5", 3, 11.0);
+      ("blocked:10,5", 6, 20.0);
+      ("plateau:10,35", 1000, 35.0);
+      ("step:0.5,10", 4, 10.0);
+    ]
+
+let test_of_string_errors () =
+  List.iter
+    (fun text ->
+      match Cost.Func.of_string text with
+      | Ok _ -> Alcotest.fail (text ^ " should not parse")
+      | Error _ -> ())
+    [ "nope"; "linear:"; "linear:x"; "affine:1"; "affine:-1,0"; "plateau:1" ]
+
+(* --- Fit ----------------------------------------------------------------- *)
+
+let test_fit_recovers_affine () =
+  let samples = List.init 20 (fun i ->
+      let k = (i + 1) * 10 in
+      (k, (3.5 *. float_of_int k) +. 42.0))
+  in
+  let fit = Cost.Fit.affine samples in
+  checkb "slope" true (Float.abs (fit.Cost.Fit.a -. 3.5) < 1e-6);
+  checkb "intercept" true (Float.abs (fit.Cost.Fit.b -. 42.0) < 1e-6);
+  checkb "r2" true (fit.Cost.Fit.r2 > 0.999)
+
+let test_fit_clamps_negative_intercept () =
+  let samples = [ (1, 1.0); (2, 3.0); (3, 5.0) ] in
+  (* True intercept is -1; clamp to 0. *)
+  let fit = Cost.Fit.affine samples in
+  checkf "clamped" 0.0 fit.Cost.Fit.b
+
+let test_fit_to_func () =
+  let f = Cost.Fit.to_func ~name:"fitted" { Cost.Fit.a = 2.0; b = 3.0; r2 = 1.0 } in
+  Alcotest.check Alcotest.string "name" "fitted" (Cost.Func.name f);
+  checkf "eval" 7.0 (Cost.Func.eval f 2)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "contract",
+        [
+          Alcotest.test_case "zero at zero" `Quick test_zero_at_zero;
+          Alcotest.test_case "all monotone" `Quick test_all_families_monotone;
+          Alcotest.test_case "all subadditive" `Quick test_all_families_subadditive;
+          Alcotest.test_case "negative batch rejected" `Quick
+            test_negative_batch_rejected;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "linear" `Quick test_linear_values;
+          Alcotest.test_case "affine" `Quick test_affine_values;
+          Alcotest.test_case "affine validation" `Quick test_affine_validation;
+          Alcotest.test_case "blocked steps" `Quick test_blocked_steps;
+          Alcotest.test_case "blocked subadditive" `Quick
+            test_blocked_not_concave_but_subadditive;
+          Alcotest.test_case "plateau" `Quick test_plateau_caps;
+          Alcotest.test_case "piecewise interpolation" `Quick
+            test_piecewise_interpolation;
+          Alcotest.test_case "piecewise validation" `Quick test_piecewise_validation;
+          Alcotest.test_case "step tightness shape" `Quick test_step_tightness_shape;
+          Alcotest.test_case "sum and scale" `Quick test_sum_and_scale;
+          Alcotest.test_case "rename / of_fn" `Quick test_rename_of_fn;
+          Alcotest.test_case "subadditive hull repairs" `Quick
+            test_subadditive_hull_repairs;
+          Alcotest.test_case "subadditive hull identity" `Quick
+            test_subadditive_hull_identity_on_subadditive;
+          Alcotest.test_case "subadditive hull tail" `Quick
+            test_subadditive_hull_tail_extension;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "monotone violation" `Quick test_monotone_detects_violation;
+          Alcotest.test_case "subadditive violation" `Quick
+            test_subadditive_detects_violation;
+          Alcotest.test_case "max_batch linear" `Quick test_max_batch_linear;
+          Alcotest.test_case "max_batch zero" `Quick test_max_batch_zero_when_first_exceeds;
+          Alcotest.test_case "max_batch boundary" `Quick test_max_batch_exact_boundary;
+          Alcotest.test_case "first_exceeding" `Quick test_first_exceeding;
+        ] );
+      ( "of_string",
+        [
+          Alcotest.test_case "parses" `Quick test_of_string_ok;
+          Alcotest.test_case "rejects" `Quick test_of_string_errors;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "recovers affine" `Quick test_fit_recovers_affine;
+          Alcotest.test_case "clamps negative intercept" `Quick
+            test_fit_clamps_negative_intercept;
+          Alcotest.test_case "to_func" `Quick test_fit_to_func;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the operator-level batching prototype (the paper's §7 third
+   future-work direction): pipeline mechanics and strategies. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let stage ?(selectivity = 1.0) name cost = { Opflow.Pipeline.name; cost; selectivity }
+
+(* A canonical asymmetric chain: cheap shrinking filter, expensive flat
+   join, cheap aggregation. *)
+let asym_chain ~limit =
+  Opflow.Pipeline.make ~limit
+    [
+      stage ~selectivity:0.2 "filter" (Cost.Func.linear ~a:1.0);
+      stage ~selectivity:1.0 "join" (Cost.Func.plateau ~a:30.0 ~cap:60.0);
+      stage ~selectivity:1.0 "aggregate" (Cost.Func.linear ~a:0.5);
+    ]
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Opflow.Pipeline.make: empty chain")
+    (fun () -> ignore (Opflow.Pipeline.make ~limit:1.0 []));
+  Alcotest.check_raises "bad limit"
+    (Invalid_argument "Opflow.Pipeline.make: limit must be positive") (fun () ->
+      ignore (Opflow.Pipeline.make ~limit:0.0 [ stage "s" (Cost.Func.linear ~a:1.0) ]));
+  Alcotest.check_raises "bad selectivity"
+    (Invalid_argument "Opflow.Pipeline.make: negative selectivity") (fun () ->
+      ignore
+        (Opflow.Pipeline.make ~limit:1.0
+           [ stage ~selectivity:(-0.5) "s" (Cost.Func.linear ~a:1.0) ]))
+
+let test_output_size () =
+  let s = stage ~selectivity:0.2 "f" (Cost.Func.linear ~a:1.0) in
+  checki "exact multiple" 1 (Opflow.Pipeline.output_size s 5);
+  checki "ceiling" 1 (Opflow.Pipeline.output_size s 3);
+  checki "never vanishes" 1 (Opflow.Pipeline.output_size s 1);
+  checki "zero in" 0 (Opflow.Pipeline.output_size s 0);
+  let grow = stage ~selectivity:3.0 "x" (Cost.Func.linear ~a:1.0) in
+  checki "fanout" 6 (Opflow.Pipeline.output_size grow 2)
+
+let test_refresh_cost_cascades () =
+  let p = asym_chain ~limit:1000.0 in
+  (* state [10; 2; 4]: filter pays f(10)=10, emits 2; join pays
+     plateau(2+2)=min(120,60)... a=30: min(30*4,60)=60, emits 4; agg pays
+     0.5*(4+4)=4.  Total 74. *)
+  checkf "cascade" 74.0 (Opflow.Pipeline.refresh_cost p [| 10; 2; 4 |]);
+  checkf "empty" 0.0 (Opflow.Pipeline.refresh_cost p [| 0; 0; 0 |])
+
+let test_apply_cascade_within_action () =
+  let p = asym_chain ~limit:1000.0 in
+  (* Flushing stages 0 and 1 together: stage 1 processes its queue plus
+     stage 0's freshly delivered output. *)
+  let post, cost = Opflow.Pipeline.apply p [| 10; 2; 0 |] [| true; true; false |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "post" [| 0; 0; 4 |] post;
+  checkf "cost f(10) + join(4)" 70.0 cost
+
+let test_apply_downstream_only () =
+  let p = asym_chain ~limit:1000.0 in
+  let post, cost = Opflow.Pipeline.apply p [| 10; 2; 0 |] [| false; true; false |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "post" [| 10; 0; 2 |] post;
+  checkf "join(2) only" 60.0 cost
+
+let test_apply_noop () =
+  let p = asym_chain ~limit:1000.0 in
+  let post, cost = Opflow.Pipeline.apply p [| 5; 5; 5 |] [| false; false; false |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "unchanged" [| 5; 5; 5 |] post;
+  checkf "free" 0.0 cost
+
+let test_strategies_valid_and_ordered () =
+  let p = asym_chain ~limit:100.0 in
+  let arrivals = Array.make 120 2 in
+  let naive = Opflow.Strategy.naive p ~arrivals in
+  let greedy = Opflow.Strategy.greedy p ~arrivals in
+  checkb "naive valid" true naive.Opflow.Strategy.valid;
+  checkb "greedy valid" true greedy.Opflow.Strategy.valid;
+  checkb "greedy <= naive" true
+    (greedy.Opflow.Strategy.total_cost <= naive.Opflow.Strategy.total_cost +. 1e-9)
+
+let test_greedy_batches_in_front_of_expensive_join () =
+  (* The §7 claim: propagate through the cheap filter, batch in front of
+     the expensive join.  Greedy should flush the join far less often than
+     the filter. *)
+  let p = asym_chain ~limit:100.0 in
+  let arrivals = Array.make 200 2 in
+  let greedy = Opflow.Strategy.greedy p ~arrivals in
+  let flushes stage_idx =
+    List.length
+      (List.filter (fun (_, a) -> a.(stage_idx)) greedy.Opflow.Strategy.actions)
+  in
+  checkb "join flushed less than filter" true (flushes 1 < flushes 0)
+
+let test_exact_lower_bound () =
+  let p = asym_chain ~limit:100.0 in
+  let arrivals = Array.make 25 3 in
+  let exact = Opflow.Strategy.exact p ~arrivals in
+  let greedy = Opflow.Strategy.greedy p ~arrivals in
+  let naive = Opflow.Strategy.naive p ~arrivals in
+  checkb "exact <= greedy" true (exact <= greedy.Opflow.Strategy.total_cost +. 1e-9);
+  checkb "exact <= naive" true (exact <= naive.Opflow.Strategy.total_cost +. 1e-9);
+  checkb "exact positive" true (exact > 0.0)
+
+let test_exact_budget () =
+  let p = asym_chain ~limit:100.0 in
+  let arrivals = Array.make 200 5 in
+  checkb "raises" true
+    (try
+       ignore (Opflow.Strategy.exact ~max_expansions:50 p ~arrivals);
+       false
+     with Invalid_argument _ -> true)
+
+let test_single_stage_pipeline () =
+  let p =
+    Opflow.Pipeline.make ~limit:10.0 [ stage "only" (Cost.Func.affine ~a:1.0 ~b:2.0) ]
+  in
+  let arrivals = Array.make 30 1 in
+  let naive = Opflow.Strategy.naive p ~arrivals in
+  let greedy = Opflow.Strategy.greedy p ~arrivals in
+  checkb "naive valid" true naive.Opflow.Strategy.valid;
+  checkb "greedy valid" true greedy.Opflow.Strategy.valid;
+  (* One stage: nothing asymmetric to exploit, same behaviour. *)
+  checkf "same cost" naive.Opflow.Strategy.total_cost greedy.Opflow.Strategy.total_cost
+
+let test_randomized_strategy_invariants () =
+  let prng = Util.Prng.create ~seed:99 in
+  for _trial = 1 to 40 do
+    let n = 1 + Util.Prng.int prng 3 in
+    let stages =
+      List.init n (fun i ->
+          let cost =
+            if Util.Prng.bool prng then
+              Cost.Func.linear ~a:(0.5 +. Util.Prng.float prng 3.0)
+            else
+              Cost.Func.plateau
+                ~a:(1.0 +. Util.Prng.float prng 10.0)
+                ~cap:(5.0 +. Util.Prng.float prng 40.0)
+          in
+          stage
+            ~selectivity:(0.1 +. Util.Prng.float prng 1.5)
+            (Printf.sprintf "s%d" i) cost)
+    in
+    let p = Opflow.Pipeline.make ~limit:(30.0 +. Util.Prng.float prng 100.0) stages in
+    let arrivals = Array.init (10 + Util.Prng.int prng 40) (fun _ -> Util.Prng.int prng 4) in
+    let naive = Opflow.Strategy.naive p ~arrivals in
+    let greedy = Opflow.Strategy.greedy p ~arrivals in
+    (* No dominance claim between the two on arbitrary pipelines — the
+       non-separable refresh cost voids the core model's guarantees (which
+       is why the paper left operator-level batching open).  Both must
+       stay valid, though. *)
+    checkb "naive valid" true naive.Opflow.Strategy.valid;
+    checkb "greedy valid" true greedy.Opflow.Strategy.valid
+  done
+
+let () =
+  Alcotest.run "opflow"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "output size" `Quick test_output_size;
+          Alcotest.test_case "refresh cost cascades" `Quick test_refresh_cost_cascades;
+          Alcotest.test_case "apply cascades within action" `Quick
+            test_apply_cascade_within_action;
+          Alcotest.test_case "apply downstream only" `Quick test_apply_downstream_only;
+          Alcotest.test_case "apply noop" `Quick test_apply_noop;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "valid and ordered" `Quick
+            test_strategies_valid_and_ordered;
+          Alcotest.test_case "batches before expensive join" `Quick
+            test_greedy_batches_in_front_of_expensive_join;
+          Alcotest.test_case "exact lower bound" `Quick test_exact_lower_bound;
+          Alcotest.test_case "exact budget" `Quick test_exact_budget;
+          Alcotest.test_case "single stage" `Quick test_single_stage_pipeline;
+          Alcotest.test_case "randomized invariants" `Quick
+            test_randomized_strategy_invariants;
+        ] );
+    ]

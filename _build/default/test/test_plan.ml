@@ -1,0 +1,411 @@
+(* Tests for the planner's problem model: state vectors, specs, plans and
+   their validation, action enumeration, the NAIVE baseline, and the
+   lazy/LGM transforms of §3. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let lin a = Cost.Func.linear ~a
+let aff a b = Cost.Func.affine ~a ~b
+
+let spec2 ?(limit = 10.0) arrivals =
+  Abivm.Spec.make ~costs:[| lin 1.0; lin 2.0 |] ~limit ~arrivals
+
+(* --- Statevec ------------------------------------------------------------ *)
+
+let test_statevec_arith () =
+  let a = [| 1; 2 |] and b = [| 3; 0 |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "add" [| 4; 2 |]
+    (Abivm.Statevec.add a b);
+  Alcotest.check (Alcotest.array Alcotest.int) "sub" [| 1; 2 |]
+    (Abivm.Statevec.sub (Abivm.Statevec.add a b) b);
+  checkb "leq" true (Abivm.Statevec.leq a (Abivm.Statevec.add a b));
+  checkb "not leq" false (Abivm.Statevec.leq b a);
+  checki "total" 3 (Abivm.Statevec.total a)
+
+let test_statevec_sub_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Statevec.sub: negative component") (fun () ->
+      ignore (Abivm.Statevec.sub [| 1 |] [| 2 |]))
+
+let test_statevec_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Statevec: length mismatch")
+    (fun () -> ignore (Abivm.Statevec.add [| 1 |] [| 1; 2 |]))
+
+let test_statevec_support_restrict () =
+  let s = [| 0; 5; 0; 7 |] in
+  Alcotest.check (Alcotest.list Alcotest.int) "support" [ 1; 3 ]
+    (Abivm.Statevec.support s);
+  Alcotest.check (Alcotest.array Alcotest.int) "restrict" [| 0; 5; 0; 0 |]
+    (Abivm.Statevec.restrict_to s [ 1 ]);
+  checkb "zero" true (Abivm.Statevec.is_zero (Abivm.Statevec.zero 3));
+  checkb "nonzero" false (Abivm.Statevec.is_zero s)
+
+let test_statevec_compare () =
+  checki "equal" 0 (Abivm.Statevec.compare [| 1; 2 |] [| 1; 2 |]);
+  checkb "lex" true (Abivm.Statevec.compare [| 1; 2 |] [| 1; 3 |] < 0);
+  checkb "length first" true (Abivm.Statevec.compare [| 1 |] [| 1; 0 |] < 0)
+
+(* --- Spec ---------------------------------------------------------------- *)
+
+let test_spec_accessors () =
+  let spec = spec2 [| [| 1; 2 |]; [| 0; 0 |]; [| 3; 1 |] |] in
+  checki "n" 2 (Abivm.Spec.n_tables spec);
+  checki "horizon" 2 (Abivm.Spec.horizon spec);
+  checkf "limit" 10.0 (Abivm.Spec.limit spec);
+  checkf "f of state" 5.0 (Abivm.Spec.f spec [| 1; 2 |]);
+  checkb "full" true (Abivm.Spec.is_full spec [| 11; 0 |]);
+  checkb "not full at limit" false (Abivm.Spec.is_full spec [| 10; 0 |])
+
+let test_spec_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Spec.make: arrival row width mismatch")
+    (fun () -> ignore (spec2 [| [| 1 |] |]));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Spec.make: negative arrival count") (fun () ->
+      ignore (spec2 [| [| -1; 0 |] |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Spec.make: empty arrivals")
+    (fun () -> ignore (spec2 [||]))
+
+let test_spec_truncate () =
+  let spec = spec2 [| [| 1; 0 |]; [| 2; 0 |]; [| 3; 0 |] |] in
+  let t = Abivm.Spec.truncate spec 1 in
+  checki "horizon" 1 (Abivm.Spec.horizon t);
+  Alcotest.check (Alcotest.array Alcotest.int) "kept row" [| 2; 0 |]
+    (Abivm.Spec.arrivals_at t 1)
+
+let test_spec_extend_cyclic () =
+  let spec = spec2 [| [| 1; 0 |]; [| 2; 0 |] |] in
+  let e = Abivm.Spec.extend_cyclic spec 4 in
+  checki "horizon" 4 (Abivm.Spec.horizon e);
+  Alcotest.check (Alcotest.array Alcotest.int) "wraps" [| 1; 0 |]
+    (Abivm.Spec.arrivals_at e 2);
+  Alcotest.check (Alcotest.array Alcotest.int) "wraps 2" [| 2; 0 |]
+    (Abivm.Spec.arrivals_at e 3)
+
+(* --- Plan ---------------------------------------------------------------- *)
+
+let test_plan_of_actions_validation () =
+  Alcotest.check_raises "unordered"
+    (Invalid_argument "Plan.of_actions: times must be strictly increasing")
+    (fun () -> ignore (Abivm.Plan.of_actions [ (2, [| 1; 0 |]); (1, [| 1; 0 |]) ]));
+  Alcotest.check_raises "zero action"
+    (Invalid_argument "Plan.of_actions: zero action (omit it instead)")
+    (fun () -> ignore (Abivm.Plan.of_actions [ (0, [| 0; 0 |]) ]))
+
+let test_plan_cost () =
+  let spec = spec2 [| [| 5; 5 |]; [| 0; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (0, [| 2; 1 |]); (1, [| 3; 4 |]) ] in
+  (* f1 = k, f2 = 2k: (2 + 2) + (3 + 8) = 15 *)
+  checkf "cost" 15.0 (Abivm.Plan.cost spec plan);
+  Alcotest.check (Alcotest.array (Alcotest.float 1e-9)) "per table"
+    [| 5.0; 10.0 |]
+    (Abivm.Plan.cost_per_table spec plan);
+  Alcotest.check (Alcotest.array Alcotest.int) "actions per table" [| 2; 2 |]
+    (Abivm.Plan.action_count_per_table plan ~n:2)
+
+let test_plan_validate_ok () =
+  let spec = spec2 [| [| 5; 0 |]; [| 5; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (1, [| 10; 0 |]) ] in
+  checkb "valid" true (Abivm.Plan.is_valid spec plan)
+
+let test_plan_validate_constraint_violation () =
+  let spec = spec2 ~limit:3.0 [| [| 5; 0 |]; [| 0; 0 |] |] in
+  (* Doing nothing at t=0 leaves f = 5 > 3 before the horizon. *)
+  let plan = Abivm.Plan.of_actions [ (1, [| 5; 0 |]) ] in
+  (match Abivm.Plan.validate spec plan with
+  | Error (Abivm.Plan.Constraint_violated { time = 0; refresh_cost }) ->
+      checkf "cost" 5.0 refresh_cost
+  | _ -> Alcotest.fail "expected constraint violation")
+
+let test_plan_validate_overdraw () =
+  let spec = spec2 [| [| 1; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (0, [| 2; 0 |]) ] in
+  match Abivm.Plan.validate spec plan with
+  | Error (Abivm.Plan.Action_exceeds_pending { time = 0; table = 0 }) -> ()
+  | _ -> Alcotest.fail "expected overdraw"
+
+let test_plan_validate_leftover () =
+  let spec = spec2 [| [| 1; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [] in
+  match Abivm.Plan.validate spec plan with
+  | Error (Abivm.Plan.Not_empty_at_refresh { leftover }) ->
+      Alcotest.check (Alcotest.array Alcotest.int) "leftover" [| 1; 0 |] leftover
+  | _ -> Alcotest.fail "expected leftover"
+
+let test_plan_validate_action_after_horizon () =
+  let spec = spec2 [| [| 1; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (0, [| 1; 0 |]); (5, [| 1; 0 |]) ] in
+  match Abivm.Plan.validate spec plan with
+  | Error (Abivm.Plan.Action_after_horizon { time = 5 }) -> ()
+  | _ -> Alcotest.fail "expected horizon error"
+
+let test_plan_predicates () =
+  let spec = spec2 ~limit:4.0 [| [| 1; 1 |]; [| 1; 1 |]; [| 0; 0 |] |] in
+  (* f([2;2]) = 6 > 4 at t=1: flush table 1 only (minimal, greedy). *)
+  let lgm = Abivm.Plan.of_actions [ (1, [| 0; 2 |]); (2, [| 2; 0 |]) ] in
+  checkb "valid" true (Abivm.Plan.is_valid spec lgm);
+  checkb "lazy" true (Abivm.Plan.is_lazy spec lgm);
+  checkb "greedy" true (Abivm.Plan.is_greedy spec lgm);
+  checkb "minimal" true (Abivm.Plan.is_minimal spec lgm);
+  checkb "lgm" true (Abivm.Plan.is_lgm spec lgm);
+  (* Acting at t=0 (not full) is not lazy. *)
+  let eager = Abivm.Plan.of_actions [ (0, [| 1; 1 |]); (2, [| 1; 1 |]) ] in
+  checkb "valid but not lazy" true (Abivm.Plan.is_valid spec eager);
+  checkb "not lazy" false (Abivm.Plan.is_lazy spec eager);
+  (* Partial processing is not greedy. *)
+  let partial = Abivm.Plan.of_actions [ (1, [| 0; 1 |]); (2, [| 2; 1 |]) ] in
+  checkb "valid partial" true (Abivm.Plan.is_valid spec partial);
+  checkb "not greedy" false (Abivm.Plan.is_greedy spec partial);
+  (* Flushing both tables when one suffices is not minimal. *)
+  let fat = Abivm.Plan.of_actions [ (1, [| 2; 2 |]) ] in
+  checkb "valid fat" true (Abivm.Plan.is_valid spec fat);
+  checkb "not minimal" false (Abivm.Plan.is_minimal spec fat)
+
+let test_plan_states () =
+  let spec = spec2 [| [| 1; 0 |]; [| 2; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (1, [| 3; 0 |]) ] in
+  let states = Abivm.Plan.states spec plan in
+  Alcotest.check (Alcotest.array Alcotest.int) "pre at 0" [| 1; 0 |] (fst states.(0));
+  Alcotest.check (Alcotest.array Alcotest.int) "post at 0" [| 1; 0 |] (snd states.(0));
+  Alcotest.check (Alcotest.array Alcotest.int) "pre at 1" [| 3; 0 |] (fst states.(1));
+  Alcotest.check (Alcotest.array Alcotest.int) "post at 1" [| 0; 0 |] (snd states.(1))
+
+(* --- Actions ------------------------------------------------------------- *)
+
+let test_actions_minimal_greedy () =
+  let spec = spec2 ~limit:4.0 [| [| 0; 0 |] |] in
+  (* state [3; 2]: f = 3 + 4 = 7 > 4.  Flushing table 0 leaves 4 <= 4 (ok);
+     flushing table 1 leaves 3 <= 4 (ok).  Both singletons minimal. *)
+  let subsets = Abivm.Actions.minimal_greedy spec [| 3; 2 |] in
+  checki "two minimal subsets" 2 (List.length subsets);
+  checkb "both singletons" true (List.for_all (fun s -> List.length s = 1) subsets)
+
+let test_actions_minimal_greedy_requires_both () =
+  let spec = spec2 ~limit:4.0 [| [| 0; 0 |] |] in
+  (* state [5; 3]: f = 11; drop table 0 -> 6 > 4; drop table 1 -> 5 > 4;
+     only the full flush works. *)
+  let subsets = Abivm.Actions.minimal_greedy spec [| 5; 3 |] in
+  checkb "only both" true (subsets = [ [ 0; 1 ] ])
+
+let test_actions_skip_empty_tables () =
+  let spec = spec2 ~limit:1.0 [| [| 0; 0 |] |] in
+  let subsets = Abivm.Actions.minimal_greedy spec [| 5; 0 |] in
+  checkb "never names empty table" true (subsets = [ [ 0 ] ])
+
+let test_actions_minimize () =
+  let spec = spec2 ~limit:4.0 [| [| 0; 0 |] |] in
+  let pre = [| 3; 2 |] in
+  let minimized = Abivm.Actions.minimize spec pre [| 3; 2 |] in
+  (* Greedy left-to-right: drop table 0 (post [3;0], f=3 <= 4 ok). *)
+  Alcotest.check (Alcotest.array Alcotest.int) "dropped first" [| 0; 2 |] minimized
+
+let test_actions_minimize_keeps_needed () =
+  let spec = spec2 ~limit:4.0 [| [| 0; 0 |] |] in
+  let pre = [| 5; 3 |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "nothing droppable" [| 5; 3 |]
+    (Abivm.Actions.minimize spec pre [| 5; 3 |])
+
+(* --- Naive --------------------------------------------------------------- *)
+
+let test_naive_valid_and_symmetric () =
+  let arrivals = Array.make 20 [| 1; 1 |] in
+  let spec = spec2 ~limit:8.0 arrivals in
+  let plan = Abivm.Naive.plan spec in
+  checkb "valid" true (Abivm.Plan.is_valid spec plan);
+  checkb "lazy" true (Abivm.Plan.is_lazy spec plan);
+  checkb "greedy" true (Abivm.Plan.is_greedy spec plan);
+  (* Symmetric: every action empties everything. *)
+  let states = Abivm.Plan.states spec plan in
+  List.iter
+    (fun (t, a) ->
+      Alcotest.check (Alcotest.array Alcotest.int) "flush all" (fst states.(t)) a)
+    (Abivm.Plan.actions plan)
+
+let test_naive_empty_stream () =
+  let spec = spec2 [| [| 0; 0 |]; [| 0; 0 |] |] in
+  let plan = Abivm.Naive.plan spec in
+  checkb "no actions" true (Abivm.Plan.actions plan = []);
+  checkb "valid" true (Abivm.Plan.is_valid spec plan)
+
+let test_naive_burst_bigger_than_limit () =
+  (* A single burst that exceeds C on arrival must be processed at once. *)
+  let spec = spec2 ~limit:3.0 [| [| 10; 0 |]; [| 0; 0 |] |] in
+  let plan = Abivm.Naive.plan spec in
+  checkb "valid" true (Abivm.Plan.is_valid spec plan);
+  checkb "acts immediately" true (Abivm.Plan.action_at plan 0 <> None)
+
+(* --- Transforms ---------------------------------------------------------- *)
+
+let eager_plan spec =
+  (* A deliberately wasteful valid plan: flush everything every step. *)
+  let horizon = Abivm.Spec.horizon spec in
+  let n = Abivm.Spec.n_tables spec in
+  let state = ref (Abivm.Statevec.zero n) in
+  let actions = ref [] in
+  for t = 0 to horizon do
+    let pre = Abivm.Statevec.add !state (Abivm.Spec.arrivals spec).(t) in
+    if not (Abivm.Statevec.is_zero pre) then actions := (t, pre) :: !actions;
+    state := Abivm.Statevec.zero n
+  done;
+  Abivm.Plan.of_actions (List.rev !actions)
+
+let test_make_lazy_properties () =
+  let arrivals = Array.make 15 [| 1; 1 |] in
+  let spec = spec2 ~limit:8.0 arrivals in
+  let eager = eager_plan spec in
+  let lazy_plan = Abivm.Transforms.make_lazy spec eager in
+  checkb "valid" true (Abivm.Plan.is_valid spec lazy_plan);
+  checkb "lazy" true (Abivm.Plan.is_lazy spec lazy_plan);
+  checkb "no costlier (subadditivity)" true
+    (Abivm.Plan.cost spec lazy_plan <= Abivm.Plan.cost spec eager +. 1e-9)
+
+let test_make_lazy_of_lazy_is_noop_cost () =
+  let arrivals = Array.make 15 [| 1; 1 |] in
+  let spec = spec2 ~limit:8.0 arrivals in
+  let naive = Abivm.Naive.plan spec in
+  let again = Abivm.Transforms.make_lazy spec naive in
+  checkf "same cost" (Abivm.Plan.cost spec naive) (Abivm.Plan.cost spec again)
+
+let test_make_lgm_properties () =
+  let arrivals = Array.make 15 [| 1; 1 |] in
+  let spec =
+    Abivm.Spec.make ~costs:[| aff 1.0 2.0; aff 2.0 1.0 |] ~limit:9.0 ~arrivals
+  in
+  let eager = eager_plan spec in
+  let lgm = Abivm.Transforms.make_lgm spec eager in
+  checkb "valid" true (Abivm.Plan.is_valid spec lgm);
+  checkb "is lgm" true (Abivm.Plan.is_lgm spec lgm)
+
+let test_make_lgm_cost_bound () =
+  (* Theorem 1 witness on a specific instance: per-table cost of the LGM
+     transform is at most twice the input plan's. *)
+  let arrivals = Array.make 25 [| 2; 1 |] in
+  let spec =
+    Abivm.Spec.make ~costs:[| aff 1.0 3.0; aff 2.0 5.0 |] ~limit:15.0 ~arrivals
+  in
+  let input = eager_plan spec in
+  let lgm = Abivm.Transforms.make_lgm spec input in
+  let per_in = Abivm.Plan.cost_per_table spec input in
+  let per_out = Abivm.Plan.cost_per_table spec lgm in
+  Array.iteri
+    (fun i c_out ->
+      checkb
+        (Printf.sprintf "table %d within 2x" i)
+        true
+        (c_out <= (2.0 *. per_in.(i)) +. 1e-9))
+    per_out
+
+(* --- Visualize ------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_visualize_timeline () =
+  let spec = spec2 ~limit:4.0 [| [| 1; 1 |]; [| 1; 1 |]; [| 0; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [ (1, [| 0; 2 |]); (2, [| 2; 0 |]) ] in
+  let out =
+    Abivm.Visualize.timeline ~width:3 ~names:[| "alpha"; "beta" |] spec plan
+  in
+  checkb "names shown" true (contains out "alpha" && contains out "beta");
+  checkb "flush counts" true (contains out "1 flushes");
+  let lines = String.split_on_char '\n' out in
+  checki "header + 2 rows + trailing" 4 (List.length lines);
+  (* Full flushes render as F. *)
+  checkb "full flush marked" true (contains out "F")
+
+let test_visualize_partial_mark () =
+  let spec = spec2 ~limit:4.0 [| [| 2; 0 |]; [| 0; 0 |] |] in
+  (* Process 1 of 2 pending: a partial (non-greedy) action. *)
+  let plan = Abivm.Plan.of_actions [ (0, [| 1; 0 |]); (1, [| 1; 0 |]) ] in
+  let out = Abivm.Visualize.timeline ~width:2 spec plan in
+  checkb "partial marked p" true (contains out "p")
+
+let test_visualize_rejects_bad_args () =
+  let spec = spec2 [| [| 0; 0 |] |] in
+  let plan = Abivm.Plan.of_actions [] in
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Visualize.timeline: width must be positive") (fun () ->
+      ignore (Abivm.Visualize.timeline ~width:0 spec plan));
+  Alcotest.check_raises "bad names"
+    (Invalid_argument "Visualize.timeline: names length mismatch") (fun () ->
+      ignore (Abivm.Visualize.timeline ~names:[| "one" |] spec plan))
+
+let test_visualize_action_summary () =
+  let spec = spec2 [| [| 2; 1 |] |] in
+  let plan = Abivm.Plan.of_actions [ (0, [| 2; 1 |]) ] in
+  let out = Abivm.Visualize.action_summary spec plan in
+  checkb "mentions time" true (contains out "t=0");
+  (* f = 1*2 + 2*1 = 4 *)
+  checkb "mentions cost" true (contains out "cost 4.00")
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "statevec",
+        [
+          Alcotest.test_case "arith" `Quick test_statevec_arith;
+          Alcotest.test_case "sub negative" `Quick test_statevec_sub_negative;
+          Alcotest.test_case "length mismatch" `Quick test_statevec_length_mismatch;
+          Alcotest.test_case "support/restrict" `Quick test_statevec_support_restrict;
+          Alcotest.test_case "compare" `Quick test_statevec_compare;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "accessors" `Quick test_spec_accessors;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "truncate" `Quick test_spec_truncate;
+          Alcotest.test_case "extend cyclic" `Quick test_spec_extend_cyclic;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "of_actions validation" `Quick
+            test_plan_of_actions_validation;
+          Alcotest.test_case "cost" `Quick test_plan_cost;
+          Alcotest.test_case "validate ok" `Quick test_plan_validate_ok;
+          Alcotest.test_case "constraint violation" `Quick
+            test_plan_validate_constraint_violation;
+          Alcotest.test_case "overdraw" `Quick test_plan_validate_overdraw;
+          Alcotest.test_case "leftover" `Quick test_plan_validate_leftover;
+          Alcotest.test_case "action after horizon" `Quick
+            test_plan_validate_action_after_horizon;
+          Alcotest.test_case "LGM predicates" `Quick test_plan_predicates;
+          Alcotest.test_case "states" `Quick test_plan_states;
+        ] );
+      ( "actions",
+        [
+          Alcotest.test_case "minimal greedy singletons" `Quick
+            test_actions_minimal_greedy;
+          Alcotest.test_case "requires both" `Quick
+            test_actions_minimal_greedy_requires_both;
+          Alcotest.test_case "skips empty tables" `Quick test_actions_skip_empty_tables;
+          Alcotest.test_case "minimize" `Quick test_actions_minimize;
+          Alcotest.test_case "minimize keeps needed" `Quick
+            test_actions_minimize_keeps_needed;
+        ] );
+      ( "naive",
+        [
+          Alcotest.test_case "valid and symmetric" `Quick
+            test_naive_valid_and_symmetric;
+          Alcotest.test_case "empty stream" `Quick test_naive_empty_stream;
+          Alcotest.test_case "burst bigger than limit" `Quick
+            test_naive_burst_bigger_than_limit;
+        ] );
+      ( "visualize",
+        [
+          Alcotest.test_case "timeline" `Quick test_visualize_timeline;
+          Alcotest.test_case "partial mark" `Quick test_visualize_partial_mark;
+          Alcotest.test_case "rejects bad args" `Quick test_visualize_rejects_bad_args;
+          Alcotest.test_case "action summary" `Quick test_visualize_action_summary;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "make_lazy properties" `Quick test_make_lazy_properties;
+          Alcotest.test_case "make_lazy idempotent cost" `Quick
+            test_make_lazy_of_lazy_is_noop_cost;
+          Alcotest.test_case "make_lgm properties" `Quick test_make_lgm_properties;
+          Alcotest.test_case "make_lgm 2x bound" `Quick test_make_lgm_cost_bound;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Property-based tests (qcheck) on the core invariants:
+
+   - cost-function families satisfy the monotone/subadditive contract for
+     random parameters;
+   - MakeLazyPlan and MakeLGMPlan preserve validity and respect their
+     cost bounds on random valid plans (Lemma 1, Theorem 1);
+   - A* equals the exact optimum on affine instances (Theorem 2) and stays
+     within factor 2 of it in general (Theorem 1);
+   - ONLINE and NAIVE always produce valid plans;
+   - the pairing heap sorts;
+   - the value multiset agrees with a sorted-list model;
+   - the incremental maintainer agrees with recompute-from-scratch under
+     random modification streams and random asymmetric processing. *)
+
+let seeded_gen f = QCheck.Gen.(int_range 0 1_000_000 >>= fun seed -> return (f seed))
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- cost function properties --------------------------------------------- *)
+
+let arb_cost_func =
+  let open QCheck.Gen in
+  let pos lo hi = float_range lo hi in
+  let g =
+    oneof
+      [
+        (pos 0.1 10.0 >|= fun a -> Cost.Func.linear ~a);
+        ( pair (pos 0.1 10.0) (pos 0.0 20.0) >|= fun (a, b) ->
+          Cost.Func.affine ~a ~b );
+        ( pair (pos 0.1 10.0) (pos 0.0 20.0) >|= fun (a, b) ->
+          Cost.Func.concave_sqrt ~a ~b );
+        ( pair (pos 0.1 10.0) (pos 0.0 20.0) >|= fun (a, b) ->
+          Cost.Func.logarithmic ~a ~b );
+        ( pair (pos 0.5 10.0) (int_range 1 16) >|= fun (c, b) ->
+          Cost.Func.blocked ~per_block:c ~block_size:b );
+        ( pair (pos 0.1 10.0) (pos 1.0 100.0) >|= fun (a, cap) ->
+          Cost.Func.plateau ~a ~cap );
+        ( pair (pos 0.01 0.9) (pos 1.0 50.0) >|= fun (eps, limit) ->
+          Cost.Func.step_tightness ~eps ~limit );
+      ]
+  in
+  QCheck.make ~print:Cost.Func.name g
+
+let prop_cost_monotone =
+  QCheck.Test.make ~name:"every family is monotone" ~count:200 arb_cost_func
+    (fun f -> Cost.Check.is_monotone ~upto:120 f)
+
+let prop_cost_subadditive =
+  QCheck.Test.make ~name:"every family is subadditive" ~count:200 arb_cost_func
+    (fun f -> Cost.Check.is_subadditive ~upto:120 f)
+
+let prop_cost_sum_closed =
+  QCheck.Test.make ~name:"sum preserves the contract" ~count:100
+    (QCheck.pair arb_cost_func arb_cost_func) (fun (f, g) ->
+      let s = Cost.Func.sum f g in
+      Cost.Check.is_monotone ~upto:80 s && Cost.Check.is_subadditive ~upto:80 s)
+
+let prop_max_batch_correct =
+  QCheck.Test.make ~name:"max_batch is the boundary" ~count:200
+    (QCheck.pair arb_cost_func (QCheck.float_range 0.5 200.0)) (fun (f, limit) ->
+      let k = Cost.Check.max_batch f ~limit ~cap:10_000 in
+      let fits n = Cost.Func.eval f n <= limit in
+      (k = 0 || fits k) && (k = 10_000 || not (fits (k + 1))))
+
+(* --- random specs and plans ------------------------------------------------ *)
+
+let gen_affine_costs n st =
+  Array.init n (fun _ ->
+      let a = 0.5 +. QCheck.Gen.float_bound_exclusive 3.0 st in
+      let b = QCheck.Gen.float_bound_inclusive 5.0 st in
+      Cost.Func.affine ~a ~b)
+
+let gen_mixed_costs n st =
+  Array.init n (fun _ ->
+      match QCheck.Gen.int_bound 2 st with
+      | 0 ->
+          let a = 0.5 +. QCheck.Gen.float_bound_exclusive 3.0 st in
+          Cost.Func.linear ~a
+      | 1 ->
+          let a = 0.5 +. QCheck.Gen.float_bound_exclusive 2.0 st in
+          let cap = 2.0 +. QCheck.Gen.float_bound_inclusive 8.0 st in
+          Cost.Func.plateau ~a ~cap
+      | _ ->
+          let c = 1.0 +. QCheck.Gen.float_bound_inclusive 3.0 st in
+          let b = 1 + QCheck.Gen.int_bound 4 st in
+          Cost.Func.blocked ~per_block:c ~block_size:b)
+
+let gen_spec ~affine st =
+  let n = 1 + QCheck.Gen.int_bound 1 st in
+  let horizon = 2 + QCheck.Gen.int_bound 4 st in
+  let costs = if affine then gen_affine_costs n st else gen_mixed_costs n st in
+  let arrivals =
+    Array.init (horizon + 1) (fun _ ->
+        Array.init n (fun _ -> QCheck.Gen.int_bound 2 st))
+  in
+  (* Keep the limit meaningful: above the cheapest single modification,
+     below the cost of everything at once (when possible). *)
+  let limit = 3.0 +. QCheck.Gen.float_bound_inclusive 10.0 st in
+  Abivm.Spec.make ~costs ~limit ~arrivals
+
+let print_spec spec =
+  Printf.sprintf "n=%d T=%d C=%.2f arrivals=%s"
+    (Abivm.Spec.n_tables spec) (Abivm.Spec.horizon spec) (Abivm.Spec.limit spec)
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun row -> Abivm.Statevec.to_string row)
+             (Abivm.Spec.arrivals spec))))
+
+let arb_affine_spec = QCheck.make ~print:print_spec (gen_spec ~affine:true)
+let arb_mixed_spec = QCheck.make ~print:print_spec (gen_spec ~affine:false)
+
+(* Random valid plan: at each step, with probability 1/2 take a random
+   valid sub-action (falling back to flush-all when the state is full and
+   the random choice is invalid). *)
+let random_valid_plan st spec =
+  let n = Abivm.Spec.n_tables spec in
+  let horizon = Abivm.Spec.horizon spec in
+  let state = ref (Abivm.Statevec.zero n) in
+  let actions = ref [] in
+  for t = 0 to horizon do
+    let pre = Abivm.Statevec.add !state (Abivm.Spec.arrivals spec).(t) in
+    let action =
+      if t = horizon then pre
+      else begin
+        let candidate =
+          if QCheck.Gen.bool st then
+            Array.map (fun k -> if k = 0 then 0 else QCheck.Gen.int_bound k st) pre
+          else Abivm.Statevec.zero n
+        in
+        let post = Abivm.Statevec.sub pre candidate in
+        if Abivm.Spec.is_full spec post then pre (* flush everything *)
+        else candidate
+      end
+    in
+    if not (Abivm.Statevec.is_zero action) then actions := (t, action) :: !actions;
+    state := Abivm.Statevec.sub pre action
+  done;
+  Abivm.Plan.of_actions (List.rev !actions)
+
+let arb_spec_and_plan =
+  let gen st =
+    let spec = gen_spec ~affine:false st in
+    (spec, random_valid_plan st spec)
+  in
+  QCheck.make
+    ~print:(fun (spec, plan) ->
+      print_spec spec ^ " plan=" ^ Abivm.Plan.to_string plan)
+    gen
+
+let prop_random_plans_valid =
+  QCheck.Test.make ~name:"random plan generator yields valid plans" ~count:300
+    arb_spec_and_plan (fun (spec, plan) -> Abivm.Plan.is_valid spec plan)
+
+let prop_make_lazy =
+  QCheck.Test.make ~name:"make_lazy: lazy, valid, never costlier (Lemma 1)"
+    ~count:300 arb_spec_and_plan (fun (spec, plan) ->
+      let lazy_plan = Abivm.Transforms.make_lazy spec plan in
+      Abivm.Plan.is_valid spec lazy_plan
+      && Abivm.Plan.is_lazy spec lazy_plan
+      && Abivm.Plan.cost spec lazy_plan <= Abivm.Plan.cost spec plan +. 1e-9)
+
+let prop_make_lgm =
+  QCheck.Test.make
+    ~name:"make_lgm: valid LGM, per-table cost within 2x (Lemmas 2-4)"
+    ~count:300 arb_spec_and_plan (fun (spec, plan) ->
+      let lgm = Abivm.Transforms.make_lgm spec plan in
+      let per_in = Abivm.Plan.cost_per_table spec plan in
+      let per_out = Abivm.Plan.cost_per_table spec lgm in
+      Abivm.Plan.is_valid spec lgm
+      && Abivm.Plan.is_lgm spec lgm
+      && Array.for_all2 (fun o i -> o <= (2.0 *. i) +. 1e-9) per_out per_in)
+
+let prop_astar_equals_exact_affine =
+  QCheck.Test.make ~name:"A* = exact optimum on affine costs (Theorem 2)"
+    ~count:60 arb_affine_spec (fun spec ->
+      match Abivm.Exact.solve ~max_expansions:400_000 spec with
+      | exception Abivm.Exact.Too_large _ -> QCheck.assume_fail ()
+      | exact_cost, _ ->
+          let astar_cost, plan, _ = Abivm.Astar.solve spec in
+          Abivm.Plan.is_lgm spec plan
+          && Float.abs (astar_cost -. exact_cost) < 1e-6)
+
+let prop_astar_within_two_of_exact =
+  QCheck.Test.make ~name:"A* within factor 2 of exact (Theorem 1)" ~count:60
+    arb_mixed_spec (fun spec ->
+      match Abivm.Exact.solve ~max_expansions:400_000 spec with
+      | exception Abivm.Exact.Too_large _ -> QCheck.assume_fail ()
+      | exact_cost, _ ->
+          let astar_cost, plan, _ = Abivm.Astar.solve spec in
+          Abivm.Plan.is_valid spec plan
+          && astar_cost >= exact_cost -. 1e-6
+          && astar_cost <= (2.0 *. exact_cost) +. 1e-6)
+
+let prop_astar_beats_or_ties_naive =
+  QCheck.Test.make ~name:"A* never worse than NAIVE" ~count:150 arb_mixed_spec
+    (fun spec ->
+      let astar_cost, _, _ = Abivm.Astar.solve spec in
+      astar_cost <= Abivm.Plan.cost spec (Abivm.Naive.plan spec) +. 1e-6)
+
+let prop_naive_valid =
+  QCheck.Test.make ~name:"NAIVE always valid" ~count:300 arb_mixed_spec
+    (fun spec -> Abivm.Plan.is_valid spec (Abivm.Naive.plan spec))
+
+let prop_online_valid =
+  QCheck.Test.make ~name:"ONLINE always valid" ~count:300 arb_mixed_spec
+    (fun spec -> Abivm.Plan.is_valid spec (Abivm.Online.plan spec))
+
+let prop_adapt_valid =
+  QCheck.Test.make ~name:"ADAPT always valid (any t0)" ~count:100
+    (QCheck.pair arb_mixed_spec (QCheck.int_range 1 12)) (fun (spec, t0) ->
+      Abivm.Plan.is_valid spec (Abivm.Adapt.plan spec ~t0))
+
+let prop_adapt_theorem4_bound =
+  (* Theorem 4 (affine costs): adapting a T0-optimal plan to refresh time T
+     costs at most OPT_T + sum b_i when T < T0, and
+     OPT_T + ceil(T / T0) * sum b_i when T > T0 (periodic arrivals). *)
+  let gen st =
+    let n = 1 + QCheck.Gen.int_bound 1 st in
+    let costs = gen_affine_costs n st in
+    let t0 = 4 + QCheck.Gen.int_bound 8 st in
+    let t = 2 + QCheck.Gen.int_bound 16 st in
+    let period = Array.init n (fun _ -> QCheck.Gen.int_bound 2 st) in
+    let arrivals = Array.init (t + 1) (fun _ -> Array.copy period) in
+    let limit = 4.0 +. QCheck.Gen.float_bound_inclusive 10.0 st in
+    (Abivm.Spec.make ~costs ~limit ~arrivals, t0)
+  in
+  QCheck.Test.make ~name:"ADAPT within Theorem 4's bound (affine, periodic)"
+    ~count:100
+    (QCheck.make ~print:(fun (spec, t0) -> print_spec spec ^ Printf.sprintf " t0=%d" t0) gen)
+    (fun (spec, t0) ->
+      let t = Abivm.Spec.horizon spec in
+      let adapted = Abivm.Adapt.plan spec ~t0 in
+      let opt_t, _, _ = Abivm.Astar.solve spec in
+      (* b_i = f_i(1) - slope; recover from two evaluations. *)
+      let sum_b =
+        Array.fold_left
+          (fun acc f ->
+            let f1 = Cost.Func.eval f 1 and f2 = Cost.Func.eval f 2 in
+            acc +. Float.max 0.0 (f1 -. (f2 -. f1)))
+          0.0 (Abivm.Spec.costs spec)
+      in
+      let slack =
+        if t <= t0 then sum_b
+        else float_of_int ((t + t0 - 1) / t0) *. sum_b
+      in
+      Abivm.Plan.is_valid spec adapted
+      && Abivm.Plan.cost spec adapted <= opt_t +. slack +. 1e-6)
+
+let prop_minimal_greedy_actions =
+  QCheck.Test.make ~name:"minimal greedy actions restore the constraint"
+    ~count:300 arb_mixed_spec (fun spec ->
+      let n = Abivm.Spec.n_tables spec in
+      (* Build a full state by stacking arrivals. *)
+      let s = Array.make n 0 in
+      Array.iter (fun row -> Abivm.Statevec.add_in_place s row)
+        (Abivm.Spec.arrivals spec);
+      QCheck.assume (Abivm.Spec.is_full spec s);
+      let subsets = Abivm.Actions.minimal_greedy spec s in
+      subsets <> []
+      && List.for_all
+           (fun subset ->
+             Abivm.Actions.feasible_subset spec s subset
+             && Util.Subsets.is_minimal_satisfying subset
+                  (Abivm.Actions.feasible_subset spec s))
+           subsets)
+
+(* --- pqueue ---------------------------------------------------------------- *)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pairing heap pops in priority order" ~count:300
+    QCheck.(list (float_range (-100.0) 100.0))
+    (fun priorities ->
+      let q = Util.Pqueue.create () in
+      List.iteri (fun i p -> Util.Pqueue.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Util.Pqueue.pop q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.length popped = List.length priorities
+      && popped = List.sort Float.compare priorities)
+
+(* --- vmultiset vs model ----------------------------------------------------- *)
+
+let prop_vmultiset_model =
+  QCheck.Test.make ~name:"vmultiset agrees with sorted-list model" ~count:300
+    QCheck.(list (pair bool (int_range 0 8)))
+    (fun ops ->
+      let open Relation in
+      let apply (ms, model) (is_add, v) =
+        let value = Value.Int v in
+        if is_add then (Vmultiset.add ms value, value :: model)
+        else if List.exists (Value.equal value) model then
+          ( Vmultiset.remove ms value,
+            let removed = ref false in
+            List.filter
+              (fun x ->
+                if (not !removed) && Value.equal x value then begin
+                  removed := true;
+                  false
+                end
+                else true)
+              model )
+        else (ms, model)
+      in
+      let ms, model = List.fold_left apply (Vmultiset.empty, []) ops in
+      let sorted = List.sort Value.compare model in
+      Vmultiset.cardinal ms = List.length model
+      && Vmultiset.min_elt ms
+         = (match sorted with [] -> None | x :: _ -> Some x)
+      && Vmultiset.max_elt ms
+         = (match List.rev sorted with [] -> None | x :: _ -> Some x))
+
+let prop_ordindex_range_model =
+  QCheck.Test.make ~name:"ordered index range = filtered model" ~count:200
+    QCheck.(
+      pair
+        (list (int_range 0 30))
+        (pair (int_range 0 30) (int_range 0 30)))
+    (fun (values, (b1, b2)) ->
+      let open Relation in
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let idx = Ordindex.create ~column:0 in
+      List.iteri (fun row v -> Ordindex.add idx (Value.Int v) row) values;
+      let got =
+        List.length (Ordindex.range idx ~lo:(Value.Int lo) ~hi:(Value.Int hi) ())
+      in
+      let expected =
+        List.length (List.filter (fun v -> v >= lo && v <= hi) values)
+      in
+      got = expected)
+
+let prop_opflow_refresh_monotone =
+  QCheck.Test.make ~name:"opflow refresh cost monotone in queue sizes"
+    ~count:200
+    QCheck.(pair (list_of_size (Gen.return 3) (int_range 0 20)) (int_range 0 2))
+    (fun (qs, bump_at) ->
+      let stage name cost selectivity = { Opflow.Pipeline.name; cost; selectivity } in
+      let p =
+        Opflow.Pipeline.make ~limit:1e9
+          [
+            stage "a" (Cost.Func.linear ~a:1.0) 0.5;
+            stage "b" (Cost.Func.plateau ~a:5.0 ~cap:40.0) 1.5;
+            stage "c" (Cost.Func.affine ~a:0.5 ~b:2.0) 1.0;
+          ]
+      in
+      match qs with
+      | [ a; b; c ] ->
+          let state = [| a; b; c |] in
+          let bigger = Array.copy state in
+          bigger.(bump_at) <- bigger.(bump_at) + 1;
+          Opflow.Pipeline.refresh_cost p bigger
+          >= Opflow.Pipeline.refresh_cost p state -. 1e-9
+      | _ -> QCheck.assume_fail ())
+
+(* --- maintainer vs recompute ------------------------------------------------ *)
+
+(* Random modification streams over a 2-table join, applied through random
+   asymmetric batches; after every batch the incremental content must
+   equal the from-scratch evaluation. *)
+let prop_maintainer_agrees_with_recompute =
+  let gen st =
+    let seed = QCheck.Gen.int_bound 1_000_000 st in
+    let batches =
+      QCheck.Gen.list_size (QCheck.Gen.int_range 1 8)
+        (QCheck.Gen.pair (QCheck.Gen.int_bound 1) (QCheck.Gen.int_bound 4))
+        st
+    in
+    (seed, batches)
+  in
+  let print (seed, batches) =
+    Printf.sprintf "seed=%d batches=%s" seed
+      (String.concat ";"
+         (List.map (fun (i, k) -> Printf.sprintf "(%d,%d)" i k) batches))
+  in
+  QCheck.Test.make ~name:"maintainer = recompute under random streams"
+    ~count:60 (QCheck.make ~print gen) (fun (seed, batches) ->
+      let open Relation in
+      let prng = Util.Prng.create ~seed in
+      let meter = Meter.create () in
+      let r =
+        Table.create ~meter ~name:"r"
+          ~schema:(Schema.make [ ("rk", Datatype.TInt); ("jk", Datatype.TInt) ])
+          ()
+      in
+      let s =
+        Table.create ~meter ~name:"s"
+          ~schema:
+            (Schema.make
+               [ ("sk", Datatype.TInt); ("jk", Datatype.TInt); ("w", Datatype.TFloat) ])
+          ()
+      in
+      Table.create_index r "jk";
+      for i = 0 to 9 do
+        ignore (Table.insert r [| Value.Int i; Value.Int (i mod 4) |])
+      done;
+      for i = 0 to 9 do
+        ignore
+          (Table.insert s
+             [| Value.Int i; Value.Int (i mod 4); Value.Float (float_of_int i) |])
+      done;
+      let view =
+        Ivm.Viewdef.make ~name:"pv" ~tables:[| r; s |]
+          ~join:[ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+          ~aggs:
+            [
+              Relation.Agg.count "n";
+              Relation.Agg.min_of "s.w" ~as_name:"mn";
+              Relation.Agg.sum "s.w" ~as_name:"tot";
+            ]
+          ()
+      in
+      let m = Ivm.Maintainer.create ~meter view in
+      let shadows =
+        [| Tpcr.Updates.shadow_of_table r; Tpcr.Updates.shadow_of_table s |]
+      in
+      let next_key = ref 1000 in
+      let random_change i =
+        let shadow = shadows.(i) in
+        match Util.Prng.int prng 3 with
+        | 0 ->
+            incr next_key;
+            let make _ =
+              if i = 0 then [| Value.Int !next_key; Value.Int (Util.Prng.int prng 4) |]
+              else
+                [|
+                  Value.Int !next_key;
+                  Value.Int (Util.Prng.int prng 4);
+                  Value.Float (Util.Prng.float prng 10.0);
+                |]
+            in
+            Tpcr.Updates.insert_row prng shadow ~make
+        | 1 when Tpcr.Updates.shadow_size shadow > 0 ->
+            Tpcr.Updates.delete_random prng shadow
+        | _ when Tpcr.Updates.shadow_size shadow > 0 ->
+            Tpcr.Updates.update_column prng shadow ~column:"jk" ~value:(fun g ->
+                Value.Int (Util.Prng.int g 4))
+        | _ ->
+            incr next_key;
+            Tpcr.Updates.insert_row prng shadow ~make:(fun _ ->
+                if i = 0 then [| Value.Int !next_key; Value.Int 0 |]
+                else [| Value.Int !next_key; Value.Int 0; Value.Float 0.0 |])
+      in
+      List.for_all
+        (fun (table, k) ->
+          for _ = 1 to k do
+            Ivm.Maintainer.on_arrive m table (random_change table)
+          done;
+          ignore (Ivm.Maintainer.process m table (Ivm.Maintainer.pending_size m table));
+          Ivm.Maintainer.check_consistent m = Ok ())
+        batches
+      && begin
+           ignore (Ivm.Maintainer.refresh m);
+           Ivm.Maintainer.check_consistent m = Ok ()
+         end)
+
+let prop_codec_value_roundtrip =
+  let arb_value =
+    let open QCheck.Gen in
+    oneof
+      [
+        (int >|= fun x -> Relation.Value.Int x);
+        ( float >|= fun x ->
+          (* NaN never equals itself; replace with a sentinel. *)
+          Relation.Value.Float (if Float.is_nan x then 0.0 else x) );
+        (string >|= fun s -> Relation.Value.Str s);
+        (bool >|= fun b -> Relation.Value.Bool b);
+        return Relation.Value.Null;
+      ]
+  in
+  QCheck.Test.make ~name:"codec value roundtrip" ~count:500
+    (QCheck.make ~print:Relation.Value.to_string arb_value) (fun v ->
+      match Ivm.Codec.value_of_string (Ivm.Codec.value_to_string v) with
+      | Ok v' -> Relation.Value.compare v v' = 0
+      | Error _ -> false)
+
+(* --- arrivals ---------------------------------------------------------------- *)
+
+let prop_arrivals_non_negative =
+  QCheck.Test.make ~name:"arrival sequences are non-negative" ~count:100
+    (QCheck.make (seeded_gen (fun s -> s)))
+    (fun seed ->
+      let d =
+        Workload.Arrivals.generate ~seed ~horizon:60
+          [|
+            Workload.Arrivals.slow_unstable;
+            Workload.Arrivals.Poisson 1.5;
+            Workload.Arrivals.fast_unstable;
+          |]
+      in
+      Array.for_all (Array.for_all (fun c -> c >= 0)) d)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "cost",
+        List.map to_alcotest
+          [
+            prop_cost_monotone;
+            prop_cost_subadditive;
+            prop_cost_sum_closed;
+            prop_max_batch_correct;
+          ] );
+      ( "plans",
+        List.map to_alcotest
+          [
+            prop_random_plans_valid;
+            prop_make_lazy;
+            prop_make_lgm;
+            prop_minimal_greedy_actions;
+          ] );
+      ( "algorithms",
+        List.map to_alcotest
+          [
+            prop_astar_equals_exact_affine;
+            prop_astar_within_two_of_exact;
+            prop_astar_beats_or_ties_naive;
+            prop_naive_valid;
+            prop_online_valid;
+            prop_adapt_valid;
+            prop_adapt_theorem4_bound;
+          ] );
+      ( "structures",
+        List.map to_alcotest
+          [ prop_pqueue_sorts; prop_vmultiset_model; prop_ordindex_range_model ] );
+      ("opflow", List.map to_alcotest [ prop_opflow_refresh_monotone ]);
+      ( "maintainer",
+        List.map to_alcotest [ prop_maintainer_agrees_with_recompute ] );
+      ("codec", List.map to_alcotest [ prop_codec_value_roundtrip ]);
+      ("workload", List.map to_alcotest [ prop_arrivals_non_negative ]);
+    ]

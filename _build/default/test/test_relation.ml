@@ -1,0 +1,725 @@
+(* Unit tests for the relational engine: values, schemas, tuples,
+   expressions, indexes, tables, aggregates, and the algebra evaluator. *)
+
+open Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let ti = Datatype.TInt
+let tf = Datatype.TFloat
+let ts = Datatype.TString
+
+let vi x = Value.Int x
+let vf x = Value.Float x
+let vs x = Value.Str x
+
+(* --- Value --------------------------------------------------------------- *)
+
+let test_value_compare_numeric () =
+  checki "int = float" 0 (Value.compare (vi 3) (vf 3.0));
+  checkb "int < float" true (Value.compare (vi 3) (vf 3.5) < 0);
+  checkb "float > int" true (Value.compare (vf 3.5) (vi 3) > 0)
+
+let test_value_compare_ranks () =
+  checkb "null smallest" true (Value.compare Value.Null (vi 0) < 0);
+  checkb "bool < int" true (Value.compare (Value.Bool true) (vi 0) < 0);
+  checkb "int < str" true (Value.compare (vi 999) (vs "") < 0)
+
+let test_value_equal_hash_consistent () =
+  checkb "equal" true (Value.equal (vi 5) (vf 5.0));
+  checki "hashes match for equal values" (Value.hash (vi 5)) (Value.hash (vf 5.0))
+
+let test_value_to_string () =
+  checks "int" "42" (Value.to_string (vi 42));
+  checks "null" "NULL" (Value.to_string Value.Null);
+  checks "str" "hi" (Value.to_string (vs "hi"))
+
+let test_value_coercions () =
+  checki "as_int" 3 (Value.as_int (vi 3));
+  Alcotest.check (Alcotest.float 0.0) "as_float of int" 3.0 (Value.as_float (vi 3));
+  Alcotest.check_raises "as_int of str" (Invalid_argument "Value.as_int")
+    (fun () -> ignore (Value.as_int (vs "x")))
+
+(* --- Schema -------------------------------------------------------------- *)
+
+let test_schema_basic () =
+  let s = Schema.make [ ("a", ti); ("b", tf) ] in
+  checki "arity" 2 (Schema.arity s);
+  checki "index_of a" 0 (Schema.index_of s "a");
+  checki "index_of b" 1 (Schema.index_of s "b");
+  checkb "mem" true (Schema.mem s "a");
+  checkb "not mem" false (Schema.mem s "z")
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Schema.make: duplicate column \"a\"")
+    (fun () -> ignore (Schema.make [ ("a", ti); ("a", tf) ]))
+
+let test_schema_qualify_and_suffix_lookup () =
+  let s = Schema.qualify "t" (Schema.make [ ("a", ti); ("b", tf) ]) in
+  checki "qualified exact" 0 (Schema.index_of s "t.a");
+  checki "suffix match" 1 (Schema.index_of s "b")
+
+let test_schema_ambiguous () =
+  let s =
+    Schema.concat
+      (Schema.qualify "x" (Schema.make [ ("k", ti) ]))
+      (Schema.qualify "y" (Schema.make [ ("k", ti) ]))
+  in
+  checki "x.k" 0 (Schema.index_of s "x.k");
+  checki "y.k" 1 (Schema.index_of s "y.k");
+  Alcotest.check_raises "ambiguous suffix"
+    (Invalid_argument "Schema: ambiguous column reference \"k\"") (fun () ->
+      ignore (Schema.index_of s "k"))
+
+let test_schema_concat_conflict () =
+  let a = Schema.make [ ("k", ti) ] in
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Schema.concat: duplicate column \"k\"") (fun () ->
+      ignore (Schema.concat a a))
+
+let test_schema_project () =
+  let s = Schema.make [ ("a", ti); ("b", tf); ("c", ts) ] in
+  let p, positions = Schema.project s [ "c"; "a" ] in
+  checki "projected arity" 2 (Schema.arity p);
+  checks "first col" "c" (Schema.column_name p 0);
+  Alcotest.check (Alcotest.array Alcotest.int) "positions" [| 2; 0 |] positions
+
+(* --- Tuple --------------------------------------------------------------- *)
+
+let test_tuple_ops () =
+  let t = Tuple.make [ vi 1; vs "x" ] in
+  checki "arity" 2 (Tuple.arity t);
+  checkb "get" true (Value.equal (vi 1) (Tuple.get t 0));
+  let t2 = Tuple.set t 0 (vi 9) in
+  checkb "set is functional" true (Value.equal (vi 1) (Tuple.get t 0));
+  checkb "new value" true (Value.equal (vi 9) (Tuple.get t2 0))
+
+let test_tuple_compare () =
+  let a = Tuple.make [ vi 1; vi 2 ] and b = Tuple.make [ vi 1; vi 3 ] in
+  checkb "a < b" true (Tuple.compare a b < 0);
+  checkb "prefix shorter" true (Tuple.compare (Tuple.make [ vi 1 ]) a < 0);
+  checkb "equal numeric" true (Tuple.equal (Tuple.make [ vi 2 ]) (Tuple.make [ vf 2.0 ]))
+
+let test_tuple_conforms () =
+  let s = Schema.make [ ("a", ti); ("b", tf) ] in
+  checkb "ok" true (Tuple.conforms s (Tuple.make [ vi 1; vf 2.0 ]));
+  checkb "int widens to float" true (Tuple.conforms s (Tuple.make [ vi 1; vi 2 ]));
+  checkb "null ok" true (Tuple.conforms s (Tuple.make [ Value.Null; vf 0.0 ]));
+  checkb "wrong arity" false (Tuple.conforms s (Tuple.make [ vi 1 ]));
+  checkb "wrong type" false (Tuple.conforms s (Tuple.make [ vs "x"; vf 0.0 ]))
+
+(* --- Expr ---------------------------------------------------------------- *)
+
+let abc = Schema.make [ ("a", ti); ("b", tf); ("c", ts) ]
+
+let test_expr_arith () =
+  let f = Expr.compile abc Expr.(Add (col "a", int 5)) in
+  checkb "1+5" true (Value.equal (vi 6) (f (Tuple.make [ vi 1; vf 0.0; vs "" ])));
+  let g = Expr.compile abc Expr.(Mul (col "b", float 2.0)) in
+  checkb "2.5*2" true
+    (Value.equal (vf 5.0) (g (Tuple.make [ vi 0; vf 2.5; vs "" ])))
+
+let test_expr_mixed_arith () =
+  let f = Expr.compile abc Expr.(Add (col "a", col "b")) in
+  checkb "int+float is float" true
+    (Value.equal (vf 3.5) (f (Tuple.make [ vi 1; vf 2.5; vs "" ])))
+
+let test_expr_div_by_zero () =
+  let f = Expr.compile abc Expr.(Div (col "a", int 0)) in
+  Alcotest.check_raises "div0" (Invalid_argument "Expr: division by zero")
+    (fun () -> ignore (f (Tuple.make [ vi 1; vf 0.0; vs "" ])))
+
+let test_expr_comparisons () =
+  let p = Expr.compile_pred abc Expr.(And (Ge (col "a", int 2), Eq (col "c", str "hit"))) in
+  checkb "match" true (p (Tuple.make [ vi 2; vf 0.0; vs "hit" ]));
+  checkb "fail left" false (p (Tuple.make [ vi 1; vf 0.0; vs "hit" ]));
+  checkb "fail right" false (p (Tuple.make [ vi 2; vf 0.0; vs "miss" ]))
+
+let test_expr_null_semantics () =
+  let p = Expr.compile_pred abc Expr.(Eq (col "a", int 1)) in
+  checkb "null comparison filters out" false
+    (p (Tuple.make [ Value.Null; vf 0.0; vs "" ]));
+  let q = Expr.compile_pred abc Expr.(Or (Eq (col "a", int 1), bool true)) in
+  checkb "null OR true = true" true
+    (q (Tuple.make [ Value.Null; vf 0.0; vs "" ]))
+
+let test_expr_not () =
+  let p = Expr.compile_pred abc Expr.(Not (Lt (col "a", int 5))) in
+  checkb "not (3 < 5)" false (p (Tuple.make [ vi 3; vf 0.0; vs "" ]));
+  checkb "not (7 < 5)" true (p (Tuple.make [ vi 7; vf 0.0; vs "" ]))
+
+let test_expr_unknown_column () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Schema: unknown column \"zz\"")
+    (fun () ->
+      let (_ : Tuple.t -> Value.t) = Expr.compile abc (Expr.col "zz") in
+      ())
+
+let test_expr_columns () =
+  let e = Expr.(And (Eq (col "a", int 1), Or (Gt (col "b", col "a"), Eq (col "c", str "x")))) in
+  Alcotest.check (Alcotest.list Alcotest.string) "columns in order"
+    [ "a"; "b"; "c" ] (Expr.columns e)
+
+let test_expr_to_string () =
+  checks "rendering" "(a = 1)" (Expr.to_string Expr.(Eq (col "a", int 1)))
+
+(* --- Vmultiset ----------------------------------------------------------- *)
+
+let test_vmultiset_basics () =
+  let m = Vmultiset.of_list [ vi 3; vi 1; vi 3 ] in
+  checki "cardinal" 3 (Vmultiset.cardinal m);
+  checki "distinct" 2 (Vmultiset.distinct m);
+  checki "count 3" 2 (Vmultiset.count m (vi 3));
+  checkb "min" true (Vmultiset.min_elt m = Some (vi 1));
+  checkb "max" true (Vmultiset.max_elt m = Some (vi 3))
+
+let test_vmultiset_remove_min_exposes_next () =
+  let m = Vmultiset.of_list [ vi 5; vi 2; vi 8 ] in
+  let m = Vmultiset.remove m (vi 2) in
+  checkb "next min" true (Vmultiset.min_elt m = Some (vi 5))
+
+let test_vmultiset_remove_too_many () =
+  let m = Vmultiset.of_list [ vi 1 ] in
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Vmultiset.remove: removing more copies than present")
+    (fun () -> ignore (Vmultiset.remove ~times:2 m (vi 1)))
+
+let test_vmultiset_sum_empty () =
+  Alcotest.check (Alcotest.float 1e-9) "sum" 9.0
+    (Vmultiset.sum (Vmultiset.of_list [ vi 4; vi 5 ]));
+  checkb "empty min" true (Vmultiset.min_elt Vmultiset.empty = None)
+
+(* --- Index / Table ------------------------------------------------------- *)
+
+let mk_table ?meter () =
+  let schema = Schema.make [ ("k", ti); ("grp", ti); ("v", tf) ] in
+  Table.create ?meter ~name:"t" ~schema ()
+
+let row k grp v = Tuple.make [ vi k; vi grp; vf v ]
+
+let test_table_insert_count () =
+  let t = mk_table () in
+  ignore (Table.insert t (row 1 0 1.0));
+  ignore (Table.insert t (row 2 1 2.0));
+  checki "count" 2 (Table.row_count t)
+
+let test_table_insert_type_error () =
+  let t = mk_table () in
+  Alcotest.check_raises "bad tuple"
+    (Invalid_argument
+       "Table.insert(t): tuple (x) does not conform to (k:int, grp:int, v:float)")
+    (fun () -> ignore (Table.insert t (Tuple.make [ vs "x" ])))
+
+let test_table_delete_row () =
+  let t = mk_table () in
+  let id = Table.insert t (row 1 0 1.0) in
+  checkb "delete" true (Table.delete_row t id);
+  checkb "double delete" false (Table.delete_row t id);
+  checki "count" 0 (Table.row_count t);
+  checkb "get deleted" true (Table.get_row t id = None)
+
+let test_table_update_row () =
+  let t = mk_table () in
+  Table.create_index t "grp";
+  let id = Table.insert t (row 1 0 1.0) in
+  checkb "update" true (Table.update_row t id (row 1 5 9.0));
+  checki "moved in index" 1 (List.length (Table.lookup t "grp" (vi 5)));
+  checki "gone from old bucket" 0 (List.length (Table.lookup t "grp" (vi 0)))
+
+let test_table_index_lookup () =
+  let t = mk_table () in
+  for i = 1 to 10 do
+    ignore (Table.insert t (row i (i mod 3) (float_of_int i)))
+  done;
+  Table.create_index t "grp";
+  checki "grp 0 bucket" 3 (List.length (Table.lookup t "grp" (vi 0)));
+  checki "grp 1 bucket" 4 (List.length (Table.lookup t "grp" (vi 1)));
+  checki "missing value" 0 (List.length (Table.lookup t "grp" (vi 99)))
+
+let test_table_index_after_delete () =
+  let t = mk_table () in
+  Table.create_index t "grp";
+  let id = Table.insert t (row 1 7 1.0) in
+  ignore (Table.insert t (row 2 7 2.0));
+  ignore (Table.delete_row t id);
+  checki "bucket shrinks" 1 (List.length (Table.lookup t "grp" (vi 7)))
+
+let test_table_lookup_without_index () =
+  let t = mk_table () in
+  Alcotest.check_raises "no index"
+    (Invalid_argument "Table.lookup(t): no index on column \"v\"") (fun () ->
+      ignore (Table.lookup t "v" (vf 0.0)))
+
+let test_table_delete_tuple_with_index () =
+  let t = mk_table () in
+  Table.create_index t "k";
+  ignore (Table.insert t (row 1 0 1.0));
+  ignore (Table.insert t (row 2 0 2.0));
+  checkb "deleted" true (Table.delete_tuple t (row 1 0 1.0));
+  checki "one left" 1 (Table.row_count t);
+  checkb "missing tuple" false (Table.delete_tuple t (row 9 9 9.0))
+
+let test_table_delete_tuple_scan () =
+  let t = mk_table () in
+  ignore (Table.insert t (row 1 0 1.0));
+  checkb "deleted by scan" true (Table.delete_tuple t (row 1 0 1.0));
+  checki "empty" 0 (Table.row_count t)
+
+let test_table_delete_tuple_duplicates () =
+  let t = mk_table () in
+  ignore (Table.insert t (row 1 0 1.0));
+  ignore (Table.insert t (row 1 0 1.0));
+  checkb "first copy" true (Table.delete_tuple t (row 1 0 1.0));
+  checki "one copy left" 1 (Table.row_count t)
+
+let test_table_delete_tuple_picks_selective_index () =
+  (* Index on k is unique, index on grp is all-same: deletion must probe k
+     (most distinct keys) so the probe returns one entry, not the table. *)
+  let meter = Meter.create () in
+  let t = mk_table ~meter () in
+  Table.create_index t "k";
+  Table.create_index t "grp";
+  for i = 1 to 50 do
+    ignore (Table.insert t (row i 0 0.0))
+  done;
+  let before = Meter.snapshot meter in
+  checkb "deleted" true (Table.delete_tuple t (row 25 0 0.0));
+  let d = Meter.diff (Meter.snapshot meter) before in
+  checki "one probe" 1 d.Meter.index_probes;
+  checki "one entry" 1 d.Meter.index_entries
+
+let test_table_scan_skips_tombstones () =
+  let t = mk_table () in
+  let id = Table.insert t (row 1 0 1.0) in
+  ignore (Table.insert t (row 2 0 2.0));
+  ignore (Table.delete_row t id);
+  checki "live rows" 1 (List.length (Table.to_list t));
+  checki "unmetered same" 1 (List.length (Table.to_list_unmetered t))
+
+let test_table_meter_counts () =
+  let meter = Meter.create () in
+  let t = mk_table ~meter () in
+  ignore (Table.insert t (row 1 0 1.0));
+  ignore (Table.insert t (row 2 0 2.0));
+  ignore (Table.to_list t);
+  let s = Meter.snapshot meter in
+  checki "inserted" 2 s.Meter.inserted;
+  checki "scanned" 2 s.Meter.seq_scanned;
+  ignore (Table.to_list_unmetered t);
+  let s2 = Meter.snapshot meter in
+  checki "unmetered does not count" 2 s2.Meter.seq_scanned
+
+let test_table_clear_preserves_indexes () =
+  let t = mk_table () in
+  Table.create_index t "grp";
+  ignore (Table.insert t (row 1 0 1.0));
+  Table.clear t;
+  checki "empty" 0 (Table.row_count t);
+  checkb "index survives" true (Table.has_index t "grp");
+  ignore (Table.insert t (row 2 3 2.0));
+  checki "index repopulates" 1 (List.length (Table.lookup t "grp" (vi 3)))
+
+let test_index_direct () =
+  let idx = Index.create ~column:0 in
+  Index.add idx (vi 1) 10;
+  Index.add idx (vi 1) 11;
+  Index.add idx (vi 1) 10;
+  (* duplicate ignored *)
+  checki "entries" 2 (Index.entry_count idx);
+  checki "cardinality" 1 (Index.cardinality idx);
+  Index.remove idx (vi 1) 10;
+  checki "after remove" 1 (Index.entry_count idx);
+  Index.remove idx (vi 1) 99;
+  (* absent pair: no-op *)
+  checki "no-op remove" 1 (Index.entry_count idx)
+
+(* --- Ordered index / range lookup ------------------------------------------ *)
+
+let test_ordindex_direct () =
+  let idx = Ordindex.create ~column:0 in
+  List.iteri (fun row v -> Ordindex.add idx (vi v) row) [ 5; 1; 9; 5; 3 ];
+  checki "entries" 5 (Ordindex.entry_count idx);
+  checki "cardinality" 4 (Ordindex.cardinality idx);
+  checkb "min" true (Ordindex.min_value idx = Some (vi 1));
+  checkb "max" true (Ordindex.max_value idx = Some (vi 9));
+  checki "point lookup" 2 (List.length (Ordindex.lookup idx (vi 5)));
+  checki "range [3,5]" 3 (List.length (Ordindex.range idx ~lo:(vi 3) ~hi:(vi 5) ()));
+  checki "range open below" 4 (List.length (Ordindex.range idx ~hi:(vi 5) ()));
+  checki "range open above" 3 (List.length (Ordindex.range idx ~lo:(vi 5) ()));
+  checki "full range" 5 (List.length (Ordindex.range idx ()));
+  Ordindex.remove idx (vi 5) 0;
+  checki "after remove" 4 (Ordindex.entry_count idx);
+  Ordindex.remove idx (vi 5) 99;
+  checki "no-op remove" 4 (Ordindex.entry_count idx)
+
+let test_table_range_lookup () =
+  let t = mk_table () in
+  Table.create_ordered_index t "v";
+  for i = 1 to 10 do
+    ignore (Table.insert t (row i 0 (float_of_int i)))
+  done;
+  let hits = Table.range_lookup t "v" ~lo:(vf 3.0) ~hi:(vf 6.0) () in
+  checki "four rows in range" 4 (List.length hits);
+  (* Ascending by value. *)
+  checkb "sorted ascending" true
+    (List.for_all2
+       (fun t expected -> Value.equal (Tuple.get t 2) (vf expected))
+       hits [ 3.0; 4.0; 5.0; 6.0 ]);
+  checkb "has ordered index" true (Table.has_ordered_index t "v");
+  checkb "hash index is separate" false (Table.has_index t "v")
+
+let test_table_range_lookup_tracks_updates () =
+  let t = mk_table () in
+  Table.create_ordered_index t "v";
+  let id = Table.insert t (row 1 0 5.0) in
+  ignore (Table.update_row t id (row 1 0 50.0));
+  checki "old value gone" 0
+    (List.length (Table.range_lookup t "v" ~hi:(vf 10.0) ()));
+  checki "new value present" 1
+    (List.length (Table.range_lookup t "v" ~lo:(vf 49.0) ()));
+  ignore (Table.delete_row t id);
+  checki "deleted gone" 0 (List.length (Table.range_lookup t "v" ()))
+
+let test_table_range_requires_ordered_index () =
+  let t = mk_table () in
+  Table.create_index t "v";
+  (* hash index does not serve ranges *)
+  Alcotest.check_raises "needs ordered index"
+    (Invalid_argument "Table.range_lookup(t): no ordered index on \"v\"")
+    (fun () -> ignore (Table.range_lookup t "v" ()))
+
+(* --- Database ---------------------------------------------------------------- *)
+
+let test_database_catalog () =
+  let db = Database.create () in
+  let t =
+    Database.create_table db ~name:"orders"
+      ~schema:(Schema.make [ ("k", ti); ("v", tf) ])
+      ~indexes:[ "k" ] ()
+  in
+  checkb "find" true (Database.find db "orders" = Some t);
+  checkb "missing" true (Database.find db "nope" = None);
+  checkb "indexed" true (Table.has_index t "k");
+  ignore (Table.insert t (Tuple.make [ vi 1; vf 2.0 ]));
+  checki "total rows" 1 (Database.total_rows db);
+  Alcotest.check (Alcotest.list Alcotest.string) "names" [ "orders" ]
+    (Database.table_names db)
+
+let test_database_duplicate_rejected () =
+  let db = Database.create () in
+  ignore (Database.create_table db ~name:"t" ~schema:(Schema.make [ ("k", ti) ]) ());
+  Alcotest.check_raises "dup" (Invalid_argument "Database: table \"t\" already exists")
+    (fun () ->
+      ignore
+        (Database.create_table db ~name:"t" ~schema:(Schema.make [ ("k", ti) ]) ()))
+
+let test_database_shared_meter () =
+  let db = Database.create () in
+  let a = Database.create_table db ~name:"a" ~schema:(Schema.make [ ("k", ti) ]) () in
+  let b = Database.create_table db ~name:"b" ~schema:(Schema.make [ ("k", ti) ]) () in
+  ignore (Table.insert a (Tuple.make [ vi 1 ]));
+  ignore (Table.insert b (Tuple.make [ vi 2 ]));
+  checki "both on one meter" 2
+    (Meter.snapshot (Database.meter db)).Meter.inserted
+
+(* --- Meter --------------------------------------------------------------- *)
+
+let test_meter_diff () =
+  let m = Meter.create () in
+  Meter.bump_seq_scanned m 10;
+  let a = Meter.snapshot m in
+  Meter.bump_seq_scanned m 5;
+  let b = Meter.snapshot m in
+  let d = Meter.diff b a in
+  checki "diff" 5 d.Meter.seq_scanned
+
+let test_meter_cost_units () =
+  let m = Meter.create () in
+  Meter.bump_index_probes m 2;
+  Meter.bump_batch_setup m 1;
+  Alcotest.check (Alcotest.float 1e-9) "weighted" 58.0
+    (Meter.cost_units (Meter.snapshot m))
+
+let test_meter_reset () =
+  let m = Meter.create () in
+  Meter.bump_inserted m 3;
+  Meter.reset m;
+  checki "reset" 0 (Meter.snapshot m).Meter.inserted
+
+(* --- Agg ----------------------------------------------------------------- *)
+
+let grp_schema = Schema.make [ ("g", ti); ("x", ti); ("y", tf) ]
+
+let grp_rows =
+  [
+    Tuple.make [ vi 0; vi 1; vf 10.0 ];
+    Tuple.make [ vi 0; vi 3; vf 30.0 ];
+    Tuple.make [ vi 1; vi 5; vf 50.0 ];
+  ]
+
+let test_agg_apply () =
+  checkb "count" true (Value.equal (vi 3) (Agg.apply grp_schema Agg.Count grp_rows));
+  checkb "sum int stays int" true
+    (Value.equal (vi 9) (Agg.apply grp_schema (Agg.Sum "x") grp_rows));
+  checkb "min" true (Value.equal (vi 1) (Agg.apply grp_schema (Agg.Min "x") grp_rows));
+  checkb "max" true (Value.equal (vf 50.0) (Agg.apply grp_schema (Agg.Max "y") grp_rows));
+  checkb "avg" true (Value.equal (vf 30.0) (Agg.apply grp_schema (Agg.Avg "y") grp_rows))
+
+let test_agg_empty () =
+  checkb "count empty" true (Value.equal (vi 0) (Agg.apply grp_schema Agg.Count []));
+  checkb "min empty is null" true
+    (Value.equal Value.Null (Agg.apply grp_schema (Agg.Min "x") []))
+
+let test_agg_nulls_skipped () =
+  let rows = [ Tuple.make [ vi 0; Value.Null; vf 1.0 ]; Tuple.make [ vi 0; vi 4; vf 2.0 ] ] in
+  checkb "sum skips null" true
+    (Value.equal (vi 4) (Agg.apply grp_schema (Agg.Sum "x") rows))
+
+let test_agg_output_types () =
+  checkb "count is int" true (Agg.output_type grp_schema Agg.Count = ti);
+  checkb "avg is float" true (Agg.output_type grp_schema (Agg.Avg "x") = tf);
+  checkb "min inherits" true (Agg.output_type grp_schema (Agg.Min "x") = ti)
+
+(* --- Ra ------------------------------------------------------------------ *)
+
+let mk_join_db () =
+  let meter = Meter.create () in
+  let r =
+    Table.create ~meter ~name:"r"
+      ~schema:(Schema.make [ ("rk", ti); ("jk", ti) ])
+      ()
+  in
+  let s =
+    Table.create ~meter ~name:"s"
+      ~schema:(Schema.make [ ("sk", ti); ("jk", ti); ("w", tf) ])
+      ()
+  in
+  for i = 0 to 5 do
+    ignore (Table.insert r (Tuple.make [ vi i; vi (i mod 2) ]))
+  done;
+  for i = 0 to 8 do
+    ignore (Table.insert s (Tuple.make [ vi i; vi (i mod 3); vf (float_of_int i) ]))
+  done;
+  (r, s)
+
+let count_rows plan = List.length (Ra.eval plan)
+
+let test_ra_scan_select_project () =
+  let r, _ = mk_join_db () in
+  let plan = Ra.select Expr.(Eq (col "jk", int 0)) (Ra.scan r) in
+  checki "selected" 3 (count_rows plan);
+  let proj = Ra.project [ "r.rk" ] plan in
+  checki "projected arity" 1 (Schema.arity (Ra.schema_of proj));
+  checki "same rows" 3 (count_rows proj)
+
+let test_ra_join_algorithms_agree () =
+  let r, s = mk_join_db () in
+  let mk algo =
+    Ra.eval
+      (Ra.equijoin ~algo ~on:[ ("r.jk", "s.jk") ] (Ra.scan r) (Ra.scan s))
+    |> List.sort Tuple.compare
+  in
+  let nl = mk Ra.Nested_loop and hash = mk Ra.Hash_join in
+  checkb "nl = hash" true (List.equal Tuple.equal nl hash);
+  Table.create_index s "jk";
+  let inl = mk Ra.Index_nested_loop in
+  checkb "nl = index-nl" true (List.equal Tuple.equal nl inl);
+  let auto = mk Ra.Auto in
+  checkb "auto = nl" true (List.equal Tuple.equal nl auto)
+
+let test_ra_join_expected_cardinality () =
+  let r, s = mk_join_db () in
+  (* r.jk: 3 zeros, 3 ones; s.jk: 3 each of 0,1,2 -> 9 + 9 output pairs. *)
+  let plan = Ra.equijoin ~on:[ ("r.jk", "s.jk") ] (Ra.scan r) (Ra.scan s) in
+  checki "join cardinality" 18 (count_rows plan)
+
+let test_ra_index_nl_requires_index () =
+  let r, s = mk_join_db () in
+  Alcotest.check_raises "missing index"
+    (Invalid_argument "Ra: inner table s lacks index on \"jk\"") (fun () ->
+      ignore
+        (Ra.eval
+           (Ra.equijoin ~algo:Ra.Index_nested_loop ~on:[ ("r.jk", "s.jk") ]
+              (Ra.scan r) (Ra.scan s))))
+
+let test_ra_product () =
+  let r, s = mk_join_db () in
+  checki "cartesian" 54 (count_rows (Ra.product (Ra.scan r) (Ra.scan s)))
+
+let test_ra_aggregate_group_by () =
+  let _, s = mk_join_db () in
+  let plan =
+    Ra.aggregate ~group_by:[ "s.jk" ]
+      [ Agg.count "n"; Agg.sum "s.w" ~as_name:"total" ]
+      (Ra.scan s)
+  in
+  let rows = List.sort Tuple.compare (Ra.eval plan) in
+  checki "three groups" 3 (List.length rows);
+  (* group jk = 0 holds s rows 0, 3, 6: total w = 9. *)
+  match rows with
+  | first :: _ ->
+      checkb "group key" true (Value.equal (vi 0) (Tuple.get first 0));
+      checkb "count" true (Value.equal (vi 3) (Tuple.get first 1));
+      checkb "sum" true (Value.equal (vf 9.0) (Tuple.get first 2))
+  | [] -> Alcotest.fail "no rows"
+
+let test_ra_aggregate_global () =
+  let _, s = mk_join_db () in
+  let plan = Ra.aggregate ~group_by:[] [ Agg.count "n" ] (Ra.scan s) in
+  match Ra.eval plan with
+  | [ r ] -> checkb "count 9" true (Value.equal (vi 9) (Tuple.get r 0))
+  | _ -> Alcotest.fail "expected single row"
+
+let test_ra_aggregate_global_empty_input () =
+  let t = mk_table () in
+  let plan =
+    Ra.aggregate ~group_by:[] [ Agg.count "n"; Agg.min_of "v" ~as_name:"m" ]
+      (Ra.scan t)
+  in
+  match Ra.eval plan with
+  | [ r ] ->
+      checkb "count 0" true (Value.equal (vi 0) (Tuple.get r 0));
+      checkb "min null" true (Value.equal Value.Null (Tuple.get r 1))
+  | _ -> Alcotest.fail "expected single row"
+
+let test_ra_schema_of_join () =
+  let r, s = mk_join_db () in
+  let plan = Ra.equijoin ~on:[ ("r.jk", "s.jk") ] (Ra.scan r) (Ra.scan s) in
+  let schema = Ra.schema_of plan in
+  checki "arity" 5 (Schema.arity schema);
+  checks "qualified" "r.rk" (Schema.column_name schema 0)
+
+let test_ra_explain () =
+  let r, s = mk_join_db () in
+  let plan =
+    Ra.aggregate ~group_by:[] [ Agg.count "n" ]
+      (Ra.equijoin ~on:[ ("r.jk", "s.jk") ] (Ra.scan r) (Ra.scan s))
+  in
+  let text = Ra.explain plan in
+  checkb "mentions join" true (contains text "Join");
+  checkb "mentions aggregate" true (contains text "COUNT(*) AS n")
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "numeric compare" `Quick test_value_compare_numeric;
+          Alcotest.test_case "rank order" `Quick test_value_compare_ranks;
+          Alcotest.test_case "equal/hash consistent" `Quick
+            test_value_equal_hash_consistent;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+          Alcotest.test_case "coercions" `Quick test_value_coercions;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate_rejected;
+          Alcotest.test_case "qualify + suffix" `Quick
+            test_schema_qualify_and_suffix_lookup;
+          Alcotest.test_case "ambiguous" `Quick test_schema_ambiguous;
+          Alcotest.test_case "concat conflict" `Quick test_schema_concat_conflict;
+          Alcotest.test_case "project" `Quick test_schema_project;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "ops" `Quick test_tuple_ops;
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "conforms" `Quick test_tuple_conforms;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "arith" `Quick test_expr_arith;
+          Alcotest.test_case "mixed arith" `Quick test_expr_mixed_arith;
+          Alcotest.test_case "div by zero" `Quick test_expr_div_by_zero;
+          Alcotest.test_case "comparisons" `Quick test_expr_comparisons;
+          Alcotest.test_case "null semantics" `Quick test_expr_null_semantics;
+          Alcotest.test_case "not" `Quick test_expr_not;
+          Alcotest.test_case "unknown column" `Quick test_expr_unknown_column;
+          Alcotest.test_case "columns" `Quick test_expr_columns;
+          Alcotest.test_case "to_string" `Quick test_expr_to_string;
+        ] );
+      ( "vmultiset",
+        [
+          Alcotest.test_case "basics" `Quick test_vmultiset_basics;
+          Alcotest.test_case "remove min exposes next" `Quick
+            test_vmultiset_remove_min_exposes_next;
+          Alcotest.test_case "remove too many" `Quick test_vmultiset_remove_too_many;
+          Alcotest.test_case "sum/empty" `Quick test_vmultiset_sum_empty;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert count" `Quick test_table_insert_count;
+          Alcotest.test_case "insert type error" `Quick test_table_insert_type_error;
+          Alcotest.test_case "delete row" `Quick test_table_delete_row;
+          Alcotest.test_case "update row" `Quick test_table_update_row;
+          Alcotest.test_case "index lookup" `Quick test_table_index_lookup;
+          Alcotest.test_case "index after delete" `Quick test_table_index_after_delete;
+          Alcotest.test_case "lookup without index" `Quick
+            test_table_lookup_without_index;
+          Alcotest.test_case "delete_tuple with index" `Quick
+            test_table_delete_tuple_with_index;
+          Alcotest.test_case "delete_tuple scan" `Quick test_table_delete_tuple_scan;
+          Alcotest.test_case "delete_tuple duplicates" `Quick
+            test_table_delete_tuple_duplicates;
+          Alcotest.test_case "delete_tuple selective index" `Quick
+            test_table_delete_tuple_picks_selective_index;
+          Alcotest.test_case "scan skips tombstones" `Quick
+            test_table_scan_skips_tombstones;
+          Alcotest.test_case "meter counts" `Quick test_table_meter_counts;
+          Alcotest.test_case "clear preserves indexes" `Quick
+            test_table_clear_preserves_indexes;
+          Alcotest.test_case "index direct" `Quick test_index_direct;
+        ] );
+      ( "ordered-index",
+        [
+          Alcotest.test_case "direct" `Quick test_ordindex_direct;
+          Alcotest.test_case "range lookup" `Quick test_table_range_lookup;
+          Alcotest.test_case "tracks updates" `Quick
+            test_table_range_lookup_tracks_updates;
+          Alcotest.test_case "requires ordered index" `Quick
+            test_table_range_requires_ordered_index;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "catalog" `Quick test_database_catalog;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_database_duplicate_rejected;
+          Alcotest.test_case "shared meter" `Quick test_database_shared_meter;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "diff" `Quick test_meter_diff;
+          Alcotest.test_case "cost units" `Quick test_meter_cost_units;
+          Alcotest.test_case "reset" `Quick test_meter_reset;
+        ] );
+      ( "agg",
+        [
+          Alcotest.test_case "apply" `Quick test_agg_apply;
+          Alcotest.test_case "empty" `Quick test_agg_empty;
+          Alcotest.test_case "nulls skipped" `Quick test_agg_nulls_skipped;
+          Alcotest.test_case "output types" `Quick test_agg_output_types;
+        ] );
+      ( "ra",
+        [
+          Alcotest.test_case "scan/select/project" `Quick test_ra_scan_select_project;
+          Alcotest.test_case "join algorithms agree" `Quick
+            test_ra_join_algorithms_agree;
+          Alcotest.test_case "join cardinality" `Quick test_ra_join_expected_cardinality;
+          Alcotest.test_case "index-nl requires index" `Quick
+            test_ra_index_nl_requires_index;
+          Alcotest.test_case "product" `Quick test_ra_product;
+          Alcotest.test_case "aggregate group-by" `Quick test_ra_aggregate_group_by;
+          Alcotest.test_case "aggregate global" `Quick test_ra_aggregate_global;
+          Alcotest.test_case "aggregate empty input" `Quick
+            test_ra_aggregate_global_empty_input;
+          Alcotest.test_case "schema of join" `Quick test_ra_schema_of_join;
+          Alcotest.test_case "explain" `Quick test_ra_explain;
+        ] );
+    ]

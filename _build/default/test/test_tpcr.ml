@@ -1,0 +1,239 @@
+(* Tests for the TPC-R-style generator, the paper's view, the update
+   streams, and the synthetic Fig. 1 dataset. *)
+
+open Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let small_db ?(seed = 42) () = Tpcr.Gen.generate ~seed ~scale:0.002 ()
+
+let test_cardinalities () =
+  let db = small_db () in
+  checki "regions" 5 (Table.row_count db.Tpcr.Gen.region);
+  checki "nations" 25 (Table.row_count db.Tpcr.Gen.nation);
+  checki "suppliers" 20 (Table.row_count db.Tpcr.Gen.supplier);
+  checki "parts" 400 (Table.row_count db.Tpcr.Gen.part);
+  checki "partsupp = 4x parts" 1600 (Table.row_count db.Tpcr.Gen.partsupp)
+
+let test_determinism () =
+  let a = small_db () and b = small_db () in
+  checkb "same partsupp" true
+    (List.equal Tuple.equal
+       (Table.to_list_unmetered a.Tpcr.Gen.partsupp)
+       (Table.to_list_unmetered b.Tpcr.Gen.partsupp));
+  let c = small_db ~seed:1 () in
+  checkb "different seed differs" false
+    (List.equal Tuple.equal
+       (Table.to_list_unmetered a.Tpcr.Gen.partsupp)
+       (Table.to_list_unmetered c.Tpcr.Gen.partsupp))
+
+let test_foreign_keys () =
+  let db = small_db () in
+  let suppkeys = Hashtbl.create 64 and nationkeys = Hashtbl.create 32 in
+  List.iter
+    (fun t -> Hashtbl.replace suppkeys (Value.as_int (Tuple.get t 0)) ())
+    (Table.to_list_unmetered db.Tpcr.Gen.supplier);
+  List.iter
+    (fun t -> Hashtbl.replace nationkeys (Value.as_int (Tuple.get t 0)) ())
+    (Table.to_list_unmetered db.Tpcr.Gen.nation);
+  List.iter
+    (fun t ->
+      checkb "ps.suppkey fk" true
+        (Hashtbl.mem suppkeys (Value.as_int (Tuple.get t 1))))
+    (Table.to_list_unmetered db.Tpcr.Gen.partsupp);
+  List.iter
+    (fun t ->
+      checkb "s.nationkey fk" true
+        (Hashtbl.mem nationkeys (Value.as_int (Tuple.get t 2))))
+    (Table.to_list_unmetered db.Tpcr.Gen.supplier)
+
+let test_nation_region_mapping_valid () =
+  let db = small_db () in
+  List.iter
+    (fun t ->
+      let rk = Value.as_int (Tuple.get t 2) in
+      checkb "regionkey in range" true (rk >= 0 && rk < 5))
+    (Table.to_list_unmetered db.Tpcr.Gen.nation)
+
+let test_indexes_present () =
+  let db = small_db () in
+  checkb "ps.suppkey indexed" true (Table.has_index db.Tpcr.Gen.partsupp "suppkey");
+  checkb "ps.partkey indexed" true (Table.has_index db.Tpcr.Gen.partsupp "partkey");
+  checkb "s.suppkey indexed" true (Table.has_index db.Tpcr.Gen.supplier "suppkey");
+  checkb "n.nationkey indexed" true (Table.has_index db.Tpcr.Gen.nation "nationkey");
+  checkb "r.regionkey indexed" true (Table.has_index db.Tpcr.Gen.region "regionkey")
+
+let test_meter_reset_after_generation () =
+  let db = small_db () in
+  Alcotest.check (Alcotest.float 0.0) "meter starts clean" 0.0
+    (Meter.cost_units (Meter.snapshot db.Tpcr.Gen.meter))
+
+let test_scale_validation () =
+  Alcotest.check_raises "non-positive scale"
+    (Invalid_argument "Tpcr.Gen.generate: scale must be positive") (fun () ->
+      ignore (Tpcr.Gen.generate ~scale:0.0 ()))
+
+(* --- the paper's view ----------------------------------------------------- *)
+
+let test_view_initially_consistent () =
+  let db = small_db () in
+  let m = Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter (Tpcr.Gen.min_supplycost_view db) in
+  checkb "consistent" true (Ivm.Maintainer.check_consistent m = Ok ());
+  match Ivm.Maintainer.rows m with
+  | [ row ] -> checkb "min is a float" true
+      (match Tuple.get row 0 with Value.Float _ -> true | _ -> false)
+  | _ -> Alcotest.fail "single-row view expected"
+
+let test_view_other_region () =
+  let db = small_db () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter
+      (Tpcr.Gen.min_supplycost_view ~region:"ASIA" db)
+  in
+  checkb "consistent" true (Ivm.Maintainer.check_consistent m = Ok ())
+
+let test_view_maintenance_under_updates () =
+  let db = small_db () in
+  let m = Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter (Tpcr.Gen.min_supplycost_view db) in
+  let feeds = Tpcr.Updates.paper_feeds ~seed:9 db in
+  for _ = 1 to 30 do
+    Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0);
+    Ivm.Maintainer.on_arrive m 1 (feeds.Tpcr.Updates.next 1)
+  done;
+  (* Asymmetric processing: all supplier updates, only some partsupp. *)
+  ignore (Ivm.Maintainer.process m 1 30);
+  ignore (Ivm.Maintainer.process m 0 10);
+  checkb "consistent mid-stream" true (Ivm.Maintainer.check_consistent m = Ok ());
+  ignore (Ivm.Maintainer.refresh m);
+  checkb "consistent after refresh" true (Ivm.Maintainer.check_consistent m = Ok ())
+
+(* --- update feeds ---------------------------------------------------------- *)
+
+let test_paper_feeds_shapes () =
+  let db = small_db () in
+  let feeds = Tpcr.Updates.paper_feeds ~seed:3 db in
+  (match feeds.Tpcr.Updates.next 0 with
+  | Ivm.Change.Update { before; after } ->
+      checkb "same partkey" true (Value.equal (Tuple.get before 0) (Tuple.get after 0));
+      checkb "same suppkey" true (Value.equal (Tuple.get before 1) (Tuple.get after 1));
+      checkb "supplycost changed" true
+        (not (Value.equal (Tuple.get before 3) (Tuple.get after 3)))
+  | _ -> Alcotest.fail "partsupp feed must produce updates");
+  (match feeds.Tpcr.Updates.next 1 with
+  | Ivm.Change.Update { before; after } ->
+      checkb "same suppkey" true (Value.equal (Tuple.get before 0) (Tuple.get after 0));
+      checkb "nationkey in range" true
+        (let nk = Value.as_int (Tuple.get after 2) in
+         nk >= 0 && nk < 25)
+  | _ -> Alcotest.fail "supplier feed must produce updates");
+  checkb "nation feed raises" true
+    (try
+       ignore (feeds.Tpcr.Updates.next 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_feeds_are_replayable_deletes () =
+  (* Every generated update's before-image must exist when applied in FIFO
+     order — the shadow discipline. *)
+  let db = small_db () in
+  let m = Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter (Tpcr.Gen.min_supplycost_view db) in
+  let feeds = Tpcr.Updates.paper_feeds ~seed:31 db in
+  (* Repeatedly update; collisions on the same row are likely at this
+     scale, which is exactly what the shadow must handle. *)
+  for _ = 1 to 200 do
+    Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0)
+  done;
+  ignore (Ivm.Maintainer.process m 0 200);
+  checkb "consistent" true (Ivm.Maintainer.check_consistent m = Ok ())
+
+let test_generic_shadow_ops () =
+  let db = small_db () in
+  let shadow = Tpcr.Updates.shadow_of_table db.Tpcr.Gen.supplier in
+  checki "snapshot size" 20 (Tpcr.Updates.shadow_size shadow);
+  let prng = Util.Prng.create ~seed:5 in
+  (match Tpcr.Updates.delete_random prng shadow with
+  | Ivm.Change.Delete _ -> ()
+  | _ -> Alcotest.fail "expected delete");
+  checki "shrinks" 19 (Tpcr.Updates.shadow_size shadow);
+  (match
+     Tpcr.Updates.insert_row prng shadow ~make:(fun _ ->
+         Tuple.make
+           [ Value.Int 999; Value.Str "Supplier#999"; Value.Int 0; Value.Float 0.0 ])
+   with
+  | Ivm.Change.Insert _ -> ()
+  | _ -> Alcotest.fail "expected insert");
+  checki "grows" 20 (Tpcr.Updates.shadow_size shadow)
+
+(* --- synth (Fig. 1) -------------------------------------------------------- *)
+
+let test_synth_generation () =
+  let db2 = Tpcr.Synth.generate ~r_rows:100 ~s_rows:200 () in
+  checki "r rows" 100 (Table.row_count db2.Tpcr.Synth.r);
+  checki "s rows" 200 (Table.row_count db2.Tpcr.Synth.s);
+  checkb "r indexed on join attr" true (Table.has_index db2.Tpcr.Synth.r "jk");
+  checkb "s NOT indexed on join attr" false (Table.has_index db2.Tpcr.Synth.s "jk")
+
+let test_synth_view_consistent_under_inserts () =
+  let db2 = Tpcr.Synth.generate ~r_rows:50 ~s_rows:50 () in
+  let m = Ivm.Maintainer.create ~meter:db2.Tpcr.Synth.meter (Tpcr.Synth.join_view db2) in
+  let feeds = Tpcr.Synth.insert_feeds ~seed:2 db2 in
+  for _ = 1 to 20 do
+    Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0);
+    Ivm.Maintainer.on_arrive m 1 (feeds.Tpcr.Updates.next 1)
+  done;
+  ignore (Ivm.Maintainer.process m 1 20);
+  checkb "mid consistent" true (Ivm.Maintainer.check_consistent m = Ok ());
+  ignore (Ivm.Maintainer.refresh m);
+  checkb "final consistent" true (Ivm.Maintainer.check_consistent m = Ok ())
+
+let test_synth_cost_asymmetry () =
+  (* The defining Fig. 1 property: c_dR is much flatter than c_dS. *)
+  let db2 = Tpcr.Synth.generate ~r_rows:1000 ~s_rows:1000 () in
+  let m = Ivm.Maintainer.create ~meter:db2.Tpcr.Synth.meter (Tpcr.Synth.join_view db2) in
+  let feeds = Tpcr.Synth.insert_feeds ~seed:4 db2 in
+  let curve table =
+    Bridge.Calibrate.measure_curve m feeds ~table ~sizes:[ 1; 100 ]
+  in
+  let r_curve = curve 0 and s_curve = curve 1 in
+  let growth c = List.assoc 100 c /. List.assoc 1 c in
+  checkb "c_dR nearly flat" true (growth r_curve < 2.0);
+  checkb "c_dS grows at least 10x" true (growth s_curve > 10.0)
+
+let () =
+  Alcotest.run "tpcr"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "foreign keys" `Quick test_foreign_keys;
+          Alcotest.test_case "nation-region mapping" `Quick
+            test_nation_region_mapping_valid;
+          Alcotest.test_case "indexes present" `Quick test_indexes_present;
+          Alcotest.test_case "meter reset" `Quick test_meter_reset_after_generation;
+          Alcotest.test_case "scale validation" `Quick test_scale_validation;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "initially consistent" `Quick
+            test_view_initially_consistent;
+          Alcotest.test_case "other region" `Quick test_view_other_region;
+          Alcotest.test_case "maintenance under updates" `Quick
+            test_view_maintenance_under_updates;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "paper feeds shapes" `Quick test_paper_feeds_shapes;
+          Alcotest.test_case "replayable deletes" `Quick
+            test_feeds_are_replayable_deletes;
+          Alcotest.test_case "generic shadow ops" `Quick test_generic_shadow_ops;
+        ] );
+      ( "synth",
+        [
+          Alcotest.test_case "generation" `Quick test_synth_generation;
+          Alcotest.test_case "consistent under inserts" `Quick
+            test_synth_view_consistent_under_inserts;
+          Alcotest.test_case "cost asymmetry" `Quick test_synth_cost_asymmetry;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for arrival-sequence generation, including the paper's §5
+   truncated-normal burst model. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let gen ?(seed = 1) ?(horizon = 100) streams =
+  Workload.Arrivals.generate ~seed ~horizon streams
+
+let test_shape () =
+  let d = gen [| Workload.Arrivals.Constant 1; Workload.Arrivals.Constant 2 |] in
+  checki "rows" 101 (Array.length d);
+  checki "cols" 2 (Array.length d.(0));
+  Array.iter
+    (fun row ->
+      checki "table 0" 1 row.(0);
+      checki "table 1" 2 row.(1))
+    d
+
+let test_deterministic () =
+  let streams = [| Workload.Arrivals.slow_stable; Workload.Arrivals.fast_unstable |] in
+  let a = gen ~seed:7 streams and b = gen ~seed:7 streams in
+  checkb "same" true (a = b);
+  let c = gen ~seed:8 streams in
+  checkb "different seed differs" true (a <> c)
+
+let test_adding_table_does_not_perturb () =
+  (* Per-table generator splitting: table 0's draws must be identical
+     whether or not table 1 exists. *)
+  let one = gen ~seed:3 [| Workload.Arrivals.slow_unstable |] in
+  let two =
+    gen ~seed:3 [| Workload.Arrivals.slow_unstable; Workload.Arrivals.fast_stable |]
+  in
+  checkb "table 0 stable" true
+    (Array.for_all2 (fun a b -> a.(0) = b.(0)) one two)
+
+let test_non_negative () =
+  let d =
+    gen ~horizon:500
+      [|
+        Workload.Arrivals.slow_unstable;
+        Workload.Arrivals.Poisson 2.0;
+        Workload.Arrivals.fast_unstable;
+      |]
+  in
+  Array.iter (Array.iter (fun c -> checkb "non-negative" true (c >= 0))) d
+
+let test_normal_burst_probability () =
+  (* With p = 0.5 roughly half the steps have arrivals. *)
+  let d = gen ~seed:11 ~horizon:4999 [| Workload.Arrivals.slow_stable |] in
+  let nonzero = Array.fold_left (fun acc row -> if row.(0) > 0 then acc + 1 else acc) 0 d in
+  let frac = float_of_int nonzero /. 5000.0 in
+  checkb "about half the steps" true (Float.abs (frac -. 0.5) < 0.03)
+
+let test_fast_vs_slow_rates () =
+  let slow = gen ~seed:13 ~horizon:4999 [| Workload.Arrivals.slow_stable |] in
+  let fast = gen ~seed:13 ~horizon:4999 [| Workload.Arrivals.fast_stable |] in
+  let rate d = (Workload.Arrivals.mean_rates d).(0) in
+  checkb "fast > slow" true (rate fast > rate slow)
+
+let test_unstable_more_variable () =
+  let stable = gen ~seed:17 ~horizon:4999 [| Workload.Arrivals.fast_stable |] in
+  let unstable = gen ~seed:17 ~horizon:4999 [| Workload.Arrivals.fast_unstable |] in
+  let spread d = (Workload.Arrivals.max_step d).(0) in
+  checkb "sigma 5 has bigger bursts" true (spread unstable > spread stable)
+
+let test_periodic () =
+  let d = gen ~horizon:7 [| Workload.Arrivals.Periodic [| 1; 0; 3 |] |] in
+  Alcotest.check (Alcotest.list Alcotest.int) "cycles"
+    [ 1; 0; 3; 1; 0; 3; 1; 0 ]
+    (Array.to_list (Array.map (fun row -> row.(0)) d))
+
+let test_on_off () =
+  let d =
+    gen ~horizon:9
+      [| Workload.Arrivals.On_off { on_len = 2; off_len = 3; rate = 4 } |]
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "bursts"
+    [ 4; 4; 0; 0; 0; 4; 4; 0; 0; 0 ]
+    (Array.to_list (Array.map (fun row -> row.(0)) d))
+
+let test_trace () =
+  let d = gen ~horizon:4 [| Workload.Arrivals.Trace [| 9; 8 |] |] in
+  Alcotest.check (Alcotest.list Alcotest.int) "trace then zeros"
+    [ 9; 8; 0; 0; 0 ]
+    (Array.to_list (Array.map (fun row -> row.(0)) d))
+
+let test_poisson_mean () =
+  let d = gen ~seed:19 ~horizon:9999 [| Workload.Arrivals.Poisson 3.0 |] in
+  let rate = (Workload.Arrivals.mean_rates d).(0) in
+  checkb "approx 3" true (Float.abs (rate -. 3.0) < 0.1)
+
+let test_totals_and_max () =
+  let d = [| [| 1; 5 |]; [| 2; 0 |]; [| 0; 7 |] |] in
+  Alcotest.check (Alcotest.array Alcotest.int) "totals" [| 3; 12 |]
+    (Workload.Arrivals.totals d);
+  Alcotest.check (Alcotest.array Alcotest.int) "max" [| 2; 7 |]
+    (Workload.Arrivals.max_step d)
+
+let test_stream_of_string () =
+  (match Workload.Arrivals.stream_of_string "constant:3" with
+  | Ok (Workload.Arrivals.Constant 3) -> ()
+  | _ -> Alcotest.fail "constant");
+  (match Workload.Arrivals.stream_of_string "burst:0.5,1,5" with
+  | Ok (Workload.Arrivals.Normal_burst { p; mu; sigma }) ->
+      checkb "params" true (p = 0.5 && mu = 1.0 && sigma = 5.0)
+  | _ -> Alcotest.fail "burst");
+  (match Workload.Arrivals.stream_of_string "fu" with
+  | Ok s -> checkb "named stream" true (s = Workload.Arrivals.fast_unstable)
+  | Error e -> Alcotest.fail e);
+  (match Workload.Arrivals.stream_of_string "onoff:2,3,4" with
+  | Ok (Workload.Arrivals.On_off { on_len = 2; off_len = 3; rate = 4 }) -> ()
+  | _ -> Alcotest.fail "onoff");
+  List.iter
+    (fun text ->
+      match Workload.Arrivals.stream_of_string text with
+      | Ok _ -> Alcotest.fail (text ^ " should not parse")
+      | Error _ -> ())
+    [ "nope"; "burst:2,1,1"; "constant:-1"; "poisson:-2"; "onoff:0,1,1" ]
+
+let test_negative_horizon_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Arrivals.generate: negative horizon") (fun () ->
+      ignore
+        (Workload.Arrivals.generate ~seed:1 ~horizon:(-1)
+           [| Workload.Arrivals.Constant 1 |]))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "arrivals",
+        [
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "table split stability" `Quick
+            test_adding_table_does_not_perturb;
+          Alcotest.test_case "non-negative" `Quick test_non_negative;
+          Alcotest.test_case "burst probability" `Quick test_normal_burst_probability;
+          Alcotest.test_case "fast vs slow" `Quick test_fast_vs_slow_rates;
+          Alcotest.test_case "unstable more variable" `Quick
+            test_unstable_more_variable;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "on/off" `Quick test_on_off;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+          Alcotest.test_case "totals/max" `Quick test_totals_and_max;
+          Alcotest.test_case "stream_of_string" `Quick test_stream_of_string;
+          Alcotest.test_case "negative horizon" `Quick test_negative_horizon_rejected;
+        ] );
+    ]
