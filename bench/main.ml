@@ -6,7 +6,9 @@
      dune exec bench/main.exe            -- run every section
      dune exec bench/main.exe -- fig6    -- run one section
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
-   conjectures multiview micro *)
+   conjectures multiview micro
+   Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
+   (telemetry trace), --metrics (print the metrics table at the end) *)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -131,9 +133,9 @@ let run_intro () =
     ~aligns:[ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right ]
     ~header:[ "strategy"; "total cost"; "cost per modification" ]
     [
-      [ "symmetric (NAIVE)"; fcell naive.Abivm.Simulate.total_cost;
+      [ "symmetric (NAIVE)"; fcell naive.Abivm.Report.total_cost;
         fcell ~decimals:4 (Abivm.Simulate.cost_per_modification spec naive) ];
-      [ "asymmetric (ONLINE)"; fcell online.Abivm.Simulate.total_cost;
+      [ "asymmetric (ONLINE)"; fcell online.Abivm.Report.total_cost;
         fcell ~decimals:4 (Abivm.Simulate.cost_per_modification spec online) ];
     ];
   Printf.printf
@@ -173,7 +175,7 @@ let run_fig5 () =
     [
       ("NAIVE", Abivm.Naive.plan spec);
       ("ONLINE", Abivm.Online.plan spec);
-      ("OPT-LGM", let _, p, _ = Abivm.Astar.solve spec in p);
+      ("OPT-LGM", (Abivm.Astar.solve spec).Abivm.Astar.plan);
     ]
   in
   let rows =
@@ -181,15 +183,17 @@ let run_fig5 () =
       (fun (name, plan) ->
         let db, m = fresh_tpcr ~seed:101 () in
         let feeds = Tpcr.Updates.paper_feeds ~seed:23 db in
-        let result = Bridge.Runner.run_plan m feeds spec plan in
-        let simulated = Abivm.Plan.cost spec plan in
-        let executed = result.Bridge.Runner.total_cost_units in
+        let report = Bridge.Runner.run_plan m feeds spec plan in
+        let simulated = report.Abivm.Report.total_cost in
+        let executed =
+          Option.value ~default:0.0 report.Abivm.Report.cost_units
+        in
         [
           name;
           fcell simulated;
           fcell executed;
           Printf.sprintf "%.1f%%" (100.0 *. Float.abs (simulated -. executed) /. executed);
-          string_of_bool result.Bridge.Runner.final_consistent;
+          string_of_bool report.Abivm.Report.valid;
         ])
       plans
   in
@@ -212,13 +216,13 @@ let run_fig6 () =
     List.map
       (fun horizon ->
         let spec = uniform_spec ~limit ~horizon in
-        let outcomes = Abivm.Simulate.all ~adapt_t0:500 spec in
+        let reports = Abivm.Simulate.all ~adapt_t0:500 spec in
         string_of_int horizon
         :: List.map
-             (fun (o : Abivm.Simulate.outcome) ->
-               assert o.valid;
-               fcell ~decimals:0 o.total_cost)
-             outcomes)
+             (fun (r : Abivm.Report.t) ->
+               assert r.valid;
+               fcell ~decimals:0 r.total_cost)
+             reports)
       refresh_times
   in
   emit ~name:"fig6"
@@ -230,9 +234,9 @@ let run_fig6 () =
   let spec = uniform_spec ~limit ~horizon:1000 in
   let cost name =
     (List.find
-       (fun (o : Abivm.Simulate.outcome) -> o.name = name)
+       (fun (r : Abivm.Report.t) -> Abivm.Report.name r = name)
        (Abivm.Simulate.all ~adapt_t0:500 spec))
-      .Abivm.Simulate.total_cost
+      .Abivm.Report.total_cost
   in
   Printf.printf
     "shape check at T=1000: NAIVE/OPT = %.2f (worst), ADAPT/OPT = %.2f, \
@@ -266,13 +270,13 @@ let run_fig7 () =
                Workload.Arrivals.Constant 0; Workload.Arrivals.Constant 0 |]
         in
         let spec = Abivm.Spec.make ~costs:(paper_costs ()) ~limit ~arrivals in
-        let outcomes = Abivm.Simulate.all ~adapt_t0:500 spec in
+        let reports = Abivm.Simulate.all ~adapt_t0:500 spec in
         label
         :: List.map
-             (fun (o : Abivm.Simulate.outcome) ->
-               assert o.valid;
-               fcell ~decimals:0 o.total_cost)
-             outcomes)
+             (fun (r : Abivm.Report.t) ->
+               assert r.valid;
+               fcell ~decimals:0 r.total_cost)
+             reports)
       streams
   in
   emit ~name:"fig7"
@@ -298,7 +302,7 @@ let run_tightness () =
         let arrivals = Array.make 4 [| per_step |] in
         let spec = Abivm.Spec.make ~costs:[| f |] ~limit ~arrivals in
         let exact_cost, _ = Abivm.Exact.solve spec in
-        let lgm_cost, _, _ = Abivm.Astar.solve spec in
+        let lgm_cost = (Abivm.Astar.solve spec).Abivm.Astar.cost in
         [
           Printf.sprintf "%.3f" eps;
           string_of_int per_step;
@@ -343,7 +347,7 @@ let run_ablation () =
                Workload.Arrivals.Constant 0; Workload.Arrivals.Constant 0 |]
         in
         let spec = Abivm.Spec.make ~costs:(paper_costs ()) ~limit ~arrivals in
-        let opt, _, _ = Abivm.Astar.solve spec in
+        let opt = (Abivm.Astar.solve spec).Abivm.Astar.cost in
         label :: fcell ~decimals:0 opt
         :: List.map
              (fun (_, predictor) ->
@@ -366,7 +370,7 @@ let run_ablation () =
                Workload.Arrivals.Constant 0; Workload.Arrivals.Constant 0 |]
         in
         let spec = Abivm.Spec.make ~costs:(paper_costs ()) ~limit ~arrivals in
-        let opt, _, _ = Abivm.Astar.solve spec in
+        let opt = (Abivm.Astar.solve spec).Abivm.Astar.cost in
         let with_scorer scorer =
           fcell ~decimals:0 (Abivm.Plan.cost spec (Abivm.Online.plan ~scorer spec))
         in
@@ -390,8 +394,8 @@ let run_ablation () =
     List.map
       (fun horizon ->
         let spec = uniform_spec ~limit:(fig6_limit ()) ~horizon in
-        let _, _, with_h = Abivm.Astar.solve ~use_heuristic:true spec in
-        let _, _, without_h = Abivm.Astar.solve ~use_heuristic:false spec in
+        let with_h = (Abivm.Astar.solve ~use_heuristic:true spec).Abivm.Astar.stats in
+        let without_h = (Abivm.Astar.solve ~use_heuristic:false spec).Abivm.Astar.stats in
         [
           string_of_int horizon;
           string_of_int with_h.Abivm.Astar.expanded;
@@ -476,7 +480,7 @@ let run_conjectures () =
           [| Util.Prng.int prng 3; Util.Prng.int prng 3 |])
     in
     let spec = Abivm.Spec.make ~costs ~limit ~arrivals in
-    let opt, _, _ = Abivm.Astar.solve spec in
+    let opt = (Abivm.Astar.solve spec).Abivm.Astar.cost in
     if opt > 0.0 then begin
       let online = Abivm.Plan.cost spec (Abivm.Online.plan spec) in
       let ratio = online /. opt in
@@ -522,7 +526,7 @@ let run_conjectures () =
     | exception Abivm.Exact.Too_large _ -> ()
     | opt, _ when opt > 0.0 ->
         incr attempted;
-        let lgm, _, _ = Abivm.Astar.solve spec in
+        let lgm = (Abivm.Astar.solve spec).Abivm.Astar.cost in
         if lgm /. opt > !worst then worst := lgm /. opt
     | _ -> ()
   done;
@@ -672,17 +676,33 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  let rec strip_csv = function
+  let trace = ref None and metrics = ref false in
+  let rec strip_flags = function
     | "--csv" :: dir :: rest ->
         if not (Sys.file_exists dir && Sys.is_directory dir) then begin
           Printf.eprintf "--csv: %s is not a directory\n" dir;
           exit 1
         end;
         csv_dir := Some dir;
-        strip_csv rest
-    | other -> other
+        strip_flags rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        strip_flags rest
+    | "--metrics" :: rest ->
+        metrics := true;
+        strip_flags rest
+    | section :: rest -> section :: strip_flags rest
+    | [] -> []
   in
-  let args = strip_csv args in
+  let args = strip_flags args in
+  if !trace <> None || !metrics then begin
+    let sinks =
+      match !trace with
+      | Some path -> [ Telemetry.Sink.jsonl_file path ]
+      | None -> []
+    in
+    Telemetry.enable ~sinks ()
+  end;
   let requested = if args <> [] then args else List.map fst sections in
   List.iter
     (fun name ->
@@ -692,4 +712,13 @@ let () =
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat " " (List.map fst sections));
           exit 1)
-    requested
+    requested;
+  if Telemetry.enabled () then begin
+    if !metrics then begin
+      match Telemetry.snapshot () with
+      | [] -> ()
+      | snap ->
+          Printf.printf "\nmetrics:\n%s" (Telemetry.Metrics.to_table snap)
+    end;
+    Telemetry.disable ()
+  end

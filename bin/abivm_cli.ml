@@ -3,6 +3,7 @@
    Subcommands:
      simulate   compare maintenance strategies on an analytic instance
      calibrate  measure TPC-R maintenance cost curves from the engine
+     run        calibrate, simulate all strategies, execute one (Fig. 5)
      demo       end-to-end TPC-R run: calibrate, plan, execute, validate
      tightness  print the §3.2 LGM tightness table *)
 
@@ -28,45 +29,97 @@ let stream_conv =
   in
   Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<stream>")
 
+let strategy_conv =
+  let parse text =
+    match Abivm.Strategy.of_string text with
+    | Ok s -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt s -> Format.pp_print_string fmt (Abivm.Strategy.to_string s) )
+
+(* --- telemetry flags -------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write a telemetry trace: one JSON object per finished span, plus \
+           a final metrics snapshot line.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the full metrics table when the command finishes.")
+
+let print_metrics () =
+  match Telemetry.snapshot () with
+  | [] -> ()
+  | snap -> Printf.printf "\nmetrics:\n%s" (Telemetry.Metrics.to_table snap)
+
+(* Run [f] with the telemetry collector configured from --trace/--metrics.
+   [always] keeps the collector on even without flags (the [run] subcommand
+   needs per-action counters for its comparison table). *)
+let with_telemetry ?(always = false) ~trace ~metrics f =
+  let sinks =
+    match trace with
+    | Some path -> [ Telemetry.Sink.jsonl_file path ]
+    | None -> []
+  in
+  if (not always) && sinks = [] && not metrics then f ()
+  else begin
+    Telemetry.enable ~sinks ();
+    Fun.protect
+      ~finally:(fun () ->
+        if metrics then print_metrics ();
+        Telemetry.disable ())
+      f
+  end
+
 (* --- simulate --------------------------------------------------------------- *)
 
-let print_outcomes spec outcomes =
+let print_reports spec reports =
   Util.Tablefmt.print
     ~aligns:
       [ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right;
         Util.Tablefmt.Right; Util.Tablefmt.Left ]
     ~header:[ "strategy"; "total cost"; "cost/mod"; "actions"; "valid" ]
     (List.map
-       (fun (o : Abivm.Simulate.outcome) ->
+       (fun (r : Abivm.Report.t) ->
          [
-           o.name;
-           Util.Tablefmt.float_cell o.total_cost;
+           Abivm.Report.label r;
+           Util.Tablefmt.float_cell r.total_cost;
            Util.Tablefmt.float_cell ~decimals:4
-             (Abivm.Simulate.cost_per_modification spec o);
-           string_of_int o.actions;
-           string_of_bool o.valid;
+             (Abivm.Report.cost_per_modification spec r);
+           string_of_int r.actions;
+           string_of_bool r.valid;
          ])
-       outcomes)
+       reports)
 
-let simulate costs limit horizon streams seed adapt_t0 show_plans =
+let simulate costs limit horizon streams seed adapt_t0 show_plans trace metrics =
   if costs = [] then `Error (false, "at least one --cost is required")
   else if List.length streams <> List.length costs then
     `Error (false, "need exactly one --stream per --cost")
   else begin
-    let arrivals =
-      Workload.Arrivals.generate ~seed ~horizon (Array.of_list streams)
-    in
-    let spec =
-      Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
-    in
-    let outcomes = Abivm.Simulate.all ?adapt_t0 spec in
-    print_outcomes spec outcomes;
-    if show_plans then
-      List.iter
-        (fun (o : Abivm.Simulate.outcome) ->
-          Printf.printf "\n%s plan:\n%s" o.name
-            (Abivm.Visualize.timeline spec o.plan))
-        outcomes;
+    with_telemetry ~trace ~metrics (fun () ->
+        let arrivals =
+          Workload.Arrivals.generate ~seed ~horizon (Array.of_list streams)
+        in
+        let spec =
+          Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
+        in
+        let reports = Abivm.Simulate.all ?adapt_t0 spec in
+        print_reports spec reports;
+        if show_plans then
+          List.iter
+            (fun (r : Abivm.Report.t) ->
+              Printf.printf "\n%s plan:\n%s" (Abivm.Report.label r)
+                (Abivm.Visualize.timeline spec r.plan))
+            reports);
     `Ok ()
   end
 
@@ -120,7 +173,7 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ costs $ limit $ horizon $ streams $ seed $ adapt_t0
-       $ show_plans))
+       $ show_plans $ trace_arg $ metrics_arg))
 
 (* --- calibrate --------------------------------------------------------------- *)
 
@@ -164,18 +217,18 @@ let calibrate_cmd =
        ~doc:"measure TPC-R maintenance cost curves from the live engine")
     Term.(const calibrate $ scale $ seed $ sizes)
 
-(* --- demo -------------------------------------------------------------------- *)
+(* --- shared TPC-R setup (run + demo) ---------------------------------------- *)
 
-let demo scale horizon =
-  Printf.printf "Generating TPC-R database (scale %.3f)...\n%!" scale;
-  let db = Tpcr.Gen.generate ~scale () in
+(* Calibrate the two maintained tables' cost curves from a live engine and
+   build the planning spec used by both [run] and [demo]. *)
+let tpcr_spec ~scale ~seed ~horizon =
+  let db = Tpcr.Gen.generate ~seed ~scale () in
   let m =
     Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter
       (Tpcr.Gen.min_supplycost_view db)
   in
   Relation.Meter.reset db.Tpcr.Gen.meter;
-  let feeds = Tpcr.Updates.paper_feeds ~seed:7 db in
-  Printf.printf "Calibrating cost functions...\n%!";
+  let feeds = Tpcr.Updates.paper_feeds ~seed:(seed + 1) db in
   let sizes = [ 1; 5; 10; 20; 50; 100; 200 ] in
   let f_ps =
     Bridge.Calibrate.tabulated ~name:"c_dPartSupp"
@@ -186,31 +239,122 @@ let demo scale horizon =
       (Bridge.Calibrate.measure_curve m feeds ~table:1 ~sizes)
   in
   let limit = 2.0 *. Cost.Func.eval f_ps 1 in
-  Printf.printf "Constraint C = %.0f cost units; horizon T = %d\n%!" limit horizon;
   let untouched = Cost.Func.linear ~a:1.0 in
-  let spec =
-    Abivm.Spec.make
-      ~costs:[| f_ps; f_s; untouched; untouched |]
-      ~limit
-      ~arrivals:(Array.init (horizon + 1) (fun _ -> [| 1; 1; 0; 0 |]))
+  Abivm.Spec.make
+    ~costs:[| f_ps; f_s; untouched; untouched |]
+    ~limit
+    ~arrivals:(Array.init (horizon + 1) (fun _ -> [| 1; 1; 0; 0 |]))
+
+(* Fresh engine + feeds for an executed run (separate from the calibration
+   engine so measured costs are not polluted by calibration batches). *)
+let tpcr_engine ~scale ~seed =
+  let db = Tpcr.Gen.generate ~seed ~scale () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Gen.meter
+      (Tpcr.Gen.min_supplycost_view db)
   in
-  let outcomes = Abivm.Simulate.all spec in
-  print_outcomes spec outcomes;
-  Printf.printf "\nExecuting the ONLINE plan against the engine...\n%!";
-  let db2 = Tpcr.Gen.generate ~seed:43 ~scale () in
-  let m2 =
-    Ivm.Maintainer.create ~meter:db2.Tpcr.Gen.meter
-      (Tpcr.Gen.min_supplycost_view db2)
+  Relation.Meter.reset db.Tpcr.Gen.meter;
+  (m, Tpcr.Updates.paper_feeds ~seed:(seed + 1) db)
+
+(* --- run --------------------------------------------------------------------- *)
+
+let run_exec scale horizon seed strategy trace metrics =
+  (* Per-action simulated-vs-executed comparison needs the collector even
+     without --trace/--metrics. *)
+  with_telemetry ~always:true ~trace ~metrics (fun () ->
+      Printf.printf "Generating TPC-R database (scale %.3f)...\n%!" scale;
+      Printf.printf "Calibrating cost functions...\n%!";
+      let spec = tpcr_spec ~scale ~seed ~horizon in
+      Printf.printf "Constraint C = %.0f cost units; horizon T = %d\n\n%!"
+        (Abivm.Spec.limit spec) horizon;
+      let reports = Abivm.Simulate.all spec in
+      print_reports spec reports;
+      Printf.printf "\nExecuting the %s plan against the engine...\n%!"
+        (Abivm.Strategy.label strategy);
+      let plan = (Abivm.Simulate.run strategy spec).Abivm.Report.plan in
+      let m, feeds = tpcr_engine ~scale ~seed:(seed + 100) in
+      let report = Bridge.Runner.run_plan ~strategy m feeds spec plan in
+      let executed = Bridge.Runner.action_costs report in
+      let simulated = Bridge.Runner.simulated_action_costs report in
+      Util.Tablefmt.print
+        ~aligns:
+          [ Util.Tablefmt.Right; Util.Tablefmt.Right; Util.Tablefmt.Right;
+            Util.Tablefmt.Right ]
+        ~header:[ "t"; "simulated"; "executed"; "exec/sim" ]
+        (List.map2
+           (fun (t, sim) (_, exec) ->
+             [
+               string_of_int t;
+               Util.Tablefmt.float_cell sim;
+               Util.Tablefmt.float_cell exec;
+               (if sim > 0.0 then
+                  Util.Tablefmt.float_cell ~decimals:3 (exec /. sim)
+                else "-");
+             ])
+           simulated executed);
+      Printf.printf
+        "\ntotal: executed %.0f cost units, simulated %.0f; view consistent: \
+         %b; wall %.2fs\n"
+        (Option.value ~default:0.0 report.Abivm.Report.cost_units)
+        report.Abivm.Report.total_cost report.Abivm.Report.valid
+        (Option.value ~default:0.0 report.Abivm.Report.wall_seconds));
+  `Ok ()
+
+let run_cmd =
+  let scale =
+    Arg.(
+      value & opt float 0.02
+      & info [ "scale" ] ~docv:"SF" ~doc:"TPC-R scale factor (default 0.02).")
   in
-  Relation.Meter.reset db2.Tpcr.Gen.meter;
-  let feeds2 = Tpcr.Updates.paper_feeds ~seed:8 db2 in
-  let online = Abivm.Online.plan spec in
-  let result = Bridge.Runner.run_plan m2 feeds2 spec online in
-  Printf.printf
-    "executed cost %.0f units (simulated %.0f), view consistent: %b, wall %.2fs\n"
-    result.Bridge.Runner.total_cost_units
-    (Abivm.Plan.cost spec online)
-    result.Bridge.Runner.final_consistent result.Bridge.Runner.wall_seconds
+  let horizon =
+    Arg.(
+      value & opt int 300
+      & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time (default 300).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv (Abivm.Strategy.Online None)
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Strategy to execute: naive, opt-lgm, adapt:T0, \
+             online[:ewma:A|:ewma-sd:A,Z|:window:K|:oracle].")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "calibrate, simulate all strategies, then execute one against the \
+          engine and compare simulated vs measured per-action cost (Fig. 5)")
+    Term.(
+      ret
+        (const run_exec $ scale $ horizon $ seed $ strategy $ trace_arg
+       $ metrics_arg))
+
+(* --- demo -------------------------------------------------------------------- *)
+
+let demo scale horizon trace metrics =
+  with_telemetry ~trace ~metrics (fun () ->
+      Printf.printf "Generating TPC-R database (scale %.3f)...\n%!" scale;
+      Printf.printf "Calibrating cost functions...\n%!";
+      let spec = tpcr_spec ~scale ~seed:42 ~horizon in
+      Printf.printf "Constraint C = %.0f cost units; horizon T = %d\n%!"
+        (Abivm.Spec.limit spec) horizon;
+      let reports = Abivm.Simulate.all spec in
+      print_reports spec reports;
+      Printf.printf "\nExecuting the ONLINE plan against the engine...\n%!";
+      let strategy = Abivm.Strategy.Online None in
+      let online = Abivm.Online.plan spec in
+      let m2, feeds2 = tpcr_engine ~scale ~seed:7 in
+      let report = Bridge.Runner.run_plan ~strategy m2 feeds2 spec online in
+      Printf.printf
+        "executed cost %.0f units (simulated %.0f), view consistent: %b, \
+         wall %.2fs\n"
+        (Option.value ~default:0.0 report.Abivm.Report.cost_units)
+        report.Abivm.Report.total_cost report.Abivm.Report.valid
+        (Option.value ~default:0.0 report.Abivm.Report.wall_seconds))
 
 let demo_cmd =
   let scale =
@@ -223,7 +367,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"end-to-end TPC-R run: calibrate, plan, execute, validate")
-    Term.(const demo $ scale $ horizon)
+    Term.(const demo $ scale $ horizon $ trace_arg $ metrics_arg)
 
 (* --- tightness ---------------------------------------------------------------- *)
 
@@ -241,7 +385,7 @@ let tightness () =
              ~arrivals:(Array.make 4 [| per_step |])
          in
          let exact, _ = Abivm.Exact.solve spec in
-         let lgm, _, _ = Abivm.Astar.solve spec in
+         let lgm = (Abivm.Astar.solve spec).Abivm.Astar.cost in
          [
            Printf.sprintf "%.3f" eps;
            Util.Tablefmt.float_cell exact;
@@ -258,6 +402,6 @@ let tightness_cmd =
 let main_cmd =
   let doc = "asymmetric batch incremental view maintenance" in
   Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
-    [ simulate_cmd; calibrate_cmd; demo_cmd; tightness_cmd ]
+    [ simulate_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -31,7 +31,7 @@ let () =
   List.iter
     (fun actual_t ->
       let spec = mk_spec actual_t in
-      let opt, _, _ = Abivm.Astar.solve spec in
+      let opt = (Abivm.Astar.solve spec).Abivm.Astar.cost in
       let adapt = Abivm.Plan.cost spec (Abivm.Adapt.plan spec ~t0) in
       let naive = Abivm.Plan.cost spec (Abivm.Naive.plan spec) in
       Printf.printf "%12d %12.0f %12.0f %12.0f %10.3f %10.3f\n" actual_t opt
@@ -44,7 +44,7 @@ let () =
   (* Show the rescue mechanism: replay against arrivals that deviate from
      the projection the T0-plan assumed. *)
   let projected = mk_spec t0 in
-  let _, t0_plan, _ = Abivm.Astar.solve projected in
+  let t0_plan = (Abivm.Astar.solve projected).Abivm.Astar.plan in
   let bursty =
     Abivm.Spec.make ~costs ~limit
       ~arrivals:

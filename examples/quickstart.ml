@@ -118,7 +118,7 @@ let () =
      customer insert per step):\n"
     limit horizon;
   List.iter
-    (fun (o : Abivm.Simulate.outcome) ->
+    (fun (r : Abivm.Report.t) ->
       Printf.printf "  %-8s total cost %10.1f  (%d actions, valid = %b)\n"
-        o.name o.total_cost o.actions o.valid)
+        (Abivm.Report.name r) r.total_cost r.actions r.valid)
     (Abivm.Simulate.all spec)

@@ -83,12 +83,12 @@ let () =
     "\nStrategy comparison (C = %.0f units, T = %d, 1 partsupp + 1 supplier \
      update per step):\n"
     limit horizon;
-  let outcomes = Abivm.Simulate.all spec in
+  let reports = Abivm.Simulate.all spec in
   List.iter
-    (fun (o : Abivm.Simulate.outcome) ->
-      Printf.printf "  %-8s %10.1f units  (%d actions)\n" o.name o.total_cost
-        o.actions)
-    outcomes;
+    (fun (r : Abivm.Report.t) ->
+      Printf.printf "  %-8s %10.1f units  (%d actions)\n" (Abivm.Report.name r)
+        r.total_cost r.actions)
+    reports;
 
   (* Execute the best no-knowledge strategy against a fresh database and
      check both the costs and the view contents. *)
@@ -101,16 +101,15 @@ let () =
   Relation.Meter.reset db2.Tpcr.Gen.meter;
   let feeds2 = Tpcr.Updates.paper_feeds ~seed:8 db2 in
   let online = Abivm.Online.plan spec in
-  let result = Bridge.Runner.run_plan m2 feeds2 spec online in
+  let report = Bridge.Runner.run_plan m2 feeds2 spec online in
+  let executed = Option.value ~default:0.0 report.Abivm.Report.cost_units in
   Printf.printf
     "  simulated %.0f units, executed %.0f units (%.1f%% apart), wall %.2fs\n"
-    (Abivm.Plan.cost spec online) result.Bridge.Runner.total_cost_units
-    (100.0
-    *. Float.abs (Abivm.Plan.cost spec online -. result.Bridge.Runner.total_cost_units)
-    /. result.Bridge.Runner.total_cost_units)
-    result.Bridge.Runner.wall_seconds;
+    report.Abivm.Report.total_cost executed
+    (100.0 *. Float.abs (report.Abivm.Report.total_cost -. executed) /. executed)
+    (Option.value ~default:0.0 report.Abivm.Report.wall_seconds);
   Printf.printf "  view consistent after refresh: %b\n"
-    result.Bridge.Runner.final_consistent;
+    report.Abivm.Report.valid;
   match Ivm.Maintainer.rows m2 with
   | [ row ] ->
       Printf.printf "  final MIN(ps.supplycost) = %s\n"

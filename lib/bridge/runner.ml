@@ -1,46 +1,91 @@
-type result = {
-  total_cost_units : float;
-  action_costs : (int * float) list;
-  final_consistent : bool;
-  wall_seconds : float;
-}
+type result = Abivm.Report.t
 
-let run_plan m feeds spec plan =
+let run_plan ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
   let n = Abivm.Spec.n_tables spec in
   if n <> Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) then
     invalid_arg "Runner.run_plan: spec/view table count mismatch";
   let horizon = Abivm.Spec.horizon spec in
-  let started = Unix.gettimeofday () in
-  let total = ref 0.0 in
-  let action_costs = ref [] in
-  for t = 0 to horizon do
-    let d = (Abivm.Spec.arrivals spec).(t) in
-    Array.iteri
-      (fun i count ->
-        for _ = 1 to count do
-          Ivm.Maintainer.on_arrive m i (feeds.Tpcr.Updates.next i)
-        done)
-      d;
-    match Abivm.Plan.action_at plan t with
-    | None -> ()
-    | Some action ->
-        let cost = ref 0.0 in
+  let before_tel = Telemetry.snapshot () in
+  Telemetry.with_span ~name:"runner.plan"
+    ~attrs:[ ("strategy", Abivm.Strategy.label strategy) ]
+    (fun () ->
+      let started = Unix.gettimeofday () in
+      let total = ref 0.0 in
+      for t = 0 to horizon do
+        let d = (Abivm.Spec.arrivals spec).(t) in
         Array.iteri
-          (fun i k ->
-            if k > 0 then begin
-              let delta = Ivm.Maintainer.process m i k in
-              cost := !cost +. Relation.Meter.cost_units delta
-            end)
-          action;
-        total := !total +. !cost;
-        action_costs := (t, !cost) :: !action_costs
-  done;
-  let final_consistent = Ivm.Maintainer.check_consistent m = Ok () in
-  {
-    total_cost_units = !total;
-    action_costs = List.rev !action_costs;
-    final_consistent;
-    wall_seconds = Unix.gettimeofday () -. started;
-  }
+          (fun i count ->
+            for _ = 1 to count do
+              Ivm.Maintainer.on_arrive m i (feeds.Tpcr.Updates.next i)
+            done)
+          d;
+        match Abivm.Plan.action_at plan t with
+        | None -> ()
+        | Some action ->
+            let run_action () =
+              let cost = ref 0.0 in
+              Array.iteri
+                (fun i k ->
+                  if k > 0 then begin
+                    let delta = Ivm.Maintainer.process m i k in
+                    cost := !cost +. Relation.Meter.cost_units delta
+                  end)
+                action;
+              !cost
+            in
+            let cost =
+              if not (Telemetry.enabled ()) then run_action ()
+              else begin
+                let labels = [ ("t", string_of_int t) ] in
+                let cost =
+                  Telemetry.with_span ~name:"runner.action"
+                    ~attrs:(("strategy", Abivm.Strategy.name strategy) :: labels)
+                    run_action
+                in
+                (* Executed vs simulated cost of the same action, keyed by
+                   time step — the raw material for a Fig. 5 plot. *)
+                Telemetry.add ~labels "runner.action.cost_units" cost;
+                Telemetry.add ~labels "runner.action.simulated"
+                  (Abivm.Spec.f spec action);
+                Telemetry.incr "runner.actions";
+                Telemetry.add "runner.cost_units" cost;
+                cost
+              end
+            in
+            total := !total +. cost
+      done;
+      let final_consistent = Ivm.Maintainer.check_consistent m = Ok () in
+      let wall_seconds = Unix.gettimeofday () -. started in
+      let report =
+        Abivm.Report.of_plan ~cost_units:!total ~wall_seconds ~strategy spec
+          plan
+      in
+      {
+        report with
+        Abivm.Report.valid = report.Abivm.Report.valid && final_consistent;
+        telemetry = Telemetry.Metrics.diff (Telemetry.snapshot ()) before_tel;
+      })
+
+let action_costs (r : Abivm.Report.t) =
+  List.filter_map
+    (fun (s : Telemetry.Metrics.sample) ->
+      if s.sample_name <> "runner.action.cost_units" then None
+      else
+        match s.sample_labels with
+        | [ ("t", t) ] -> Option.map (fun t -> (t, s.sample_value)) (int_of_string_opt t)
+        | _ -> None)
+    r.Abivm.Report.telemetry
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let simulated_action_costs (r : Abivm.Report.t) =
+  List.filter_map
+    (fun (s : Telemetry.Metrics.sample) ->
+      if s.sample_name <> "runner.action.simulated" then None
+      else
+        match s.sample_labels with
+        | [ ("t", t) ] -> Option.map (fun t -> (t, s.sample_value)) (int_of_string_opt t)
+        | _ -> None)
+    r.Abivm.Report.telemetry
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let simulated_cost = Abivm.Plan.cost

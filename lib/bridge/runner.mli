@@ -4,23 +4,40 @@
 
     The runner replays the spec's arrival sequence, pulling concrete
     modifications from the update feeds, and performs exactly the batch
-    actions the plan prescribes.  Per-action engine costs (in meter cost
-    units) come back alongside the total, so they can be compared with the
-    simulated costs [f_i(k)] the planner assumed. *)
+    actions the plan prescribes.  It returns the same {!Abivm.Report.t}
+    record that {!Abivm.Simulate} produces, with [cost_units] (measured
+    engine cost) and [wall_seconds] filled in and [valid] additionally
+    requiring the final view content to equal a from-scratch recompute.
 
-type result = {
-  total_cost_units : float;
-  action_costs : (int * float) list;  (** (time, cost units) per action *)
-  final_consistent : bool;
-      (** view content equals a from-scratch recompute after the run *)
-  wall_seconds : float;
-}
+    When the {!Telemetry} collector is enabled the run executes inside a
+    ["runner.plan"] span, each plan action inside a ["runner.action"] span,
+    and the counters [runner.action.cost_units] / [runner.action.simulated]
+    (labelled by time step) record executed-vs-simulated cost per action;
+    {!action_costs} reads them back from the report. *)
+
+type result = Abivm.Report.t
+[@@ocaml.deprecated "use Abivm.Report.t (cost_units/wall_seconds now live there)"]
 
 val run_plan :
-  Ivm.Maintainer.t -> Tpcr.Updates.feeds -> Abivm.Spec.t -> Abivm.Plan.t -> result
-(** Raises [Invalid_argument] if the plan asks to process more
-    modifications than are pending (i.e. the plan is invalid for the
-    spec).  The consistency check at the end is unmetered. *)
+  ?strategy:Abivm.Strategy.t ->
+  Ivm.Maintainer.t ->
+  Tpcr.Updates.feeds ->
+  Abivm.Spec.t ->
+  Abivm.Plan.t ->
+  Abivm.Report.t
+(** [strategy] (default [Online None]) only labels the report.  Raises
+    [Invalid_argument] if the plan asks to process more modifications than
+    are pending (i.e. the plan is invalid for the spec).  The consistency
+    check at the end is unmetered. *)
+
+val action_costs : Abivm.Report.t -> (int * float) list
+(** (time, measured cost units) per plan action, recovered from the
+    report's telemetry.  Empty when the run executed with the collector
+    disabled. *)
+
+val simulated_action_costs : Abivm.Report.t -> (int * float) list
+(** (time, simulated cost [f] of the action) — pairs with
+    {!action_costs} for per-action Fig. 5 comparisons. *)
 
 val simulated_cost : Abivm.Spec.t -> Abivm.Plan.t -> float
 (** Convenience re-export of {!Abivm.Plan.cost} for side-by-side

@@ -46,5 +46,5 @@ let plan spec ~t0 =
     if t0 <= Spec.horizon spec then Spec.truncate spec t0
     else Spec.extend_cyclic spec t0
   in
-  let _, t0_plan, _ = Astar.solve projected in
+  let t0_plan = (Astar.solve projected).Astar.plan in
   (replay spec ~t0 ~t0_plan).plan

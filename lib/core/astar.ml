@@ -1,4 +1,11 @@
-type stats = { expanded : int; generated : int }
+type stats = {
+  expanded : int;
+  generated : int;
+  reopened : int;
+  max_queue : int;
+}
+
+type result = { cost : float; plan : Plan.t; stats : stats }
 
 module Key = struct
   type t = int * int list
@@ -87,7 +94,7 @@ let scan_to_full spec t0 s =
   in
   loop (t0 + 1)
 
-let solve ?(use_heuristic = true) spec =
+let solve_exclusive ~use_heuristic spec =
   let n = Spec.n_tables spec in
   let horizon = Spec.horizon spec in
   let h = if use_heuristic then make_heuristic spec else fun ~t:_ _ -> 0.0 in
@@ -95,6 +102,7 @@ let solve ?(use_heuristic = true) spec =
   let g : float Ktbl.t = Ktbl.create 1024 in
   let parent : (Key.t * int * Statevec.t) Ktbl.t = Ktbl.create 1024 in
   let expanded = ref 0 and generated = ref 0 in
+  let reopened = ref 0 and max_queue = ref 0 in
   let source = key (-1) (Statevec.zero n) in
   let dest = key horizon (Statevec.zero n) in
   Ktbl.replace g source 0.0;
@@ -105,7 +113,10 @@ let solve ?(use_heuristic = true) spec =
     let tentative = Ktbl.find g from +. weight in
     let better =
       match Ktbl.find_opt g node_key with
-      | Some existing -> tentative < existing -. 1e-12
+      | Some existing ->
+          let b = tentative < existing -. 1e-12 in
+          if b then incr reopened;
+          b
       | None -> true
     in
     if better then begin
@@ -115,7 +126,8 @@ let solve ?(use_heuristic = true) spec =
       Ktbl.replace parent node_key (from, time, action);
       Util.Pqueue.push queue
         ~priority:(tentative +. h ~t:node_time node_state)
-        node_key
+        node_key;
+      max_queue := max !max_queue (Util.Pqueue.length queue)
     end
   in
   let expand node_key =
@@ -169,4 +181,22 @@ let solve ?(use_heuristic = true) spec =
       let actions =
         List.filter (fun (_, a) -> not (Statevec.is_zero a)) (rebuild dest [])
       in
-      (cost, Plan.of_actions actions, { expanded = !expanded; generated = !generated })
+      let stats =
+        {
+          expanded = !expanded;
+          generated = !generated;
+          reopened = !reopened;
+          max_queue = !max_queue;
+        }
+      in
+      (* One booking per solve, so the disabled-path overhead stays a few
+         ref reads regardless of search size. *)
+      Telemetry.add "astar.expanded" (float_of_int stats.expanded);
+      Telemetry.add "astar.generated" (float_of_int stats.generated);
+      Telemetry.add "astar.reopened" (float_of_int stats.reopened);
+      Telemetry.max_gauge "astar.queue_peak" (float_of_int stats.max_queue);
+      { cost; plan = Plan.of_actions actions; stats }
+
+let solve ?(use_heuristic = true) spec =
+  Telemetry.with_span ~name:"astar.solve" (fun () ->
+      solve_exclusive ~use_heuristic spec)

@@ -17,12 +17,21 @@
 type stats = {
   expanded : int;  (** nodes settled *)
   generated : int;  (** edges relaxed *)
+  reopened : int;  (** relaxations that improved an already-known node *)
+  max_queue : int;  (** open-list peak size *)
 }
 
-val solve : ?use_heuristic:bool -> Spec.t -> float * Plan.t * stats
+type result = { cost : float; plan : Plan.t; stats : stats }
+
+val solve : ?use_heuristic:bool -> Spec.t -> result
 (** Returns the cost of the best LGM plan, the plan, and search statistics.
     [use_heuristic:false] degrades to uniform-cost (Dijkstra) search — used
-    by the ablation bench to show how much the heuristic prunes. *)
+    by the ablation bench to show how much the heuristic prunes.
+
+    When the {!Telemetry} collector is enabled each solve runs inside an
+    ["astar.solve"] span and books the stats as [astar.expanded],
+    [astar.generated], [astar.reopened] counters and the [astar.queue_peak]
+    gauge. *)
 
 val heuristic : Spec.t -> t:int -> Statevec.t -> float
 (** Exposed for the consistency property test. *)

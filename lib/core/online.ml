@@ -139,12 +139,14 @@ let plan ?(predictor = default_predictor) ?(scorer = default_scorer) spec =
     let pre = Statevec.add !state d in
     if t = horizon then begin
       if not (Statevec.is_zero pre) then begin
+        Telemetry.incr "online.flush.horizon";
         spent := !spent +. Spec.f spec pre;
         out := (t, pre) :: !out
       end;
       state := Statevec.zero n
     end
     else if Spec.is_full spec pre then begin
+      Telemetry.incr "online.decisions";
       let best =
         best_action ~scorer spec ~ttf:(ttf ~from_time:t) ~spent:!spent ~t pre
       in
@@ -204,6 +206,7 @@ let step c ~arrivals =
   let spec = ctrl_spec c in
   if not (Spec.is_full spec c.ctrl_pending) then None
   else begin
+    Telemetry.incr "online.decisions";
     let ttf = time_to_full spec ~rates:c.ctrl_rates ~from_time:c.clock in
     let action =
       best_action spec ~ttf ~spent:c.ctrl_spent ~t:c.clock c.ctrl_pending
@@ -214,6 +217,7 @@ let step c ~arrivals =
   end
 
 let force_refresh c =
+  Telemetry.incr "online.flush.forced";
   let spec = ctrl_spec c in
   let action = c.ctrl_pending in
   c.ctrl_spent <- c.ctrl_spent +. Spec.f spec action;

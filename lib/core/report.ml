@@ -1,0 +1,33 @@
+type t = {
+  strategy : Strategy.t;
+  total_cost : float;
+  plan : Plan.t;
+  valid : bool;
+  actions : int;
+  cost_units : float option;
+  wall_seconds : float option;
+  telemetry : Telemetry.Metrics.snapshot;
+}
+
+let name r = Strategy.name r.strategy
+let label r = Strategy.label r.strategy
+
+let of_plan ?cost_units ?wall_seconds ?(telemetry = []) ~strategy spec plan =
+  {
+    strategy;
+    total_cost = Plan.cost spec plan;
+    plan;
+    valid = Plan.is_valid spec plan;
+    actions = List.length (Plan.actions plan);
+    cost_units;
+    wall_seconds;
+    telemetry;
+  }
+
+let cost_per_modification spec r =
+  let total_mods =
+    Array.fold_left
+      (fun acc row -> acc + Array.fold_left ( + ) 0 row)
+      0 (Spec.arrivals spec)
+  in
+  if total_mods = 0 then 0.0 else r.total_cost /. float_of_int total_mods

@@ -1,0 +1,41 @@
+(** The one record every strategy entry point returns.
+
+    Simulation ({!Simulate}) fills the plan-cost fields; engine execution
+    ([Bridge.Runner]) additionally fills [cost_units] (measured engine
+    cost units) and [wall_seconds], so simulated and executed runs of the
+    same strategy compare field-by-field (the paper's Fig. 5). *)
+
+type t = {
+  strategy : Strategy.t;
+  total_cost : float;  (** simulated plan cost under the spec's cost model *)
+  plan : Plan.t;
+  valid : bool;
+      (** plan validity (and, for executed runs, final view consistency) *)
+  actions : int;  (** number of non-zero actions taken *)
+  cost_units : float option;
+      (** measured engine cost units; [None] for pure simulation *)
+  wall_seconds : float option;  (** [None] for pure simulation *)
+  telemetry : Telemetry.Metrics.snapshot;
+      (** metric deltas booked while producing this report; empty when the
+          collector is disabled *)
+}
+
+val name : t -> string
+(** [Strategy.name r.strategy]. *)
+
+val label : t -> string
+(** [Strategy.label r.strategy]. *)
+
+val of_plan :
+  ?cost_units:float ->
+  ?wall_seconds:float ->
+  ?telemetry:Telemetry.Metrics.snapshot ->
+  strategy:Strategy.t ->
+  Spec.t ->
+  Plan.t ->
+  t
+(** Score [plan] against [spec] (cost, validity, action count). *)
+
+val cost_per_modification : Spec.t -> t -> float
+(** Total simulated cost divided by the number of modifications that
+    arrived — the metric of the paper's §1 example. *)

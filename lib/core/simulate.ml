@@ -1,42 +1,69 @@
-type outcome = {
-  name : string;
-  total_cost : float;
-  plan : Plan.t;
-  valid : bool;
-  actions : int;
-}
+type outcome = Report.t
 
-let run_plan ~name spec plan =
+(* Score a plan's actions one by one, emitting a ["simulate.action"] span
+   and booking per-strategy cost counters for each — skipped entirely when
+   the collector is disabled so simulation stays allocation-free there. *)
+let emit_action_telemetry ~strategy spec plan =
+  if Telemetry.enabled () then begin
+    let labels = [ ("strategy", Strategy.name strategy) ] in
+    List.iter
+      (fun (t, a) ->
+        Telemetry.with_span ~name:"simulate.action"
+          ~attrs:(("t", string_of_int t) :: labels)
+          (fun () ->
+            Telemetry.add ~labels "simulate.action_cost" (Spec.f spec a)))
+      (Plan.actions plan)
+  end
+
+let run_plan ~strategy spec plan =
+  let before = Telemetry.snapshot () in
+  let report = Report.of_plan ~strategy spec plan in
+  emit_action_telemetry ~strategy spec plan;
+  Telemetry.add
+    ~labels:[ ("strategy", Strategy.name strategy) ]
+    "simulate.total_cost" report.Report.total_cost;
   {
-    name;
-    total_cost = Plan.cost spec plan;
-    plan;
-    valid = Plan.is_valid spec plan;
-    actions = List.length (Plan.actions plan);
+    report with
+    Report.telemetry = Telemetry.Metrics.diff (Telemetry.snapshot ()) before;
   }
 
-let naive spec = run_plan ~name:"NAIVE" spec (Naive.plan spec)
+let plan_of_strategy (strategy : Strategy.t) spec =
+  match strategy with
+  | Naive -> Naive.plan spec
+  | Opt_lgm -> (Astar.solve spec).Astar.plan
+  | Adapt { t0 } -> Adapt.plan spec ~t0
+  | Online predictor -> Online.plan ?predictor spec
 
-let opt_lgm spec =
-  let _, plan, _ = Astar.solve spec in
-  run_plan ~name:"OPT-LGM" spec plan
+let run strategy spec =
+  (* Snapshot before plan construction so planner-side counters (e.g. the
+     astar.* family for OPT-LGM) land in the report's telemetry delta. *)
+  let before = Telemetry.snapshot () in
+  Telemetry.with_span ~name:"simulate.strategy"
+    ~attrs:[ ("strategy", Strategy.label strategy) ]
+    (fun () ->
+      let plan = plan_of_strategy strategy spec in
+      let report = Report.of_plan ~strategy spec plan in
+      emit_action_telemetry ~strategy spec plan;
+      Telemetry.add
+        ~labels:[ ("strategy", Strategy.name strategy) ]
+        "simulate.total_cost" report.Report.total_cost;
+      {
+        report with
+        Report.telemetry =
+          Telemetry.Metrics.diff (Telemetry.snapshot ()) before;
+      })
 
-let adapt spec ~t0 = run_plan ~name:"ADAPT" spec (Adapt.plan spec ~t0)
+let naive spec = run Strategy.Naive spec
+let opt_lgm spec = run Strategy.Opt_lgm spec
+let adapt spec ~t0 = run (Strategy.Adapt { t0 }) spec
+let online ?predictor spec = run (Strategy.Online predictor) spec
 
-let online ?predictor spec =
-  run_plan ~name:"ONLINE" spec (Online.plan ?predictor spec)
-
-let all ?adapt_t0 spec =
-  let t0 =
-    match adapt_t0 with Some t -> t | None -> max 1 (Spec.horizon spec / 2)
+let all ?adapt_t0 ?strategies spec =
+  let strategies =
+    match strategies with
+    | Some l -> l
+    | None -> Strategy.default_list ?adapt_t0 ~horizon:(Spec.horizon spec) ()
   in
-  [ naive spec; opt_lgm spec; adapt spec ~t0; online spec ]
+  List.map (fun strategy -> run strategy spec) strategies
 
-let cost_per_modification spec outcome =
-  let total_mods =
-    Array.fold_left
-      (fun acc row -> acc + Array.fold_left ( + ) 0 row)
-      0 (Spec.arrivals spec)
-  in
-  if total_mods = 0 then 0.0
-  else outcome.total_cost /. float_of_int total_mods
+let cost_per_modification = Report.cost_per_modification

@@ -1,26 +1,32 @@
-(** Convenience front-end: run each maintenance strategy of the paper over
-    a problem instance and report cost — the "simulation" mode of §5 (plan
-    costs computed from the cost functions, no engine execution). *)
+(** Convenience front-end: run maintenance strategies of the paper over a
+    problem instance and report cost — the "simulation" mode of §5 (plan
+    costs computed from the cost functions, no engine execution).
 
-type outcome = {
-  name : string;
-  total_cost : float;
-  plan : Plan.t;
-  valid : bool;
-  actions : int;  (** number of non-zero actions taken *)
-}
+    Every entry point returns a {!Report.t}.  When the {!Telemetry}
+    collector is enabled, each strategy runs inside a
+    ["simulate.strategy"] span, each plan action emits a
+    ["simulate.action"] span (attrs [strategy], [t]), and the counters
+    [simulate.action_cost] / [simulate.total_cost] are booked per
+    strategy; the report's [telemetry] field carries the metric delta. *)
 
-val run_plan : name:string -> Spec.t -> Plan.t -> outcome
+type outcome = Report.t
+[@@ocaml.deprecated "use Abivm.Report.t (same record, shared with Bridge.Runner)"]
 
-val naive : Spec.t -> outcome
-val opt_lgm : Spec.t -> outcome
-val adapt : Spec.t -> t0:int -> outcome
-val online : ?predictor:Online.predictor -> Spec.t -> outcome
+val run : Strategy.t -> Spec.t -> Report.t
+(** Build the strategy's plan and score it. *)
 
-val all : ?adapt_t0:int -> Spec.t -> outcome list
-(** NAIVE, OPT-LGM, ADAPT (with [adapt_t0], default [horizon / 2]) and
-    ONLINE, in the paper's Fig. 6 order. *)
+val run_plan : strategy:Strategy.t -> Spec.t -> Plan.t -> Report.t
+(** Score an externally-built plan under [strategy]'s name. *)
 
-val cost_per_modification : Spec.t -> outcome -> float
-(** Total cost divided by the number of modifications that arrived — the
-    metric of the paper's §1 example. *)
+val naive : Spec.t -> Report.t
+val opt_lgm : Spec.t -> Report.t
+val adapt : Spec.t -> t0:int -> Report.t
+val online : ?predictor:Online.predictor -> Spec.t -> Report.t
+
+val all : ?adapt_t0:int -> ?strategies:Strategy.t list -> Spec.t -> Report.t list
+(** Runs [strategies] (default {!Strategy.default_list}: NAIVE, OPT-LGM,
+    ADAPT with [adapt_t0] defaulting to [horizon / 2], and ONLINE — the
+    paper's Fig. 6 order). *)
+
+val cost_per_modification : Spec.t -> Report.t -> float
+(** Alias for {!Report.cost_per_modification}. *)

@@ -272,19 +272,51 @@ let apply_to_base m i change =
              (Relation.Table.name table));
       ignore (Relation.Table.insert table after)
 
+(* Export one maintenance batch's meter delta as telemetry: the
+   [meter.<counter>] family labelled by table, plus aggregate batch
+   counters.  Guarded so the disabled path does no float conversion. *)
+let book_batch_telemetry ~table ~k (d : Relation.Meter.snapshot) =
+  if Telemetry.enabled () then begin
+    let labels = [ ("table", table) ] in
+    let add name v = if v <> 0 then Telemetry.add ~labels name (float_of_int v) in
+    add "meter.seq_scanned" d.seq_scanned;
+    add "meter.index_probes" d.index_probes;
+    add "meter.index_entries" d.index_entries;
+    add "meter.inserted" d.inserted;
+    add "meter.deleted" d.deleted;
+    add "meter.updated" d.updated;
+    add "meter.hash_build" d.hash_build;
+    add "meter.hash_probe" d.hash_probe;
+    add "meter.output" d.output;
+    add "meter.batch_setup" d.batch_setup;
+    Telemetry.incr "maintainer.batches";
+    Telemetry.add "maintainer.cost_units" (Relation.Meter.cost_units d);
+    Telemetry.observe "maintainer.batch_size" (float_of_int k)
+  end
+
 let process m i k =
   if i < 0 || i >= Array.length m.pending then
     invalid_arg "Maintainer.process: bad table index";
-  let before = Relation.Meter.snapshot m.meter in
-  if k > 0 then begin
-    let batch = Pending.take m.pending.(i) k in
-    Relation.Meter.bump_batch_setup m.meter 1;
-    let deltas = List.concat_map Change.signed_tuples batch in
-    let contributions = expand_batch m i deltas in
-    List.iter (apply_contribution m) contributions;
-    List.iter (apply_to_base m i) batch
-  end;
-  Relation.Meter.diff (Relation.Meter.snapshot m.meter) before
+  let table () = Relation.Table.name (Viewdef.tables m.view).(i) in
+  let run () =
+    let before = Relation.Meter.snapshot m.meter in
+    if k > 0 then begin
+      let batch = Pending.take m.pending.(i) k in
+      Relation.Meter.bump_batch_setup m.meter 1;
+      let deltas = List.concat_map Change.signed_tuples batch in
+      let contributions = expand_batch m i deltas in
+      List.iter (apply_contribution m) contributions;
+      List.iter (apply_to_base m i) batch
+    end;
+    let delta = Relation.Meter.diff (Relation.Meter.snapshot m.meter) before in
+    if Telemetry.enabled () then book_batch_telemetry ~table:(table ()) ~k delta;
+    delta
+  in
+  if not (Telemetry.enabled ()) then run ()
+  else
+    Telemetry.with_span ~name:"maintainer.process"
+      ~attrs:[ ("table", table ()); ("k", string_of_int k) ]
+      run
 
 let refresh m =
   let before = Relation.Meter.snapshot m.meter in

@@ -41,7 +41,13 @@ val process : t -> int -> int -> Relation.Meter.snapshot
 (** [process m i k]: batch-process the earliest [k] modifications of table
     [i].  Returns the meter delta attributable to the batch.  [k = 0] is a
     free no-op.  Raises [Invalid_argument] if [k] exceeds the pending count
-    or a deletion targets a missing tuple (inconsistent stream). *)
+    or a deletion targets a missing tuple (inconsistent stream).
+
+    When the {!Telemetry} collector is enabled each batch runs inside a
+    ["maintainer.process"] span (attrs [table], [k]) and books the meter
+    delta as the [meter.*] counter family labelled by table, plus
+    [maintainer.batches], [maintainer.cost_units] and the
+    [maintainer.batch_size] histogram. *)
 
 val refresh : t -> Relation.Meter.snapshot
 (** Process everything pending in every table (one batch per table) —

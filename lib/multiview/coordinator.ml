@@ -200,7 +200,11 @@ let run ~views ~shared_setup ~arrivals ~coordinate =
       per_view;
     total := !total +. discounted;
     undiscounted := !undiscounted +. raw;
-    joins := !joins + step_joins
+    joins := !joins + step_joins;
+    if step_joins > 0 then begin
+      Telemetry.add "multiview.co_flushes" (float_of_int step_joins);
+      Telemetry.add "multiview.discount_pocketed" (raw -. discounted)
+    end
   done;
   Array.iter
     (fun sim ->

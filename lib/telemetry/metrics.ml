@@ -1,0 +1,249 @@
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type instrument = {
+  name : string;
+  labels : (string * string) list; (* sorted by key *)
+  kind : kind;
+  mutable value : float; (* counter total, gauge value, histogram sum *)
+  mutable count : int; (* histogram observations *)
+  mutable min_v : float;
+  mutable max_v : float;
+  bounds : float array; (* histogram bucket upper bounds; [||] otherwise *)
+  bucket_counts : int array; (* length bounds + 1 (last = overflow) *)
+}
+
+type counter = instrument
+type gauge = instrument
+type histogram = instrument
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let normalize_labels labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Metrics: duplicate label key %S" a)
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let labels_string labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
+let key name labels = name ^ labels_string labels
+
+let default_buckets =
+  [| 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0;
+     5000.0; 10000.0 |]
+
+let register reg ~kind ~bounds ?(labels = []) name =
+  let labels = normalize_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt reg.tbl k with
+  | Some existing ->
+      if existing.kind <> kind then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics: %s already registered as a %s (cannot re-register as \
+              a %s)"
+             k (kind_name existing.kind) (kind_name kind));
+      existing
+  | None ->
+      let inst =
+        {
+          name;
+          labels;
+          kind;
+          value = 0.0;
+          count = 0;
+          min_v = Float.infinity;
+          max_v = Float.neg_infinity;
+          bounds;
+          bucket_counts =
+            (if kind = Histogram then Array.make (Array.length bounds + 1) 0
+             else [||]);
+        }
+      in
+      Hashtbl.replace reg.tbl k inst;
+      inst
+
+let counter reg ?labels name = register reg ~kind:Counter ~bounds:[||] ?labels name
+let gauge reg ?labels name = register reg ~kind:Gauge ~bounds:[||] ?labels name
+
+let histogram reg ?(buckets = default_buckets) ?labels name =
+  let bounds = Array.copy buckets in
+  Array.sort compare bounds;
+  register reg ~kind:Histogram ~bounds ?labels name
+
+let inc c v =
+  if v < 0.0 then invalid_arg "Metrics.inc: counters are monotone (v < 0)";
+  c.value <- c.value +. v
+
+let inc1 c = inc c 1.0
+let set g v = g.value <- v
+let set_max g v = if v > g.value then g.value <- v
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.value <- h.value +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_kind : kind;
+  sample_value : float;
+  sample_count : int;
+  sample_min : float; (* nan when no observations *)
+  sample_max : float;
+  sample_buckets : (float * int) list; (* (upper bound, count); inf = overflow *)
+}
+
+type snapshot = sample list
+
+let sample_of inst =
+  {
+    sample_name = inst.name;
+    sample_labels = inst.labels;
+    sample_kind = inst.kind;
+    sample_value = inst.value;
+    sample_count = inst.count;
+    sample_min = (if inst.count = 0 then Float.nan else inst.min_v);
+    sample_max = (if inst.count = 0 then Float.nan else inst.max_v);
+    sample_buckets =
+      (if inst.kind <> Histogram then []
+       else
+         Array.to_list
+           (Array.mapi
+              (fun i c ->
+                ( (if i < Array.length inst.bounds then inst.bounds.(i)
+                   else Float.infinity),
+                  c ))
+              inst.bucket_counts));
+  }
+
+let compare_sample a b =
+  match String.compare a.sample_name b.sample_name with
+  | 0 -> compare a.sample_labels b.sample_labels
+  | c -> c
+
+let snapshot reg =
+  Hashtbl.fold (fun _ inst acc -> sample_of inst :: acc) reg.tbl []
+  |> List.sort compare_sample
+
+(* [diff later earlier]: counters and histograms subtract; gauges keep the
+   later value.  Samples whose delta is zero (or gauges that did not move)
+   are dropped, so a diff reads as "what changed". *)
+let diff later earlier =
+  let find s =
+    List.find_opt
+      (fun e ->
+        String.equal e.sample_name s.sample_name
+        && e.sample_labels = s.sample_labels
+        && e.sample_kind = s.sample_kind)
+      earlier
+  in
+  List.filter_map
+    (fun s ->
+      match (s.sample_kind, find s) with
+      | _, None ->
+          if s.sample_kind = Gauge || s.sample_value <> 0.0 || s.sample_count <> 0
+          then Some s
+          else None
+      | Counter, Some e ->
+          let d = s.sample_value -. e.sample_value in
+          if d = 0.0 then None else Some { s with sample_value = d }
+      | Gauge, Some e ->
+          if s.sample_value = e.sample_value then None else Some s
+      | Histogram, Some e ->
+          let dc = s.sample_count - e.sample_count in
+          if dc = 0 then None
+          else
+            Some
+              {
+                s with
+                sample_value = s.sample_value -. e.sample_value;
+                sample_count = dc;
+                sample_buckets =
+                  List.map2
+                    (fun (b, c) (_, c') -> (b, c - c'))
+                    s.sample_buckets e.sample_buckets;
+              })
+    later
+
+let find snap ?(labels = []) name =
+  let labels = normalize_labels labels in
+  List.find_opt
+    (fun s -> String.equal s.sample_name name && s.sample_labels = labels)
+    snap
+
+let find_all snap name =
+  List.filter (fun s -> String.equal s.sample_name name) snap
+
+let value snap ?labels name =
+  match find snap ?labels name with Some s -> s.sample_value | None -> 0.0
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let to_rows snap =
+  List.map
+    (fun s ->
+      [
+        s.sample_name;
+        labels_string s.sample_labels;
+        kind_name s.sample_kind;
+        (if Float.is_integer s.sample_value then
+           Printf.sprintf "%.0f" s.sample_value
+         else Printf.sprintf "%.2f" s.sample_value);
+        (if s.sample_kind = Histogram then string_of_int s.sample_count else "");
+      ])
+    snap
+
+let to_table snap =
+  Util.Tablefmt.render
+    ~aligns:
+      [ Util.Tablefmt.Left; Util.Tablefmt.Left; Util.Tablefmt.Left;
+        Util.Tablefmt.Right; Util.Tablefmt.Right ]
+    ~header:[ "metric"; "labels"; "kind"; "value"; "count" ]
+    (to_rows snap)
+
+let sample_json s =
+  match s.sample_kind with
+  | Counter | Gauge -> Jsonx.num s.sample_value
+  | Histogram ->
+      Jsonx.obj
+        [
+          ("count", Jsonx.int s.sample_count);
+          ("sum", Jsonx.num s.sample_value);
+          ("min", Jsonx.num s.sample_min);
+          ("max", Jsonx.num s.sample_max);
+        ]
+
+let snapshot_json snap =
+  Jsonx.obj
+    (List.map
+       (fun s -> (key s.sample_name s.sample_labels, sample_json s))
+       snap)

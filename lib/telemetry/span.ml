@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  start : float; (* seconds, collector clock (Unix epoch by default) *)
+  duration : float; (* seconds *)
+  depth : int; (* nesting depth at entry; 0 = top level *)
+  seq : int; (* creation order within the collector *)
+  metrics : Metrics.snapshot; (* metric deltas recorded while inside *)
+}
+
+let to_json span =
+  Jsonx.obj
+    [
+      ("type", Jsonx.str "span");
+      ("name", Jsonx.str span.name);
+      ("seq", Jsonx.int span.seq);
+      ("depth", Jsonx.int span.depth);
+      ("start_s", Jsonx.num span.start);
+      ("dur_s", Jsonx.num span.duration);
+      ( "attrs",
+        Jsonx.obj (List.map (fun (k, v) -> (k, Jsonx.str v)) span.attrs) );
+      ("metrics", Metrics.snapshot_json span.metrics);
+    ]

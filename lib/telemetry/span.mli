@@ -1,0 +1,18 @@
+(** A finished span: one timed, named region of execution.
+
+    Spans nest (the [depth] field); each records wall time and the metric
+    deltas observed between entry and exit, so a trace shows both where
+    time went and where cost units were booked. *)
+
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  start : float;  (** seconds (collector clock; Unix epoch by default) *)
+  duration : float;  (** seconds *)
+  depth : int;  (** nesting depth at entry; 0 = top level *)
+  seq : int;  (** creation order within the collector *)
+  metrics : Metrics.snapshot;  (** metric deltas recorded while inside *)
+}
+
+val to_json : t -> string
+(** One JSON object (no trailing newline). *)

@@ -1,0 +1,92 @@
+module Metrics = Metrics
+module Span = Span
+module Sink = Sink
+
+type collector = {
+  reg : Metrics.t;
+  mutable sinks : Sink.t list;
+  mutable depth : int;
+  mutable seq : int;
+}
+
+let current : collector option ref = ref None
+let enabled () = Option.is_some !current
+
+let disable () =
+  match !current with
+  | None -> ()
+  | Some c ->
+      let snap = Metrics.snapshot c.reg in
+      List.iter (fun (s : Sink.t) -> s.on_close snap) c.sinks;
+      current := None
+
+let enable ?(sinks = []) () =
+  disable ();
+  current := Some { reg = Metrics.create (); sinks; depth = 0; seq = 0 }
+
+let add_sink sink =
+  match !current with
+  | None -> invalid_arg "Telemetry.add_sink: collector disabled"
+  | Some c -> c.sinks <- c.sinks @ [ sink ]
+
+let registry () = Option.map (fun c -> c.reg) !current
+
+let snapshot () =
+  match !current with None -> [] | Some c -> Metrics.snapshot c.reg
+
+(* Wall clock; overridable for deterministic tests. *)
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+
+(* --- no-op-when-disabled instrument helpers ------------------------------ *)
+
+let add ?labels name v =
+  match !current with
+  | None -> ()
+  | Some c -> Metrics.inc (Metrics.counter c.reg ?labels name) v
+
+let incr ?labels name = add ?labels name 1.0
+
+let set_gauge ?labels name v =
+  match !current with
+  | None -> ()
+  | Some c -> Metrics.set (Metrics.gauge c.reg ?labels name) v
+
+let max_gauge ?labels name v =
+  match !current with
+  | None -> ()
+  | Some c -> Metrics.set_max (Metrics.gauge c.reg ?labels name) v
+
+let observe ?buckets ?labels name v =
+  match !current with
+  | None -> ()
+  | Some c -> Metrics.observe (Metrics.histogram c.reg ?buckets ?labels name) v
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let with_span ?(attrs = []) ~name fn =
+  match !current with
+  | None -> fn ()
+  | Some c ->
+      (* Snapshot-diffing the registry costs O(#instruments); skip it when
+         nothing consumes the span. *)
+      let want_metrics = c.sinks <> [] in
+      let before = if want_metrics then Metrics.snapshot c.reg else [] in
+      let start = !clock () in
+      let depth = c.depth in
+      c.depth <- depth + 1;
+      let seq = c.seq in
+      c.seq <- seq + 1;
+      let finish () =
+        c.depth <- depth;
+        let duration = !clock () -. start in
+        if want_metrics || c.sinks <> [] then begin
+          let metrics =
+            if want_metrics then Metrics.diff (Metrics.snapshot c.reg) before
+            else []
+          in
+          let span = { Span.name; attrs; start; duration; depth; seq; metrics } in
+          List.iter (fun (s : Sink.t) -> s.on_span span) c.sinks
+        end
+      in
+      Fun.protect ~finally:finish fn

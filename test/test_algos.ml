@@ -57,7 +57,7 @@ let test_exact_can_beat_lgm_on_step_cost () =
   let arrivals = uniform_arrivals ~horizon:3 [| 5 |] in
   let spec = mk_spec ~costs:[| f |] ~limit arrivals in
   let exact_cost, exact_plan = Abivm.Exact.solve spec in
-  let lgm_cost, lgm_plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = lgm_cost; plan = lgm_plan; stats = _ } = Abivm.Astar.solve spec in
   checkb "exact valid" true (Abivm.Plan.is_valid spec exact_plan);
   checkb "lgm valid" true (Abivm.Plan.is_valid spec lgm_plan);
   checkb "exact strictly better" true (exact_cost < lgm_cost -. 1e-9)
@@ -71,7 +71,7 @@ let test_tightness_ratio_approaches_two () =
   let arrivals = uniform_arrivals ~horizon:3 [| per_step |] in
   let spec = mk_spec ~costs:[| f |] ~limit arrivals in
   let exact_cost, _ = Abivm.Exact.solve spec in
-  let lgm_cost, _, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = lgm_cost; plan = _; stats = _ } = Abivm.Astar.solve spec in
   let ratio = lgm_cost /. exact_cost in
   checkb "ratio below 2 (Theorem 1)" true (ratio <= 2.0 +. 1e-9);
   checkb "ratio above 1.5 (tightness)" true (ratio > 1.5)
@@ -82,13 +82,13 @@ let test_astar_matches_exact_on_affine () =
   (* Theorem 2: for affine costs the best LGM plan is globally optimal. *)
   let spec = small_affine_spec () in
   let exact_cost, _ = Abivm.Exact.solve spec in
-  let astar_cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = astar_cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkf "OPT_LGM = OPT" exact_cost astar_cost;
   checkb "plan is valid LGM" true (Abivm.Plan.is_lgm spec plan)
 
 let test_astar_plan_cost_matches_reported () =
   let spec = small_affine_spec () in
-  let cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkf "reported = recomputed" cost (Abivm.Plan.cost spec plan)
 
 let test_astar_no_worse_than_naive () =
@@ -98,7 +98,7 @@ let test_astar_no_worse_than_naive () =
       ~limit:8.0
       (uniform_arrivals ~horizon:40 [| 1; 1 |])
   in
-  let astar_cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = astar_cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   let naive_cost = Abivm.Plan.cost spec (Abivm.Naive.plan spec) in
   checkb "astar <= naive" true (astar_cost <= naive_cost +. 1e-9);
   checkb "valid" true (Abivm.Plan.is_valid spec plan)
@@ -112,7 +112,7 @@ let test_astar_exploits_asymmetry () =
       ~limit:8.0
       (uniform_arrivals ~horizon:60 [| 1; 1 |])
   in
-  let _, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = _; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   let counts = Abivm.Plan.action_count_per_table plan ~n:2 in
   checkb "linear table flushed more often" true (counts.(1) > counts.(0))
 
@@ -121,7 +121,7 @@ let test_astar_heuristic_admissible_along_plan () =
      remaining cost of that plan (which is the optimal continuation). *)
   let spec = small_affine_spec () in
   let h = Abivm.Astar.heuristic spec in
-  let _, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = _; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   let states = Abivm.Plan.states spec plan in
   let actions = Abivm.Plan.actions plan in
   List.iteri
@@ -138,26 +138,26 @@ let test_astar_heuristic_admissible_along_plan () =
 let test_astar_heuristic_admissible_at_source () =
   let spec = small_affine_spec () in
   let h0 = Abivm.Astar.heuristic spec ~t:(-1) (Abivm.Statevec.zero 2) in
-  let opt, _, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = opt; plan = _; stats = _ } = Abivm.Astar.solve spec in
   checkb "h(source) <= OPT_LGM" true (h0 <= opt +. 1e-9)
 
 let test_astar_without_heuristic_same_cost () =
   let spec = small_affine_spec () in
-  let with_h, _, stats_h = Abivm.Astar.solve ~use_heuristic:true spec in
-  let without_h, _, _ = Abivm.Astar.solve ~use_heuristic:false spec in
+  let { Abivm.Astar.cost = with_h; plan = _; stats = stats_h } = Abivm.Astar.solve ~use_heuristic:true spec in
+  let { Abivm.Astar.cost = without_h; plan = _; stats = _ } = Abivm.Astar.solve ~use_heuristic:false spec in
   checkf "same optimum" with_h without_h;
   checkb "did some work" true (stats_h.Abivm.Astar.expanded > 0)
 
 let test_astar_empty_stream () =
   let spec = mk_spec ~costs:[| lin 1.0 |] ~limit:5.0 [| [| 0 |]; [| 0 |] |] in
-  let cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkf "zero cost" 0.0 cost;
   checkb "no actions" true (Abivm.Plan.actions plan = []);
   checkb "valid" true (Abivm.Plan.is_valid spec plan)
 
 let test_astar_single_burst () =
   let spec = mk_spec ~costs:[| lin 1.0 |] ~limit:3.0 [| [| 10 |]; [| 0 |]; [| 0 |] |] in
-  let cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkf "linear total" 10.0 cost;
   checkb "valid" true (Abivm.Plan.is_valid spec plan)
 
@@ -169,7 +169,7 @@ let test_astar_three_tables () =
       (uniform_arrivals ~horizon:25 [| 1; 1; 1 |])
   in
   let exact_cost, _ = Abivm.Exact.solve ~max_expansions:5_000_000 spec in
-  let astar_cost, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = astar_cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkf "matches exact (affine, 3 tables)" exact_cost astar_cost;
   checkb "lgm" true (Abivm.Plan.is_lgm spec plan)
 
@@ -184,7 +184,7 @@ let fig6_style_spec horizon =
 let test_adapt_exact_t0 () =
   (* T = T0: ADAPT must replay the optimal LGM plan verbatim. *)
   let spec = fig6_style_spec 30 in
-  let opt, _, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = opt; plan = _; stats = _ } = Abivm.Astar.solve spec in
   let adapted = Abivm.Adapt.plan spec ~t0:30 in
   checkb "valid" true (Abivm.Plan.is_valid spec adapted);
   checkf "same cost as OPT_LGM" opt (Abivm.Plan.cost spec adapted)
@@ -194,11 +194,11 @@ let test_adapt_truncation () =
   let costs = [| aff 1.0 2.0; aff 1.0 3.0 |] in
   let full = mk_spec ~costs ~limit:8.0 (uniform_arrivals ~horizon:40 [| 1; 1 |]) in
   let actual = Abivm.Spec.truncate full 25 in
-  let t0_cost, t0_plan, _ = Abivm.Astar.solve full in
+  let { Abivm.Astar.cost = t0_cost; plan = t0_plan; stats = _ } = Abivm.Astar.solve full in
   ignore t0_cost;
   let result = Abivm.Adapt.replay actual ~t0:40 ~t0_plan in
   checkb "valid" true (Abivm.Plan.is_valid actual result.Abivm.Adapt.plan);
-  let opt_t, _, _ = Abivm.Astar.solve actual in
+  let { Abivm.Astar.cost = opt_t; plan = _; stats = _ } = Abivm.Astar.solve actual in
   let bound = opt_t +. 2.0 +. 3.0 in
   checkb "within Theorem 4 bound" true
     (Abivm.Plan.cost actual result.Abivm.Adapt.plan <= bound +. 1e-9);
@@ -210,7 +210,7 @@ let test_adapt_extension_cyclic () =
   let actual = mk_spec ~costs ~limit:8.0 (uniform_arrivals ~horizon:50 [| 1; 1 |]) in
   let adapted = Abivm.Adapt.plan actual ~t0:20 in
   checkb "valid" true (Abivm.Plan.is_valid actual adapted);
-  let opt_t, _, _ = Abivm.Astar.solve actual in
+  let { Abivm.Astar.cost = opt_t; plan = _; stats = _ } = Abivm.Astar.solve actual in
   let ceil_ratio = float_of_int ((50 + 19) / 20) in
   let bound = opt_t +. (ceil_ratio *. 5.0) in
   checkb "within Theorem 4 bound" true
@@ -221,7 +221,7 @@ let test_adapt_rescues_on_deviating_arrivals () =
      the executor must stay valid via rescue flushes. *)
   let costs = [| lin 1.0; lin 1.0 |] in
   let gentle = mk_spec ~costs ~limit:6.0 (uniform_arrivals ~horizon:20 [| 1; 0 |]) in
-  let _, t0_plan, _ = Abivm.Astar.solve gentle in
+  let { Abivm.Astar.cost = _; plan = t0_plan; stats = _ } = Abivm.Astar.solve gentle in
   let bursty = mk_spec ~costs ~limit:6.0 (uniform_arrivals ~horizon:20 [| 3; 3 |]) in
   let result = Abivm.Adapt.replay bursty ~t0:20 ~t0_plan in
   checkb "still valid" true (Abivm.Plan.is_valid bursty result.Abivm.Adapt.plan);
@@ -236,7 +236,7 @@ let test_online_valid_on_uniform () =
 
 let test_online_between_opt_and_naive () =
   let spec = fig6_style_spec 80 in
-  let opt, _, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = opt; plan = _; stats = _ } = Abivm.Astar.solve spec in
   let naive = Abivm.Plan.cost spec (Abivm.Naive.plan spec) in
   let online = Abivm.Plan.cost spec (Abivm.Online.plan spec) in
   checkb "online >= opt" true (online >= opt -. 1e-9);
@@ -350,14 +350,15 @@ let test_controller_rejects_bad_width () =
 
 let test_simulate_all_ordering () =
   let spec = fig6_style_spec 40 in
-  let outcomes = Abivm.Simulate.all spec in
-  checki "four strategies" 4 (List.length outcomes);
+  let reports = Abivm.Simulate.all spec in
+  checki "four strategies" 4 (List.length reports);
   List.iter
-    (fun (o : Abivm.Simulate.outcome) -> checkb (o.name ^ " valid") true o.valid)
-    outcomes;
+    (fun (r : Abivm.Report.t) ->
+      checkb (Abivm.Report.name r ^ " valid") true r.valid)
+    reports;
   let find name =
-    (List.find (fun (o : Abivm.Simulate.outcome) -> o.name = name) outcomes)
-      .Abivm.Simulate.total_cost
+    (List.find (fun (r : Abivm.Report.t) -> Abivm.Report.name r = name) reports)
+      .Abivm.Report.total_cost
   in
   checkb "opt is cheapest" true
     (find "OPT-LGM" <= find "NAIVE" +. 1e-9
@@ -366,8 +367,8 @@ let test_simulate_all_ordering () =
 
 let test_simulate_cost_per_modification () =
   let spec = mk_spec ~costs:[| lin 1.0 |] ~limit:100.0 [| [| 4 |]; [| 6 |] |] in
-  let outcome = Abivm.Simulate.naive spec in
-  checkf "per mod" 1.0 (Abivm.Simulate.cost_per_modification spec outcome)
+  let report = Abivm.Simulate.naive spec in
+  checkf "per mod" 1.0 (Abivm.Simulate.cost_per_modification spec report)
 
 let () =
   Alcotest.run "algos"

@@ -72,12 +72,18 @@ let test_runner_executes_naive () =
   let plan = Abivm.Naive.plan spec in
   checkb "plan valid" true (Abivm.Plan.is_valid spec plan);
   let _, m, feeds = env ~seed:6 () in
-  let result = Bridge.Runner.run_plan m feeds spec plan in
-  checkb "final consistent" true result.Bridge.Runner.final_consistent;
-  checkb "executed cost positive" true (result.Bridge.Runner.total_cost_units > 0.0);
+  (* Per-action costs travel in the report's telemetry, so run collected. *)
+  Telemetry.enable ();
+  let report =
+    Fun.protect ~finally:Telemetry.disable (fun () ->
+        Bridge.Runner.run_plan m feeds spec plan)
+  in
+  checkb "final consistent" true report.Abivm.Report.valid;
+  checkb "executed cost positive" true
+    (Option.value ~default:0.0 report.Abivm.Report.cost_units > 0.0);
   checki "one measured cost per action"
     (List.length (Abivm.Plan.actions plan))
-    (List.length result.Bridge.Runner.action_costs)
+    (List.length (Bridge.Runner.action_costs report))
 
 let test_runner_simulated_close_to_executed () =
   (* The Fig. 5 claim: simulated plan costs track executed engine costs. *)
@@ -86,9 +92,11 @@ let test_runner_simulated_close_to_executed () =
   List.iter
     (fun plan ->
       let _, m, feeds = env ~seed:8 () in
-      let result = Bridge.Runner.run_plan m feeds spec plan in
+      let report = Bridge.Runner.run_plan m feeds spec plan in
       let simulated = Bridge.Runner.simulated_cost spec plan in
-      let executed = result.Bridge.Runner.total_cost_units in
+      let executed =
+        Option.value ~default:0.0 report.Abivm.Report.cost_units
+      in
       let err = Float.abs (simulated -. executed) /. executed in
       checkb
         (Printf.sprintf "within 25%% (sim %.0f vs exec %.0f)" simulated executed)
@@ -112,15 +120,15 @@ let test_runner_asymmetric_plan_consistent () =
      view consistent end-to-end. *)
   let _, cal_m, cal_feeds = env ~seed:11 () in
   let spec = fitted_spec cal_m cal_feeds ~limit:2500.0 ~horizon:25 in
-  let _, plan, _ = Abivm.Astar.solve spec in
+  let { Abivm.Astar.cost = _; plan = plan; stats = _ } = Abivm.Astar.solve spec in
   checkb "asymmetric somewhere" true
     (List.exists
        (fun (_, a) ->
          (a.(0) > 0 && a.(1) = 0) || (a.(1) > 0 && a.(0) = 0))
        (Abivm.Plan.actions plan));
   let _, m, feeds = env ~seed:12 () in
-  let result = Bridge.Runner.run_plan m feeds spec plan in
-  checkb "consistent" true result.Bridge.Runner.final_consistent
+  let report = Bridge.Runner.run_plan m feeds spec plan in
+  checkb "consistent" true report.Abivm.Report.valid
 
 (* --- codec / changelog ----------------------------------------------------- *)
 
@@ -225,8 +233,8 @@ let test_changelog_record_replay_equivalence () =
         (Tpcr.Gen.min_supplycost_view db)
     in
     Relation.Meter.reset db.Tpcr.Gen.meter;
-    let result = Bridge.Runner.run_plan m (Bridge.Changelog.replay entries) spec plan in
-    (result.Bridge.Runner.total_cost_units, Ivm.Maintainer.rows m)
+    let report = Bridge.Runner.run_plan m (Bridge.Changelog.replay entries) spec plan in
+    (report.Abivm.Report.cost_units, Ivm.Maintainer.rows m)
   in
   let c1, rows1 = run () and c2, rows2 = run () in
   checkb "identical cost" true (c1 = c2);

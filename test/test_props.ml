@@ -177,7 +177,7 @@ let prop_astar_equals_exact_affine =
       match Abivm.Exact.solve ~max_expansions:400_000 spec with
       | exception Abivm.Exact.Too_large _ -> QCheck.assume_fail ()
       | exact_cost, _ ->
-          let astar_cost, plan, _ = Abivm.Astar.solve spec in
+          let { Abivm.Astar.cost = astar_cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
           Abivm.Plan.is_lgm spec plan
           && Float.abs (astar_cost -. exact_cost) < 1e-6)
 
@@ -187,7 +187,7 @@ let prop_astar_within_two_of_exact =
       match Abivm.Exact.solve ~max_expansions:400_000 spec with
       | exception Abivm.Exact.Too_large _ -> QCheck.assume_fail ()
       | exact_cost, _ ->
-          let astar_cost, plan, _ = Abivm.Astar.solve spec in
+          let { Abivm.Astar.cost = astar_cost; plan = plan; stats = _ } = Abivm.Astar.solve spec in
           Abivm.Plan.is_valid spec plan
           && astar_cost >= exact_cost -. 1e-6
           && astar_cost <= (2.0 *. exact_cost) +. 1e-6)
@@ -195,7 +195,7 @@ let prop_astar_within_two_of_exact =
 let prop_astar_beats_or_ties_naive =
   QCheck.Test.make ~name:"A* never worse than NAIVE" ~count:150 arb_mixed_spec
     (fun spec ->
-      let astar_cost, _, _ = Abivm.Astar.solve spec in
+      let { Abivm.Astar.cost = astar_cost; plan = _; stats = _ } = Abivm.Astar.solve spec in
       astar_cost <= Abivm.Plan.cost spec (Abivm.Naive.plan spec) +. 1e-6)
 
 let prop_naive_valid =
@@ -231,7 +231,7 @@ let prop_adapt_theorem4_bound =
     (fun (spec, t0) ->
       let t = Abivm.Spec.horizon spec in
       let adapted = Abivm.Adapt.plan spec ~t0 in
-      let opt_t, _, _ = Abivm.Astar.solve spec in
+      let { Abivm.Astar.cost = opt_t; plan = _; stats = _ } = Abivm.Astar.solve spec in
       (* b_i = f_i(1) - slope; recover from two evaluations. *)
       let sum_b =
         Array.fold_left
