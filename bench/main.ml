@@ -6,9 +6,13 @@
      dune exec bench/main.exe            -- run every section
      dune exec bench/main.exe -- fig6    -- run one section
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
-   conjectures multiview micro
+   conjectures multiview astar astar-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
-   (telemetry trace), --metrics (print the metrics table at the end) *)
+   (telemetry trace), --metrics (print the metrics table at the end)
+
+   The astar sections additionally write BENCH_astar.json (search-engine
+   scaling data) to the working directory; astar-smoke is a tiny grid
+   wired to the @bench-smoke alias so the bench binary cannot rot. *)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -589,6 +593,81 @@ let run_multiview () =
     "three subscriptions with different QoS limits over the same streams: \
      coordination aligns their flushes to share base-table work"
 
+(* --- A* search-engine scaling ------------------------------------------------ *)
+
+(* Synthetic planner instances that stress the search layer itself (no
+   TPC-R calibration): alternating plateau/linear costs with a limit tight
+   enough that full states offer many minimal greedy subsets, so both the
+   action enumeration and the open list grow with table count. *)
+let astar_grid_spec ~tables ~horizon =
+  let costs =
+    Array.init tables (fun i ->
+        if i mod 2 = 0 then Cost.Func.plateau ~a:1.0 ~cap:6.0
+        else Cost.Func.linear ~a:1.5)
+  in
+  let limit = 3.0 +. (1.5 *. float_of_int tables) in
+  let arrivals = Array.init (horizon + 1) (fun _ -> Array.make tables 1) in
+  Abivm.Spec.make ~costs ~limit ~arrivals
+
+let run_astar_grid ~name grid =
+  section
+    (Printf.sprintf
+       "A* engine scaling (%s grid) — expanded nodes, wall time, peak queue"
+       name);
+  let results =
+    List.map
+      (fun (tables, horizon) ->
+        let spec = astar_grid_spec ~tables ~horizon in
+        let t0 = Unix.gettimeofday () in
+        let r = Abivm.Astar.solve spec in
+        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        ((tables, horizon), r, wall_ms))
+      grid
+  in
+  emit ~name:("astar_" ^ name)
+    ~aligns:(List.init 8 (fun _ -> Util.Tablefmt.Right))
+    ~header:
+      [ "tables"; "horizon"; "cost"; "expanded"; "generated"; "pruned";
+        "peak queue"; "wall (ms)" ]
+    (List.map
+       (fun ((tables, horizon), (r : Abivm.Astar.result), wall_ms) ->
+         [
+           string_of_int tables;
+           string_of_int horizon;
+           fcell r.Abivm.Astar.cost;
+           string_of_int r.Abivm.Astar.stats.Abivm.Astar.expanded;
+           string_of_int r.Abivm.Astar.stats.Abivm.Astar.generated;
+           string_of_int r.Abivm.Astar.stats.Abivm.Astar.pruned;
+           string_of_int r.Abivm.Astar.stats.Abivm.Astar.max_queue;
+           fcell ~decimals:1 wall_ms;
+         ])
+       results);
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_astar.json" in
+  let oc = open_out path in
+  let entry ((tables, horizon), (r : Abivm.Astar.result), wall_ms) =
+    let s = r.Abivm.Astar.stats in
+    Printf.sprintf
+      "    { \"tables\": %d, \"horizon\": %d, \"cost\": %.6f, \
+       \"expanded\": %d, \"generated\": %d, \"reopened\": %d, \"pruned\": \
+       %d, \"queue_peak\": %d, \"live_peak\": %d, \"wall_ms\": %.3f }"
+      tables horizon r.Abivm.Astar.cost s.Abivm.Astar.expanded
+      s.Abivm.Astar.generated s.Abivm.Astar.reopened s.Abivm.Astar.pruned
+      s.Abivm.Astar.max_queue s.Abivm.Astar.max_live wall_ms
+  in
+  Printf.fprintf oc "{\n  \"grid\": \"%s\",\n  \"runs\": [\n%s\n  ]\n}\n" name
+    (String.concat ",\n" (List.map entry results));
+  close_out oc;
+  Printf.printf "(written to %s)\n" path
+
+let astar_reference_grid =
+  [ (2, 60); (2, 240); (4, 60); (4, 240); (6, 30); (6, 60) ]
+
+let astar_smoke_grid = [ (2, 20); (3, 15); (4, 10) ]
+
+let run_astar () = run_astar_grid ~name:"reference" astar_reference_grid
+let run_astar_smoke () = run_astar_grid ~name:"smoke" astar_smoke_grid
+
 (* --- bechamel micro-benchmarks ----------------------------------------------- *)
 
 let run_micro () =
@@ -669,6 +748,8 @@ let sections =
     ("opflow", run_opflow);
     ("conjectures", run_conjectures);
     ("multiview", run_multiview);
+    ("astar", run_astar);
+    ("astar-smoke", run_astar_smoke);
     ("micro", run_micro);
   ]
 
@@ -703,7 +784,13 @@ let () =
     in
     Telemetry.enable ~sinks ()
   end;
-  let requested = if args <> [] then args else List.map fst sections in
+  let requested =
+    if args <> [] then args
+    else
+      (* The smoke grid is a CI alias target; running it after the
+         reference grid would overwrite BENCH_astar.json with toy data. *)
+      List.filter (fun s -> s <> "astar-smoke") (List.map fst sections)
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate   compare maintenance strategies on an analytic instance
+     astar      solve one instance with the A* planner and print search stats
      calibrate  measure TPC-R maintenance cost curves from the engine
      run        calibrate, simulate all strategies, execute one (Fig. 5)
      demo       end-to-end TPC-R run: calibrate, plan, execute, validate
@@ -174,6 +175,99 @@ let simulate_cmd =
       ret
         (const simulate $ costs $ limit $ horizon $ streams $ seed $ adapt_t0
        $ show_plans $ trace_arg $ metrics_arg))
+
+(* --- astar ------------------------------------------------------------------- *)
+
+let astar costs limit horizon streams seed no_heuristic show_plan trace metrics
+    =
+  if costs = [] then `Error (false, "at least one --cost is required")
+  else if List.length streams <> List.length costs then
+    `Error (false, "need exactly one --stream per --cost")
+  else begin
+    with_telemetry ~trace ~metrics (fun () ->
+        let arrivals =
+          Workload.Arrivals.generate ~seed ~horizon (Array.of_list streams)
+        in
+        let spec =
+          Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
+        in
+        let r = Abivm.Astar.solve ~use_heuristic:(not no_heuristic) spec in
+        let s = r.Abivm.Astar.stats in
+        Printf.printf "cost %g (%d actions)\n" r.Abivm.Astar.cost
+          (List.length (Abivm.Plan.actions r.Abivm.Astar.plan));
+        Util.Tablefmt.print
+          ~aligns:(List.init 7 (fun _ -> Util.Tablefmt.Right))
+          ~header:
+            [ "expanded"; "generated"; "reopened"; "pruned"; "queue peak";
+              "live nodes"; "heuristic" ]
+          [
+            [
+              string_of_int s.Abivm.Astar.expanded;
+              string_of_int s.Abivm.Astar.generated;
+              string_of_int s.Abivm.Astar.reopened;
+              string_of_int s.Abivm.Astar.pruned;
+              string_of_int s.Abivm.Astar.max_queue;
+              string_of_int s.Abivm.Astar.max_live;
+              (if no_heuristic then "off (Dijkstra)" else "on");
+            ];
+          ];
+        if show_plan then
+          Printf.printf "\n%s" (Abivm.Visualize.timeline spec r.Abivm.Astar.plan));
+    `Ok ()
+  end
+
+let astar_cmd =
+  let costs =
+    Arg.(
+      value
+      & opt_all cost_conv []
+      & info [ "cost" ] ~docv:"FUNC"
+          ~doc:
+            "Per-table cost function (repeatable): linear:A, affine:A,B, \
+             sqrt:A,B, log:A,B, blocked:C,B, plateau:A,CAP, step:EPS,C.")
+  in
+  let limit =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "limit"; "C" ] ~docv:"COST"
+          ~doc:"Response-time constraint $(docv).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 500
+      & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time (default 500).")
+  in
+  let streams =
+    Arg.(
+      value
+      & opt_all stream_conv []
+      & info [ "stream" ] ~docv:"STREAM"
+          ~doc:
+            "Per-table arrival stream (repeatable): constant:N, \
+             burst:P,MU,SIGMA, poisson:M, onoff:ON,OFF,RATE, or ss/su/fs/fu.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let no_heuristic =
+    Arg.(
+      value & flag
+      & info [ "no-heuristic" ]
+          ~doc:"Disable the admissible heuristic (plain Dijkstra).")
+  in
+  let show_plan =
+    Arg.(value & flag & info [ "plan" ] ~doc:"Also print the optimal plan.")
+  in
+  Cmd.v
+    (Cmd.info "astar"
+       ~doc:
+         "solve one analytic instance with the A* planner and print \
+          search-engine statistics")
+    Term.(
+      ret
+        (const astar $ costs $ limit $ horizon $ streams $ seed $ no_heuristic
+       $ show_plan $ trace_arg $ metrics_arg))
 
 (* --- calibrate --------------------------------------------------------------- *)
 
@@ -402,6 +496,6 @@ let tightness_cmd =
 let main_cmd =
   let doc = "asymmetric batch incremental view maintenance" in
   Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
-    [ simulate_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd ]
+    [ simulate_cmd; astar_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

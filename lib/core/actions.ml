@@ -9,12 +9,41 @@ let minimal_greedy spec pre =
   let m = Array.length active in
   if m > 16 then
     invalid_arg "Actions.minimal_greedy: too many non-empty tables";
-  (* Work over positions within [active], then translate back. *)
-  let ok positions =
-    feasible_subset spec pre (List.map (fun j -> active.(j)) positions)
+  (* Flushing subset S leaves post-state f-value Σ_{j ∉ S} f_j(pre_j) over
+     the active tables.  Precompute each active table's contribution once,
+     then test the 2^m subsets as bitmasks with no allocation and no cost
+     evaluations in the loop.  The residual sum is accumulated in
+     ascending table order so it is bit-identical to
+     [Spec.f spec (Statevec.sub pre (greedy_of_subset pre subset))]. *)
+  let w = Array.map (fun i -> Cost.Func.eval (Spec.cost_fn spec i) pre.(i)) active in
+  let limit = Spec.limit spec in
+  let feasible mask =
+    let acc = ref 0.0 in
+    for j = 0 to m - 1 do
+      if mask land (1 lsl j) = 0 then acc := !acc +. w.(j)
+    done;
+    !acc <= limit
   in
-  let minimal = Util.Subsets.minimal_satisfying m ok in
-  List.map (fun positions -> List.map (fun j -> active.(j)) positions) minimal
+  let minimal mask =
+    feasible mask
+    &&
+    let rec bits j =
+      j >= m
+      || ((mask land (1 lsl j) = 0 || not (feasible (mask lxor (1 lsl j))))
+         && bits (j + 1))
+    in
+    bits 0
+  in
+  if feasible 0 then [ [] ]
+  else begin
+    let out = ref [] in
+    for mask = (1 lsl m) - 1 downto 1 do
+      if minimal mask then
+        out :=
+          List.map (fun j -> active.(j)) (Util.Subsets.of_mask m mask) :: !out
+    done;
+    !out
+  end
 
 let minimal_greedy_actions spec pre =
   List.map (greedy_of_subset pre) (minimal_greedy spec pre)

@@ -2,24 +2,28 @@ type stats = {
   expanded : int;
   generated : int;
   reopened : int;
+  pruned : int;
   max_queue : int;
+  max_live : int;
 }
 
 type result = { cost : float; plan : Plan.t; stats : stats }
 
-module Key = struct
-  type t = int * int list
+module Ktbl = Statekey.Tbl
 
-  let equal (t1, s1) (t2, s2) = t1 = t2 && List.equal Int.equal s1 s2
-  let hash = Hashtbl.hash
-end
+(* Per-solve precomputation shared by the heuristic and the edge-weight
+   evaluator: suffix sums K.(t).(i) = total arrivals to table i during
+   [t, T], the global per-table one-step maximum m_i, the paper's batch
+   bounds b_i with their costs f_i(b_i), and each f_i tabulated over the
+   reachable argument range [0, K.(0).(i) + m_i] so hot-path cost lookups
+   are array reads instead of closure calls. *)
+type tables = {
+  suffix : int array array;
+  bounds : int array;
+  f_bounds : float array;
+  f_tab : float array array;
+}
 
-module Ktbl = Hashtbl.Make (Key)
-
-let key t s = (t, Array.to_list s)
-
-(* Suffix sums K.(t).(i) = total arrivals to table i during [t, T], and the
-   global per-table one-step maximum m_i. *)
 let precompute spec =
   let n = Spec.n_tables spec in
   let horizon = Spec.horizon spec in
@@ -33,16 +37,42 @@ let precompute spec =
   Array.iter
     (fun row -> Array.iteri (fun i c -> m.(i) <- max m.(i) c) row)
     (Spec.arrivals spec);
-  (suffix, m)
+  let bounds =
+    Array.init n (fun i ->
+        let cap = max 1 (suffix.(0).(i) + m.(i) + 1) in
+        let best =
+          Cost.Check.max_batch (Spec.cost_fn spec i) ~limit:(Spec.limit spec)
+            ~cap
+        in
+        max 1 (m.(i) + best))
+  in
+  let f_bounds =
+    Array.mapi (fun i bi -> Cost.Func.eval (Spec.cost_fn spec i) bi) bounds
+  in
+  let f_tab =
+    Array.init n (fun i ->
+        Array.init
+          (suffix.(0).(i) + m.(i) + 1)
+          (fun k -> Cost.Func.eval (Spec.cost_fn spec i) k))
+  in
+  { suffix; bounds; f_bounds; f_tab }
 
-let batch_bounds spec m suffix =
-  let n = Spec.n_tables spec in
-  Array.init n (fun i ->
-      let cap = max 1 (suffix.(0).(i) + m.(i) + 1) in
-      let best =
-        Cost.Check.max_batch (Spec.cost_fn spec i) ~limit:(Spec.limit spec) ~cap
-      in
-      max 1 (m.(i) + best))
+(* Tabulated f_i(k); falls back to a direct evaluation for arguments
+   beyond the reachable range (only possible for caller-supplied states,
+   never for search-generated ones). *)
+let f_component spec tables i k =
+  let tab = tables.f_tab.(i) in
+  if k < Array.length tab then tab.(k) else Cost.Func.eval (Spec.cost_fn spec i) k
+
+(* Σ_i f_i(v_i), summed in ascending table order so the result is
+   bit-identical to [Spec.f] (each term is the same float, and adding a
+   0.0 term is exact). *)
+let f_vector spec tables (v : Statevec.t) =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. f_component spec tables i v.(i)
+  done;
+  !acc
 
 (* Per-table lower bound on the cost of processing M remaining
    modifications: the paper's batch-count bound floor(M / b_i) * f_i(b_i)
@@ -54,10 +84,7 @@ let batch_bounds spec m suffix =
    batch-count term by f_i(b_i) while the connecting edge costs only
    f_i(q) < f_i(b_i).  The search below therefore allows node reopening,
    which keeps A* optimal for any admissible heuristic. *)
-let make_heuristic spec =
-  let suffix, m = precompute spec in
-  let b = batch_bounds spec m suffix in
-  let fb = Array.mapi (fun i bi -> Cost.Func.eval (Spec.cost_fn spec i) bi) b in
+let heuristic_of spec tables =
   let horizon = Spec.horizon spec in
   fun ~t (s : Statevec.t) ->
     (* K_i counts arrivals in (t, T]. *)
@@ -65,14 +92,22 @@ let make_heuristic spec =
     let acc = ref 0.0 in
     Array.iteri
       (fun i si ->
-        let remaining = si + suffix.(start).(i) in
-        let batch_bound = float_of_int (remaining / b.(i)) *. fb.(i) in
-        let subadditive_bound = Cost.Func.eval (Spec.cost_fn spec i) remaining in
+        let remaining = si + tables.suffix.(start).(i) in
+        let batch_bound =
+          float_of_int (remaining / tables.bounds.(i)) *. tables.f_bounds.(i)
+        in
+        let subadditive_bound = f_component spec tables i remaining in
         acc := !acc +. Float.max batch_bound subadditive_bound)
       s;
     !acc
 
-let heuristic spec ~t s = (make_heuristic spec) ~t s
+let make_heuristic spec = heuristic_of spec (precompute spec)
+
+(* Partial application memoizes the precomputation: [heuristic spec] does
+   the O(T·n) suffix-sum / batch-bound / tabulation work once and returns
+   a closure that is pure array arithmetic per call.  (This used to
+   rebuild everything on every [~t s] invocation.) *)
+let heuristic = make_heuristic
 
 (* Walk arrivals forward from [t0 + 1] accumulating into a copy of [s];
    return either the first full pre-action time with its state, or the
@@ -97,71 +132,78 @@ let scan_to_full spec t0 s =
 let solve_exclusive ~use_heuristic spec =
   let n = Spec.n_tables spec in
   let horizon = Spec.horizon spec in
-  let h = if use_heuristic then make_heuristic spec else fun ~t:_ _ -> 0.0 in
-  let queue = Util.Pqueue.create () in
-  let g : float Ktbl.t = Ktbl.create 1024 in
-  let parent : (Key.t * int * Statevec.t) Ktbl.t = Ktbl.create 1024 in
-  let expanded = ref 0 and generated = ref 0 in
-  let reopened = ref 0 and max_queue = ref 0 in
-  let source = key (-1) (Statevec.zero n) in
-  let dest = key horizon (Statevec.zero n) in
-  Ktbl.replace g source 0.0;
-  Util.Pqueue.push queue ~priority:(h ~t:(-1) (Statevec.zero n)) source;
-  let relax ~from ~time ~action node_key node_time node_state =
-    incr generated;
-    let weight = Spec.f spec action in
-    let tentative = Ktbl.find g from +. weight in
-    let better =
-      match Ktbl.find_opt g node_key with
-      | Some existing ->
-          let b = tentative < existing -. 1e-12 in
-          if b then incr reopened;
-          b
-      | None -> true
-    in
-    if better then begin
-      (* The heuristic is admissible but not consistent (see above), so a
-         shorter path to an already-expanded node must reopen it. *)
-      Ktbl.replace g node_key tentative;
-      Ktbl.replace parent node_key (from, time, action);
-      Util.Pqueue.push queue
-        ~priority:(tentative +. h ~t:node_time node_state)
-        node_key;
-      max_queue := max !max_queue (Util.Pqueue.length queue)
-    end
+  let tables = precompute spec in
+  let h =
+    if use_heuristic then heuristic_of spec tables else fun ~t:_ _ -> 0.0
   in
-  let expand node_key =
-    let t0, s_list = node_key in
-    let s = Array.of_list s_list in
+  let queue = Util.Pqueue.create () in
+  let g : float Ktbl.t = Ktbl.create 4096 in
+  let parent : (Statekey.t * int * Statevec.t) Ktbl.t = Ktbl.create 4096 in
+  let expanded = ref 0 and generated = ref 0 in
+  let reopened = ref 0 and pruned = ref 0 in
+  let max_queue = ref 0 and max_live = ref 0 in
+  let source = Statekey.make ~time:(-1) (Statevec.zero n) in
+  let dest = Statekey.make ~time:horizon (Statevec.zero n) in
+  Ktbl.replace g source 0.0;
+  Util.Pqueue.push queue
+    ~priority:(h ~t:(-1) (Statevec.zero n))
+    (source, 0.0);
+  (* Relax one edge.  [g_from] is the settled g-value of the node being
+     expanded (passed in once per expansion instead of re-probing the
+     hashtable per generated edge). *)
+  let relax ~from ~g_from ~time ~action node_key =
+    incr generated;
+    let tentative = g_from +. f_vector spec tables action in
+    match Ktbl.find_opt g node_key with
+    | Some existing when tentative >= existing -. 1e-12 ->
+        (* Closed-set dominance: a recorded path to this key is already at
+           least as good — drop the node without touching the queue. *)
+        incr pruned
+    | known ->
+        (* The heuristic is admissible but not consistent (see above), so
+           a shorter path to an already-recorded node must reopen it. *)
+        if known <> None then incr reopened;
+        Ktbl.replace g node_key tentative;
+        Ktbl.replace parent node_key (from, time, action);
+        max_live := max !max_live (Ktbl.length g);
+        Util.Pqueue.push queue
+          ~priority:
+            (tentative +. h ~t:(Statekey.time node_key) (Statekey.state node_key))
+          (node_key, tentative);
+        max_queue := max !max_queue (Util.Pqueue.length queue)
+  in
+  let expand node_key g_node =
+    let t0 = Statekey.time node_key and s = Statekey.state node_key in
     match scan_to_full spec t0 s with
     | Horizon_state pre ->
         (* Single edge to the destination: flush everything at T (also
            covers the t2 = T case). *)
-        relax ~from:node_key ~time:horizon ~action:pre dest horizon
-          (Statevec.zero n)
+        relax ~from:node_key ~g_from:g_node ~time:horizon ~action:pre dest
     | Full_at (t2, pre) ->
         List.iter
           (fun action ->
             let post = Statevec.sub pre action in
-            relax ~from:node_key ~time:t2 ~action (key t2 post) t2 post)
+            relax ~from:node_key ~g_from:g_node ~time:t2 ~action
+              (Statekey.make ~time:t2 post))
           (Actions.minimal_greedy_actions spec pre)
   in
   let rec search () =
     match Util.Pqueue.pop queue with
     | None -> None
-    | Some (priority, node_key) ->
-        if Key.equal node_key dest then Some (Ktbl.find g node_key)
+    | Some (_, (node_key, g_at_push)) ->
+        if Statekey.equal node_key dest then Some (Ktbl.find g node_key)
         else begin
-          (* Skip stale queue entries: the node has been relaxed to a
-             better g since this entry was pushed. *)
-          let t, s_list = node_key in
-          let current =
-            Ktbl.find g node_key +. h ~t (Array.of_list s_list)
-          in
-          if priority > current +. 1e-9 then search ()
+          (* Lazy deletion: the g-value recorded at push time tells us
+             whether the node was relaxed to something better since (no
+             heuristic re-evaluation needed). *)
+          let g_now = Ktbl.find g node_key in
+          if g_at_push > g_now +. 1e-12 then begin
+            incr pruned;
+            search ()
+          end
           else begin
             incr expanded;
-            expand node_key;
+            expand node_key g_now;
             search ()
           end
         end
@@ -172,7 +214,7 @@ let solve_exclusive ~use_heuristic spec =
       (* Rebuild the plan by following parent pointers from the
          destination. *)
       let rec rebuild node acc =
-        if Key.equal node source then acc
+        if Statekey.equal node source then acc
         else
           match Ktbl.find_opt parent node with
           | Some (from, time, action) -> rebuild from ((time, action) :: acc)
@@ -186,7 +228,9 @@ let solve_exclusive ~use_heuristic spec =
           expanded = !expanded;
           generated = !generated;
           reopened = !reopened;
+          pruned = !pruned;
           max_queue = !max_queue;
+          max_live = !max_live;
         }
       in
       (* One booking per solve, so the disabled-path overhead stays a few
@@ -194,7 +238,11 @@ let solve_exclusive ~use_heuristic spec =
       Telemetry.add "astar.expanded" (float_of_int stats.expanded);
       Telemetry.add "astar.generated" (float_of_int stats.generated);
       Telemetry.add "astar.reopened" (float_of_int stats.reopened);
+      Telemetry.add "astar.pruned" (float_of_int stats.pruned);
+      Telemetry.add "astar.key_collisions"
+        (float_of_int (Statekey.collisions g));
       Telemetry.max_gauge "astar.queue_peak" (float_of_int stats.max_queue);
+      Telemetry.max_gauge "astar.live_peak" (float_of_int stats.max_live);
       { cost; plan = Plan.of_actions actions; stats }
 
 let solve ?(use_heuristic = true) spec =

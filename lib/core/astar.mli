@@ -12,13 +12,25 @@
     [f_i(b_i)] while the edge costs only [f_i(q) < f_i(b_i)], so it is
     not.  The search therefore reopens nodes when a cheaper path appears
     (skipping stale queue entries), which keeps A* optimal under any
-    admissible heuristic.  See DESIGN.md. *)
+    admissible heuristic.  See DESIGN.md.
+
+    Engine notes (DESIGN.md §5): hashtables are keyed on packed
+    {!Statekey.t} values (allocation-free probes, full-width FNV hash);
+    per-table costs are tabulated once per solve so heuristic and
+    edge-weight evaluation are array lookups; generated nodes dominated by
+    an already-recorded g-value are pruned without touching the queue, and
+    stale queue entries are skipped by comparing the g-value stored at
+    push time. *)
 
 type stats = {
   expanded : int;  (** nodes settled *)
   generated : int;  (** edges relaxed *)
   reopened : int;  (** relaxations that improved an already-known node *)
+  pruned : int;
+      (** generated nodes dominated by a recorded g-value, plus stale
+          queue entries skipped at pop time *)
   max_queue : int;  (** open-list peak size *)
+  max_live : int;  (** peak number of distinct (time, state) keys known *)
 }
 
 type result = { cost : float; plan : Plan.t; stats : stats }
@@ -30,8 +42,12 @@ val solve : ?use_heuristic:bool -> Spec.t -> result
 
     When the {!Telemetry} collector is enabled each solve runs inside an
     ["astar.solve"] span and books the stats as [astar.expanded],
-    [astar.generated], [astar.reopened] counters and the [astar.queue_peak]
-    gauge. *)
+    [astar.generated], [astar.reopened], [astar.pruned] and
+    [astar.key_collisions] counters plus the [astar.queue_peak] and
+    [astar.live_peak] gauges. *)
 
 val heuristic : Spec.t -> t:int -> Statevec.t -> float
-(** Exposed for the consistency property test. *)
+(** Exposed for the consistency property test.  [heuristic spec] performs
+    the suffix-sum / batch-bound precomputation once and returns a closure
+    reusable across [(t, s)] queries — hold on to the partial application
+    when evaluating many states. *)

@@ -1,0 +1,32 @@
+type t = { time : int; state : Statevec.t; hash : int }
+
+let make ~time state =
+  let hash =
+    Statevec.hash ~seed:((0x811c9dc5 lxor (time * 0x01000193)) land max_int) state
+  in
+  { time; state; hash }
+
+let time k = k.time
+let state k = k.state
+let hash k = k.hash
+
+let equal a b =
+  a.hash = b.hash && a.time = b.time && Statevec.equal a.state b.state
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash k = k.hash
+end)
+
+let collisions tbl =
+  let stats = Tbl.stats tbl in
+  let empty_buckets =
+    if Array.length stats.Hashtbl.bucket_histogram > 0 then
+      stats.Hashtbl.bucket_histogram.(0)
+    else 0
+  in
+  max 0
+    (stats.Hashtbl.num_bindings
+    - (stats.Hashtbl.num_buckets - empty_buckets))

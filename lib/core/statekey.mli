@@ -1,0 +1,35 @@
+(** Packed [(time, state)] keys for the memoized planners (A*, exact DP,
+    and any future search keyed on a timed state).
+
+    The previous scheme — [(t, Array.to_list s)] under generic
+    [Hashtbl.hash] — allocated a fresh list per key and hashed only a
+    bounded prefix of it, so wide schemas collapsed onto few buckets and
+    probing degraded toward linear scans.  A key here wraps the state
+    array itself (no copy, no per-lookup allocation) together with a
+    precomputed FNV-style hash folded over the time and {e every}
+    component; [equal] compares the arrays in place.
+
+    Ownership: the key aliases the state array.  Callers must hand over a
+    state that is never mutated afterwards (the planners only ever build
+    keys from freshly allocated vectors). *)
+
+type t
+
+val make : time:int -> Statevec.t -> t
+(** Aliases [state]; see the ownership note above. *)
+
+val time : t -> int
+val state : t -> Statevec.t
+
+val equal : t -> t -> bool
+(** Structural: equal times and componentwise-equal states. *)
+
+val hash : t -> int
+(** The precomputed packed hash (constant-time accessor). *)
+
+module Tbl : Hashtbl.S with type key = t
+
+val collisions : 'a Tbl.t -> int
+(** Number of bindings sharing a bucket with another binding's key —
+    [bindings - occupied buckets] from [Hashtbl.stats]; the planners book
+    this as the [*.key_collisions] telemetry counter. *)

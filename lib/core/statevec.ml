@@ -34,7 +34,22 @@ let leq a b =
 
 let total s = Array.fold_left ( + ) 0 s
 
+let fold f init s = Array.fold_left f init s
+
 let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+(* FNV-1a folded over every component.  Generic [Hashtbl.hash] only
+   inspects a bounded prefix of a structure, which collapses wide vectors
+   onto few buckets; this covers all of [s] without allocating. *)
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+
+let hash ?(seed = fnv_offset) s =
+  let h = ref seed in
+  for i = 0 to Array.length s - 1 do
+    h := (!h lxor s.(i)) * fnv_prime land max_int
+  done;
+  !h
 
 let compare a b =
   let la = Array.length a and lb = Array.length b in

@@ -20,7 +20,17 @@ val leq : t -> t -> bool
 (** Componentwise [<=]. *)
 
 val total : t -> int
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** [Array.fold_left] over the components. *)
+
 val equal : t -> t -> bool
+
+val hash : ?seed:int -> t -> int
+(** Allocation-free FNV-1a-style fold over {e every} component (generic
+    [Hashtbl.hash] stops after a bounded prefix, which degrades hashtables
+    keyed on wide vectors to near-linear probing).  [seed] mixes in outer
+    context, e.g. a time step.  Always non-negative. *)
+
 val compare : t -> t -> int
 val restrict_to : t -> int list -> t
 (** [restrict_to s members] keeps [s.(i)] for [i] in [members], zero

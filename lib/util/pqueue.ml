@@ -27,13 +27,22 @@ let push q ~priority value =
   | None -> q.root <- Some node
   | Some root -> q.root <- Some (meld root node)
 
-(* Two-pass pairing merge of the root's children. *)
-let rec merge_pairs = function
+(* Two-pass pairing merge of the root's children.  Both passes are
+   tail-recursive: a root accumulating millions of children (large A*
+   open lists) must not overflow the stack.  [pair] melds adjacent pairs
+   left to right (accumulating in reverse), then the pairs are melded
+   back right to left.  The fold keeps the earlier pair as [meld]'s first
+   argument — [meld p1 (meld p2 (... meld p_(k-1) p_k))] — so ties break
+   exactly as the classical (non-tail) recursive formulation. *)
+let merge_pairs children =
+  let rec pair acc = function
+    | [] -> acc
+    | [ x ] -> x :: acc
+    | a :: b :: rest -> pair (meld a b :: acc) rest
+  in
+  match pair [] children with
   | [] -> None
-  | [ x ] -> Some x
-  | a :: b :: rest -> (
-      let ab = meld a b in
-      match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+  | last :: rest -> Some (List.fold_left (fun acc p -> meld p acc) last rest)
 
 let pop q =
   match q.root with
@@ -45,3 +54,7 @@ let pop q =
 
 let peek q =
   match q.root with None -> None | Some root -> Some (root.prio, root.value)
+
+let clear q =
+  q.root <- None;
+  q.size <- 0

@@ -19,3 +19,6 @@ val pop : 'a t -> (float * 'a) option
     Ties are broken arbitrarily. *)
 
 val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+(** Drop every element; the queue is reusable afterwards. *)
