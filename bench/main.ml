@@ -6,13 +6,14 @@
      dune exec bench/main.exe            -- run every section
      dune exec bench/main.exe -- fig6    -- run one section
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
-   conjectures multiview astar astar-smoke micro
+   conjectures multiview astar astar-smoke robust robust-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
    (telemetry trace), --metrics (print the metrics table at the end)
 
    The astar sections additionally write BENCH_astar.json (search-engine
-   scaling data) to the working directory; astar-smoke is a tiny grid
-   wired to the @bench-smoke alias so the bench binary cannot rot. *)
+   scaling data) and the robust sections BENCH_robust.json (drifted-stream
+   comparison) to the working directory; the -smoke variants are tiny
+   grids wired to the @bench-smoke alias so the bench binary cannot rot. *)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -668,6 +669,107 @@ let astar_smoke_grid = [ (2, 20); (3, 15); (4, 10) ]
 let run_astar () = run_astar_grid ~name:"reference" astar_reference_grid
 let run_astar_smoke () = run_astar_grid ~name:"smoke" astar_smoke_grid
 
+(* --- robustness: drift injection, detection, replanning ----------------------- *)
+
+let robust_streams =
+  [
+    ("SS", Workload.Arrivals.slow_stable);
+    ("SU", Workload.Arrivals.slow_unstable);
+    ("FS", Workload.Arrivals.fast_stable);
+    ("FU", Workload.Arrivals.fast_unstable);
+  ]
+
+(* Each stream is degraded by the canonical drifted scenario (arrival rates
+   x2 from mid-horizon, true costs 2x the calibrated model) and maintained
+   three ways: ADAPT replaying its stale cyclic schedule (rescue-flushing
+   on constraint violations), the monitored replanner of Robust.Replan,
+   and ONLINE given the true costs as an adaptive reference point. *)
+let run_robust_grid ~name ~costs ~limit ~horizon ~t0 () =
+  section
+    (Printf.sprintf
+       "Robustness (%s grid) — static ADAPT vs replanning ADAPT vs ONLINE \
+        under drift"
+       name);
+  Printf.printf
+    "drift: arrival rates x2 from t=%d, true costs 2x the model; C = %.0f, \
+     T0 = %d\n"
+    ((horizon / 2) + 1)
+    limit t0;
+  let n = Array.length costs in
+  let results =
+    List.map
+      (fun (label, stream) ->
+        let arrivals =
+          Workload.Arrivals.generate ~seed:(base_seed + 17) ~horizon
+            (Array.init n (fun i ->
+                 if i < 2 then stream else Workload.Arrivals.Constant 0))
+        in
+        let model = Abivm.Spec.make ~costs ~limit ~arrivals in
+        let sc = Robust.Inject.drifted model in
+        let actual = sc.Robust.Inject.actual in
+        let static = Robust.Replan.static_adapt ~model ~actual ~t0 in
+        let static_cost = Abivm.Plan.cost actual static.Abivm.Adapt.plan in
+        let re = Robust.Replan.run ~model ~actual ~t0 () in
+        let online_cost = Abivm.Plan.cost actual (Abivm.Online.plan actual) in
+        (label, static_cost, static.Abivm.Adapt.rescues, re, online_cost))
+      robust_streams
+  in
+  emit
+    ~name:("robust_" ^ name)
+    ~aligns:
+      (Util.Tablefmt.Left :: List.init 7 (fun _ -> Util.Tablefmt.Right))
+    ~header:
+      [ "stream"; "ADAPT static"; "rescues"; "ADAPT replan"; "rescues";
+        "replans"; "drift peak"; "ONLINE (true costs)" ]
+    (List.map
+       (fun (label, static_cost, static_rescues,
+             (re : Robust.Replan.result), online_cost) ->
+         [
+           label;
+           fcell ~decimals:0 static_cost;
+           string_of_int static_rescues;
+           fcell ~decimals:0 re.Robust.Replan.cost;
+           string_of_int re.Robust.Replan.rescues;
+           string_of_int re.Robust.Replan.replans;
+           fcell ~decimals:2 re.Robust.Replan.drift_peak;
+           fcell ~decimals:0 online_cost;
+         ])
+       results);
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_robust.json" in
+  let oc = open_out path in
+  let entry (label, static_cost, static_rescues,
+             (re : Robust.Replan.result), online_cost) =
+    Printf.sprintf
+      "    { \"stream\": %S, \"static_cost\": %.6f, \"static_rescues\": %d, \
+       \"replan_cost\": %.6f, \"replan_rescues\": %d, \"replans\": %d, \
+       \"drift_peak\": %.4f, \"online_cost\": %.6f }"
+      label static_cost static_rescues re.Robust.Replan.cost
+      re.Robust.Replan.rescues re.Robust.Replan.replans
+      re.Robust.Replan.drift_peak online_cost
+  in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  \"horizon\": %d,\n  \"t0\": %d,\n  \
+     \"runs\": [\n%s\n  ]\n}\n"
+    name horizon t0
+    (String.concat ",\n" (List.map entry results));
+  close_out oc;
+  Printf.printf "(written to %s)\n" path;
+  print_endline
+    "shape check: replanning ADAPT should match or beat static ADAPT with \
+     fewer rescue flushes on every stream"
+
+let run_robust () =
+  let limit = fig6_limit () *. 20.0 /. 12.0 in
+  run_robust_grid ~name:"reference" ~costs:(paper_costs ()) ~limit
+    ~horizon:1000 ~t0:500 ()
+
+let run_robust_smoke () =
+  let costs =
+    [| Cost.Func.plateau ~a:1.0 ~cap:6.0; Cost.Func.affine ~a:1.0 ~b:2.0 |]
+  in
+  run_robust_grid ~name:"smoke" ~costs ~limit:10.0 ~horizon:60 ~t0:20 ()
+
 (* --- bechamel micro-benchmarks ----------------------------------------------- *)
 
 let run_micro () =
@@ -750,6 +852,8 @@ let sections =
     ("multiview", run_multiview);
     ("astar", run_astar);
     ("astar-smoke", run_astar_smoke);
+    ("robust", run_robust);
+    ("robust-smoke", run_robust_smoke);
     ("micro", run_micro);
   ]
 
@@ -787,9 +891,11 @@ let () =
   let requested =
     if args <> [] then args
     else
-      (* The smoke grid is a CI alias target; running it after the
-         reference grid would overwrite BENCH_astar.json with toy data. *)
-      List.filter (fun s -> s <> "astar-smoke") (List.map fst sections)
+      (* The smoke grids are CI alias targets; running them after the
+         reference grids would overwrite BENCH_*.json with toy data. *)
+      List.filter
+        (fun s -> s <> "astar-smoke" && s <> "robust-smoke")
+        (List.map fst sections)
   in
   List.iter
     (fun name ->

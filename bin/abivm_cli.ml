@@ -6,7 +6,9 @@
      calibrate  measure TPC-R maintenance cost curves from the engine
      run        calibrate, simulate all strategies, execute one (Fig. 5)
      demo       end-to-end TPC-R run: calibrate, plan, execute, validate
-     tightness  print the §3.2 LGM tightness table *)
+     tightness  print the §3.2 LGM tightness table
+     robust     inject drift into an instance, compare static ADAPT vs the
+                monitored replanner vs ONLINE *)
 
 open Cmdliner
 
@@ -493,9 +495,131 @@ let tightness_cmd =
     (Cmd.info "tightness" ~doc:"print the §3.2 factor-2 tightness table")
     Term.(const tightness $ const ())
 
+(* --- robust ------------------------------------------------------------------- *)
+
+let robust costs limit horizon streams seed adapt_t0 shift_at rate_factor
+    cost_factor trace metrics =
+  if costs = [] then `Error (false, "at least one --cost is required")
+  else if List.length streams <> List.length costs then
+    `Error (false, "need exactly one --stream per --cost")
+  else begin
+    with_telemetry ~trace ~metrics (fun () ->
+        let arrivals =
+          Workload.Arrivals.generate ~seed ~horizon (Array.of_list streams)
+        in
+        let model =
+          Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
+        in
+        let t0 =
+          match adapt_t0 with Some t0 -> t0 | None -> (horizon + 1) / 2
+        in
+        let sc =
+          Robust.Inject.drifted ?shift_at ~rate_factor ~cost_factor model
+        in
+        let actual = sc.Robust.Inject.actual in
+        Printf.printf "scenario: %s; C = %g; T = %d; T0 = %d\n"
+          sc.Robust.Inject.label limit horizon t0;
+        let static = Robust.Replan.static_adapt ~model ~actual ~t0 in
+        let static_cost = Abivm.Plan.cost actual static.Abivm.Adapt.plan in
+        let re = Robust.Replan.run ~model ~actual ~t0 () in
+        let online_cost = Abivm.Plan.cost actual (Abivm.Online.plan actual) in
+        Util.Tablefmt.print
+          ~aligns:
+            [ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right;
+              Util.Tablefmt.Right ]
+          ~header:[ "executor"; "total cost"; "rescues"; "replans" ]
+          [
+            [ "ADAPT (static schedule)"; Util.Tablefmt.float_cell static_cost;
+              string_of_int static.Abivm.Adapt.rescues; "0" ];
+            [ "ADAPT (monitored replanner)";
+              Util.Tablefmt.float_cell re.Robust.Replan.cost;
+              string_of_int re.Robust.Replan.rescues;
+              string_of_int re.Robust.Replan.replans ];
+            [ "ONLINE (true costs)"; Util.Tablefmt.float_cell online_cost;
+              "-"; "-" ];
+          ];
+        Printf.printf "peak drift score %.2f\n" re.Robust.Replan.drift_peak);
+    `Ok ()
+  end
+
+let robust_cmd =
+  let costs =
+    Arg.(
+      value
+      & opt_all cost_conv []
+      & info [ "cost" ] ~docv:"FUNC"
+          ~doc:
+            "Model (calibrated) per-table cost function (repeatable): \
+             linear:A, affine:A,B, sqrt:A,B, log:A,B, blocked:C,B, \
+             plateau:A,CAP, step:EPS,C.")
+  in
+  let limit =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "limit"; "C" ] ~docv:"COST"
+          ~doc:"Response-time constraint $(docv).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 500
+      & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time (default 500).")
+  in
+  let streams =
+    Arg.(
+      value
+      & opt_all stream_conv []
+      & info [ "stream" ] ~docv:"STREAM"
+          ~doc:
+            "Per-table arrival stream the planner calibrated against \
+             (repeatable): constant:N, burst:P,MU,SIGMA, poisson:M, \
+             onoff:ON,OFF,RATE, or ss/su/fs/fu.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let adapt_t0 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "adapt-t0" ] ~docv:"T0"
+          ~doc:"Refresh-time estimate used by ADAPT (default T/2).")
+  in
+  let shift_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shift-at" ] ~docv:"T"
+          ~doc:"Step the arrival-rate shift kicks in (default mid-horizon).")
+  in
+  let rate_factor =
+    Arg.(
+      value & opt float 2.0
+      & info [ "rate-factor" ] ~docv:"X"
+          ~doc:"Arrival-rate multiplier after the shift (default 2).")
+  in
+  let cost_factor =
+    Arg.(
+      value & opt float 2.0
+      & info [ "cost-factor" ] ~docv:"X"
+          ~doc:
+            "True cost as a multiple of the calibrated model (default 2).")
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:
+         "inject drift (rate shift + cost misestimation) into an analytic \
+          instance and compare static ADAPT, the monitored replanner, and \
+          ONLINE")
+    Term.(
+      ret
+        (const robust $ costs $ limit $ horizon $ streams $ seed $ adapt_t0
+       $ shift_at $ rate_factor $ cost_factor $ trace_arg $ metrics_arg))
+
 let main_cmd =
   let doc = "asymmetric batch incremental view maintenance" in
   Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
-    [ simulate_cmd; astar_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd ]
+    [ simulate_cmd; astar_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd;
+      robust_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,6 @@
 type result = Abivm.Report.t
 
-let run_plan ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
+let run_plan ?monitor ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
   let n = Abivm.Spec.n_tables spec in
   if n <> Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) then
     invalid_arg "Runner.run_plan: spec/view table count mismatch";
@@ -13,6 +13,7 @@ let run_plan ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
       let total = ref 0.0 in
       for t = 0 to horizon do
         let d = (Abivm.Spec.arrivals spec).(t) in
+        Option.iter (fun mon -> Robust.Monitor.observe_arrivals mon d) monitor;
         Array.iteri
           (fun i count ->
             for _ = 1 to count do
@@ -52,6 +53,14 @@ let run_plan ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
                 cost
               end
             in
+            (* The metered engine cost against the calibrated model's
+               prediction for the same action: the cost-drift signal of
+               the robustness loop, in the units calibration produced. *)
+            Option.iter
+              (fun mon ->
+                Robust.Monitor.observe_cost mon
+                  ~expected:(Abivm.Spec.f spec action) ~observed:cost)
+              monitor;
             total := !total +. cost
       done;
       let final_consistent = Ivm.Maintainer.check_consistent m = Ok () in

@@ -19,13 +19,18 @@ type result = Abivm.Report.t
 [@@ocaml.deprecated "use Abivm.Report.t (cost_units/wall_seconds now live there)"]
 
 val run_plan :
+  ?monitor:Robust.Monitor.t ->
   ?strategy:Abivm.Strategy.t ->
   Ivm.Maintainer.t ->
   Tpcr.Updates.feeds ->
   Abivm.Spec.t ->
   Abivm.Plan.t ->
   Abivm.Report.t
-(** [strategy] (default [Online None]) only labels the report.  Raises
+(** [monitor] receives each step's arrival vector and, per action, the
+    metered engine cost against the spec's prediction — drift detection
+    over {e executed} costs, closing the loop on calibration staleness
+    ([Robust.Replan] consumes the same monitor in simulation).
+    [strategy] (default [Online None]) only labels the report.  Raises
     [Invalid_argument] if the plan asks to process more modifications than
     are pending (i.e. the plan is invalid for the spec).  The consistency
     check at the end is unmetered. *)

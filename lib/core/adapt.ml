@@ -1,13 +1,22 @@
 type result = { plan : Plan.t; rescues : int }
 
+type schedule = { period : int; slots : (int, int list) Hashtbl.t }
+
+let schedule ~t0 ~t0_plan =
+  if t0 < 0 then invalid_arg "Adapt.schedule: negative t0";
+  let slots = Hashtbl.create 16 in
+  List.iter
+    (fun (t, a) -> Hashtbl.replace slots t (Statevec.support a))
+    (Plan.actions t0_plan);
+  { period = t0 + 1; slots }
+
+let scheduled_subset sched t = Hashtbl.find_opt sched.slots (t mod sched.period)
+
 let replay spec ~t0 ~t0_plan =
   if t0 < 0 then invalid_arg "Adapt.replay: negative t0";
   let n = Spec.n_tables spec in
   let horizon = Spec.horizon spec in
-  let scheduled = Hashtbl.create 16 in
-  List.iter
-    (fun (t, a) -> Hashtbl.replace scheduled t (Statevec.support a))
-    (Plan.actions t0_plan);
+  let sched = schedule ~t0 ~t0_plan in
   let state = ref (Statevec.zero n) in
   let out = ref [] in
   let rescues = ref 0 in
@@ -16,8 +25,7 @@ let replay spec ~t0 ~t0_plan =
     let action =
       if t = horizon then pre
       else begin
-        let slot = t mod (t0 + 1) in
-        match Hashtbl.find_opt scheduled slot with
+        match scheduled_subset sched t with
         | Some subset ->
             let a = Statevec.restrict_to pre subset in
             let post = Statevec.sub pre a in
@@ -41,10 +49,10 @@ let replay spec ~t0 ~t0_plan =
   done;
   { plan = Plan.of_actions (List.rev !out); rescues = !rescues }
 
+let projected spec ~t0 =
+  if t0 <= Spec.horizon spec then Spec.truncate spec t0
+  else Spec.extend_cyclic spec t0
+
 let plan spec ~t0 =
-  let projected =
-    if t0 <= Spec.horizon spec then Spec.truncate spec t0
-    else Spec.extend_cyclic spec t0
-  in
-  let t0_plan = (Astar.solve projected).Astar.plan in
+  let t0_plan = (Astar.solve (projected spec ~t0)).Astar.plan in
   (replay spec ~t0 ~t0_plan).plan

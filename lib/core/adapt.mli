@@ -16,9 +16,26 @@
 
 type result = { plan : Plan.t; rescues : int }
 
+type schedule
+(** The cyclic action timetable a [T_0]-plan induces: which delta-table
+    subset the plan flushes at each slot of its period [T_0 + 1]. *)
+
+val schedule : t0:int -> t0_plan:Plan.t -> schedule
+
+val scheduled_subset : schedule -> int -> int list option
+(** [scheduled_subset sched t] is the subset of tables the plan would
+    flush at absolute time [t] ([t mod (t0 + 1)] within the period), or
+    [None] when the plan takes no action at that slot.  Shared by
+    {!replay} and the robust replanning executor ([Robust.Replan]), which
+    replays schedules from shifting plans. *)
+
 val replay : Spec.t -> t0:int -> t0_plan:Plan.t -> result
 (** [replay spec ~t0 ~t0_plan] executes the adaptation against [spec]'s
     actual arrivals and horizon. *)
+
+val projected : Spec.t -> t0:int -> Spec.t
+(** The instance ADAPT plans against: [spec] truncated to [t0] when
+    [t0 <= horizon], cyclically extended otherwise (§4.2). *)
 
 val plan : Spec.t -> t0:int -> Plan.t
 (** Convenience: compute the optimal LGM plan for the spec truncated (or

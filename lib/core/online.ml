@@ -193,6 +193,8 @@ let ctrl_spec c =
 
 let pending c = Statevec.copy c.ctrl_pending
 
+let rates c = Array.copy c.ctrl_rates
+
 let step c ~arrivals =
   if Array.length arrivals <> Array.length c.ctrl_costs then
     invalid_arg "Online.step: arrival vector width mismatch";

@@ -77,3 +77,8 @@ val force_refresh : controller -> Statevec.t
 
 val pending : controller -> Statevec.t
 (** Currently pending modification counts. *)
+
+val rates : controller -> float array
+(** Snapshot of the controller's current EWMA per-table rate estimates —
+    what the drift monitor ([Robust.Monitor]) compares observed arrivals
+    against. *)

@@ -146,6 +146,28 @@ let scale c f =
   if c <= 0.0 then invalid_arg "Cost.Func.scale: factor must be positive";
   { name = Printf.sprintf "%g*%s" c f.name; raw = (fun k -> c *. f.raw k) }
 
+let jitter ~seed ~amp f =
+  if amp < 0.0 || amp >= 1.0 then
+    invalid_arg "Cost.Func.jitter: amp must be in [0, 1)";
+  (* splitmix64-style finalizer over (seed, k): the multiplier for a given
+     batch size is a pure function of both, so repeated evaluations agree
+     and two tables with different seeds get independent noise. *)
+  let mix k =
+    let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int k) 0x9E3779B97F4A7C15L) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    (* Uniform in [-1, 1) from the top 53 bits. *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical z 11) /. 4503599627370496.0
+    in
+    (2.0 *. u) -. 1.0
+  in
+  {
+    name = Printf.sprintf "jitter(%g,seed=%d,%s)" amp seed f.name;
+    raw = (fun k -> f.raw k *. (1.0 +. (amp *. mix k)));
+  }
+
 let rename name f = { f with name }
 
 let of_fn ~name raw = { name; raw }

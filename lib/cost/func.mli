@@ -72,6 +72,16 @@ val sum : t -> t -> t
 val scale : float -> t -> t
 (** Pointwise scaling by a positive factor. *)
 
+val jitter : seed:int -> amp:float -> t -> t
+(** Deterministic multiplicative noise: [f k * (1 + amp * u_k)] with
+    [u_k] in [\[-1, 1)] a pure hash of [(seed, k)], so evaluations are
+    repeatable and [f 0 = 0] is preserved.  Models measurement or
+    execution noise for fault injection ([Robust.Inject]) — the result
+    intentionally need {e not} satisfy the monotone/subadditive planner
+    contract (that is the fault being injected); keep [amp] well below 1
+    and run {!Check.is_subadditive} if a planner will consume it.
+    Requires [0 <= amp < 1]. *)
+
 val rename : string -> t -> t
 
 val of_fn : name:string -> (int -> float) -> t

@@ -1,0 +1,89 @@
+type config = { alpha : float; trip : float; clear : float }
+
+let default_config = { alpha = 0.1; trip = 0.5; clear = 0.2 }
+
+type t = {
+  config : config;
+  predicted : float array;  (* rates the current plan assumed *)
+  observed : float array;  (* EWMA of observed arrivals *)
+  mutable arr_err : float;  (* EWMA relative arrival error *)
+  mutable cost_err : float;  (* EWMA relative cost error *)
+  mutable ratio : float;  (* EWMA observed/expected cost *)
+  mutable steps : int;
+  mutable armed : bool;  (* hysteresis state: false once tripped *)
+}
+
+let create ?(config = default_config) ~predicted_rates () =
+  if config.alpha <= 0.0 || config.alpha > 1.0 then
+    invalid_arg "Monitor.create: alpha must be in (0, 1]";
+  if config.clear >= config.trip then
+    invalid_arg "Monitor.create: need clear < trip";
+  {
+    config;
+    predicted = Array.copy predicted_rates;
+    observed = Array.copy predicted_rates;
+    arr_err = 0.0;
+    cost_err = 0.0;
+    ratio = 1.0;
+    steps = 0;
+    armed = true;
+  }
+
+let ewma alpha old x = ((1.0 -. alpha) *. old) +. (alpha *. x)
+
+let score m = Float.max m.arr_err m.cost_err
+
+(* Update the hysteresis state after any signal change; booking the gauge
+   here keeps every observation path covered. *)
+let refresh m =
+  let s = score m in
+  if m.armed then begin
+    if s > m.config.trip then m.armed <- false
+  end
+  else if s < m.config.clear then m.armed <- true;
+  Telemetry.set_gauge "robust.drift_score" s;
+  Telemetry.max_gauge "robust.drift_peak" s
+
+let observe_arrivals m d =
+  if Array.length d <> Array.length m.predicted then
+    invalid_arg "Monitor.observe_arrivals: width mismatch";
+  let alpha = m.config.alpha in
+  let abs_err = ref 0.0 and pred_total = ref 0.0 in
+  Array.iteri
+    (fun i di ->
+      let x = float_of_int di in
+      m.observed.(i) <- ewma alpha m.observed.(i) x;
+      abs_err := !abs_err +. Float.abs (x -. m.predicted.(i));
+      pred_total := !pred_total +. m.predicted.(i))
+    d;
+  (* Normalizing by 1 + predicted volume keeps the signal scale-free: a
+     one-modification surprise on a quiet stream matters, the same
+     surprise on a 100/step stream does not. *)
+  m.arr_err <- ewma alpha m.arr_err (!abs_err /. (1.0 +. !pred_total));
+  m.steps <- m.steps + 1;
+  refresh m
+
+let observe_cost m ~expected ~observed =
+  if expected > 0.0 then begin
+    let alpha = m.config.alpha in
+    let r = observed /. expected in
+    m.ratio <- ewma alpha m.ratio r;
+    m.cost_err <- ewma alpha m.cost_err (Float.abs (r -. 1.0));
+    refresh m
+  end
+
+let tripped m = not m.armed
+
+let rates m = Array.copy m.observed
+
+let cost_ratio m = m.ratio
+
+let rebase m =
+  Array.blit m.observed 0 m.predicted 0 (Array.length m.predicted);
+  m.ratio <- 1.0;
+  m.arr_err <- 0.0;
+  m.cost_err <- 0.0;
+  m.armed <- true;
+  refresh m
+
+let observations m = m.steps

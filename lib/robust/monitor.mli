@@ -1,0 +1,70 @@
+(** Drift detection: is the planner's model still describing the world?
+
+    The monitor tracks two EWMA error signals against the model the
+    current plan was computed from:
+
+    - {b arrival drift}: per-step relative error between observed arrival
+      vectors and the predicted per-table rates (the planner's projection,
+      e.g. the mean rates of the ADAPT [T_0] instance or an
+      [Online.controller]'s EWMA estimates);
+    - {b cost drift}: per-action relative error between the observed cost
+      of an executed action and the model's prediction for it.  In
+      simulation the observation is the actual spec's [f]; in executed
+      mode it is the engine's metered cost units
+      ([Bridge.Runner.run_plan ~monitor] feeds them in).
+
+    The drift score is the max of the two signals.  Tripping has
+    hysteresis: the detector arms above [trip], and only re-arms after
+    the score falls below [clear < trip], so a score hovering at the
+    threshold cannot re-trigger replanning every step.
+
+    Alongside the error signals the monitor maintains EWMA estimates of
+    the observed rates and of the observed/expected cost ratio — exactly
+    the corrections a replanner needs to rebuild its model
+    ({!Replan.run} uses both). *)
+
+type config = {
+  alpha : float;  (** EWMA smoothing for all signals, in (0, 1] *)
+  trip : float;  (** score above this trips the detector *)
+  clear : float;  (** score below this re-arms it (must be < [trip]) *)
+}
+
+val default_config : config
+(** [alpha = 0.1], [trip = 0.5], [clear = 0.2]. *)
+
+type t
+
+val create : ?config:config -> predicted_rates:float array -> unit -> t
+(** A fresh monitor; [predicted_rates] are the per-table arrival rates
+    the current plan assumed. *)
+
+val observe_arrivals : t -> int array -> unit
+(** Record one step's observed arrival vector. *)
+
+val observe_cost : t -> expected:float -> observed:float -> unit
+(** Record one executed action: the model predicted [expected], the
+    world charged [observed].  Ignored when [expected <= 0]. *)
+
+val score : t -> float
+(** Current drift score (max of arrival and cost signals). *)
+
+val tripped : t -> bool
+(** True from the step the score exceeds [trip] until it falls back
+    below [clear]. *)
+
+val rates : t -> float array
+(** EWMA estimate of the observed per-table arrival rates. *)
+
+val cost_ratio : t -> float
+(** EWMA estimate of observed/expected action cost (1.0 until the first
+    observation) — multiply the model's cost functions by this to
+    re-anchor them. *)
+
+val rebase : t -> unit
+(** Adopt the current observed rates as the new predictions, reset the
+    cost ratio to 1 (the caller is expected to have folded it into its
+    model), zero both error signals, and re-arm the detector — call
+    after replanning, when the new plan embodies the corrections. *)
+
+val observations : t -> int
+(** Steps observed so far (arrival observations). *)

@@ -1,0 +1,147 @@
+open Abivm
+
+type config = {
+  monitor : Monitor.config;
+  min_gap : int;
+  backoff : float;
+}
+
+let default_config =
+  { monitor = Monitor.default_config; min_gap = 2; backoff = 2.0 }
+
+type result = {
+  plan : Plan.t;
+  cost : float;
+  rescues : int;
+  replans : int;
+  drift_peak : float;
+}
+
+(* The schedule is kept as an ordered queue of planned subset-flushes and
+   executed {e lazily}: each action waits until the state is actually full
+   (Lemma 1 — delaying an action to the next full time never increases
+   cost), so projection error in the plan's timing costs nothing.  A
+   cyclic ADAPT schedule is unrolled to absolute times up front. *)
+let unroll_cyclic sched ~horizon =
+  let out = ref [] in
+  for t = horizon - 1 downto 0 do
+    match Adapt.scheduled_subset sched t with
+    | Some subset -> out := (t, subset) :: !out
+    | None -> ()
+  done;
+  !out
+
+let mean_rates spec =
+  let n = Spec.n_tables spec in
+  let d = Spec.arrivals spec in
+  let acc = Array.make n 0.0 in
+  Array.iter
+    (fun row -> Array.iteri (fun i c -> acc.(i) <- acc.(i) +. float_of_int c) row)
+    d;
+  Array.map (fun s -> s /. float_of_int (Array.length d)) acc
+
+let static_adapt ~model ~actual ~t0 =
+  let t0_plan = (Astar.solve (Adapt.projected model ~t0)).Astar.plan in
+  Adapt.replay actual ~t0 ~t0_plan
+
+let run ?(config = default_config) ~model ~actual ~t0 () =
+  if Spec.n_tables model <> Spec.n_tables actual then
+    invalid_arg "Replan.run: model/actual table count mismatch";
+  if Spec.horizon model <> Spec.horizon actual then
+    invalid_arg "Replan.run: model/actual horizon mismatch";
+  if config.min_gap < 1 then invalid_arg "Replan.run: min_gap must be >= 1";
+  if config.backoff < 1.0 then invalid_arg "Replan.run: backoff must be >= 1";
+  let n = Spec.n_tables actual in
+  let horizon = Spec.horizon actual in
+  let t0_plan = (Astar.solve (Adapt.projected model ~t0)).Astar.plan in
+  let upcoming = ref (unroll_cyclic (Adapt.schedule ~t0 ~t0_plan) ~horizon) in
+  let monitor =
+    Monitor.create ~config:config.monitor ~predicted_rates:(mean_rates model) ()
+  in
+  (* Cumulative cost correction: the product of every cost ratio folded in
+     at replan time.  [corr *. Spec.f model a] is the current corrected
+     model's prediction for action [a]. *)
+  let corr = ref 1.0 in
+  let gap = ref config.min_gap in
+  let next_allowed = ref 0 in
+  let state = ref (Statevec.zero n) in
+  let out = ref [] in
+  let rescues = ref 0 and replans = ref 0 in
+  let drift_peak = ref 0.0 in
+  let rescue pre =
+    incr rescues;
+    Telemetry.incr "robust.rescues";
+    pre
+  in
+  for t = 0 to horizon do
+    let d = (Spec.arrivals actual).(t) in
+    Monitor.observe_arrivals monitor d;
+    let pre = Statevec.add !state d in
+    let action =
+      if t = horizon then pre
+        (* Fullness is judged on the actual spec: the response-time
+           contract binds in the real world, not in the model.  A non-full
+           state defers the next planned action (lazy execution); a full
+           one consumes it, or degrades to a rescue flush when the plan
+           has nothing (left) that restores the constraint. *)
+      else if not (Spec.is_full actual pre) then Statevec.zero n
+      else begin
+        match !upcoming with
+        | (_, subset) :: rest ->
+            upcoming := rest;
+            let a = Statevec.restrict_to pre subset in
+            if Spec.is_full actual (Statevec.sub pre a) then rescue pre else a
+        | [] -> rescue pre
+      end
+    in
+    if not (Statevec.is_zero action) then begin
+      Monitor.observe_cost monitor
+        ~expected:(!corr *. Spec.f model action)
+        ~observed:(Spec.f actual action);
+      out := (t, action) :: !out
+    end;
+    state := Statevec.sub pre action;
+    drift_peak := Float.max !drift_peak (Monitor.score monitor);
+    if t < horizon && t >= !next_allowed && Monitor.tripped monitor then begin
+      (* Rebuild the instance over [t+1, horizon] from what the monitor
+         learned, re-solve, and switch to the new schedule. *)
+      corr := !corr *. Float.max 1e-6 (Monitor.cost_ratio monitor);
+      let costs = Array.map (Cost.Func.scale !corr) (Spec.costs model) in
+      let rates = Monitor.rates monitor in
+      (* Project fractional EWMA rates by accumulation — row r carries
+         floor((r+1)·rate) − floor(r·rate) — so a 0.7/step table gets 7
+         arrivals per 10 steps, not 10 (per-step rounding would).  Row 0
+         additionally carries the real pending state forward. *)
+      let at_rate i r = int_of_float (float_of_int r *. rates.(i)) in
+      let arrivals =
+        Array.init (horizon - t) (fun r ->
+            Array.init n (fun i ->
+                let per_step = at_rate i (r + 1) - at_rate i r in
+                if r = 0 then !state.(i) + per_step else per_step))
+      in
+      let spec' = Spec.make ~costs ~limit:(Spec.limit actual) ~arrivals in
+      let plan' = (Astar.solve spec').Astar.plan in
+      upcoming :=
+        List.filter_map
+          (fun (pt, a) ->
+            let at = t + 1 + pt in
+            (* The new plan's own horizon action coincides with the
+               replay's unconditional final flush; scheduling it would be
+               redundant. *)
+            if at < horizon then Some (at, Statevec.support a) else None)
+          (Plan.actions plan');
+      Monitor.rebase monitor;
+      incr replans;
+      Telemetry.incr "robust.replans";
+      next_allowed := t + !gap;
+      gap := int_of_float (Float.round (config.backoff *. float_of_int !gap))
+    end
+  done;
+  let plan = Plan.of_actions (List.rev !out) in
+  {
+    plan;
+    cost = Plan.cost actual plan;
+    rescues = !rescues;
+    replans = !replans;
+    drift_peak = !drift_peak;
+  }

@@ -1,0 +1,74 @@
+(** Closing the loop: drift-triggered replanning over an ADAPT replay.
+
+    The paper's ADAPT (§4.2) computes one plan on a [T_0]-step model
+    instance and replays its schedule cyclically, forever trusting the
+    calibration.  {!run} executes the same replay against the {e actual}
+    world of an {!Inject.scenario} but keeps a {!Monitor} watching the
+    arrivals and the realized action costs.  When the drift score trips:
+
+    + the cumulative cost correction absorbs the monitor's
+      observed/expected ratio, and the model's cost functions are
+      re-anchored by that factor;
+    + a fresh instance is built over the remaining horizon — row 0 is the
+      current pending state plus one step at the monitor's EWMA rates,
+      later rows are pure rate projections;
+    + A* solves it and the replay switches from the cyclic [T_0] schedule
+      to the new plan's absolute-time schedule;
+    + the monitor {!Monitor.rebase}s and the next replan is pushed out by
+      an exponentially backed-off gap, so a persistently noisy world
+      cannot thrash the planner.
+
+    Unlike {!Abivm.Adapt.replay}'s slot-keyed replay, the schedule is
+    executed {e lazily}: each planned action waits until the state is
+    actually full (on the actual spec — the contract binds in the real
+    world), then flushes its planned {e subset} of whatever is really
+    pending.  Lemma 1 says delaying to the next full time never increases
+    cost, so the plan's timing projections cost nothing when the world
+    runs slow, and merge into the final refresh for free when fullness
+    never returns.  Whenever the planned subset (or an empty schedule)
+    leaves the post-action state still full, the executor degrades to a
+    rescue flush of everything and counts it.  The returned plan is
+    therefore always valid for the actual spec.
+
+    Telemetry: books [robust.replans] and [robust.rescues] counters; the
+    monitor maintains the [robust.drift_score] / [robust.drift_peak]
+    gauges. *)
+
+type config = {
+  monitor : Monitor.config;
+  min_gap : int;  (** steps between consecutive replans, initially (>= 1) *)
+  backoff : float;  (** gap multiplier after each replan (>= 1) *)
+}
+
+val default_config : config
+(** [Monitor.default_config], [min_gap = 2], [backoff = 2.0]. *)
+
+type result = {
+  plan : Abivm.Plan.t;  (** the executed actions — valid on the actual spec *)
+  cost : float;  (** [Plan.cost actual plan] *)
+  rescues : int;
+  replans : int;
+  drift_peak : float;  (** highest drift score seen during the run *)
+}
+
+val mean_rates : Abivm.Spec.t -> float array
+(** Per-table mean arrivals per step over the whole horizon — the rate
+    vector a planner implicitly assumes, and the monitor's initial
+    prediction. *)
+
+val static_adapt :
+  model:Abivm.Spec.t -> actual:Abivm.Spec.t -> t0:int -> Abivm.Adapt.result
+(** The no-feedback baseline: solve the [t0] instance of the {e model},
+    replay its cyclic schedule on the {e actual} world.  Exactly ADAPT
+    under drift — rescues counted, never replans. *)
+
+val run :
+  ?config:config ->
+  model:Abivm.Spec.t ->
+  actual:Abivm.Spec.t ->
+  t0:int ->
+  unit ->
+  result
+(** Run the monitored replay described above.  [model] and [actual] must
+    agree on table count and horizon (an {!Inject.scenario} guarantees
+    this); raises [Invalid_argument] otherwise. *)

@@ -5,6 +5,7 @@ type stream =
   | Periodic of int array
   | On_off of { on_len : int; off_len : int; rate : int }
   | Trace of int array
+  | Switch of { at : int; before : stream; after : stream }
 
 let positive_normal_ceil g ~mu ~sigma =
   (* Sample X ~ N(mu, sigma) conditioned on X > 0, return ceil X.
@@ -17,8 +18,10 @@ let positive_normal_ceil g ~mu ~sigma =
   in
   draw 0
 
-let step_count g stream t =
+let rec step_count g stream t =
   match stream with
+  | Switch { at; before; after } ->
+      if t < at then step_count g before t else step_count g after t
   | Constant c ->
       if c < 0 then invalid_arg "Arrivals: negative constant rate";
       c

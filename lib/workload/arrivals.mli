@@ -19,6 +19,13 @@ type stream =
           for [off_len] steps. *)
   | Trace of int array
       (** Explicit per-step counts; steps beyond the array bring zero. *)
+  | Switch of { at : int; before : stream; after : stream }
+      (** Regime change: behave as [before] for [t < at] and as [after]
+          from [at] on.  The workhorse of drift experiments ([lib/robust]):
+          a mid-horizon rate shift is [Switch] between two [Normal_burst]
+          parameterizations.  Both phases draw from the same per-table
+          sub-generator, so the sequence stays deterministic in the seed.
+          Not part of the {!stream_of_string} grammar (nested streams). *)
 
 val stream_of_string : string -> (stream, string) result
 (** Parse a stream description, as accepted by the CLI:

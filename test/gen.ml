@@ -1,0 +1,61 @@
+(* Deterministic random problem instances shared by the test executables.
+
+   This module is deliberately not listed in the (tests (names ...))
+   stanza, so dune links it into every test binary: property suites in
+   different executables draw instances from one generator, and a seed
+   printed by a failing test reproduces the exact instance anywhere.
+
+   All sizes are kept small enough that Exact.solve finishes within its
+   default expansion budget — the seeded theorem suite needs the true
+   optimum for every instance. *)
+
+let affine_costs g ~n =
+  Array.init n (fun _ ->
+      let a = 0.5 +. Util.Prng.float g 3.0 in
+      let b = Util.Prng.float g 5.0 in
+      Cost.Func.affine ~a ~b)
+
+(* Monotone subadditive, but spanning the shapes the planner contract
+   allows: linear, plateau (concave), blocked (subadditive non-concave),
+   and sqrt (strictly concave). *)
+let mixed_costs g ~n =
+  Array.init n (fun _ ->
+      match Util.Prng.int g 4 with
+      | 0 -> Cost.Func.linear ~a:(0.5 +. Util.Prng.float g 3.0)
+      | 1 ->
+          Cost.Func.plateau
+            ~a:(0.5 +. Util.Prng.float g 2.0)
+            ~cap:(2.0 +. Util.Prng.float g 8.0)
+      | 2 ->
+          Cost.Func.blocked
+            ~per_block:(1.0 +. Util.Prng.float g 3.0)
+            ~block_size:(1 + Util.Prng.int g 4)
+      | _ ->
+          Cost.Func.concave_sqrt
+            ~a:(0.5 +. Util.Prng.float g 3.0)
+            ~b:(Util.Prng.float g 3.0))
+
+let spec ?(affine = false) g =
+  let n = 1 + Util.Prng.int g 2 in
+  let horizon = 2 + Util.Prng.int g 5 in
+  let costs = if affine then affine_costs g ~n else mixed_costs g ~n in
+  let arrivals =
+    Array.init (horizon + 1) (fun _ ->
+        Array.init n (fun _ -> Util.Prng.int g 3))
+  in
+  (* Above the cheapest single modification, below everything at once. *)
+  let limit = 3.0 +. Util.Prng.float g 10.0 in
+  Abivm.Spec.make ~costs ~limit ~arrivals
+
+let instance ?affine ~seed () = spec ?affine (Util.Prng.create ~seed)
+
+let describe spec =
+  Printf.sprintf "n=%d T=%d C=%.2f costs=%s arrivals=%s"
+    (Abivm.Spec.n_tables spec)
+    (Abivm.Spec.horizon spec)
+    (Abivm.Spec.limit spec)
+    (String.concat ","
+       (Array.to_list (Array.map Cost.Func.name (Abivm.Spec.costs spec))))
+    (String.concat ","
+       (Array.to_list
+          (Array.map Abivm.Statevec.to_string (Abivm.Spec.arrivals spec))))

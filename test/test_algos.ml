@@ -227,6 +227,54 @@ let test_adapt_rescues_on_deviating_arrivals () =
   checkb "still valid" true (Abivm.Plan.is_valid bursty result.Abivm.Adapt.plan);
   checkb "used rescues" true (result.Abivm.Adapt.rescues > 0)
 
+let test_adapt_t0_zero () =
+  (* Degenerate estimate T0 = 0: the plan covers only the single row
+     [d_0], so its refresh replays with period 1 — flush whatever arrived,
+     every step.  Expensive but valid, and never a rescue. *)
+  let spec = fig6_style_spec 12 in
+  let t0_plan =
+    (Abivm.Astar.solve (Abivm.Adapt.projected spec ~t0:0)).Abivm.Astar.plan
+  in
+  let r = Abivm.Adapt.replay spec ~t0:0 ~t0_plan in
+  checkb "valid" true (Abivm.Plan.is_valid spec r.Abivm.Adapt.plan);
+  checki "no rescues" 0 r.Abivm.Adapt.rescues;
+  checki "flushes every step" 13
+    (List.length (Abivm.Plan.actions r.Abivm.Adapt.plan))
+
+let test_adapt_cyclic_zero_tail () =
+  (* T > T0 where the stream dies mid-run: the cyclic schedule keeps
+     firing against an emptying state.  Restricting a slot's subset to an
+     empty pending state yields a zero action, which the executor must
+     drop (plans cannot carry zero actions) while staying valid; arrivals
+     that only ever undershoot the projection never need a rescue. *)
+  let costs = [| Cost.Func.plateau ~a:1.0 ~cap:5.0; lin 1.0 |] in
+  let arrivals =
+    Array.init 41 (fun t -> if t <= 10 then [| 1; 1 |] else [| 0; 0 |])
+  in
+  let spec = mk_spec ~costs ~limit:7.0 arrivals in
+  let t0_plan =
+    (Abivm.Astar.solve (Abivm.Adapt.projected spec ~t0:8)).Abivm.Astar.plan
+  in
+  let r = Abivm.Adapt.replay spec ~t0:8 ~t0_plan in
+  checkb "valid" true (Abivm.Plan.is_valid spec r.Abivm.Adapt.plan);
+  checki "no rescues when arrivals only shrink" 0 r.Abivm.Adapt.rescues;
+  checkb "no action after the dead tail drains" true
+    (List.for_all
+       (fun (t, _) -> t <= 26 || t = 40)
+       (Abivm.Plan.actions r.Abivm.Adapt.plan))
+
+let test_adapt_rescue_count_exact () =
+  (* An empty schedule against a steady overload: every pre-horizon step
+     trips the constraint with nothing scheduled, so each one is exactly
+     one rescue flush; the unconditional horizon refresh is not counted. *)
+  let spec =
+    mk_spec ~costs:[| lin 1.0 |] ~limit:2.9 (uniform_arrivals ~horizon:5 [| 3 |])
+  in
+  let r = Abivm.Adapt.replay spec ~t0:5 ~t0_plan:(Abivm.Plan.of_actions []) in
+  checkb "valid" true (Abivm.Plan.is_valid spec r.Abivm.Adapt.plan);
+  checki "one rescue per pre-horizon step" 5 r.Abivm.Adapt.rescues;
+  checki "six flushes" 6 (List.length (Abivm.Plan.actions r.Abivm.Adapt.plan))
+
 (* --- Online -------------------------------------------------------------- *)
 
 let test_online_valid_on_uniform () =
@@ -346,6 +394,75 @@ let test_controller_rejects_bad_width () =
        false
      with Invalid_argument _ -> true)
 
+let test_controller_rates_converge () =
+  let c = Abivm.Online.controller ~costs:[| lin 1.0 |] ~limit:1_000_000.0 () in
+  for _ = 1 to 100 do
+    ignore (Abivm.Online.step c ~arrivals:[| 3 |])
+  done;
+  let r = Abivm.Online.rates c in
+  checkb "ewma converged to the true rate" true (Float.abs (r.(0) -. 3.0) < 0.01);
+  r.(0) <- 0.0;
+  checkb "rates is a snapshot, not a live view" true
+    ((Abivm.Online.rates c).(0) > 2.9)
+
+let test_controller_force_refresh_resets_clock () =
+  (* H(q) = (F + f(q)) / (t + ttf(s - q)): with a stale clock the
+     denominator is dominated by [t] and the controller goes myopically
+     cheap; with a fresh clock the survival time bought matters.  On the
+     burst below a fresh controller flushes table 0 (costs 8 but buys 3
+     steps) while a clock stuck at 31 would flush table 1 (costs 5, buys
+     1) — so a controller idled for 30 steps and then force-refreshed
+     must decide exactly like a brand-new one. *)
+  let costs = [| lin 1.0; lin 1.0 |] and limit = 10.0 in
+  let burst = [| 8; 5 |] in
+  let refreshed = Abivm.Online.controller ~costs ~limit () in
+  for _ = 1 to 30 do
+    checkb "idle step takes no action" true
+      (Abivm.Online.step refreshed ~arrivals:[| 0; 0 |] = None)
+  done;
+  Alcotest.check (Alcotest.array Alcotest.int) "nothing pending to force"
+    [| 0; 0 |]
+    (Abivm.Online.force_refresh refreshed);
+  let fresh = Abivm.Online.controller ~costs ~limit () in
+  let act c =
+    match Abivm.Online.step c ~arrivals:burst with
+    | Some a -> a
+    | None -> Alcotest.fail "burst must trip the constraint"
+  in
+  let a_fresh = act fresh in
+  Alcotest.check (Alcotest.array Alcotest.int) "the long-horizon choice"
+    [| 8; 0 |] a_fresh;
+  Alcotest.check (Alcotest.array Alcotest.int)
+    "post-refresh controller decides like a fresh one" a_fresh (act refreshed)
+
+let test_controller_step_bookkeeping () =
+  (* The pending vector must always equal (previous + arrivals - action),
+     actions fire exactly at full pre-states, and every action restores
+     the constraint. *)
+  let costs = [| Cost.Func.plateau ~a:1.0 ~cap:5.0; lin 1.0 |] in
+  let limit = 7.0 in
+  let c = Abivm.Online.controller ~costs ~limit () in
+  let spec_for_f = mk_spec ~costs ~limit [| [| 0; 0 |] |] in
+  let prng = Util.Prng.create ~seed:91 in
+  let model = ref (Abivm.Statevec.zero 2) in
+  for _ = 1 to 500 do
+    let arrivals = [| Util.Prng.int prng 4; Util.Prng.int prng 4 |] in
+    let pre = Abivm.Statevec.add !model arrivals in
+    (match Abivm.Online.step c ~arrivals with
+    | None ->
+        checkb "acts whenever full" false (Abivm.Spec.is_full spec_for_f pre);
+        model := pre
+    | Some action ->
+        checkb "acts only on full states" true
+          (Abivm.Spec.is_full spec_for_f pre);
+        checkb "action within pending" true (Abivm.Statevec.leq action pre);
+        model := Abivm.Statevec.sub pre action;
+        checkb "action restores the constraint" false
+          (Abivm.Spec.is_full spec_for_f !model));
+    Alcotest.check (Alcotest.array Alcotest.int) "pending bookkeeping" !model
+      (Abivm.Online.pending c)
+  done
+
 (* --- Simulate front-end --------------------------------------------------- *)
 
 let test_simulate_all_ordering () =
@@ -408,6 +525,11 @@ let () =
             test_adapt_extension_cyclic;
           Alcotest.test_case "rescues on deviation" `Quick
             test_adapt_rescues_on_deviating_arrivals;
+          Alcotest.test_case "T0 = 0" `Quick test_adapt_t0_zero;
+          Alcotest.test_case "cyclic replay over a dead tail" `Quick
+            test_adapt_cyclic_zero_tail;
+          Alcotest.test_case "exact rescue count" `Quick
+            test_adapt_rescue_count_exact;
         ] );
       ( "online",
         [
@@ -427,6 +549,12 @@ let () =
             test_controller_force_refresh;
           Alcotest.test_case "controller bad width" `Quick
             test_controller_rejects_bad_width;
+          Alcotest.test_case "controller rates converge" `Quick
+            test_controller_rates_converge;
+          Alcotest.test_case "force refresh resets the clock" `Quick
+            test_controller_force_refresh_resets_clock;
+          Alcotest.test_case "controller bookkeeping" `Quick
+            test_controller_step_bookkeeping;
         ] );
       ( "simulate",
         [
