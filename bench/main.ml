@@ -6,14 +6,17 @@
      dune exec bench/main.exe            -- run every section
      dune exec bench/main.exe -- fig6    -- run one section
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
-   conjectures multiview astar astar-smoke robust robust-smoke micro
+   conjectures multiview astar astar-smoke robust robust-smoke durable
+   durable-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
    (telemetry trace), --metrics (print the metrics table at the end)
 
    The astar sections additionally write BENCH_astar.json (search-engine
-   scaling data) and the robust sections BENCH_robust.json (drifted-stream
-   comparison) to the working directory; the -smoke variants are tiny
-   grids wired to the @bench-smoke alias so the bench binary cannot rot. *)
+   scaling data), the robust sections BENCH_robust.json (drifted-stream
+   comparison) and the durable sections BENCH_durable.json (WAL/checkpoint
+   overhead and recovery time) to the working directory; the -smoke
+   variants are tiny grids wired to the @bench-smoke alias so the bench
+   binary cannot rot. *)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -566,10 +569,10 @@ let run_multiview () =
       (fun discount ->
         let shared_setup = [| discount; discount |] in
         let ind =
-          Multiview.Coordinator.independent ~views ~shared_setup ~arrivals
+          Multiview.Coordinator.independent ~views ~shared_setup ~arrivals ()
         in
         let pig =
-          Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals
+          Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals ()
         in
         assert (ind.Multiview.Coordinator.valid && pig.Multiview.Coordinator.valid);
         [
@@ -770,6 +773,205 @@ let run_robust_smoke () =
   in
   run_robust_grid ~name:"smoke" ~costs ~limit:10.0 ~horizon:60 ~t0:20 ()
 
+(* --- durability: WAL + checkpoint overhead, recovery time --------------------- *)
+
+let rec rmtree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> rmtree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let durable_scratch = "_durable_bench"
+
+(* The SS-workload scenario shared by the baseline and every durability
+   configuration: a synthetic equi-join view maintained under the ONLINE
+   plan.  Durability may slow the run down but must never change it, so
+   the grid checks every configuration's engine cost bit-for-bit against
+   the WAL-off baseline. *)
+let durable_env ~rows ~join_domain ~horizon =
+  let seed = base_seed + 23 in
+  let arrivals =
+    Workload.Arrivals.generate ~seed:(seed + 2) ~horizon
+      [| Workload.Arrivals.slow_stable; Workload.Arrivals.slow_stable |]
+  in
+  let costs =
+    [| Cost.Func.affine ~a:1.0 ~b:5.0; Cost.Func.affine ~a:1.0 ~b:5.0 |]
+  in
+  let spec = Abivm.Spec.make ~costs ~limit:60.0 ~arrivals in
+  let plan = Abivm.Online.plan spec in
+  let fresh () =
+    let db =
+      Tpcr.Synth.generate ~seed ~r_rows:rows ~s_rows:rows ~join_domain ()
+    in
+    let m =
+      Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter (Tpcr.Synth.join_view db)
+    in
+    Relation.Meter.reset db.Tpcr.Synth.meter;
+    (m, Tpcr.Synth.insert_feeds ~seed:(seed + 1) db)
+  in
+  let view_of tables =
+    Ivm.Viewdef.make ~name:"r_join_s" ~tables
+      ~join:
+        [ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+      ~aggs:[ Relation.Agg.count "pairs" ]
+      ()
+  in
+  { Durable.Exec.fresh; view_of; spec; plan; params = [] }
+
+let durable_sync_label = function
+  | Durable.Wal.Always -> "always"
+  | Durable.Wal.Never -> "never"
+  | Durable.Wal.Interval n -> Printf.sprintf "interval:%d" n
+
+(* (label, segment_bytes, ckpt_actions, sync) *)
+let durable_configs =
+  [
+    ("fsync-always", 64 * 1024, 16, Durable.Wal.Always);
+    ("group-commit-32", 256 * 1024, 64, Durable.Wal.Interval 32);
+    ("no-fsync", 256 * 1024, 64, Durable.Wal.Never);
+    ("big-segments", 1024 * 1024, 256, Durable.Wal.Interval 32);
+  ]
+
+let time_best ~repeat f =
+  let best = ref infinity and out = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    if wall_ms < !best then best := wall_ms;
+    out := Some v
+  done;
+  (Option.get !out, !best)
+
+let run_durable_grid ~name ~rows ~join_domain ~horizon ~repeat () =
+  section
+    (Printf.sprintf
+       "Durability (%s grid) — steady-state WAL/checkpoint overhead and \
+        recovery time vs the WAL-off baseline"
+       name);
+  let env = durable_env ~rows ~join_domain ~horizon in
+  let baseline () =
+    let m, feeds = env.Durable.Exec.fresh () in
+    Bridge.Runner.run_plan m feeds env.Durable.Exec.spec env.Durable.Exec.plan
+  in
+  let report, baseline_ms = time_best ~repeat baseline in
+  let baseline_cost =
+    Option.value ~default:Float.nan report.Abivm.Report.cost_units
+  in
+  Printf.printf
+    "SS workload, %d rows/table, T = %d; WAL-off baseline: %.1f ms, %.2f \
+     cost units (best of %d)\n"
+    rows horizon baseline_ms baseline_cost repeat;
+  rmtree durable_scratch;
+  Unix.mkdir durable_scratch 0o755;
+  let results =
+    List.map
+      (fun (label, segment_bytes, ckpt_actions, sync) ->
+        let counter = ref 0 in
+        let run_once () =
+          incr counter;
+          let dir =
+            Filename.concat durable_scratch
+              (Printf.sprintf "%s-%s-%d" name label !counter)
+          in
+          rmtree dir;
+          let config =
+            {
+              (Durable.Exec.default_config ~dir) with
+              Durable.Exec.segment_bytes;
+              ckpt_actions;
+              sync;
+            }
+          in
+          (config, Durable.Exec.run config env)
+        in
+        let (config, outcome), wall_ms = time_best ~repeat run_once in
+        (* Recovery: reopen the finished run from disk, restore the latest
+           checkpoint, replay the WAL tail, deep-check the view. *)
+        let (), recovery_ms =
+          time_best ~repeat:1 (fun () ->
+              match Durable.Exec.verify config env with
+              | Ok _ -> ()
+              | Error e -> failwith ("durable grid: verify: " ^ e))
+        in
+        let overhead_pct = 100.0 *. (wall_ms -. baseline_ms) /. baseline_ms in
+        let cost_match =
+          Int64.bits_of_float outcome.Durable.Exec.total_cost
+          = Int64.bits_of_float baseline_cost
+        in
+        ( label, segment_bytes, ckpt_actions, sync, wall_ms, overhead_pct,
+          recovery_ms, outcome, cost_match ))
+      durable_configs
+  in
+  emit
+    ~name:("durable_" ^ name)
+    ~aligns:
+      (Util.Tablefmt.Left :: Util.Tablefmt.Left
+      :: List.init 7 (fun _ -> Util.Tablefmt.Right))
+    ~header:
+      [ "config"; "sync"; "seg KiB"; "ckpt every"; "wall (ms)"; "overhead %";
+        "recovery (ms)"; "wal records"; "cost = baseline" ]
+    (List.map
+       (fun (label, segment_bytes, ckpt_actions, sync, wall_ms, overhead_pct,
+             recovery_ms, (o : Durable.Exec.outcome), cost_match) ->
+         [
+           label;
+           durable_sync_label sync;
+           string_of_int (segment_bytes / 1024);
+           string_of_int ckpt_actions;
+           fcell ~decimals:1 wall_ms;
+           fcell ~decimals:1 overhead_pct;
+           fcell ~decimals:1 recovery_ms;
+           string_of_int o.Durable.Exec.lsn;
+           string_of_bool cost_match;
+         ])
+       results);
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_durable.json" in
+  let oc = open_out path in
+  let entry (label, segment_bytes, ckpt_actions, sync, wall_ms, overhead_pct,
+             recovery_ms, (o : Durable.Exec.outcome), cost_match) =
+    Printf.sprintf
+      "    { \"config\": %S, \"sync\": %S, \"segment_bytes\": %d, \
+       \"ckpt_actions\": %d, \"wall_ms\": %.3f, \"overhead_pct\": %.2f, \
+       \"recovery_ms\": %.3f, \"wal_records\": %d, \"checkpoints\": %d, \
+       \"cost_units\": %.6f, \"cost_matches_baseline\": %b }"
+      label (durable_sync_label sync) segment_bytes ckpt_actions wall_ms
+      overhead_pct recovery_ms o.Durable.Exec.lsn o.Durable.Exec.checkpoints
+      o.Durable.Exec.total_cost cost_match
+  in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  \"rows\": %d,\n  \"horizon\": %d,\n  \
+     \"baseline_wall_ms\": %.3f,\n  \"baseline_cost_units\": %.6f,\n  \
+     \"runs\": [\n%s\n  ]\n}\n"
+    name rows horizon baseline_ms baseline_cost
+    (String.concat ",\n" (List.map entry results));
+  close_out oc;
+  Printf.printf "(written to %s)\n" path;
+  let best_label, _, _, _, _, best_overhead, _, _, _ =
+    List.fold_left
+      (fun (( _, _, _, _, _, acc_overhead, _, _, _ ) as acc) candidate ->
+        let _, _, _, _, _, overhead, _, _, _ = candidate in
+        if overhead < acc_overhead then candidate else acc)
+      (List.hd results) (List.tl results)
+  in
+  Printf.printf
+    "shape check: every config's engine cost must equal the baseline \
+     bit-for-bit, and the best config (%s, %.1f%% overhead) should stay \
+     within the 25%% steady-state budget\n"
+    best_label best_overhead;
+  rmtree durable_scratch
+
+let run_durable () =
+  run_durable_grid ~name:"reference" ~rows:2500 ~join_domain:25 ~horizon:1000 ~repeat:3 ()
+
+let run_durable_smoke () =
+  run_durable_grid ~name:"smoke" ~rows:250 ~join_domain:10 ~horizon:40 ~repeat:1 ()
+
 (* --- bechamel micro-benchmarks ----------------------------------------------- *)
 
 let run_micro () =
@@ -854,6 +1056,8 @@ let sections =
     ("astar-smoke", run_astar_smoke);
     ("robust", run_robust);
     ("robust-smoke", run_robust_smoke);
+    ("durable", run_durable);
+    ("durable-smoke", run_durable_smoke);
     ("micro", run_micro);
   ]
 
@@ -894,7 +1098,8 @@ let () =
       (* The smoke grids are CI alias targets; running them after the
          reference grids would overwrite BENCH_*.json with toy data. *)
       List.filter
-        (fun s -> s <> "astar-smoke" && s <> "robust-smoke")
+        (fun s ->
+          s <> "astar-smoke" && s <> "robust-smoke" && s <> "durable-smoke")
         (List.map fst sections)
   in
   List.iter

@@ -8,7 +8,9 @@
      demo       end-to-end TPC-R run: calibrate, plan, execute, validate
      tightness  print the §3.2 LGM tightness table
      robust     inject drift into an instance, compare static ADAPT vs the
-                monitored replanner vs ONLINE *)
+                monitored replanner vs ONLINE
+     durable    crash-recoverable execution: WAL + checkpoints
+                (run / recover / verify) *)
 
 open Cmdliner
 
@@ -616,10 +618,333 @@ let robust_cmd =
         (const robust $ costs $ limit $ horizon $ streams $ seed $ adapt_t0
        $ shift_at $ rate_factor $ cost_factor $ trace_arg $ metrics_arg))
 
+(* --- durable ------------------------------------------------------------------ *)
+
+(* A deterministic synthetic scenario, fully described by the parameters
+   the manifest stores — so `durable recover`/`verify` need nothing but
+   --dir to rebuild the environment the original `durable run` used. *)
+let durable_params ~seed ~rows ~horizon ~limit ~streams =
+  [
+    ("seed", string_of_int seed);
+    ("rows", string_of_int rows);
+    ("horizon", string_of_int horizon);
+    ("limit", Printf.sprintf "%h" limit);
+    ("streams", String.concat ";" streams);
+  ]
+
+let durable_env_of_params params =
+  let find key =
+    match List.assoc_opt key params with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "manifest params missing %S" key)
+  in
+  let int_param key =
+    Result.bind (find key) (fun v ->
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad %s parameter %S" key v))
+  in
+  let ( let* ) = Result.bind in
+  let* seed = int_param "seed" in
+  let* rows = int_param "rows" in
+  let* horizon = int_param "horizon" in
+  let* limit =
+    Result.bind (find "limit") (fun v ->
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad limit parameter %S" v))
+  in
+  let* stream_texts =
+    Result.map (String.split_on_char ';') (find "streams")
+  in
+  let* streams =
+    List.fold_left
+      (fun acc text ->
+        let* acc = acc in
+        let* s = Workload.Arrivals.stream_of_string text in
+        Ok (s :: acc))
+      (Ok []) stream_texts
+    |> Result.map List.rev
+  in
+  if List.length streams <> 2 then
+    Error "durable scenario needs exactly two streams (tables r and s)"
+  else begin
+    let arrivals =
+      Workload.Arrivals.generate ~seed:(seed + 2) ~horizon
+        (Array.of_list streams)
+    in
+    let costs =
+      [| Cost.Func.affine ~a:1.0 ~b:5.0; Cost.Func.affine ~a:1.0 ~b:5.0 |]
+    in
+    let spec = Abivm.Spec.make ~costs ~limit ~arrivals in
+    let plan = Abivm.Online.plan spec in
+    let fresh () =
+      let db = Tpcr.Synth.generate ~seed ~r_rows:rows ~s_rows:rows () in
+      let m =
+        Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter
+          (Tpcr.Synth.join_view db)
+      in
+      Relation.Meter.reset db.Tpcr.Synth.meter;
+      (m, Tpcr.Synth.insert_feeds ~seed:(seed + 1) db)
+    in
+    let view_of tables =
+      Ivm.Viewdef.make ~name:"r_join_s" ~tables
+        ~join:
+          [ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1;
+              right_col = "jk" } ]
+        ~aggs:[ Relation.Agg.count "pairs" ]
+        ()
+    in
+    Ok { Durable.Exec.fresh; view_of; spec; plan; params }
+  end
+
+let durable_env_of_dir dir =
+  match Durable.Manifest.load ~dir with
+  | Error e -> Error (Printf.sprintf "%s: manifest: %s" dir e)
+  | Ok None -> Error (Printf.sprintf "%s: no durable run found (no manifest)" dir)
+  | Ok (Some m) -> durable_env_of_params m.Durable.Manifest.params
+
+let sync_conv =
+  let parse text =
+    match String.lowercase_ascii text with
+    | "always" -> Ok Durable.Wal.Always
+    | "never" -> Ok Durable.Wal.Never
+    | other -> (
+        match String.index_opt other ':' with
+        | Some i
+          when String.sub other 0 i = "interval" -> (
+            match
+              int_of_string_opt
+                (String.sub other (i + 1) (String.length other - i - 1))
+            with
+            | Some n when n > 0 -> Ok (Durable.Wal.Interval n)
+            | _ -> Error (`Msg "interval wants a positive count"))
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown sync policy %S (always, never, interval:N)" text)))
+  in
+  let print fmt = function
+    | Durable.Wal.Always -> Format.pp_print_string fmt "always"
+    | Durable.Wal.Never -> Format.pp_print_string fmt "never"
+    | Durable.Wal.Interval n -> Format.fprintf fmt "interval:%d" n
+  in
+  Arg.conv (parse, print)
+
+let durable_config ~dir ~segment_bytes ~ckpt_actions ~ckpt_bytes ~sync ~hook =
+  {
+    (Durable.Exec.default_config ~dir) with
+    Durable.Exec.segment_bytes;
+    ckpt_actions;
+    ckpt_bytes;
+    sync;
+    hook;
+  }
+
+let print_durable_outcome (o : Durable.Exec.outcome) =
+  Printf.printf
+    "total cost %.2f units over %d step(s); view rows %d; consistent %b\n"
+    o.Durable.Exec.total_cost o.Durable.Exec.steps_run
+    (List.length o.Durable.Exec.rows)
+    o.Durable.Exec.consistent;
+  Printf.printf "wal lsn %d; %d checkpoint(s) written%s\n" o.Durable.Exec.lsn
+    o.Durable.Exec.checkpoints
+    (if o.Durable.Exec.recovered then
+       Printf.sprintf "; recovered (replayed %d WAL record(s))"
+         o.Durable.Exec.replayed
+     else "")
+
+let durable_run dir seed rows horizon limit streams segment_bytes ckpt_actions
+    ckpt_bytes sync kill_at_step trace metrics =
+  let streams = if streams = [] then [ "ss"; "ss" ] else streams in
+  let params = durable_params ~seed ~rows ~horizon ~limit ~streams in
+  match durable_env_of_params params with
+  | Error e -> `Error (false, e)
+  | Ok env ->
+      with_telemetry ~trace ~metrics (fun () ->
+          let hook =
+            match kill_at_step with
+            | None -> Durable.Hook.none
+            | Some target -> (
+                function
+                | Durable.Hook.Step_start t when t = target ->
+                    raise
+                      (Durable.Hook.Crash
+                         (Printf.sprintf "--kill-at-step %d" target))
+                | _ -> ())
+          in
+          let config =
+            durable_config ~dir ~segment_bytes ~ckpt_actions ~ckpt_bytes ~sync
+              ~hook
+          in
+          try
+            let o = Durable.Exec.run config env in
+            print_durable_outcome o
+          with Durable.Hook.Crash what ->
+            Printf.printf
+              "killed at crash point [%s] — `abivm durable recover --dir %s` \
+               will finish the run\n"
+              what dir);
+      `Ok ()
+
+let durable_recover dir segment_bytes ckpt_actions ckpt_bytes sync trace metrics
+    =
+  match durable_env_of_dir dir with
+  | Error e -> `Error (false, e)
+  | Ok env ->
+      let result =
+        with_telemetry ~trace ~metrics (fun () ->
+            let config =
+              durable_config ~dir ~segment_bytes ~ckpt_actions ~ckpt_bytes
+                ~sync ~hook:Durable.Hook.none
+            in
+            Durable.Exec.resume config env)
+      in
+      (match result with
+      | Ok o ->
+          print_durable_outcome o;
+          `Ok ()
+      | Error e -> `Error (false, e))
+
+let durable_verify dir trace metrics =
+  match durable_env_of_dir dir with
+  | Error e -> `Error (false, e)
+  | Ok env ->
+      let result =
+        with_telemetry ~trace ~metrics (fun () ->
+            Durable.Exec.verify (Durable.Exec.default_config ~dir) env)
+      in
+      (match result with
+      | Ok st ->
+          Printf.printf
+            "ok: recovered to lsn %d (checkpoint lsn %d, %d WAL record(s) \
+             replayed), next step %d, cumulative cost %.2f; view consistent \
+             with a from-scratch recompute\n"
+            st.Durable.Recovery.lsn st.Durable.Recovery.checkpoint_lsn
+            st.Durable.Recovery.replayed st.Durable.Recovery.next_step
+            st.Durable.Recovery.cost;
+          `Ok ()
+      | Error e -> `Error (false, e))
+
+let durable_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Durability directory (WAL + checkpoints).")
+
+let durable_tuning =
+  let segment_bytes =
+    Arg.(
+      value
+      & opt int (256 * 1024)
+      & info [ "segment-bytes" ] ~docv:"N"
+          ~doc:"WAL segment rotation threshold (default 256 KiB).")
+  in
+  let ckpt_actions =
+    Arg.(
+      value & opt int 32
+      & info [ "ckpt-actions" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) applied actions (default 32).")
+  in
+  let ckpt_bytes =
+    Arg.(
+      value
+      & opt int (512 * 1024)
+      & info [ "ckpt-bytes" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) bytes of WAL (default 512 KiB).")
+  in
+  let sync =
+    Arg.(
+      value
+      & opt sync_conv Durable.Wal.Always
+      & info [ "sync" ] ~docv:"POLICY"
+          ~doc:"WAL fsync policy: always, never, or interval:N (group commit).")
+  in
+  (segment_bytes, ckpt_actions, ckpt_bytes, sync)
+
+let durable_run_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 400
+      & info [ "rows" ] ~docv:"N"
+          ~doc:"Rows per synthetic base table (default 400).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 60
+      & info [ "horizon"; "T" ] ~docv:"T" ~doc:"Refresh time (default 60).")
+  in
+  let limit =
+    Arg.(
+      value & opt float 60.0
+      & info [ "limit"; "C" ] ~docv:"COST"
+          ~doc:"Response-time constraint (default 60).")
+  in
+  let streams =
+    Arg.(
+      value & opt_all string []
+      & info [ "stream" ] ~docv:"STREAM"
+          ~doc:
+            "Arrival stream per table, twice (default ss ss): constant:N, \
+             burst:P,MU,SIGMA, poisson:M, onoff:ON,OFF,RATE, or ss/su/fs/fu.")
+  in
+  let kill_at_step =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-at-step" ] ~docv:"T"
+          ~doc:
+            "Simulate a crash: die at the start of step $(docv) (then try \
+             `durable recover`).")
+  in
+  let segment_bytes, ckpt_actions, ckpt_bytes, sync = durable_tuning in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "execute the ONLINE plan for a synthetic scenario with WAL + \
+          checkpoints, optionally dying mid-run")
+    Term.(
+      ret
+        (const durable_run $ durable_dir_arg $ seed $ rows $ horizon $ limit
+       $ streams $ segment_bytes $ ckpt_actions $ ckpt_bytes $ sync
+       $ kill_at_step $ trace_arg $ metrics_arg))
+
+let durable_recover_cmd =
+  let segment_bytes, ckpt_actions, ckpt_bytes, sync = durable_tuning in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "recover a (possibly crashed) durable run from its directory and \
+          finish it — the scenario is rebuilt from the manifest")
+    Term.(
+      ret
+        (const durable_recover $ durable_dir_arg $ segment_bytes $ ckpt_actions
+       $ ckpt_bytes $ sync $ trace_arg $ metrics_arg))
+
+let durable_verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "recover without resuming and deep-check the recovered view against \
+          a from-scratch recompute")
+    Term.(ret (const durable_verify $ durable_dir_arg $ trace_arg $ metrics_arg))
+
+let durable_cmd =
+  Cmd.group
+    (Cmd.info "durable"
+       ~doc:
+         "crash-recoverable execution: segmented WAL, checkpoints, recovery \
+          (run / recover / verify)")
+    [ durable_run_cmd; durable_recover_cmd; durable_verify_cmd ]
+
 let main_cmd =
   let doc = "asymmetric batch incremental view maintenance" in
   Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
     [ simulate_cmd; astar_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd;
-      robust_cmd ]
+      robust_cmd; durable_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

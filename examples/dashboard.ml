@@ -33,8 +33,8 @@ let () =
   List.iter
     (fun discount ->
       let shared_setup = [| discount; discount |] in
-      let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals in
-      let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals in
+      let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals () in
+      let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals () in
       assert (ind.Multiview.Coordinator.valid && pig.Multiview.Coordinator.valid);
       Printf.printf "%-14.0f %14.0f %14.0f %6d -> %-4d %7.2fx\n" discount
         ind.Multiview.Coordinator.total_cost pig.Multiview.Coordinator.total_cost
@@ -44,7 +44,7 @@ let () =
     [ 0.0; 8.0; 14.0; 25.0 ];
   let pig =
     Multiview.Coordinator.piggyback ~views ~shared_setup:[| 25.0; 25.0 |]
-      ~arrivals
+      ~arrivals ()
   in
   print_endline "\nper-subscription maintenance cost (piggyback, discount 25):";
   Array.iter

@@ -75,6 +75,14 @@ let record feeds ~arrivals =
     arrivals;
   List.rev !out
 
+exception End_of_trace of { table : int }
+
+type player = {
+  next_opt : int -> Ivm.Change.t option;
+  remaining : int -> int;
+  feeds : Tpcr.Updates.feeds;
+}
+
 let replay entries =
   (* Per-table FIFO queues of recorded changes. *)
   let queues : (int, Ivm.Change.t Queue.t) Hashtbl.t = Hashtbl.create 8 in
@@ -90,12 +98,21 @@ let replay entries =
       in
       Queue.add e.change q)
     entries;
-  let next table =
+  let next_opt table =
     match Hashtbl.find_opt queues table with
-    | Some q when not (Queue.is_empty q) -> Queue.pop q
-    | Some _ | None ->
-        invalid_arg
-          (Printf.sprintf "Changelog.replay: no recorded changes left for table %d"
-             table)
+    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+    | Some _ | None -> None
   in
-  { Tpcr.Updates.next }
+  let remaining table =
+    match Hashtbl.find_opt queues table with
+    | Some q -> Queue.length q
+    | None -> 0
+  in
+  let next table =
+    match next_opt table with
+    | Some change -> change
+    | None -> raise (End_of_trace { table })
+  in
+  { next_opt; remaining; feeds = { Tpcr.Updates.next } }
+
+let replay_feeds entries = (replay entries).feeds

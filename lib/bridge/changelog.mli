@@ -24,6 +24,23 @@ val record :
 (** Materialize the modifications a feed would produce for an arrival
     matrix, in the order {!Bridge.Runner.run_plan} would draw them. *)
 
-val replay : entry list -> Tpcr.Updates.feeds
-(** A feed that returns the recorded modifications in order, per table.
-    Raises [Invalid_argument] when a table's recorded entries run out. *)
+exception End_of_trace of { table : int }
+(** The trace had no more recorded modifications for the table — the
+    typed signal a truncated trace produces, so callers can degrade
+    (stop at the recorded horizon) instead of dying on a generic
+    [Invalid_argument]. *)
+
+type player = {
+  next_opt : int -> Ivm.Change.t option;
+      (** the graceful draw: [None] at end of trace *)
+  remaining : int -> int;  (** recorded modifications left for a table *)
+  feeds : Tpcr.Updates.feeds;
+      (** adapter for feed-shaped consumers; raises {!End_of_trace} where
+          [next_opt] returns [None] *)
+}
+
+val replay : entry list -> player
+(** Replays the recorded modifications in order, per table. *)
+
+val replay_feeds : entry list -> Tpcr.Updates.feeds
+(** [(replay entries).feeds]. *)

@@ -1,6 +1,7 @@
 type result = Abivm.Report.t
 
-let run_plan ?monitor ?(strategy = Abivm.Strategy.Online None) m feeds spec plan =
+let run_plan ?monitor ?journal ?(strategy = Abivm.Strategy.Online None) m feeds
+    spec plan =
   let n = Abivm.Spec.n_tables spec in
   if n <> Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) then
     invalid_arg "Runner.run_plan: spec/view table count mismatch";
@@ -17,9 +18,18 @@ let run_plan ?monitor ?(strategy = Abivm.Strategy.Online None) m feeds spec plan
         Array.iteri
           (fun i count ->
             for _ = 1 to count do
-              Ivm.Maintainer.on_arrive m i (feeds.Tpcr.Updates.next i)
+              let change = feeds.Tpcr.Updates.next i in
+              Ivm.Maintainer.on_arrive m i change;
+              Option.iter
+                (fun wal ->
+                  Durable.Wal.append wal
+                    (Durable.Record.Arrival { time = t; table = i; change }))
+                journal
             done)
           d;
+        Option.iter
+          (fun wal -> if Durable.Wal.buffered wal > 0 then Durable.Wal.commit wal)
+          journal;
         match Abivm.Plan.action_at plan t with
         | None -> ()
         | Some action ->
@@ -29,9 +39,17 @@ let run_plan ?monitor ?(strategy = Abivm.Strategy.Online None) m feeds spec plan
                 (fun i k ->
                   if k > 0 then begin
                     let delta = Ivm.Maintainer.process m i k in
-                    cost := !cost +. Relation.Meter.cost_units delta
+                    let c = Relation.Meter.cost_units delta in
+                    cost := !cost +. c;
+                    Option.iter
+                      (fun wal ->
+                        Durable.Wal.append wal
+                          (Durable.Record.Applied
+                             { time = t; table = i; count = k; cost = c }))
+                      journal
                   end)
                 action;
+              Option.iter Durable.Wal.commit journal;
               !cost
             in
             let cost =

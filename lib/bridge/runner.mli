@@ -20,6 +20,7 @@ type result = Abivm.Report.t
 
 val run_plan :
   ?monitor:Robust.Monitor.t ->
+  ?journal:Durable.Wal.t ->
   ?strategy:Abivm.Strategy.t ->
   Ivm.Maintainer.t ->
   Tpcr.Updates.feeds ->
@@ -30,6 +31,10 @@ val run_plan :
     metered engine cost against the spec's prediction — drift detection
     over {e executed} costs, closing the loop on calibration staleness
     ([Robust.Replan] consumes the same monitor in simulation).
+    [journal] receives every drawn modification ([Durable.Record.Arrival],
+    committed once per step) and every processed batch
+    ([Durable.Record.Applied] with the metered cost, committed per
+    action) — a WAL of the run that [Durable.Recovery] can replay.
     [strategy] (default [Online None]) only labels the report.  Raises
     [Invalid_argument] if the plan asks to process more modifications than
     are pending (i.e. the plan is invalid for the spec).  The consistency

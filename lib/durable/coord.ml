@@ -1,0 +1,157 @@
+let basename = "PROGRESS"
+
+let hex f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+let unhex what s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some b -> Ok (Int64.float_of_bits b)
+  | None -> Error (Printf.sprintf "bad %s bits %S" what s)
+
+(* One float-matrix row (or int row) per line, tab-separated, floats as
+   IEEE bit patterns so a resumed run continues bit-identically. *)
+let emit buf (p : Multiview.Coordinator.progress) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let row f xs = String.concat "\t" (List.map f (Array.to_list xs)) in
+  line "abivm-progress\t1";
+  line "step\t%d" p.Multiview.Coordinator.step;
+  line "views\t%d" (Array.length p.Multiview.Coordinator.pending);
+  Array.iter
+    (fun xs -> line "pending\t%s" (row string_of_int xs))
+    p.Multiview.Coordinator.pending;
+  Array.iter
+    (fun xs -> line "rates\t%s" (row hex xs))
+    p.Multiview.Coordinator.rates;
+  line "spent\t%s" (row hex p.Multiview.Coordinator.spent);
+  line "per_view\t%s" (row hex p.Multiview.Coordinator.per_view);
+  line "total\t%s" (hex p.Multiview.Coordinator.total);
+  line "undiscounted\t%s" (hex p.Multiview.Coordinator.undiscounted);
+  line "co_flushes\t%d" p.Multiview.Coordinator.co_flushes;
+  line "valid\t%d" (if p.Multiview.Coordinator.valid then 1 else 0);
+  line "end"
+
+let save ~dir ?(hook = Hook.none) p =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let buf = Buffer.create 512 in
+  emit buf p;
+  let tmp = Filename.concat dir (basename ^ ".tmp") in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let s = Buffer.contents buf in
+      let rec go off =
+        if off < String.length s then
+          go (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      go 0;
+      Unix.fsync fd);
+  Sys.rename tmp (Filename.concat dir basename);
+  hook (Hook.Ckpt_done basename)
+
+exception Bad of string
+
+let load ~dir =
+  let path = Filename.concat dir basename in
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let ic = open_in_bin path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             while true do
+               acc := input_line ic :: !acc
+             done
+           with End_of_file -> ());
+          Array.of_list (List.rev !acc))
+    in
+    let pos = ref 0 in
+    let next what =
+      if !pos >= Array.length lines then
+        raise (Bad (Printf.sprintf "truncated progress file: expected %s" what));
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    in
+    let expect kw =
+      match String.split_on_char '\t' (next kw) with
+      | k :: rest when k = kw -> rest
+      | k :: _ -> raise (Bad (Printf.sprintf "expected %S line, got %S" kw k))
+      | [] -> assert false
+    in
+    let int_of what s =
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> raise (Bad (Printf.sprintf "bad %s field %S" what s))
+    in
+    let float_of what s =
+      match unhex what s with Ok f -> f | Error e -> raise (Bad e)
+    in
+    let one what = function
+      | [ x ] -> x
+      | _ -> raise (Bad (Printf.sprintf "malformed %s line" what))
+    in
+    try
+      (match String.split_on_char '\t' (next "header") with
+      | [ "abivm-progress"; "1" ] -> ()
+      | _ -> raise (Bad "not an abivm progress file (bad header)"));
+      let step = int_of "step" (one "step" (expect "step")) in
+      let k = int_of "views" (one "views" (expect "views")) in
+      let matrix kw conv =
+        Array.init k (fun _ ->
+            expect kw |> List.map (conv kw) |> Array.of_list)
+      in
+      let pending = matrix "pending" int_of in
+      let rates = matrix "rates" float_of in
+      let spent = expect "spent" |> List.map (float_of "spent") |> Array.of_list in
+      let per_view =
+        expect "per_view" |> List.map (float_of "per_view") |> Array.of_list
+      in
+      let total = float_of "total" (one "total" (expect "total")) in
+      let undiscounted =
+        float_of "undiscounted" (one "undiscounted" (expect "undiscounted"))
+      in
+      let co_flushes =
+        int_of "co_flushes" (one "co_flushes" (expect "co_flushes"))
+      in
+      let valid = int_of "valid" (one "valid" (expect "valid")) = 1 in
+      (match String.split_on_char '\t' (next "end") with
+      | [ "end" ] -> ()
+      | _ -> raise (Bad "progress file missing end trailer (torn write?)"));
+      Ok
+        (Some
+           {
+             Multiview.Coordinator.step;
+             pending;
+             rates;
+             spent;
+             per_view;
+             total;
+             undiscounted;
+             co_flushes;
+             valid;
+           })
+    with
+    | Bad e -> Error e
+    | Sys_error e -> Error e
+  end
+
+let run_durable ~dir ?(every = 1) ?(hook = Hook.none) ~views ~shared_setup
+    ~arrivals ~coordinate () =
+  if every <= 0 then invalid_arg "Coord.run_durable: every must be > 0";
+  let from =
+    match load ~dir with
+    | Ok p -> p
+    | Error e -> failwith (Printf.sprintf "Coord.run_durable: %s: %s" dir e)
+  in
+  let on_step (p : Multiview.Coordinator.progress) =
+    hook (Hook.Step_start p.Multiview.Coordinator.step);
+    if p.Multiview.Coordinator.step mod every = 0 then save ~dir ~hook p
+  in
+  let strategy =
+    if coordinate then Multiview.Coordinator.piggyback
+    else Multiview.Coordinator.independent
+  in
+  strategy ?from ~on_step ~views ~shared_setup ~arrivals ()

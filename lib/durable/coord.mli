@@ -1,0 +1,34 @@
+(** Durable multi-view coordination.
+
+    The multi-view coordinator is a pure simulation, so its whole state
+    is one {!Multiview.Coordinator.progress} record; making it
+    crash-recoverable is just persisting that record atomically at
+    every step and resuming from it.  [run_durable] does both ends:
+    with no progress file it starts fresh, otherwise it continues from
+    the recorded step — killing the process anywhere yields the same
+    outcome as the uninterrupted run. *)
+
+val save :
+  dir:string ->
+  ?hook:(Hook.point -> unit) ->
+  Multiview.Coordinator.progress ->
+  unit
+(** Atomic (temp + fsync + rename) write of [PROGRESS]; fires
+    [Hook.Ckpt_done "PROGRESS"]. *)
+
+val load : dir:string -> (Multiview.Coordinator.progress option, string) result
+(** [Ok None] when no progress has been saved. *)
+
+val run_durable :
+  dir:string ->
+  ?every:int ->
+  ?hook:(Hook.point -> unit) ->
+  views:Multiview.Coordinator.view_spec array ->
+  shared_setup:float array ->
+  arrivals:int array array ->
+  coordinate:bool ->
+  unit ->
+  Multiview.Coordinator.outcome
+(** Run (or continue) the coordinator, persisting progress every
+    [every] steps (default 1).  The hook also fires [Hook.Step_start]
+    before each step so crash tests can kill between persists. *)

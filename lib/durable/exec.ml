@@ -1,0 +1,207 @@
+type config = {
+  dir : string;
+  segment_bytes : int;
+  ckpt_actions : int;
+  ckpt_bytes : int;
+  sync : Wal.sync;
+  keep_checkpoints : int;
+  hook : Hook.point -> unit;
+}
+
+let default_config ~dir =
+  {
+    dir;
+    segment_bytes = 256 * 1024;
+    ckpt_actions = 32;
+    ckpt_bytes = 512 * 1024;
+    sync = Wal.Always;
+    keep_checkpoints = 2;
+    hook = Hook.none;
+  }
+
+type env = {
+  fresh : unit -> Ivm.Maintainer.t * Tpcr.Updates.feeds;
+  view_of : Relation.Table.t array -> Ivm.Viewdef.t;
+  spec : Abivm.Spec.t;
+  plan : Abivm.Plan.t;
+  params : (string * string) list;
+}
+
+type outcome = {
+  total_cost : float;
+  rows : Relation.Tuple.t list;
+  consistent : bool;
+  recovered : bool;
+  replayed : int;
+  checkpoints : int;
+  steps_run : int;
+  lsn : int;
+}
+
+let no_table = Hashtbl.create 0
+
+(* The executor proper.  [arrived]/[applied] are the replay maps (empty
+   on a fresh start); [draws] is mutated in place as feeds are
+   consumed. *)
+let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
+    ~start_step ~cost0 ~draws ~arrived ~applied ~recovered ~replayed =
+  let spec = env.spec in
+  let horizon = Abivm.Spec.horizon spec in
+  let total = ref cost0 in
+  let actions_since = ref 0 in
+  let bytes_mark = ref (Wal.total_bytes wal) in
+  let manifest = ref manifest in
+  let ckpts = ref 0 in
+  let checkpoint t =
+    (* The WAL records this checkpoint claims to supersede must be on
+       disk before the manifest can point at it. *)
+    Wal.sync_now wal;
+    let c =
+      Checkpoint.capture ~lsn:(Wal.lsn wal) ~next_step:(t + 1) ~cost:!total
+        ~draws ~params:env.params m
+    in
+    let file = Checkpoint.write ~dir:config.dir ~hook:config.hook c in
+    let with_new =
+      Manifest.add_checkpoint !manifest ~lsn:c.Checkpoint.lsn ~file
+    in
+    let pruned, dropped = Manifest.prune ~keep:config.keep_checkpoints with_new in
+    Manifest.save ~dir:config.dir ~hook:config.hook pruned;
+    manifest := pruned;
+    List.iter
+      (fun f -> try Sys.remove (Filename.concat config.dir f) with Sys_error _ -> ())
+      dropped;
+    Wal.truncate_before wal c.Checkpoint.lsn;
+    actions_since := 0;
+    bytes_mark := Wal.total_bytes wal;
+    incr ckpts
+  in
+  for t = start_step to horizon do
+    config.hook (Hook.Step_start t);
+    let d = (Abivm.Spec.arrivals spec).(t) in
+    Array.iteri
+      (fun i count ->
+        (* Arrivals of this step already journalled before a crash were
+           re-enqueued by replay; draw only the remainder. *)
+        let already = Option.value ~default:0 (Hashtbl.find_opt arrived (t, i)) in
+        for _ = already + 1 to count do
+          let change = feeds.Tpcr.Updates.next i in
+          draws.(i) <- draws.(i) + 1;
+          Ivm.Maintainer.on_arrive m i change;
+          Wal.append wal (Record.Arrival { time = t; table = i; change })
+        done)
+      d;
+    if Wal.buffered wal > 0 then Wal.commit wal;
+    (match Abivm.Plan.action_at env.plan t with
+    | None -> ()
+    | Some action ->
+        Array.iteri
+          (fun i k ->
+            if k > 0 && not (Hashtbl.mem applied (t, i)) then begin
+              let delta = Ivm.Maintainer.process m i k in
+              let cost = Relation.Meter.cost_units delta in
+              total := !total +. cost;
+              Wal.append wal
+                (Record.Applied { time = t; table = i; count = k; cost });
+              Wal.commit wal;
+              incr actions_since
+            end)
+          action);
+    let bytes_since = Wal.total_bytes wal - !bytes_mark in
+    if
+      t < horizon
+      && (!actions_since >= config.ckpt_actions || bytes_since >= config.ckpt_bytes)
+    then checkpoint t
+  done;
+  (* Final checkpoint: marks the run complete (next_step past the
+     horizon) and lets a later [verify] work from snapshot + empty
+     tail. *)
+  checkpoint horizon;
+  {
+    total_cost = !total;
+    rows = Ivm.Maintainer.rows m;
+    consistent = Ivm.Maintainer.check_consistent m = Ok ();
+    recovered;
+    replayed;
+    checkpoints = !ckpts;
+    steps_run = max 0 (horizon - start_step + 1);
+    lsn = Wal.lsn wal;
+  }
+
+let started_dir dir =
+  Sys.file_exists (Filename.concat dir "MANIFEST")
+
+let run config env =
+  if started_dir config.dir then
+    failwith
+      (Printf.sprintf
+         "Exec.run: %s already holds a durable run — use resume (or point at \
+          a fresh directory)"
+         config.dir);
+  if not (Sys.file_exists config.dir) then Unix.mkdir config.dir 0o755;
+  let manifest = Manifest.empty ~params:env.params in
+  Manifest.save ~dir:config.dir ~hook:config.hook manifest;
+  let wal =
+    Wal.open_ ~dir:config.dir ~segment_bytes:config.segment_bytes
+      ~sync:config.sync ~hook:config.hook ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Wal.close wal)
+    (fun () ->
+      let m, feeds = env.fresh () in
+      let n = Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) in
+      if n <> Abivm.Spec.n_tables env.spec then
+        invalid_arg "Exec.run: spec/view table count mismatch";
+      execute config env ~wal ~manifest ~m ~feeds ~start_step:0 ~cost0:0.
+        ~draws:(Array.make n 0) ~arrived:no_table ~applied:no_table
+        ~recovered:false ~replayed:0)
+
+let recover_state config env =
+  Recovery.recover ~dir:config.dir ~view_of:env.view_of
+    ~fresh:(fun () -> fst (env.fresh ()))
+
+let resume config env =
+  match recover_state config env with
+  | Error _ as e -> e
+  | Ok st ->
+      let manifest =
+        match Manifest.load ~dir:config.dir with
+        | Ok (Some m) -> m
+        | Ok None | Error _ -> Manifest.empty ~params:env.params
+      in
+      let wal =
+        Wal.open_ ~dir:config.dir ~segment_bytes:config.segment_bytes
+          ~sync:config.sync ~hook:config.hook ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Wal.close wal)
+        (fun () ->
+          if Wal.lsn wal <> st.Recovery.lsn then
+            Error
+              (Printf.sprintf
+                 "resume: WAL reopened at lsn %d but recovery replayed to %d"
+                 (Wal.lsn wal) st.Recovery.lsn)
+          else begin
+            let _, feeds = env.fresh () in
+            (* Fast-forward the deterministic feeds past every draw the
+               pre-crash process (and replay) already consumed. *)
+            Array.iteri
+              (fun i n ->
+                for _ = 1 to n do
+                  ignore (feeds.Tpcr.Updates.next i)
+                done)
+              st.Recovery.draws;
+            Ok
+              (execute config env ~wal ~manifest ~m:st.Recovery.maintainer
+                 ~feeds ~start_step:st.Recovery.next_step
+                 ~cost0:st.Recovery.cost ~draws:st.Recovery.draws
+                 ~arrived:st.Recovery.arrived ~applied:st.Recovery.applied
+                 ~recovered:true ~replayed:st.Recovery.replayed)
+          end)
+
+let verify config env =
+  match recover_state config env with
+  | Error _ as e -> e
+  | Ok st -> (
+      match Ivm.Maintainer.check_consistent st.Recovery.maintainer with
+      | Ok () -> Ok st
+      | Error e -> Error (Printf.sprintf "recovered state inconsistent: %s" e))

@@ -1,0 +1,67 @@
+(** Crash-recoverable plan execution.
+
+    [run] executes a maintenance plan the way [Bridge.Runner.run_plan]
+    does, but journals every arrival and every applied action to a
+    {!Wal} and checkpoints periodically, so a process killed anywhere
+    can [resume] and finish with the *same* final view contents and the
+    same total cost, bit for bit.  The idempotence argument: an
+    [Applied] record in the log makes the plan's action at that [(time,
+    table)] a no-op on resume (its cost was already re-accumulated
+    during replay), and arrival draws beyond the journalled ones are
+    re-drawn from the deterministic feeds fast-forwarded by the
+    recovered per-table draw counts.
+
+    Commit points: one WAL commit per step for that step's arrivals,
+    one per applied action.  A crash between an action and its commit
+    merely re-executes the action deterministically on resume. *)
+
+type config = {
+  dir : string;  (** durability directory (created by {!run}) *)
+  segment_bytes : int;  (** WAL rotation threshold *)
+  ckpt_actions : int;  (** checkpoint every N applied actions… *)
+  ckpt_bytes : int;  (** …or every M bytes of WAL, whichever first *)
+  sync : Wal.sync;
+  keep_checkpoints : int;  (** manifest retains this many, oldest pruned *)
+  hook : Hook.point -> unit;  (** crash-point instrumentation *)
+}
+
+val default_config : dir:string -> config
+(** 256 KiB segments, checkpoint every 32 actions or 512 KiB of WAL,
+    [Wal.Always], 2 checkpoints kept, no hook. *)
+
+type env = {
+  fresh : unit -> Ivm.Maintainer.t * Tpcr.Updates.feeds;
+      (** rebuild the genesis state — must be deterministic (seeded) *)
+  view_of : Relation.Table.t array -> Ivm.Viewdef.t;
+      (** re-erect the view definition over checkpoint-restored tables *)
+  spec : Abivm.Spec.t;
+  plan : Abivm.Plan.t;
+  params : (string * string) list;
+      (** persisted in the manifest so a later process can rebuild [env] *)
+}
+
+type outcome = {
+  total_cost : float;
+  rows : Relation.Tuple.t list;
+  consistent : bool;  (** final [Maintainer.check_consistent] *)
+  recovered : bool;  (** this outcome came from a resume *)
+  replayed : int;  (** WAL records replayed before resuming *)
+  checkpoints : int;  (** checkpoints written by this process *)
+  steps_run : int;  (** plan steps this process executed *)
+  lsn : int;
+}
+
+val run : config -> env -> outcome
+(** Fresh start.  Raises [Failure] if [config.dir] already holds a
+    durable run (resume that instead — never silently overwrite one),
+    and re-raises [Hook.Crash] from the hook. *)
+
+val resume : config -> env -> (outcome, string) result
+(** Recover ({!Recovery.recover}), then continue the plan to the
+    horizon.  Already-applied actions are skipped; already-logged
+    arrivals are not re-drawn.  [Error] on recovery failure. *)
+
+val verify : config -> env -> (Recovery.state, string) result
+(** Recover and deep-check (recovered view vs a from-scratch evaluation
+    over the recovered base tables) without resuming execution — the
+    read-only "is this directory healthy" probe. *)

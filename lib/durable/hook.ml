@@ -1,0 +1,33 @@
+exception Crash of string
+
+type point =
+  | Step_start of int
+  | Committed of { lsn : int }
+  | Rotated of { start : int }
+  | Ckpt_temp of string
+  | Ckpt_done of string
+  | Manifest_updated
+  | Truncated of { upto : int }
+
+let describe = function
+  | Step_start t -> Printf.sprintf "step-start t=%d" t
+  | Committed { lsn } -> Printf.sprintf "wal-committed lsn=%d" lsn
+  | Rotated { start } -> Printf.sprintf "segment-rotated start=%d" start
+  | Ckpt_temp name -> Printf.sprintf "checkpoint-temp %s" name
+  | Ckpt_done name -> Printf.sprintf "checkpoint-renamed %s" name
+  | Manifest_updated -> "manifest-updated"
+  | Truncated { upto } -> Printf.sprintf "wal-truncated upto=%d" upto
+
+let none (_ : point) = ()
+
+let crash_after ~n =
+  let seen = ref 0 in
+  fun point ->
+    let k = !seen in
+    incr seen;
+    if k = n then raise (Crash (describe point))
+
+let counting () =
+  let points = ref [] in
+  let hook point = points := point :: !points in
+  (hook, fun () -> List.rev !points)

@@ -1,0 +1,28 @@
+(** The durability directory's root of trust.
+
+    The [MANIFEST] file names the scenario parameters and the
+    checkpoints that were *completely* written (temp + fsync + rename
+    all done).  Recovery starts from the newest manifest-listed
+    checkpoint; a checkpoint file the manifest does not mention is
+    garbage from a crash and is never read.  The manifest itself is
+    replaced atomically. *)
+
+type t = {
+  params : (string * string) list;
+  checkpoints : (int * string) list;  (** (lsn, basename), oldest first *)
+}
+
+val empty : params:(string * string) list -> t
+val latest : t -> (int * string) option
+
+val add_checkpoint : t -> lsn:int -> file:string -> t
+
+val prune : keep:int -> t -> t * string list
+(** Keep the newest [keep] checkpoints; returns the dropped basenames so
+    the caller can delete the files (after saving the pruned manifest). *)
+
+val save : dir:string -> ?hook:(Hook.point -> unit) -> t -> unit
+(** Atomic replace; fires [Hook.Manifest_updated] after the rename. *)
+
+val load : dir:string -> (t option, string) result
+(** [Ok None] when no manifest exists (fresh or never-started directory). *)

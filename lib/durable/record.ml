@@ -1,0 +1,76 @@
+type t =
+  | Arrival of { time : int; table : int; change : Ivm.Change.t }
+  | Applied of { time : int; table : int; count : int; cost : float }
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let payload = function
+  | Arrival { time; table; change } ->
+      Printf.sprintf "A\t%d\t%d\t%s" time table
+        (Ivm.Codec.change_to_string change)
+  | Applied { time; table; count; cost } ->
+      Printf.sprintf "P\t%d\t%d\t%d\t%Lx" time table count
+        (Int64.bits_of_float cost)
+
+let to_line r =
+  let p = payload r in
+  Printf.sprintf "%08lx\t%s" (crc32 p) p
+
+let parse_payload text =
+  match String.split_on_char '\t' text with
+  | "A" :: time :: table :: rest when rest <> [] -> (
+      match (int_of_string_opt time, int_of_string_opt table) with
+      | Some time, Some table when time >= 0 && table >= 0 -> (
+          match Ivm.Codec.change_of_string (String.concat "\t" rest) with
+          | Ok change -> Ok (Arrival { time; table; change })
+          | Error e -> Error e)
+      | _ -> Error (Printf.sprintf "malformed arrival record %S" text))
+  | [ "P"; time; table; count; bits ] -> (
+      match
+        ( int_of_string_opt time,
+          int_of_string_opt table,
+          int_of_string_opt count,
+          Int64.of_string_opt ("0x" ^ bits) )
+      with
+      | Some time, Some table, Some count, Some b
+        when time >= 0 && table >= 0 && count > 0 ->
+          Ok (Applied { time; table; count; cost = Int64.float_of_bits b })
+      | _ -> Error (Printf.sprintf "malformed applied record %S" text))
+  | _ -> Error (Printf.sprintf "unknown record kind in %S" text)
+
+let of_line line =
+  match String.index_opt line '\t' with
+  | None -> Error (Printf.sprintf "unframed WAL line %S" line)
+  | Some i when i <> 8 -> Error (Printf.sprintf "bad CRC framing in %S" line)
+  | Some i -> (
+      let crc_text = String.sub line 0 i in
+      let body = String.sub line (i + 1) (String.length line - i - 1) in
+      match Int64.of_string_opt ("0x" ^ crc_text) with
+      | None -> Error (Printf.sprintf "unparsable CRC in %S" line)
+      | Some crc ->
+          if Int64.to_int32 crc <> crc32 body then
+            Error (Printf.sprintf "CRC mismatch on %S" line)
+          else parse_payload body)

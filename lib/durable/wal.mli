@@ -1,0 +1,85 @@
+(** Append-only, segment-rotated write-ahead log.
+
+    A WAL directory holds segment files [wal-<start>.seg], where
+    [<start>] is the global sequence number (LSN — records committed
+    since genesis) of the segment's first record.  Appends buffer in
+    memory; {!commit} writes the batch with one syscall, fsyncs
+    according to the {!sync} policy, and only then advances the LSN — a
+    crash loses at most the uncommitted buffer.  When the current
+    segment exceeds its byte budget the commit fsyncs it and rotates to
+    a fresh file, so checkpoint-driven truncation can drop whole old
+    segments without touching live data.
+
+    Opening an existing directory tolerates a truncated tail: the last
+    segment is scanned record by record and physically truncated after
+    the last line whose CRC checks out (a torn final write is expected
+    after power loss).  Damage anywhere {e before} the tail — a failed
+    CRC in an earlier segment, a gap in the segment chain — is refused
+    as corruption.
+
+    Telemetry (when enabled): [durable.appends], [durable.commits],
+    [durable.fsyncs], [durable.segments], [durable.truncations]. *)
+
+type sync =
+  | Always  (** write + fsync every commit — survives OS crash *)
+  | Interval of int
+      (** group commit: committed batches accumulate in memory and are
+          written + fsynced together every [n]-th commit (and at every
+          rotation, {!sync_now} and {!close}); a crash loses up to [n]
+          commits *)
+  | Never
+      (** no durability point except rotation, {!sync_now} and {!close};
+          cheapest, loses the whole tail since the last of those on a
+          crash *)
+
+type t
+
+val open_ :
+  dir:string ->
+  ?segment_bytes:int ->
+  ?sync:sync ->
+  ?hook:(Hook.point -> unit) ->
+  unit ->
+  t
+(** Create the directory (and a first segment) if needed, or continue an
+    existing log after repairing its tail.  [segment_bytes] (default
+    [1 lsl 20]) is the rotation threshold; [sync] defaults to [Always].
+    Raises [Failure] on corruption before the tail. *)
+
+val lsn : t -> int
+(** Records committed since genesis. *)
+
+val total_bytes : t -> int
+(** Bytes committed since this handle was opened — the checkpoint
+    policy's "wall bytes of WAL" counter. *)
+
+val append : t -> Record.t -> unit
+(** Buffer a record; nothing reaches the file until {!commit}. *)
+
+val buffered : t -> int
+
+val commit : t -> unit
+(** Commit the buffered batch: advance the LSN, write + fsync per the
+    {!sync} policy (deferred under [Interval]/[Never] — group commit),
+    fire [Hook.Committed], and rotate if the segment is over budget.
+    No-op when nothing is buffered. *)
+
+val sync_now : t -> unit
+(** Force an fsync regardless of policy — checkpointing calls this so a
+    checkpoint never claims to supersede records that are not yet on
+    disk. *)
+
+val truncate_before : t -> int -> unit
+(** Delete every segment whose records all precede the given LSN (the
+    current segment is never deleted).  Checkpointing calls this with
+    the checkpoint's LSN. *)
+
+val close : t -> unit
+(** Flush committed records and close the file descriptor.  Uncommitted
+    buffered records are dropped, exactly as a crash would drop them —
+    {!commit} first. *)
+
+val read : dir:string -> from_lsn:int -> (Record.t list, string) result
+(** All committed records with LSN >= [from_lsn], in order, tolerating a
+    damaged tail in the last segment.  [Ok []] for a missing directory.
+    [Error] on mid-log corruption. *)

@@ -318,6 +318,18 @@ let process m i k =
       ~attrs:[ ("table", table ()); ("k", string_of_int k) ]
       run
 
+let process_at_most m i k =
+  if i < 0 || i >= Array.length m.pending then
+    invalid_arg "Maintainer.process_at_most: bad table index";
+  if k < 0 then invalid_arg "Maintainer.process_at_most: negative count";
+  let actual = min k (Pending.size m.pending.(i)) in
+  (actual, process m i actual)
+
+let pending_changes m i =
+  if i < 0 || i >= Array.length m.pending then
+    invalid_arg "Maintainer.pending_changes: bad table index";
+  Pending.peek_all m.pending.(i)
+
 let refresh m =
   let before = Relation.Meter.snapshot m.meter in
   Array.iteri (fun i q -> ignore (process m i (Pending.size q))) m.pending;

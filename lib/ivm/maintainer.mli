@@ -49,6 +49,17 @@ val process : t -> int -> int -> Relation.Meter.snapshot
     [maintainer.batches], [maintainer.cost_units] and the
     [maintainer.batch_size] histogram. *)
 
+val process_at_most : t -> int -> int -> int * Relation.Meter.snapshot
+(** [process_at_most m i k] processes [min k (pending_size m i)]
+    modifications and returns the count actually processed with the
+    meter delta — the forgiving variant used by rescue and recovery
+    paths.  Raises [Invalid_argument] only on a bad index or negative
+    [k]. *)
+
+val pending_changes : t -> int -> Change.t list
+(** Table [i]'s delta queue in arrival order, without removing anything
+    — what a checkpoint persists. *)
+
 val refresh : t -> Relation.Meter.snapshot
 (** Process everything pending in every table (one batch per table) —
     the view is up to date afterwards. *)

@@ -25,6 +25,10 @@ let take q k =
   compact q;
   out
 
+let take_at_most q k =
+  if k < 0 then invalid_arg "Pending.take_at_most: negative count";
+  take q (min k (size q))
+
 let peek_all q = List.init (size q) (fun i -> Util.Vec.get q.items (q.head + i))
 
 let clear q =

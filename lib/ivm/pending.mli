@@ -13,6 +13,12 @@ val take : t -> int -> Change.t list
     arrival order.  Raises [Invalid_argument] if fewer than [k] are
     pending. *)
 
+val take_at_most : t -> int -> Change.t list
+(** [take_at_most q k] removes and returns the earliest [min k (size q)]
+    modifications — the forgiving variant rescue and recovery paths use
+    when a plan's action may exceed what actually arrived.  Raises
+    [Invalid_argument] only on negative [k]. *)
+
 val peek_all : t -> Change.t list
 (** All pending modifications in arrival order, without removing them. *)
 

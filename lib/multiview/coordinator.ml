@@ -67,6 +67,18 @@ let charge ~views ~shared_setup batches =
   done;
   (per_view, !raw_total, !discounted_total, !joins)
 
+type progress = {
+  step : int;
+  pending : int array array;
+  rates : float array array;
+  spent : float array;
+  per_view : float array;
+  total : float;
+  undiscounted : float;
+  co_flushes : int;
+  valid : bool;
+}
+
 type sim_view = {
   spec : view_spec;
   pending : Abivm.Statevec.t;
@@ -113,26 +125,68 @@ let forced_action sim =
         rest;
       !best
 
-let run ~views ~shared_setup ~arrivals ~coordinate =
+let snapshot_progress ~step ~(sims : sim_view array) ~per_view_total ~total
+    ~undiscounted ~joins ~valid =
+  {
+    step;
+    pending = Array.map (fun (sim : sim_view) -> Array.copy sim.pending) sims;
+    rates = Array.map (fun (sim : sim_view) -> Array.copy sim.rates) sims;
+    spent = Array.map (fun (sim : sim_view) -> sim.spent) sims;
+    per_view = Array.copy per_view_total;
+    total;
+    undiscounted;
+    co_flushes = joins;
+    valid;
+  }
+
+let run ?(from : progress option) ?on_step ~views ~shared_setup ~arrivals ~coordinate () =
   let n = validate ~views ~shared_setup ~arrivals in
   let k = Array.length views in
   let horizon = Array.length arrivals - 1 in
+  (match from with
+  | Some p ->
+      if
+        Array.length p.pending <> k
+        || Array.length p.rates <> k
+        || Array.length p.spent <> k
+        || Array.length p.per_view <> k
+        || Array.exists (fun row -> Array.length row <> n) p.pending
+        || p.step < 0
+      then invalid_arg "Multiview: progress does not match this problem"
+  | None -> ());
   let sims =
-    Array.map
-      (fun spec ->
-        {
-          spec;
-          pending = Abivm.Statevec.zero n;
-          rates = Array.make n 0.0;
-          spent = 0.0;
-        })
+    Array.mapi
+      (fun v spec ->
+        match from with
+        | None ->
+            {
+              spec;
+              pending = Abivm.Statevec.zero n;
+              rates = Array.make n 0.0;
+              spent = 0.0;
+            }
+        | Some p ->
+            {
+              spec;
+              pending = Array.copy p.pending.(v);
+              rates = Array.copy p.rates.(v);
+              spent = p.spent.(v);
+            })
       views
   in
-  let per_view_total = Array.make k 0.0 in
-  let total = ref 0.0 and undiscounted = ref 0.0 and joins = ref 0 in
-  let valid = ref true in
+  let start, per_view_total, total, undiscounted, joins, valid =
+    match from with
+    | None -> (0, Array.make k 0.0, ref 0.0, ref 0.0, ref 0, ref true)
+    | Some p ->
+        ( p.step,
+          Array.copy p.per_view,
+          ref p.total,
+          ref p.undiscounted,
+          ref p.co_flushes,
+          ref p.valid )
+  in
   let alpha = 0.2 in
-  for t = 0 to horizon do
+  for t = start to horizon do
     let d = arrivals.(t) in
     Array.iter
       (fun sim ->
@@ -204,7 +258,13 @@ let run ~views ~shared_setup ~arrivals ~coordinate =
     if step_joins > 0 then begin
       Telemetry.add "multiview.co_flushes" (float_of_int step_joins);
       Telemetry.add "multiview.discount_pocketed" (raw -. discounted)
-    end
+    end;
+    Option.iter
+      (fun f ->
+        f
+          (snapshot_progress ~step:(t + 1) ~sims ~per_view_total ~total:!total
+             ~undiscounted:!undiscounted ~joins:!joins ~valid:!valid))
+      on_step
   done;
   Array.iter
     (fun sim ->
@@ -219,8 +279,8 @@ let run ~views ~shared_setup ~arrivals ~coordinate =
     valid = !valid;
   }
 
-let independent ~views ~shared_setup ~arrivals =
-  run ~views ~shared_setup ~arrivals ~coordinate:false
+let independent ?from ?on_step ~views ~shared_setup ~arrivals () =
+  run ?from ?on_step ~views ~shared_setup ~arrivals ~coordinate:false ()
 
-let piggyback ~views ~shared_setup ~arrivals =
-  run ~views ~shared_setup ~arrivals ~coordinate:true
+let piggyback ?from ?on_step ~views ~shared_setup ~arrivals () =
+  run ?from ?on_step ~views ~shared_setup ~arrivals ~coordinate:true ()

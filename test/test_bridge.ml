@@ -214,6 +214,43 @@ let test_changelog_rejects_bad_input () =
       [ "0\t0\tZ\ti:1" ];
     ]
 
+let test_changelog_replay_exhaustion_graceful () =
+  (* A truncated trace must end cleanly, not die with Invalid_argument:
+     [next_opt] degrades to [None], [remaining] reaches zero, and only
+     the feed-shaped adapter raises — with the typed [End_of_trace]. *)
+  let entries =
+    [
+      { Bridge.Changelog.time = 0; table = 0;
+        change = Ivm.Change.Insert (Tuple.make [ vi 1 ]) };
+      { Bridge.Changelog.time = 1; table = 0;
+        change = Ivm.Change.Insert (Tuple.make [ vi 2 ]) };
+      { Bridge.Changelog.time = 1; table = 1;
+        change = Ivm.Change.Insert (Tuple.make [ vi 3 ]) };
+    ]
+  in
+  let p = Bridge.Changelog.replay entries in
+  checki "table 0 holds two" 2 (p.Bridge.Changelog.remaining 0);
+  checki "table 1 holds one" 1 (p.Bridge.Changelog.remaining 1);
+  checkb "draws arrive in order" true
+    (match p.Bridge.Changelog.next_opt 0 with
+    | Some (Ivm.Change.Insert t) -> Tuple.equal t (Tuple.make [ vi 1 ])
+    | _ -> false);
+  ignore (p.Bridge.Changelog.next_opt 0);
+  checkb "exhausted table yields None" true
+    (p.Bridge.Changelog.next_opt 0 = None);
+  checki "remaining hits zero" 0 (p.Bridge.Changelog.remaining 0);
+  checkb "unknown table is just empty" true
+    (p.Bridge.Changelog.next_opt 7 = None);
+  (match p.Bridge.Changelog.feeds.Tpcr.Updates.next 1 with
+  | Ivm.Change.Insert t ->
+      checkb "feed adapter still draws" true (Tuple.equal t (Tuple.make [ vi 3 ]))
+  | _ -> Alcotest.fail "unexpected change");
+  match p.Bridge.Changelog.feeds.Tpcr.Updates.next 1 with
+  | exception Bridge.Changelog.End_of_trace { table = 1 } -> ()
+  | exception e ->
+      Alcotest.failf "expected End_of_trace, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "exhausted feed returned a change"
+
 let test_changelog_record_replay_equivalence () =
   (* Record a TPC-R feed, replay it, and check both runs produce the same
      executed result. *)
@@ -233,7 +270,9 @@ let test_changelog_record_replay_equivalence () =
         (Tpcr.Gen.min_supplycost_view db)
     in
     Relation.Meter.reset db.Tpcr.Gen.meter;
-    let report = Bridge.Runner.run_plan m (Bridge.Changelog.replay entries) spec plan in
+    let report =
+      Bridge.Runner.run_plan m (Bridge.Changelog.replay_feeds entries) spec plan
+    in
     (report.Abivm.Report.cost_units, Ivm.Maintainer.rows m)
   in
   let c1, rows1 = run () and c2, rows2 = run () in
@@ -277,5 +316,7 @@ let () =
             test_changelog_rejects_bad_input;
           Alcotest.test_case "record/replay equivalence" `Quick
             test_changelog_record_replay_equivalence;
+          Alcotest.test_case "replay exhaustion is graceful" `Quick
+            test_changelog_replay_exhaustion_graceful;
         ] );
     ]

@@ -1,0 +1,138 @@
+(* Property tests for Ivm.Codec: the value / tuple / change round-trips
+   that the changelog, the WAL and the checkpoint format all build on.
+   Strings are the dangerous case — the codec escapes backslash, tab and
+   newline so a tuple stays a single tab-separated line — so the string
+   generator here leans hard on those characters.  The empty tuple has
+   its own encoding [()] and its own tests. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* Strings biased toward the characters the codec must escape, plus a
+   few literals that look like the codec's own syntax. *)
+let nasty_string =
+  let open QCheck.Gen in
+  let nasty_char =
+    oneofl [ '\t'; '\n'; '\\'; ' '; ':'; '('; ')'; 'a'; 'z'; '0' ]
+  in
+  oneof
+    [
+      string_size ~gen:nasty_char (int_range 0 12);
+      string_small;
+      oneofl [ ""; "()"; "null"; "i:42"; "s:"; "\\t"; "\t\n\\"; "\\n\\t" ];
+    ]
+
+let arb_value =
+  let open QCheck.Gen in
+  let g =
+    oneof
+      [
+        (int >|= fun x -> Relation.Value.Int x);
+        ( float >|= fun x ->
+          Relation.Value.Float (if Float.is_nan x then 0.0 else x) );
+        (nasty_string >|= fun s -> Relation.Value.Str s);
+        (bool >|= fun b -> Relation.Value.Bool b);
+        return Relation.Value.Null;
+      ]
+  in
+  QCheck.make ~print:Relation.Value.to_string g
+
+let arb_tuple =
+  let open QCheck.Gen in
+  let g =
+    int_range 0 6 >>= fun n ->
+    array_repeat n (QCheck.gen arb_value) >|= fun values -> values
+  in
+  QCheck.make ~print:Relation.Tuple.to_string g
+
+let arb_change =
+  let open QCheck.Gen in
+  let tup = QCheck.gen arb_tuple in
+  let g =
+    oneof
+      [
+        (tup >|= fun t -> Ivm.Change.Insert t);
+        (tup >|= fun t -> Ivm.Change.Delete t);
+        ( pair tup tup >|= fun (before, after) ->
+          Ivm.Change.Update { before; after } );
+      ]
+  in
+  QCheck.make ~print:Ivm.Change.to_string g
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"value roundtrip (escape-heavy strings)" ~count:1000
+    arb_value (fun v ->
+      match Ivm.Codec.value_of_string (Ivm.Codec.value_to_string v) with
+      | Ok v' -> Relation.Value.compare v v' = 0
+      | Error _ -> false)
+
+let prop_value_single_line =
+  QCheck.Test.make ~name:"value encoding never contains raw tab/newline"
+    ~count:1000 arb_value (fun v ->
+      let s = Ivm.Codec.value_to_string v in
+      not (String.exists (fun c -> c = '\t' || c = '\n') s))
+
+let prop_tuple_roundtrip =
+  QCheck.Test.make ~name:"tuple roundtrip (escape-heavy strings)" ~count:1000
+    arb_tuple (fun t ->
+      match Ivm.Codec.tuple_of_string (Ivm.Codec.tuple_to_string t) with
+      | Ok t' -> Relation.Tuple.compare t t' = 0
+      | Error _ -> false)
+
+let prop_tuple_single_line =
+  QCheck.Test.make ~name:"tuple encoding never contains a newline" ~count:1000
+    arb_tuple (fun t ->
+      not (String.contains (Ivm.Codec.tuple_to_string t) '\n'))
+
+let prop_change_roundtrip =
+  QCheck.Test.make ~name:"change roundtrip (escape-heavy strings)" ~count:1000
+    arb_change (fun c ->
+      match Ivm.Codec.change_of_string (Ivm.Codec.change_to_string c) with
+      | Ok c' -> Ivm.Change.to_string c = Ivm.Change.to_string c'
+      | Error _ -> false)
+
+let test_empty_tuple () =
+  checks "empty tuple encodes as ()" "()"
+    (Ivm.Codec.tuple_to_string [||]);
+  (match Ivm.Codec.tuple_of_string "()" with
+  | Ok t -> checkb "decodes back to arity 0" true (Relation.Tuple.arity t = 0)
+  | Error e -> Alcotest.failf "() did not decode: %s" e);
+  (* An insert of the empty tuple must survive the change codec too. *)
+  match
+    Ivm.Codec.change_of_string
+      (Ivm.Codec.change_to_string (Ivm.Change.Insert [||]))
+  with
+  | Ok (Ivm.Change.Insert t) -> checkb "insert of ()" true (t = [||])
+  | Ok _ -> Alcotest.fail "wrong change shape"
+  | Error e -> Alcotest.failf "insert of () did not decode: %s" e
+
+let test_string_escapes_exact () =
+  (* Pin the escape syntax so the on-disk formats cannot drift silently:
+     backslash doubles, tab becomes \t, newline becomes \n. *)
+  checks "escaped literal" "s:a\\tb\\nc\\\\d"
+    (Ivm.Codec.value_to_string (Relation.Value.Str "a\tb\nc\\d"));
+  match Ivm.Codec.value_of_string "s:a\\tb\\nc\\\\d" with
+  | Ok (Relation.Value.Str s) -> checks "unescaped back" "a\tb\nc\\d" s
+  | Ok _ -> Alcotest.fail "wrong value shape"
+  | Error e -> Alcotest.failf "escaped literal did not decode: %s" e
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "roundtrip",
+        List.map to_alcotest
+          [
+            prop_value_roundtrip;
+            prop_value_single_line;
+            prop_tuple_roundtrip;
+            prop_tuple_single_line;
+            prop_change_roundtrip;
+          ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty tuple ()" `Quick test_empty_tuple;
+          Alcotest.test_case "escape syntax is pinned" `Quick
+            test_string_escapes_exact;
+        ] );
+    ]

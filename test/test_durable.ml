@@ -1,0 +1,539 @@
+(* Tests for the durability subsystem (lib/durable): CRC-framed WAL
+   records, segment rotation and torn-tail repair, checkpoint and
+   manifest round-trips, and the acceptance scenario — the crash
+   matrix: killing the executor at *every* crash point it announces,
+   then recovering, must reproduce the uninterrupted run's final view
+   contents and total cost bit for bit. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let rec rmtree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> rmtree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_counter = ref 0
+
+let scratch () =
+  incr scratch_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abivm-durable-%d-%d" (Unix.getpid ()) !scratch_counter)
+  in
+  rmtree dir;
+  dir
+
+(* --- records -------------------------------------------------------------- *)
+
+let sample_change =
+  Ivm.Change.Insert [| Relation.Value.Int 7; Relation.Value.Str "x\ty\nz" |]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      match Durable.Record.of_line (Durable.Record.to_line r) with
+      | Ok r' -> checkb "record survives its line" true (r = r')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    [
+      Durable.Record.Arrival { time = 0; table = 1; change = sample_change };
+      Durable.Record.Applied { time = 3; table = 0; count = 5; cost = 12.25 };
+      Durable.Record.Applied
+        { time = 9; table = 1; count = 1; cost = 0.30000000000000004 };
+    ]
+
+let test_record_crc_rejects_flips () =
+  let line =
+    Durable.Record.to_line
+      (Durable.Record.Applied { time = 3; table = 0; count = 5; cost = 12.25 })
+  in
+  (* Flip one payload byte; the CRC must catch it. *)
+  let tampered = Bytes.of_string line in
+  Bytes.set tampered (String.length line - 1) '9';
+  (match Durable.Record.of_line (Bytes.to_string tampered) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered payload decoded");
+  (* Correctly-framed garbage is rejected by the payload parser. *)
+  let body = "P\t1\t0\t0\t0" in
+  let framed = Printf.sprintf "%08lx\t%s" (Durable.Record.crc32 body) body in
+  match Durable.Record.of_line framed with
+  | Error _ -> () (* count must be positive *)
+  | Ok _ -> Alcotest.fail "zero-count applied record decoded"
+
+(* --- WAL ------------------------------------------------------------------ *)
+
+let arrival t i k =
+  Durable.Record.Arrival
+    { time = t; table = i; change = Ivm.Change.Insert [| Relation.Value.Int k |] }
+
+let read_ok ~dir ~from_lsn =
+  match Durable.Wal.read ~dir ~from_lsn with
+  | Ok records -> records
+  | Error e -> Alcotest.failf "Wal.read: %s" e
+
+let test_wal_roundtrip_rotation () =
+  let dir = scratch () in
+  let w =
+    Durable.Wal.open_ ~dir ~segment_bytes:256 ~sync:Durable.Wal.Never ()
+  in
+  for t = 0 to 19 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.append w (arrival t 1 t);
+    Durable.Wal.commit w
+  done;
+  checki "lsn counts committed records" 40 (Durable.Wal.lsn w);
+  Durable.Wal.close w;
+  (* A clean close flushes group-committed records even under Never. *)
+  checki "all records read back" 40 (List.length (read_ok ~dir ~from_lsn:0));
+  checki "from_lsn filters globally" 5 (List.length (read_ok ~dir ~from_lsn:35));
+  let segs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+  in
+  checkb "256-byte budget forced rotations" true (List.length segs > 1);
+  let w2 = Durable.Wal.open_ ~dir () in
+  checki "reopen continues at the same lsn" 40 (Durable.Wal.lsn w2);
+  Durable.Wal.close w2;
+  rmtree dir
+
+let test_wal_group_commit_window () =
+  (* Under Interval 3, commits 1-3 are written at the third commit;
+     commit 4 sits in memory.  Abandoning the handle (= crash) must
+     lose exactly the unflushed window. *)
+  let dir = scratch () in
+  let w = Durable.Wal.open_ ~dir ~sync:(Durable.Wal.Interval 3) () in
+  for t = 0 to 3 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.commit w
+  done;
+  checki "handle lsn includes the in-memory tail" 4 (Durable.Wal.lsn w);
+  (* no close: the process "dies" here *)
+  checki "only the fsynced prefix survives" 3
+    (List.length (read_ok ~dir ~from_lsn:0));
+  let w2 = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Never () in
+  checki "reopen sees the surviving prefix" 3 (Durable.Wal.lsn w2);
+  Durable.Wal.close w2;
+  Durable.Wal.close w;
+  rmtree dir
+
+let last_segment dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".seg")
+  |> List.sort compare |> List.rev |> List.hd |> Filename.concat dir
+
+let test_wal_torn_tail_repair () =
+  let dir = scratch () in
+  let w = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Always () in
+  for t = 0 to 4 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.commit w
+  done;
+  Durable.Wal.close w;
+  let seg = last_segment dir in
+  let intact_size = (Unix.stat seg).Unix.st_size in
+  (* A torn final write: half a record, no trailing newline. *)
+  let oc = open_out_gen [ Open_append ] 0o644 seg in
+  output_string oc "deadbeef\tA\t9\t0\ti:4";
+  close_out oc;
+  checki "read tolerates the torn tail" 5 (List.length (read_ok ~dir ~from_lsn:0));
+  let truncations = ref [] in
+  let w2 =
+    Durable.Wal.open_ ~dir
+      ~hook:(function
+        | Durable.Hook.Truncated { upto } -> truncations := upto :: !truncations
+        | _ -> ())
+      ()
+  in
+  checki "repair keeps every intact record" 5 (Durable.Wal.lsn w2);
+  Durable.Wal.close w2;
+  checkb "repair fired Truncated" true (!truncations = [ 5 ]);
+  checki "torn bytes physically removed" intact_size
+    (Unix.stat seg).Unix.st_size;
+  rmtree dir
+
+let test_wal_mid_log_corruption_refused () =
+  let dir = scratch () in
+  let w =
+    Durable.Wal.open_ ~dir ~segment_bytes:128 ~sync:Durable.Wal.Always ()
+  in
+  for t = 0 to 11 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.commit w
+  done;
+  Durable.Wal.close w;
+  let first_seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.sort compare |> List.hd |> Filename.concat dir
+  in
+  checkb "setup produced multiple segments" true (first_seg <> last_segment dir);
+  (* Flip a byte in the middle of the FIRST segment: damage before the
+     tail is corruption, not a torn write, and must be refused. *)
+  let fd = Unix.openfile first_seg [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd 3 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  (match Durable.Wal.read ~dir ~from_lsn:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-log corruption read back as Ok");
+  (match Durable.Wal.open_ ~dir () with
+  | exception Failure _ -> ()
+  | w ->
+      Durable.Wal.close w;
+      Alcotest.fail "open_ accepted mid-log corruption");
+  rmtree dir
+
+(* --- checkpoint + manifest ------------------------------------------------ *)
+
+let small_maintainer () =
+  let db = Tpcr.Synth.generate ~seed:3 ~r_rows:40 ~s_rows:40 () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter (Tpcr.Synth.join_view db)
+  in
+  Relation.Meter.reset db.Tpcr.Synth.meter;
+  (m, Tpcr.Synth.insert_feeds ~seed:4 db)
+
+let sorted_rows rows = List.sort Relation.Tuple.compare rows
+
+let test_checkpoint_roundtrip () =
+  let m, feeds = small_maintainer () in
+  (* Leave a non-trivial state: queued deltas on both tables, some
+     already processed. *)
+  for _ = 1 to 6 do
+    Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0);
+    Ivm.Maintainer.on_arrive m 1 (feeds.Tpcr.Updates.next 1)
+  done;
+  ignore (Ivm.Maintainer.process m 0 4);
+  let params = [ ("seed", "3"); ("note", "tabs\tand\nnewlines") ] in
+  let t =
+    Durable.Checkpoint.capture ~lsn:17 ~next_step:5 ~cost:123.456
+      ~draws:[| 6; 6 |] ~params m
+  in
+  let dir = scratch () in
+  Unix.mkdir dir 0o755;
+  let name = Durable.Checkpoint.write ~dir t in
+  checks "filename embeds the lsn" "ckpt-000000000017.ckpt" name;
+  (match Durable.Checkpoint.load (Filename.concat dir name) with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok t' ->
+      checki "lsn" t.Durable.Checkpoint.lsn t'.Durable.Checkpoint.lsn;
+      checki "next_step" t.Durable.Checkpoint.next_step
+        t'.Durable.Checkpoint.next_step;
+      checkb "cost bits exact" true
+        (Int64.bits_of_float t.Durable.Checkpoint.cost
+        = Int64.bits_of_float t'.Durable.Checkpoint.cost);
+      checkb "draws" true
+        (t.Durable.Checkpoint.draws = t'.Durable.Checkpoint.draws);
+      checkb "params (with escapes)" true
+        (t.Durable.Checkpoint.params = t'.Durable.Checkpoint.params);
+      checki "pending queue sizes"
+        (List.length t.Durable.Checkpoint.pending.(0))
+        (List.length t'.Durable.Checkpoint.pending.(0));
+      checkb "view rows" true
+        (sorted_rows t.Durable.Checkpoint.view_rows
+        = sorted_rows t'.Durable.Checkpoint.view_rows);
+      let tables = Durable.Checkpoint.restore_tables t' in
+      checki "tables restored" 2 (Array.length tables);
+      Array.iteri
+        (fun i tbl ->
+          checkb
+            (Printf.sprintf "table %d rows survive" i)
+            true
+            (sorted_rows (Relation.Table.to_list_unmetered tbl)
+            = sorted_rows t.Durable.Checkpoint.tables.(i).Durable.Checkpoint.rows))
+        tables;
+      (* Synth indexes r.jk; the restored table must agree. *)
+      checkb "hash index restored" true (Relation.Table.has_index tables.(0) "jk"));
+  rmtree dir
+
+let test_manifest_roundtrip_prune () =
+  let dir = scratch () in
+  Unix.mkdir dir 0o755;
+  (match Durable.Manifest.load ~dir with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "manifest in an empty dir"
+  | Error e -> Alcotest.failf "load empty: %s" e);
+  let m = Durable.Manifest.empty ~params:[ ("seed", "11"); ("k", "v\twith tab") ] in
+  let m = Durable.Manifest.add_checkpoint m ~lsn:5 ~file:"ckpt-000000000005.ckpt" in
+  let m = Durable.Manifest.add_checkpoint m ~lsn:9 ~file:"ckpt-000000000009.ckpt" in
+  let m = Durable.Manifest.add_checkpoint m ~lsn:14 ~file:"ckpt-000000000014.ckpt" in
+  let m, dropped = Durable.Manifest.prune ~keep:2 m in
+  checkb "oldest pruned" true (dropped = [ "ckpt-000000000005.ckpt" ]);
+  Durable.Manifest.save ~dir m;
+  (match Durable.Manifest.load ~dir with
+  | Ok (Some m') ->
+      checkb "params survive" true
+        (m'.Durable.Manifest.params = m.Durable.Manifest.params);
+      checkb "checkpoints survive in order" true
+        (m'.Durable.Manifest.checkpoints
+        = [ (9, "ckpt-000000000009.ckpt"); (14, "ckpt-000000000014.ckpt") ]);
+      (match Durable.Manifest.latest m' with
+      | Some (14, _) -> ()
+      | _ -> Alcotest.fail "latest is not the newest checkpoint")
+  | Ok None -> Alcotest.fail "saved manifest not found"
+  | Error e -> Alcotest.failf "reload: %s" e);
+  rmtree dir
+
+(* --- crash-recoverable execution ------------------------------------------ *)
+
+(* A drifted scenario (Robust.Inject) executed durably: the fault
+   injection of the robustness loop composes with the crash points of
+   the durability loop.  The executed spec is the drifted world's truth. *)
+let make_env ~seed ~rows ~horizon () =
+  let arrivals =
+    Workload.Arrivals.generate ~seed:(seed + 2) ~horizon
+      [| Workload.Arrivals.slow_stable; Workload.Arrivals.slow_unstable |]
+  in
+  let costs =
+    [| Cost.Func.affine ~a:1.0 ~b:5.0; Cost.Func.affine ~a:1.0 ~b:5.0 |]
+  in
+  let model = Abivm.Spec.make ~costs ~limit:40.0 ~arrivals in
+  let sc = Robust.Inject.drifted model in
+  let actual = sc.Robust.Inject.actual in
+  let plan = Abivm.Online.plan actual in
+  let fresh () =
+    let db = Tpcr.Synth.generate ~seed ~r_rows:rows ~s_rows:rows () in
+    let m =
+      Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter (Tpcr.Synth.join_view db)
+    in
+    Relation.Meter.reset db.Tpcr.Synth.meter;
+    (m, Tpcr.Synth.insert_feeds ~seed:(seed + 1) db)
+  in
+  let view_of tables =
+    Ivm.Viewdef.make ~name:"r_join_s" ~tables
+      ~join:
+        [ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+      ~aggs:[ Relation.Agg.count "pairs" ]
+      ()
+  in
+  { Durable.Exec.fresh; view_of; spec = actual; plan; params = [ ("kind", "test") ] }
+
+(* Tight budgets so a short horizon still exercises rotation,
+   checkpointing, pruning and group commit inside the matrix. *)
+let matrix_config ~dir ~hook =
+  {
+    Durable.Exec.dir;
+    segment_bytes = 2048;
+    ckpt_actions = 4;
+    ckpt_bytes = 8192;
+    sync = Durable.Wal.Interval 3;
+    keep_checkpoints = 2;
+    hook;
+  }
+
+let test_crash_matrix () =
+  let env = make_env ~seed:11 ~rows:120 ~horizon:12 () in
+  let base_dir = scratch () in
+  let record, points = Durable.Hook.counting () in
+  let baseline = Durable.Exec.run (matrix_config ~dir:base_dir ~hook:record) env in
+  rmtree base_dir;
+  checkb "baseline consistent" true baseline.Durable.Exec.consistent;
+  checkb "baseline wrote checkpoints" true
+    (baseline.Durable.Exec.checkpoints > 1);
+  let pts = Array.of_list (points ()) in
+  checkb "matrix covers a real surface" true (Array.length pts > 20);
+  let base_bits = Int64.bits_of_float baseline.Durable.Exec.total_cost in
+  let base_rows = sorted_rows baseline.Durable.Exec.rows in
+  Array.iteri
+    (fun k point ->
+      let dir = scratch () in
+      (match
+         Durable.Exec.run
+           (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:k))
+           env
+       with
+      | _ ->
+          Alcotest.failf "crash point %d [%s] did not fire" k
+            (Durable.Hook.describe point)
+      | exception Durable.Hook.Crash _ -> ());
+      (match
+         Durable.Exec.resume (matrix_config ~dir ~hook:Durable.Hook.none) env
+       with
+      | Error e ->
+          Alcotest.failf "crash point %d [%s]: resume failed: %s" k
+            (Durable.Hook.describe point) e
+      | Ok o ->
+          if Int64.bits_of_float o.Durable.Exec.total_cost <> base_bits then
+            Alcotest.failf
+              "crash point %d [%s]: recovered cost %.17g <> baseline %.17g" k
+              (Durable.Hook.describe point) o.Durable.Exec.total_cost
+              baseline.Durable.Exec.total_cost;
+          if sorted_rows o.Durable.Exec.rows <> base_rows then
+            Alcotest.failf "crash point %d [%s]: recovered view differs" k
+              (Durable.Hook.describe point);
+          if not o.Durable.Exec.consistent then
+            Alcotest.failf "crash point %d [%s]: recovered view inconsistent" k
+              (Durable.Hook.describe point));
+      rmtree dir)
+    pts
+
+let test_genesis_recovery_and_refusal () =
+  let env = make_env ~seed:11 ~rows:120 ~horizon:12 () in
+  let dir = scratch () in
+  let config = matrix_config ~dir ~hook:Durable.Hook.none in
+  (* Die at the very first crash point: manifest exists, no checkpoint,
+     empty log — the genesis path. *)
+  (match
+     Durable.Exec.run
+       (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:0))
+       env
+   with
+  | _ -> Alcotest.fail "expected the injected crash"
+  | exception Durable.Hook.Crash _ -> ());
+  (match Durable.Exec.verify config env with
+  | Error e -> Alcotest.failf "genesis verify: %s" e
+  | Ok st ->
+      checki "no checkpoint yet" (-1) st.Durable.Recovery.checkpoint_lsn;
+      checki "nothing to replay" 0 st.Durable.Recovery.replayed;
+      checkb "manifest params recovered" true
+        (st.Durable.Recovery.params = env.Durable.Exec.params));
+  (match Durable.Exec.resume config env with
+  | Error e -> Alcotest.failf "genesis resume: %s" e
+  | Ok o ->
+      checkb "genesis resume completes" true o.Durable.Exec.consistent;
+      checkb "it recovered" true o.Durable.Exec.recovered;
+      (* A finished directory refuses a fresh run... *)
+      (match Durable.Exec.run config env with
+      | _ -> Alcotest.fail "run over an existing directory must refuse"
+      | exception Failure _ -> ());
+      (* ...but resuming again is an idempotent no-op. *)
+      match Durable.Exec.resume config env with
+      | Error e -> Alcotest.failf "second resume: %s" e
+      | Ok o2 ->
+          checki "nothing left to execute" 0 o2.Durable.Exec.steps_run;
+          checkb "same cost bits" true
+            (Int64.bits_of_float o2.Durable.Exec.total_cost
+            = Int64.bits_of_float o.Durable.Exec.total_cost));
+  rmtree dir
+
+let test_runner_journal () =
+  let env = make_env ~seed:5 ~rows:100 ~horizon:8 () in
+  let m, feeds = env.Durable.Exec.fresh () in
+  let dir = scratch () in
+  let wal = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Never () in
+  let report =
+    Bridge.Runner.run_plan ~journal:wal m feeds env.Durable.Exec.spec
+      env.Durable.Exec.plan
+  in
+  Durable.Wal.close wal;
+  let records = read_ok ~dir ~from_lsn:0 in
+  let arrivals_logged =
+    List.length
+      (List.filter
+         (function Durable.Record.Arrival _ -> true | _ -> false)
+         records)
+  in
+  let total_arrivals =
+    Array.fold_left
+      (fun acc row -> acc + Array.fold_left ( + ) 0 row)
+      0
+      (Abivm.Spec.arrivals env.Durable.Exec.spec)
+  in
+  checki "every drawn modification journalled" total_arrivals arrivals_logged;
+  let journalled_cost =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Durable.Record.Applied { cost; _ } -> acc +. cost
+        | Durable.Record.Arrival _ -> acc)
+      0.0 records
+  in
+  let reported =
+    Option.value ~default:Float.nan report.Abivm.Report.cost_units
+  in
+  checkb "journalled action costs sum to the report" true
+    (Float.abs (journalled_cost -. reported) < 1e-9);
+  rmtree dir
+
+let test_coordinator_kill_resume () =
+  let views =
+    [|
+      { Multiview.Coordinator.name = "tight";
+        costs = [| Cost.Func.affine ~a:3.0 ~b:10.0 |];
+        limit = 45.0 };
+      { Multiview.Coordinator.name = "loose";
+        costs = [| Cost.Func.affine ~a:3.0 ~b:10.0 |];
+        limit = 150.0 };
+    |]
+  in
+  let arrivals = Array.make 61 [| 1 |] in
+  let shared_setup = [| 14.0 |] in
+  let straight =
+    Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals ()
+  in
+  let dir = scratch () in
+  (match
+     Durable.Coord.run_durable ~dir
+       ~hook:(function
+         | Durable.Hook.Step_start 30 -> raise (Durable.Hook.Crash "test kill")
+         | _ -> ())
+       ~views ~shared_setup ~arrivals ~coordinate:true ()
+   with
+  | _ -> Alcotest.fail "expected the injected crash"
+  | exception Durable.Hook.Crash _ -> ());
+  let resumed =
+    Durable.Coord.run_durable ~dir ~views ~shared_setup ~arrivals
+      ~coordinate:true ()
+  in
+  checkb "resumed outcome valid" true resumed.Multiview.Coordinator.valid;
+  checkb "total cost bit-identical" true
+    (Int64.bits_of_float resumed.Multiview.Coordinator.total_cost
+    = Int64.bits_of_float straight.Multiview.Coordinator.total_cost);
+  checki "co-flushes identical" straight.Multiview.Coordinator.co_flushes
+    resumed.Multiview.Coordinator.co_flushes;
+  (* Running again over the finished progress file is a no-op replay. *)
+  let again =
+    Durable.Coord.run_durable ~dir ~views ~shared_setup ~arrivals
+      ~coordinate:true ()
+  in
+  checkb "finished run replays to the same totals" true
+    (Int64.bits_of_float again.Multiview.Coordinator.total_cost
+    = Int64.bits_of_float straight.Multiview.Coordinator.total_cost);
+  rmtree dir
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "CRC rejects corruption" `Quick
+            test_record_crc_rejects_flips;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip + rotation" `Quick
+            test_wal_roundtrip_rotation;
+          Alcotest.test_case "group-commit window" `Quick
+            test_wal_group_commit_window;
+          Alcotest.test_case "torn tail repaired" `Quick
+            test_wal_torn_tail_repair;
+          Alcotest.test_case "mid-log corruption refused" `Quick
+            test_wal_mid_log_corruption_refused;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "checkpoint roundtrip + restore" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "manifest roundtrip + prune" `Quick
+            test_manifest_roundtrip_prune;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "crash matrix is bit-identical" `Quick
+            test_crash_matrix;
+          Alcotest.test_case "genesis recovery, refusal, idempotence" `Quick
+            test_genesis_recovery_and_refusal;
+          Alcotest.test_case "runner journals a replayable WAL" `Quick
+            test_runner_journal;
+          Alcotest.test_case "coordinator kill/resume" `Quick
+            test_coordinator_kill_resume;
+        ] );
+    ]

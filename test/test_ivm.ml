@@ -47,6 +47,24 @@ let test_pending_take_zero () =
   let q = Ivm.Pending.create () in
   checkb "empty take" true (Ivm.Pending.take q 0 = [])
 
+let test_pending_take_at_most () =
+  let q = Ivm.Pending.create () in
+  List.iter (Ivm.Pending.push q) [ ins 1; ins 2; ins 3 ];
+  (* Clamps to what is there instead of raising — the rescue/recovery
+     drain primitive. *)
+  checki "clamped take" 3 (List.length (Ivm.Pending.take_at_most q 10));
+  checki "drained" 0 (Ivm.Pending.size q);
+  checkb "empty queue yields nothing" true (Ivm.Pending.take_at_most q 5 = []);
+  List.iter (Ivm.Pending.push q) [ ins 4; ins 5 ];
+  (match Ivm.Pending.take_at_most q 1 with
+  | [ Ivm.Change.Insert t ] ->
+      checkb "FIFO order kept" true (Value.equal (vi 4) (Tuple.get t 0))
+  | _ -> Alcotest.fail "unexpected batch");
+  checki "remainder intact" 1 (Ivm.Pending.size q);
+  Alcotest.check_raises "negative k rejected"
+    (Invalid_argument "Pending.take_at_most: negative count") (fun () ->
+      ignore (Ivm.Pending.take_at_most q (-1)))
+
 let test_pending_peek_preserves () =
   let q = Ivm.Pending.create () in
   List.iter (Ivm.Pending.push q) [ ins 1; ins 2 ];
@@ -583,6 +601,8 @@ let () =
           Alcotest.test_case "fifo" `Quick test_pending_fifo;
           Alcotest.test_case "take too many" `Quick test_pending_take_too_many;
           Alcotest.test_case "take zero" `Quick test_pending_take_zero;
+          Alcotest.test_case "take_at_most clamps" `Quick
+            test_pending_take_at_most;
           Alcotest.test_case "peek preserves" `Quick test_pending_peek_preserves;
           Alcotest.test_case "compaction" `Quick test_pending_compaction;
           Alcotest.test_case "clear" `Quick test_pending_clear;

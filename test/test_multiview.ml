@@ -17,19 +17,19 @@ let test_validation () =
     (fun () ->
       ignore
         (Multiview.Coordinator.independent ~views:[||] ~shared_setup:[| 0.0 |]
-           ~arrivals));
+           ~arrivals ()));
   Alcotest.check_raises "width mismatch"
     (Invalid_argument "Multiview: shared_setup width mismatch") (fun () ->
       ignore
         (Multiview.Coordinator.independent
            ~views:[| view "v" [| flat |] 100.0 |]
-           ~shared_setup:[| 0.0; 0.0 |] ~arrivals));
+           ~shared_setup:[| 0.0; 0.0 |] ~arrivals ()));
   Alcotest.check_raises "negative discount"
     (Invalid_argument "Multiview: negative discount") (fun () ->
       ignore
         (Multiview.Coordinator.independent
            ~views:[| view "v" [| flat |] 100.0 |]
-           ~shared_setup:[| -1.0 |] ~arrivals))
+           ~shared_setup:[| -1.0 |] ~arrivals ()))
 
 let test_single_view_matches_online_style_cost () =
   (* One view, no sharing possible: discounted = undiscounted, valid. *)
@@ -37,7 +37,7 @@ let test_single_view_matches_online_style_cost () =
   let out =
     Multiview.Coordinator.independent
       ~views:[| view "only" [| flat; steep |] 80.0 |]
-      ~shared_setup:[| 0.0; 0.0 |] ~arrivals
+      ~shared_setup:[| 0.0; 0.0 |] ~arrivals ()
   in
   checkb "valid" true out.Multiview.Coordinator.valid;
   checkf "no discount possible" out.Multiview.Coordinator.undiscounted_cost
@@ -50,7 +50,7 @@ let test_identical_views_discounted () =
   let arrivals = uniform ~horizon:50 [| 1 |] in
   let views = [| view "a" [| steep |] 60.0; view "b" [| steep |] 60.0 |] in
   let out =
-    Multiview.Coordinator.independent ~views ~shared_setup:[| 8.0 |] ~arrivals
+    Multiview.Coordinator.independent ~views ~shared_setup:[| 8.0 |] ~arrivals ()
   in
   checkb "valid" true out.Multiview.Coordinator.valid;
   checkb "co-flushes happened" true (out.Multiview.Coordinator.co_flushes > 0);
@@ -64,7 +64,7 @@ let test_discount_floor () =
   let arrivals = uniform ~horizon:30 [| 1 |] in
   let views = [| view "a" [| steep |] 50.0; view "b" [| steep |] 50.0 |] in
   let out =
-    Multiview.Coordinator.independent ~views ~shared_setup:[| 1e9 |] ~arrivals
+    Multiview.Coordinator.independent ~views ~shared_setup:[| 1e9 |] ~arrivals ()
   in
   (* Total cost must stay at least half the raw sum (the max participant). *)
   checkb "floored" true
@@ -80,8 +80,8 @@ let test_piggyback_beats_independent_on_staggered_views () =
   in
   let shared_setup = [| 14.0 |] in
   (* >= f(1) = 13: piggyback rule fires *)
-  let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals in
-  let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals in
+  let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals () in
+  let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals () in
   checkb "independent valid" true ind.Multiview.Coordinator.valid;
   checkb "piggyback valid" true pig.Multiview.Coordinator.valid;
   checkb "piggyback co-flushes more" true
@@ -97,8 +97,8 @@ let test_piggyback_never_worse_with_zero_discount () =
     [| view "tight" [| steep |] 45.0; view "loose" [| steep |] 150.0 |]
   in
   let shared_setup = [| 0.0 |] in
-  let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals in
-  let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals in
+  let ind = Multiview.Coordinator.independent ~views ~shared_setup ~arrivals () in
+  let pig = Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals () in
   checkf "same cost" ind.Multiview.Coordinator.total_cost
     pig.Multiview.Coordinator.total_cost
 
@@ -109,7 +109,7 @@ let test_per_view_costs_sum_to_undiscounted () =
   in
   let out =
     Multiview.Coordinator.piggyback ~views ~shared_setup:[| 10.0; 10.0 |]
-      ~arrivals
+      ~arrivals ()
   in
   let sum =
     Array.fold_left (fun acc (_, c) -> acc +. c) 0.0
