@@ -126,6 +126,7 @@ let write ~dir ?(hook = Hook.none) t =
       Unix.fsync fd);
   hook (Hook.Ckpt_temp name);
   Sys.rename tmp (Filename.concat dir name);
+  Fsutil.fsync_dir dir;
   hook (Hook.Ckpt_done name);
   Telemetry.incr "durable.checkpoints";
   name

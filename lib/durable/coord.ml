@@ -46,6 +46,7 @@ let save ~dir ?(hook = Hook.none) p =
       go 0;
       Unix.fsync fd);
   Sys.rename tmp (Filename.concat dir basename);
+  Fsutil.fsync_dir dir;
   hook (Hook.Ckpt_done basename)
 
 exception Bad of string

@@ -47,6 +47,7 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
     ~start_step ~cost0 ~draws ~arrived ~applied ~recovered ~replayed =
   let spec = env.spec in
   let horizon = Abivm.Spec.horizon spec in
+  let lsn0 = Wal.lsn wal in
   let total = ref cost0 in
   let actions_since = ref 0 in
   let bytes_mark = ref (Wal.total_bytes wal) in
@@ -67,9 +68,16 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
     let pruned, dropped = Manifest.prune ~keep:config.keep_checkpoints with_new in
     Manifest.save ~dir:config.dir ~hook:config.hook pruned;
     manifest := pruned;
+    (* Never delete a file the pruned manifest still references (a
+       dropped entry can share its filename with a kept one when the
+       same LSN was checkpointed twice). *)
+    let kept = List.map snd pruned.Manifest.checkpoints in
     List.iter
-      (fun f -> try Sys.remove (Filename.concat config.dir f) with Sys_error _ -> ())
+      (fun f ->
+        if not (List.mem f kept) then
+          try Sys.remove (Filename.concat config.dir f) with Sys_error _ -> ())
       dropped;
+    Fsutil.fsync_dir config.dir;
     Wal.truncate_before wal c.Checkpoint.lsn;
     actions_since := 0;
     bytes_mark := Wal.total_bytes wal;
@@ -114,8 +122,11 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
   done;
   (* Final checkpoint: marks the run complete (next_step past the
      horizon) and lets a later [verify] work from snapshot + empty
-     tail. *)
-  checkpoint horizon;
+     tail.  Resuming an already-finished run (no steps, no new WAL
+     records) skips it — the directory already holds exactly this
+     checkpoint, and re-adding it would only churn the manifest. *)
+  let already_complete = start_step > horizon && Wal.lsn wal = lsn0 in
+  if not already_complete then checkpoint horizon;
   {
     total_cost = !total;
     rows = Ivm.Maintainer.rows m;
@@ -129,6 +140,20 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
 
 let started_dir dir =
   Sys.file_exists (Filename.concat dir "MANIFEST")
+
+(* An injected [Hook.Crash] must behave like a real crash: abandon the
+   WAL handle so committed-but-unflushed group-commit bytes are lost,
+   instead of flushing them on the way out (which would make Interval/
+   Never-mode tail loss untestable). *)
+let with_wal wal f =
+  match f () with
+  | v ->
+      Wal.close wal;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (match e with Hook.Crash _ -> Wal.abandon wal | _ -> Wal.close wal);
+      Printexc.raise_with_backtrace e bt
 
 let run config env =
   if started_dir config.dir then
@@ -144,8 +169,7 @@ let run config env =
     Wal.open_ ~dir:config.dir ~segment_bytes:config.segment_bytes
       ~sync:config.sync ~hook:config.hook ()
   in
-  Fun.protect
-    ~finally:(fun () -> Wal.close wal)
+  with_wal wal
     (fun () ->
       let m, feeds = env.fresh () in
       let n = Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) in
@@ -172,8 +196,7 @@ let resume config env =
         Wal.open_ ~dir:config.dir ~segment_bytes:config.segment_bytes
           ~sync:config.sync ~hook:config.hook ()
       in
-      Fun.protect
-        ~finally:(fun () -> Wal.close wal)
+      with_wal wal
         (fun () ->
           if Wal.lsn wal <> st.Recovery.lsn then
             Error

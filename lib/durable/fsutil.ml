@@ -1,0 +1,13 @@
+(* Shared durability helper: fsync a directory so renames, unlinks and
+   newly created entries inside it survive power loss.  Best-effort —
+   some platforms refuse to open or fsync a directory, and losing the
+   *directory* entry is strictly less bad than losing the data the
+   callers already fsynced. *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())

@@ -1,0 +1,4 @@
+val fsync_dir : string -> unit
+(** Fsync a directory file descriptor so renames, unlinks and new
+    entries in it are durable.  Best-effort: errors opening or syncing
+    the directory are swallowed. *)

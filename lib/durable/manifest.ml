@@ -9,7 +9,12 @@ let empty ~params = { params; checkpoints = [] }
 let latest t =
   match List.rev t.checkpoints with [] -> None | newest :: _ -> Some newest
 
-let add_checkpoint t ~lsn ~file = { t with checkpoints = t.checkpoints @ [ (lsn, file) ] }
+(* Re-checkpointing at an unchanged LSN (e.g. resuming an already
+   finished run) must not duplicate the entry: once pruned, a duplicate
+   would get its file deleted while the kept copies still reference it. *)
+let add_checkpoint t ~lsn ~file =
+  let others = List.filter (fun e -> e <> (lsn, file)) t.checkpoints in
+  { t with checkpoints = others @ [ (lsn, file) ] }
 
 let prune ~keep t =
   if keep <= 0 then invalid_arg "Manifest.prune: keep must be > 0";
@@ -48,6 +53,7 @@ let save ~dir ?(hook = Hook.none) t =
       go 0;
       Unix.fsync fd);
   Sys.rename tmp (Filename.concat dir basename);
+  Fsutil.fsync_dir dir;
   hook Hook.Manifest_updated
 
 let load ~dir =

@@ -16,6 +16,9 @@ val empty : params:(string * string) list -> t
 val latest : t -> (int * string) option
 
 val add_checkpoint : t -> lsn:int -> file:string -> t
+(** Append as the newest checkpoint.  An identical [(lsn, file)] entry
+    already present is moved to the end rather than duplicated, so a
+    re-checkpoint at an unchanged LSN is idempotent. *)
 
 val prune : keep:int -> t -> t * string list
 (** Keep the newest [keep] checkpoints; returns the dropped basenames so

@@ -68,6 +68,36 @@ let incr_counter name = Telemetry.incr name
 let open_segment_for_append path =
   Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
 
+let ends_with_newline path size =
+  size > 0
+  &&
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic (size - 1);
+      input_char ic = '\n')
+
+(* A tear can fall exactly before a record's terminating '\n': the
+   record decodes (CRC passes) but the file ends mid-line, and the
+   O_APPEND handle would write the next record onto the same line —
+   merging two committed records into one that fails CRC forever.
+   Complete the line before reusing the segment for appends. *)
+let repair_missing_newline path size =
+  if size = 0 || ends_with_newline path size then size
+  else begin
+    let fd = open_segment_for_append path in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let rec put () =
+          if Unix.write_substring fd "\n" 0 1 = 0 then put ()
+        in
+        put ();
+        Unix.fsync fd);
+    size + 1
+  end
+
 let open_ ~dir ?(segment_bytes = 1 lsl 20) ?(sync = Always) ?(hook = Hook.none)
     () =
   if segment_bytes <= 0 then invalid_arg "Wal.open_: segment_bytes must be > 0";
@@ -80,6 +110,7 @@ let open_ ~dir ?(segment_bytes = 1 lsl 20) ?(sync = Always) ?(hook = Hook.none)
     | [] ->
         let path = Filename.concat dir (segment_name 0) in
         Unix.close (open_segment_for_append path);
+        Fsutil.fsync_dir dir;
         (0, 0, 0)
     | segs ->
         (* Every segment but the last must be fully intact; the last may
@@ -96,10 +127,13 @@ let open_ ~dir ?(segment_bytes = 1 lsl 20) ?(sync = Always) ?(hook = Hook.none)
                     let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
                     Fun.protect
                       ~finally:(fun () -> Unix.close fd)
-                      (fun () -> Unix.ftruncate fd good_end);
+                      (fun () ->
+                        Unix.ftruncate fd good_end;
+                        Unix.fsync fd);
                     hook (Hook.Truncated { upto = start + List.length records }));
                   ignore e);
-              (start, good_end, start + List.length records))
+              let seg_bytes = repair_missing_newline path good_end in
+              (start, seg_bytes, start + List.length records))
           | (start, path) :: ((next_start, _) :: _ as rest) ->
               let records, _, damage = scan_segment path in
               (match damage with
@@ -180,6 +214,7 @@ let rotate w =
   let start = w.lsn in
   let path = Filename.concat w.dir (segment_name start) in
   w.fd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644;
+  Fsutil.fsync_dir w.dir;
   w.seg_start <- start;
   w.seg_bytes <- 0;
   incr_counter "durable.segments";
@@ -225,6 +260,7 @@ let truncate_before w target =
   in
   let deleted_upto = go 0 segs in
   if deleted_upto > 0 then begin
+    Fsutil.fsync_dir w.dir;
     incr_counter "durable.truncations";
     w.hook (Hook.Truncated { upto = deleted_upto })
   end
@@ -234,8 +270,19 @@ let close w =
     w.closed <- true;
     (* A clean shutdown writes committed records out; only uncommitted
        appends are dropped (exactly what a crash would lose at best).
-       Crash semantics for tests = abandon the handle without closing. *)
+       Crash semantics for tests = {!abandon}. *)
     flush_pending w;
+    Buffer.clear w.buffer;
+    w.buffered <- 0;
+    Unix.close w.fd
+  end
+
+let abandon w =
+  if not w.closed then begin
+    w.closed <- true;
+    (* Simulated crash: committed-but-unflushed group-commit bytes die
+       with the process, exactly as they would without the fd cleanup. *)
+    Buffer.clear w.pending;
     Buffer.clear w.buffer;
     w.buffered <- 0;
     Unix.close w.fd
@@ -244,6 +291,15 @@ let close w =
 let read ~dir ~from_lsn =
   match segments dir with
   | [] -> Ok []
+  | (first_start, first_path) :: _ when first_start > from_lsn ->
+      (* Records in [from_lsn, first_start) were truncated away but are
+         still wanted — e.g. a reverted manifest pointing at a pruned
+         checkpoint.  Silently skipping the gap would replay from the
+         wrong state. *)
+      Error
+        (Printf.sprintf
+           "wal gap: first segment %s starts at lsn %d, past requested %d"
+           first_path first_start from_lsn)
   | segs ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)

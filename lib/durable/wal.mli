@@ -13,7 +13,9 @@
     Opening an existing directory tolerates a truncated tail: the last
     segment is scanned record by record and physically truncated after
     the last line whose CRC checks out (a torn final write is expected
-    after power loss).  Damage anywhere {e before} the tail — a failed
+    after power loss); a final record that decodes but lost its
+    terminating newline gets the newline restored so later appends
+    cannot merge onto its line.  Damage anywhere {e before} the tail — a failed
     CRC in an earlier segment, a gap in the segment chain — is refused
     as corruption.
 
@@ -79,7 +81,15 @@ val close : t -> unit
     buffered records are dropped, exactly as a crash would drop them —
     {!commit} first. *)
 
+val abandon : t -> unit
+(** Simulated-crash shutdown: close the file descriptor {e without}
+    flushing, so committed-but-unwritten group-commit bytes are lost
+    exactly as a real crash would lose them.  Fault-injection harnesses
+    call this instead of {!close} when a [Hook.Crash] fires. *)
+
 val read : dir:string -> from_lsn:int -> (Record.t list, string) result
 (** All committed records with LSN >= [from_lsn], in order, tolerating a
     damaged tail in the last segment.  [Ok []] for a missing directory.
-    [Error] on mid-log corruption. *)
+    [Error] on mid-log corruption, and when the first surviving segment
+    starts past [from_lsn] (truncation outran the caller's snapshot —
+    the gap cannot be replayed). *)

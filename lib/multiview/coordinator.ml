@@ -151,6 +151,7 @@ let run ?(from : progress option) ?on_step ~views ~shared_setup ~arrivals ~coord
         || Array.length p.spent <> k
         || Array.length p.per_view <> k
         || Array.exists (fun row -> Array.length row <> n) p.pending
+        || Array.exists (fun row -> Array.length row <> n) p.rates
         || p.step < 0
       then invalid_arg "Multiview: progress does not match this problem"
   | None -> ());

@@ -158,6 +158,56 @@ let test_wal_torn_tail_repair () =
     (Unix.stat seg).Unix.st_size;
   rmtree dir
 
+let test_wal_tail_missing_newline () =
+  let dir = scratch () in
+  let w = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Always () in
+  for t = 0 to 4 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.commit w
+  done;
+  Durable.Wal.close w;
+  (* A tear that swallows exactly the terminating newline: the final
+     record still decodes, so no truncation is due — but reopening for
+     append must not merge the next record onto the same line. *)
+  let seg = last_segment dir in
+  let size = (Unix.stat seg).Unix.st_size in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 1);
+  Unix.close fd;
+  let w2 = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Always () in
+  checki "unterminated final record still counts" 5 (Durable.Wal.lsn w2);
+  Durable.Wal.append w2 (arrival 5 0 5);
+  Durable.Wal.commit w2;
+  Durable.Wal.close w2;
+  checki "repaired tail keeps records apart" 6
+    (List.length (read_ok ~dir ~from_lsn:0));
+  let w3 = Durable.Wal.open_ ~dir () in
+  checki "reopen agrees" 6 (Durable.Wal.lsn w3);
+  Durable.Wal.close w3;
+  rmtree dir
+
+let test_wal_gap_refused () =
+  let dir = scratch () in
+  let w =
+    Durable.Wal.open_ ~dir ~segment_bytes:128 ~sync:Durable.Wal.Always ()
+  in
+  for t = 0 to 11 do
+    Durable.Wal.append w (arrival t 0 t);
+    Durable.Wal.commit w
+  done;
+  (* Drop the oldest segments, then ask for records from before the
+     surviving ones: the gap must be an error, not a silent skip. *)
+  Durable.Wal.truncate_before w 8;
+  Durable.Wal.close w;
+  (match Durable.Wal.read ~dir ~from_lsn:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read silently skipped a truncated gap");
+  (match Durable.Wal.read ~dir ~from_lsn:11 with
+  | Ok records ->
+      checki "reads past the gap still work" 1 (List.length records)
+  | Error e -> Alcotest.failf "read from surviving range: %s" e);
+  rmtree dir
+
 let test_wal_mid_log_corruption_refused () =
   let dir = scratch () in
   let w =
@@ -264,6 +314,11 @@ let test_manifest_roundtrip_prune () =
   let m = Durable.Manifest.add_checkpoint m ~lsn:5 ~file:"ckpt-000000000005.ckpt" in
   let m = Durable.Manifest.add_checkpoint m ~lsn:9 ~file:"ckpt-000000000009.ckpt" in
   let m = Durable.Manifest.add_checkpoint m ~lsn:14 ~file:"ckpt-000000000014.ckpt" in
+  (* Re-adding the newest entry (re-checkpoint at an unchanged lsn) must
+     not duplicate it — pruning a duplicate would delete the live file. *)
+  let m = Durable.Manifest.add_checkpoint m ~lsn:14 ~file:"ckpt-000000000014.ckpt" in
+  checki "identical re-add dedupes" 3
+    (List.length m.Durable.Manifest.checkpoints);
   let m, dropped = Durable.Manifest.prune ~keep:2 m in
   checkb "oldest pruned" true (dropped = [ "ckpt-000000000005.ckpt" ]);
   Durable.Manifest.save ~dir m;
@@ -403,14 +458,22 @@ let test_genesis_recovery_and_refusal () =
       (match Durable.Exec.run config env with
       | _ -> Alcotest.fail "run over an existing directory must refuse"
       | exception Failure _ -> ());
-      (* ...but resuming again is an idempotent no-op. *)
-      match Durable.Exec.resume config env with
-      | Error e -> Alcotest.failf "second resume: %s" e
-      | Ok o2 ->
-          checki "nothing left to execute" 0 o2.Durable.Exec.steps_run;
-          checkb "same cost bits" true
-            (Int64.bits_of_float o2.Durable.Exec.total_cost
-            = Int64.bits_of_float o.Durable.Exec.total_cost));
+      (* ...but resuming again is an idempotent no-op, and stays one no
+         matter how often it happens: repeated resumes once duplicated
+         the final manifest entry until pruning deleted the live
+         checkpoint file. *)
+      for attempt = 2 to 4 do
+        match Durable.Exec.resume config env with
+        | Error e -> Alcotest.failf "resume #%d: %s" attempt e
+        | Ok o2 ->
+            checki "nothing left to execute" 0 o2.Durable.Exec.steps_run;
+            checkb "same cost bits" true
+              (Int64.bits_of_float o2.Durable.Exec.total_cost
+              = Int64.bits_of_float o.Durable.Exec.total_cost)
+      done;
+      match Durable.Exec.verify config env with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "verify after repeated resumes: %s" e);
   rmtree dir
 
 let test_runner_journal () =
@@ -515,6 +578,10 @@ let () =
             test_wal_group_commit_window;
           Alcotest.test_case "torn tail repaired" `Quick
             test_wal_torn_tail_repair;
+          Alcotest.test_case "tail missing newline repaired" `Quick
+            test_wal_tail_missing_newline;
+          Alcotest.test_case "truncation gap refused" `Quick
+            test_wal_gap_refused;
           Alcotest.test_case "mid-log corruption refused" `Quick
             test_wal_mid_log_corruption_refused;
         ] );
