@@ -6,17 +6,23 @@
      dune exec bench/main.exe            -- run every section
      dune exec bench/main.exe -- fig6    -- run one section
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
-   conjectures multiview astar astar-smoke robust robust-smoke durable
-   durable-smoke micro
+   conjectures multiview multiview-par multiview-par-smoke astar
+   astar-smoke robust robust-smoke durable durable-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
-   (telemetry trace), --metrics (print the metrics table at the end)
+   (telemetry trace), --metrics (print the metrics table at the end),
+   --domains 1,2,4 (domain counts swept by the parallel sections; the
+   astar grids abort with exit 1 if any domain count's optimal cost
+   diverges bit-wise from the first's)
 
    The astar sections additionally write BENCH_astar.json (search-engine
    scaling data), the robust sections BENCH_robust.json (drifted-stream
-   comparison) and the durable sections BENCH_durable.json (WAL/checkpoint
-   overhead and recovery time) to the working directory; the -smoke
-   variants are tiny grids wired to the @bench-smoke alias so the bench
-   binary cannot rot. *)
+   comparison), the durable sections BENCH_durable.json (WAL/checkpoint
+   overhead and recovery time) and the multiview-par sections
+   BENCH_multiview.json (pooled coordinator + concurrent flush data) to
+   the working directory, each stamped with a "meta" block (commit,
+   ocaml_version, domains swept, host cores); the -smoke variants are
+   tiny grids wired to the @bench-smoke alias so the bench binary cannot
+   rot. *)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -38,6 +44,31 @@ let emit ~name ?aligns ~header rows =
 (* Scale and seeds used throughout; deterministic. *)
 let tpcr_scale = 0.05
 let base_seed = 42
+
+(* Domain counts swept by the parallel sections (astar grids, multiview-par)
+   and the fan-out width for scenario-parallel sections; --domains overrides. *)
+let bench_domains : int list ref = ref [ 1; 2; 4 ]
+let fanout_domains () = List.fold_left max 1 !bench_domains
+
+(* Run metadata stamped into every BENCH_*.json so the perf trajectory is
+   comparable across PRs and machines. *)
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let meta_json () =
+  Printf.sprintf
+    "\"meta\": { \"commit\": %S, \"ocaml_version\": %S, \"domains\": [%s], \
+     \"host_cores\": %d }"
+    (Lazy.force git_commit) Sys.ocaml_version
+    (String.concat ", " (List.map string_of_int !bench_domains))
+    (Domain.recommended_domain_count ())
 
 (* The batch sizes swept for the cost-curve figures. *)
 let curve_sizes = [ 1; 2; 5; 10; 20; 50; 100; 200; 400; 600; 800; 1000 ]
@@ -597,6 +628,170 @@ let run_multiview () =
     "three subscriptions with different QoS limits over the same streams: \
      coordination aligns their flushes to share base-table work"
 
+(* --- parallel multiview flushes ----------------------------------------------- *)
+
+(* Two-part section.  Part 1 runs the planning coordinator with its
+   per-view flush decisions fanned out over the domain pool and asserts the
+   outcome is identical to the sequential run at every domain count (the
+   per-view choices depend only on each view's own frozen state, so
+   parallelism must not change the answer).  Part 2 builds four real IVM
+   engine views (independent TPC-R-style databases and maintainers) that
+   share one {!Relation.Meter}, flushes them concurrently, and asserts the
+   merged sharded counters equal the sequential totals bit-for-bit. *)
+let run_multiview_par_grid ~name ~horizon ~rows ~steps () =
+  let domains_list = !bench_domains in
+  section
+    (Printf.sprintf
+       "Parallel multiview (%s grid) — pooled coordinator + concurrent \
+        engine flushes at domains in {%s}"
+       name
+       (String.concat ", " (List.map string_of_int domains_list)));
+  (* Part 1: coordinator. *)
+  let steep = Cost.Func.affine ~a:3.0 ~b:10.0 in
+  let flat = Cost.Func.plateau ~a:5.0 ~cap:50.0 in
+  let views =
+    Array.init 4 (fun v ->
+        {
+          Multiview.Coordinator.name = Printf.sprintf "view%d" v;
+          costs = [| steep; flat |];
+          limit = 60.0 *. float_of_int (v + 1);
+        })
+  in
+  let arrivals =
+    Workload.Arrivals.generate ~seed:77 ~horizon
+      [| Workload.Arrivals.Constant 1; Workload.Arrivals.fast_stable |]
+  in
+  let shared_setup = [| 8.0; 8.0 |] in
+  let outcomes_equal (a : Multiview.Coordinator.outcome)
+      (b : Multiview.Coordinator.outcome) =
+    a.Multiview.Coordinator.total_cost = b.Multiview.Coordinator.total_cost
+    && a.Multiview.Coordinator.undiscounted_cost
+       = b.Multiview.Coordinator.undiscounted_cost
+    && a.Multiview.Coordinator.co_flushes = b.Multiview.Coordinator.co_flushes
+    && a.Multiview.Coordinator.valid = b.Multiview.Coordinator.valid
+    && a.Multiview.Coordinator.per_view_cost
+       = b.Multiview.Coordinator.per_view_cost
+  in
+  let seq_outcome =
+    Multiview.Coordinator.independent ~views ~shared_setup ~arrivals ()
+  in
+  let coord_runs =
+    List.map
+      (fun domains ->
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            let t0 = Unix.gettimeofday () in
+            let out =
+              Multiview.Coordinator.independent ~pool ~views ~shared_setup
+                ~arrivals ()
+            in
+            let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+            if not (outcomes_equal seq_outcome out) then begin
+              Printf.eprintf
+                "FAIL: pooled coordinator (domains=%d) diverged from the \
+                 sequential outcome\n"
+                domains;
+              exit 1
+            end;
+            (domains, wall_ms, out.Multiview.Coordinator.total_cost)))
+      domains_list
+  in
+  (* Part 2: concurrent engine flushes over one shared meter. *)
+  let flush_views pool_opt =
+    let shared = Relation.Meter.create () in
+    let engines =
+      Array.init 4 (fun v ->
+          let db =
+            Tpcr.Synth.generate ~seed:(base_seed + 31 + v) ~r_rows:rows
+              ~s_rows:rows ()
+          in
+          let m =
+            Ivm.Maintainer.create ~meter:shared (Tpcr.Synth.join_view db)
+          in
+          let feeds = Tpcr.Synth.insert_feeds ~seed:(base_seed + 57 + v) db in
+          (m, feeds))
+    in
+    let work (m, feeds) =
+      for step = 1 to steps do
+        let i = step land 1 in
+        Ivm.Maintainer.on_arrive m i (feeds.Tpcr.Updates.next i);
+        if step mod 8 = 0 then ignore (Ivm.Maintainer.refresh m)
+      done;
+      ignore (Ivm.Maintainer.refresh m)
+    in
+    let t0 = Unix.gettimeofday () in
+    (match pool_opt with
+    | Some pool -> ignore (Parallel.Pool.map pool work engines)
+    | None -> Array.iter work engines);
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    (Relation.Meter.snapshot shared, wall_ms)
+  in
+  let seq_snap, seq_flush_ms = flush_views None in
+  let flush_runs =
+    List.map
+      (fun domains ->
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            let snap, wall_ms = flush_views (Some pool) in
+            if snap <> seq_snap then begin
+              Printf.eprintf
+                "FAIL: concurrent flush (domains=%d) meter totals diverged \
+                 from the sequential totals\n"
+                domains;
+              exit 1
+            end;
+            (domains, wall_ms)))
+      domains_list
+  in
+  emit
+    ~name:("multiview_par_" ^ name)
+    ~aligns:(List.init 5 (fun _ -> Util.Tablefmt.Right))
+    ~header:
+      [ "domains"; "coordinator (ms)"; "total cost"; "flush 4 views (ms)";
+        "meter totals" ]
+    (List.map2
+       (fun (domains, coord_ms, total_cost) (_, flush_ms) ->
+         [
+           string_of_int domains;
+           fcell ~decimals:1 coord_ms;
+           fcell ~decimals:0 total_cost;
+           fcell ~decimals:1 flush_ms;
+           "match";
+         ])
+       coord_runs flush_runs);
+  Printf.printf
+    "sequential flush of the same 4 views: %.1f ms; every pooled run's \
+     shared-meter snapshot equals the sequential one bit-for-bit\n"
+    seq_flush_ms;
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_multiview.json" in
+  let oc = open_out path in
+  let coord_entry (domains, wall_ms, total_cost) =
+    Printf.sprintf
+      "    { \"domains\": %d, \"wall_ms\": %.3f, \"total_cost\": %.6f, \
+       \"matches_sequential\": true }"
+      domains wall_ms total_cost
+  in
+  let flush_entry (domains, wall_ms) =
+    Printf.sprintf
+      "    { \"domains\": %d, \"wall_ms\": %.3f, \"totals_match\": true }"
+      domains wall_ms
+  in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  %s,\n  \"views\": 4,\n  \
+     \"sequential_flush_wall_ms\": %.3f,\n  \"coordinator\": [\n%s\n  ],\n  \
+     \"flush\": [\n%s\n  ]\n}\n"
+    name (meta_json ()) seq_flush_ms
+    (String.concat ",\n" (List.map coord_entry coord_runs))
+    (String.concat ",\n" (List.map flush_entry flush_runs));
+  close_out oc;
+  Printf.printf "(written to %s)\n" path
+
+let run_multiview_par () =
+  run_multiview_par_grid ~name:"reference" ~horizon:1000 ~rows:1200 ~steps:400
+    ()
+
+let run_multiview_par_smoke () =
+  run_multiview_par_grid ~name:"smoke" ~horizon:120 ~rows:150 ~steps:48 ()
+
 (* --- A* search-engine scaling ------------------------------------------------ *)
 
 (* Synthetic planner instances that stress the search layer itself (no
@@ -614,52 +809,95 @@ let astar_grid_spec ~tables ~horizon =
   Abivm.Spec.make ~costs ~limit ~arrivals
 
 let run_astar_grid ~name grid =
+  let domains_list = !bench_domains in
   section
     (Printf.sprintf
-       "A* engine scaling (%s grid) — expanded nodes, wall time, peak queue"
-       name);
+       "A* engine scaling (%s grid) — sequential vs HDA* at domains in {%s}"
+       name
+       (String.concat ", " (List.map string_of_int domains_list)));
   let results =
-    List.map
+    List.concat_map
       (fun (tables, horizon) ->
         let spec = astar_grid_spec ~tables ~horizon in
-        let t0 = Unix.gettimeofday () in
-        let r = Abivm.Astar.solve spec in
-        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-        ((tables, horizon), r, wall_ms))
+        List.map
+          (fun domains ->
+            let t0 = Unix.gettimeofday () in
+            let r = Abivm.Astar.solve ~domains spec in
+            let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+            (tables, horizon, domains, r, wall_ms))
+          domains_list)
       grid
   in
+  (* Every domain count must agree bit-for-bit on the optimal cost; a
+     divergence is a sharding bug and fails the whole bench run (CI keys
+     off this exit code). *)
+  List.iter
+    (fun (gt, gh) ->
+      let costs =
+        List.filter_map
+          (fun (t, h, d, (r : Abivm.Astar.result), _) ->
+            if t = gt && h = gh then Some (d, r.Abivm.Astar.cost) else None)
+          results
+      in
+      match costs with
+      | (d0, c0) :: rest ->
+          List.iter
+            (fun (d, c) ->
+              if Int64.bits_of_float c <> Int64.bits_of_float c0 then begin
+                Printf.eprintf
+                  "FAIL: tables=%d horizon=%d: %d-domain cost %.17g diverges \
+                   from %d-domain cost %.17g\n"
+                  gt gh d c d0 c0;
+                exit 1
+              end)
+            rest
+      | [] -> ())
+    grid;
+  let wall_at_one gt gh =
+    List.find_map
+      (fun (t, h, d, _, wall) ->
+        if t = gt && h = gh && d = 1 then Some wall else None)
+      results
+  in
   emit ~name:("astar_" ^ name)
-    ~aligns:(List.init 8 (fun _ -> Util.Tablefmt.Right))
+    ~aligns:(List.init 10 (fun _ -> Util.Tablefmt.Right))
     ~header:
-      [ "tables"; "horizon"; "cost"; "expanded"; "generated"; "pruned";
-        "peak queue"; "wall (ms)" ]
+      [ "tables"; "horizon"; "domains"; "cost"; "expanded"; "generated";
+        "pruned"; "peak queue"; "wall (ms)"; "speedup" ]
     (List.map
-       (fun ((tables, horizon), (r : Abivm.Astar.result), wall_ms) ->
+       (fun (tables, horizon, domains, (r : Abivm.Astar.result), wall_ms) ->
          [
            string_of_int tables;
            string_of_int horizon;
+           string_of_int domains;
            fcell r.Abivm.Astar.cost;
            string_of_int r.Abivm.Astar.stats.Abivm.Astar.expanded;
            string_of_int r.Abivm.Astar.stats.Abivm.Astar.generated;
            string_of_int r.Abivm.Astar.stats.Abivm.Astar.pruned;
            string_of_int r.Abivm.Astar.stats.Abivm.Astar.max_queue;
            fcell ~decimals:1 wall_ms;
+           (match wall_at_one tables horizon with
+           | Some base when wall_ms > 0.0 ->
+               Printf.sprintf "%.2fx" (base /. wall_ms)
+           | _ -> "-");
          ])
        results);
   (* Machine-readable copy for regression tracking across PRs. *)
   let path = "BENCH_astar.json" in
   let oc = open_out path in
-  let entry ((tables, horizon), (r : Abivm.Astar.result), wall_ms) =
+  let entry (tables, horizon, domains, (r : Abivm.Astar.result), wall_ms) =
     let s = r.Abivm.Astar.stats in
     Printf.sprintf
-      "    { \"tables\": %d, \"horizon\": %d, \"cost\": %.6f, \
-       \"expanded\": %d, \"generated\": %d, \"reopened\": %d, \"pruned\": \
-       %d, \"queue_peak\": %d, \"live_peak\": %d, \"wall_ms\": %.3f }"
-      tables horizon r.Abivm.Astar.cost s.Abivm.Astar.expanded
+      "    { \"tables\": %d, \"horizon\": %d, \"domains\": %d, \"cost\": \
+       %.6f, \"expanded\": %d, \"generated\": %d, \"reopened\": %d, \
+       \"pruned\": %d, \"queue_peak\": %d, \"live_peak\": %d, \"wall_ms\": \
+       %.3f }"
+      tables horizon domains r.Abivm.Astar.cost s.Abivm.Astar.expanded
       s.Abivm.Astar.generated s.Abivm.Astar.reopened s.Abivm.Astar.pruned
       s.Abivm.Astar.max_queue s.Abivm.Astar.max_live wall_ms
   in
-  Printf.fprintf oc "{\n  \"grid\": \"%s\",\n  \"runs\": [\n%s\n  ]\n}\n" name
+  Printf.fprintf oc "{\n  \"grid\": \"%s\",\n  %s,\n  \"runs\": [\n%s\n  ]\n}\n"
+    name (meta_json ())
     (String.concat ",\n" (List.map entry results));
   close_out oc;
   Printf.printf "(written to %s)\n" path
@@ -699,23 +937,28 @@ let run_robust_grid ~name ~costs ~limit ~horizon ~t0 () =
     ((horizon / 2) + 1)
     limit t0;
   let n = Array.length costs in
+  let eval (label, stream) =
+    let arrivals =
+      Workload.Arrivals.generate ~seed:(base_seed + 17) ~horizon
+        (Array.init n (fun i ->
+             if i < 2 then stream else Workload.Arrivals.Constant 0))
+    in
+    let model = Abivm.Spec.make ~costs ~limit ~arrivals in
+    let sc = Robust.Inject.drifted model in
+    let actual = sc.Robust.Inject.actual in
+    let static = Robust.Replan.static_adapt ~model ~actual ~t0 in
+    let static_cost = Abivm.Plan.cost actual static.Abivm.Adapt.plan in
+    let re = Robust.Replan.run ~model ~actual ~t0 () in
+    let online_cost = Abivm.Plan.cost actual (Abivm.Online.plan actual) in
+    (label, static_cost, static.Abivm.Adapt.rescues, re, online_cost)
+  in
+  (* The four streams are independent scenarios, so fan the evaluation out
+     across the pool; each closure touches only its own spec/replanner
+     state, and [map] keeps the results in stream order. *)
   let results =
-    List.map
-      (fun (label, stream) ->
-        let arrivals =
-          Workload.Arrivals.generate ~seed:(base_seed + 17) ~horizon
-            (Array.init n (fun i ->
-                 if i < 2 then stream else Workload.Arrivals.Constant 0))
-        in
-        let model = Abivm.Spec.make ~costs ~limit ~arrivals in
-        let sc = Robust.Inject.drifted model in
-        let actual = sc.Robust.Inject.actual in
-        let static = Robust.Replan.static_adapt ~model ~actual ~t0 in
-        let static_cost = Abivm.Plan.cost actual static.Abivm.Adapt.plan in
-        let re = Robust.Replan.run ~model ~actual ~t0 () in
-        let online_cost = Abivm.Plan.cost actual (Abivm.Online.plan actual) in
-        (label, static_cost, static.Abivm.Adapt.rescues, re, online_cost))
-      robust_streams
+    Parallel.Pool.with_pool ~domains:(fanout_domains ()) (fun pool ->
+        Array.to_list
+          (Parallel.Pool.map pool eval (Array.of_list robust_streams)))
   in
   emit
     ~name:("robust_" ^ name)
@@ -752,9 +995,9 @@ let run_robust_grid ~name ~costs ~limit ~horizon ~t0 () =
       re.Robust.Replan.drift_peak online_cost
   in
   Printf.fprintf oc
-    "{\n  \"grid\": \"%s\",\n  \"horizon\": %d,\n  \"t0\": %d,\n  \
+    "{\n  \"grid\": \"%s\",\n  %s,\n  \"horizon\": %d,\n  \"t0\": %d,\n  \
      \"runs\": [\n%s\n  ]\n}\n"
-    name horizon t0
+    name (meta_json ()) horizon t0
     (String.concat ",\n" (List.map entry results));
   close_out oc;
   Printf.printf "(written to %s)\n" path;
@@ -945,10 +1188,10 @@ let run_durable_grid ~name ~rows ~join_domain ~horizon ~repeat () =
       o.Durable.Exec.total_cost cost_match
   in
   Printf.fprintf oc
-    "{\n  \"grid\": \"%s\",\n  \"rows\": %d,\n  \"horizon\": %d,\n  \
+    "{\n  \"grid\": \"%s\",\n  %s,\n  \"rows\": %d,\n  \"horizon\": %d,\n  \
      \"baseline_wall_ms\": %.3f,\n  \"baseline_cost_units\": %.6f,\n  \
      \"runs\": [\n%s\n  ]\n}\n"
-    name rows horizon baseline_ms baseline_cost
+    name (meta_json ()) rows horizon baseline_ms baseline_cost
     (String.concat ",\n" (List.map entry results));
   close_out oc;
   Printf.printf "(written to %s)\n" path;
@@ -1052,6 +1295,8 @@ let sections =
     ("opflow", run_opflow);
     ("conjectures", run_conjectures);
     ("multiview", run_multiview);
+    ("multiview-par", run_multiview_par);
+    ("multiview-par-smoke", run_multiview_par_smoke);
     ("astar", run_astar);
     ("astar-smoke", run_astar_smoke);
     ("robust", run_robust);
@@ -1080,6 +1325,28 @@ let () =
     | "--metrics" :: rest ->
         metrics := true;
         strip_flags rest
+    | "--domains" :: spec :: rest ->
+        let parsed =
+          try
+            List.map
+              (fun s ->
+                let d = int_of_string (String.trim s) in
+                if d < 1 then failwith "domain counts must be >= 1";
+                d)
+              (String.split_on_char ',' spec)
+          with _ ->
+            Printf.eprintf
+              "--domains: expected a comma-separated list of positive ints \
+               (e.g. 1,2,4), got %S\n"
+              spec;
+            exit 1
+        in
+        if parsed = [] then begin
+          Printf.eprintf "--domains: empty list\n";
+          exit 1
+        end;
+        bench_domains := parsed;
+        strip_flags rest
     | section :: rest -> section :: strip_flags rest
     | [] -> []
   in
@@ -1099,7 +1366,8 @@ let () =
          reference grids would overwrite BENCH_*.json with toy data. *)
       List.filter
         (fun s ->
-          s <> "astar-smoke" && s <> "robust-smoke" && s <> "durable-smoke")
+          s <> "astar-smoke" && s <> "robust-smoke" && s <> "durable-smoke"
+          && s <> "multiview-par-smoke")
         (List.map fst sections)
   in
   List.iter

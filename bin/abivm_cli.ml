@@ -182,11 +182,12 @@ let simulate_cmd =
 
 (* --- astar ------------------------------------------------------------------- *)
 
-let astar costs limit horizon streams seed no_heuristic show_plan trace metrics
-    =
+let astar costs limit horizon streams seed no_heuristic domains show_plan
+    trace metrics =
   if costs = [] then `Error (false, "at least one --cost is required")
   else if List.length streams <> List.length costs then
     `Error (false, "need exactly one --stream per --cost")
+  else if domains < 1 then `Error (false, "--domains must be >= 1")
   else begin
     with_telemetry ~trace ~metrics (fun () ->
         let arrivals =
@@ -195,15 +196,17 @@ let astar costs limit horizon streams seed no_heuristic show_plan trace metrics
         let spec =
           Abivm.Spec.make ~costs:(Array.of_list costs) ~limit ~arrivals
         in
-        let r = Abivm.Astar.solve ~use_heuristic:(not no_heuristic) spec in
+        let r =
+          Abivm.Astar.solve ~use_heuristic:(not no_heuristic) ~domains spec
+        in
         let s = r.Abivm.Astar.stats in
         Printf.printf "cost %g (%d actions)\n" r.Abivm.Astar.cost
           (List.length (Abivm.Plan.actions r.Abivm.Astar.plan));
         Util.Tablefmt.print
-          ~aligns:(List.init 7 (fun _ -> Util.Tablefmt.Right))
+          ~aligns:(List.init 8 (fun _ -> Util.Tablefmt.Right))
           ~header:
             [ "expanded"; "generated"; "reopened"; "pruned"; "queue peak";
-              "live nodes"; "heuristic" ]
+              "live nodes"; "heuristic"; "domains" ]
           [
             [
               string_of_int s.Abivm.Astar.expanded;
@@ -213,6 +216,7 @@ let astar costs limit horizon streams seed no_heuristic show_plan trace metrics
               string_of_int s.Abivm.Astar.max_queue;
               string_of_int s.Abivm.Astar.max_live;
               (if no_heuristic then "off (Dijkstra)" else "on");
+              string_of_int domains;
             ];
           ];
         if show_plan then
@@ -260,6 +264,15 @@ let astar_cmd =
       & info [ "no-heuristic" ]
           ~doc:"Disable the admissible heuristic (plain Dijkstra).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Search with $(docv) domains (hash-distributed parallel A*; \
+             default 1 = the sequential solver).  Any $(docv) returns the \
+             same optimal cost.")
+  in
   let show_plan =
     Arg.(value & flag & info [ "plan" ] ~doc:"Also print the optimal plan.")
   in
@@ -271,7 +284,7 @@ let astar_cmd =
     Term.(
       ret
         (const astar $ costs $ limit $ horizon $ streams $ seed $ no_heuristic
-       $ show_plan $ trace_arg $ metrics_arg))
+       $ domains $ show_plan $ trace_arg $ metrics_arg))
 
 (* --- calibrate --------------------------------------------------------------- *)
 

@@ -139,7 +139,7 @@ let snapshot_progress ~step ~(sims : sim_view array) ~per_view_total ~total
     valid;
   }
 
-let run ?(from : progress option) ?on_step ~views ~shared_setup ~arrivals ~coordinate () =
+let run ?(from : progress option) ?on_step ?pool ~views ~shared_setup ~arrivals ~coordinate () =
   let n = validate ~views ~shared_setup ~arrivals in
   let k = Array.length views in
   let horizon = Array.length arrivals - 1 in
@@ -198,17 +198,25 @@ let run ?(from : progress option) ?on_step ~views ~shared_setup ~arrivals ~coord
               ((1.0 -. alpha) *. sim.rates.(i)) +. (alpha *. float_of_int di))
           d)
       sims;
-    (* Forced actions per view. *)
+    (* Forced actions per view.  Each view's choice depends only on its own
+       pending/rates (frozen for the duration of this phase), so the per-view
+       work — the expensive greedy-subset scoring in [forced_action] — can
+       fan out across a domain pool with results identical to the sequential
+       order. *)
     let batches = Array.make_matrix k n 0 in
-    Array.iteri
-      (fun v sim ->
-        let action =
-          if t = horizon then Abivm.Statevec.copy sim.pending
-          else if is_full sim.spec sim.pending then forced_action sim
-          else Abivm.Statevec.zero n
-        in
-        Array.blit action 0 batches.(v) 0 n)
-      sims;
+    let forced v =
+      let sim = sims.(v) in
+      if t = horizon then Abivm.Statevec.copy sim.pending
+      else if is_full sim.spec sim.pending then forced_action sim
+      else Abivm.Statevec.zero n
+    in
+    let actions =
+      match pool with
+      | Some p when Parallel.Pool.domains p > 1 && k > 1 ->
+          Parallel.Pool.map p forced (Array.init k Fun.id)
+      | _ -> Array.init k forced
+    in
+    Array.iteri (fun v action -> Array.blit action 0 batches.(v) 0 n) actions;
     (* Optional coordination: piggyback on co-flushed tables, but only when
        the joining view's own flush of that table is nearly due (its pending
        batch is close to the largest batch its constraint allows).  Joining
@@ -280,8 +288,8 @@ let run ?(from : progress option) ?on_step ~views ~shared_setup ~arrivals ~coord
     valid = !valid;
   }
 
-let independent ?from ?on_step ~views ~shared_setup ~arrivals () =
-  run ?from ?on_step ~views ~shared_setup ~arrivals ~coordinate:false ()
+let independent ?from ?on_step ?pool ~views ~shared_setup ~arrivals () =
+  run ?from ?on_step ?pool ~views ~shared_setup ~arrivals ~coordinate:false ()
 
-let piggyback ?from ?on_step ~views ~shared_setup ~arrivals () =
-  run ?from ?on_step ~views ~shared_setup ~arrivals ~coordinate:true ()
+let piggyback ?from ?on_step ?pool ~views ~shared_setup ~arrivals () =
+  run ?from ?on_step ?pool ~views ~shared_setup ~arrivals ~coordinate:true ()

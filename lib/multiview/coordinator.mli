@@ -56,6 +56,7 @@ type progress = {
 val independent :
   ?from:progress ->
   ?on_step:(progress -> unit) ->
+  ?pool:Parallel.Pool.t ->
   views:view_spec array ->
   shared_setup:float array ->
   arrivals:int array array ->
@@ -64,13 +65,17 @@ val independent :
 (** [arrivals.(t).(i)] modifications to base table [i] at time [t]; every
     view receives every modification.  [from] continues a previous run
     from its recorded step; [on_step] observes the progress after every
-    completed step.  Raises [Invalid_argument] on dimension mismatches,
+    completed step.  [pool] fans the per-view flush decisions of each step
+    out across a domain pool — each view's choice depends only on its own
+    state, so the outcome (costs, co-flushes, validity) is identical to the
+    sequential run.  Raises [Invalid_argument] on dimension mismatches,
     negative discounts, or a [from] that does not match the problem
     shape. *)
 
 val piggyback :
   ?from:progress ->
   ?on_step:(progress -> unit) ->
+  ?pool:Parallel.Pool.t ->
   views:view_spec array ->
   shared_setup:float array ->
   arrivals:int array array ->

@@ -1,0 +1,132 @@
+type task = unit -> unit
+
+type t = {
+  domains : int;
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when the queue gains tasks / on close *)
+  idle : Condition.t;  (* signalled when [pending] drops to zero *)
+  queue : task Queue.t;
+  mutable pending : int;  (* tasks submitted but not yet finished *)
+  mutable closing : bool;
+  mutable first_exn : (exn * Printexc.raw_backtrace) option;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.domains
+
+(* Run one task outside the lock, recording the first failure and the
+   batch-completion signal under it. *)
+let run_task t task =
+  let failure =
+    try
+      task ();
+      None
+    with e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock t.m;
+  (match failure with
+  | Some _ when t.first_exn = None -> t.first_exn <- failure
+  | _ -> ());
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.m
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.work t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* closing *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    run_task t task;
+    worker_loop t
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      domains;
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      closing = false;
+      first_exn = None;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+(* Submit a batch and participate until it fully drains. *)
+let exec t tasks =
+  match tasks with
+  | [] -> ()
+  | tasks ->
+      Mutex.lock t.m;
+      if t.closing then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool: pool is shut down"
+      end;
+      List.iter (fun task -> Queue.push task t.queue) tasks;
+      t.pending <- t.pending + List.length tasks;
+      Condition.broadcast t.work;
+      let rec drain () =
+        if not (Queue.is_empty t.queue) then begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.m;
+          run_task t task;
+          Mutex.lock t.m;
+          drain ()
+        end
+      in
+      drain ();
+      while t.pending > 0 do
+        Condition.wait t.idle t.m
+      done;
+      let failure = t.first_exn in
+      t.first_exn <- None;
+      Mutex.unlock t.m;
+      (match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+
+let run t tasks =
+  if List.length tasks > t.domains then
+    invalid_arg "Pool.run: more cooperating tasks than domains";
+  exec t tasks
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.domains = 1 || n = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    exec t
+      (List.init n (fun i -> fun () -> results.(i) <- Some (f arr.(i))));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let workers = t.workers in
+  t.workers <- [];
+  if not t.closing then begin
+    t.closing <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.m;
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

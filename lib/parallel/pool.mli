@@ -1,0 +1,40 @@
+(** A dependency-free domain pool (stdlib [Domain] + [Mutex]/[Condition]).
+
+    The pool owns [domains - 1] worker domains; the calling domain is the
+    remaining worker, so [create ~domains:1] spawns nothing and every
+    operation degenerates to plain sequential execution — bit-identical to
+    not using a pool at all.
+
+    Batches are synchronous: {!run} and {!map} return only once every task
+    of the batch has finished.  The first exception raised by any task is
+    re-raised in the caller (with its backtrace) after the batch drains;
+    remaining tasks still run.  Submitting from two domains at once is not
+    supported — a pool has exactly one submitting domain at a time. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool of [max 1 domains] workers
+    (including the caller).  Default: [Domain.recommended_domain_count ()]. *)
+
+val domains : t -> int
+(** Worker count, caller included.  At least 1. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Execute the tasks to completion, the caller participating.  Tasks may
+    block on each other (e.g. cooperating search shards exchanging
+    messages), therefore the batch MUST NOT contain more tasks than
+    [domains t] — excess tasks would have no domain to run on and the
+    batch could deadlock.  Raises [Invalid_argument] in that case. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map].  Tasks must be independent (never block on one
+    another); any number of them is fine — excess tasks queue.  Order of
+    side effects is unspecified, results are in input order. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, always [shutdown]. *)

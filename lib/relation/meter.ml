@@ -11,57 +11,56 @@ type snapshot = {
   batch_setup : int;
 }
 
-type t = {
-  mutable seq_scanned : int;
-  mutable index_probes : int;
-  mutable index_entries : int;
-  mutable inserted : int;
-  mutable deleted : int;
-  mutable updated : int;
-  mutable hash_build : int;
-  mutable hash_probe : int;
-  mutable output : int;
-  mutable batch_setup : int;
-}
+(* Domain-safe metering.  Bumps happen on the engine's per-tuple hot paths
+   and, since the multiview coordinator flushes views from several domains
+   at once, may race on a shared meter.  Counters are sharded: each field
+   has [shards] cells and a domain bumps the cell indexed by its id, so
+   under the common one-or-few-domains case distinct domains touch distinct
+   cells.  Cells are [Atomic.t] (bumped with [fetch_and_add]) so that even
+   when domain ids collide modulo [shards] no update is ever lost.  A
+   snapshot sums the cells — merging is a read-side cost, the write side
+   takes no lock and allocates nothing. *)
 
-let create () =
-  {
-    seq_scanned = 0;
-    index_probes = 0;
-    index_entries = 0;
-    inserted = 0;
-    deleted = 0;
-    updated = 0;
-    hash_build = 0;
-    hash_probe = 0;
-    output = 0;
-    batch_setup = 0;
-  }
+let shards = 16
+let n_fields = 10
 
-let reset m =
-  m.seq_scanned <- 0;
-  m.index_probes <- 0;
-  m.index_entries <- 0;
-  m.inserted <- 0;
-  m.deleted <- 0;
-  m.updated <- 0;
-  m.hash_build <- 0;
-  m.hash_probe <- 0;
-  m.output <- 0;
-  m.batch_setup <- 0
+type t = int Atomic.t array (* [shards * n_fields], cell-major by shard *)
+
+let f_seq_scanned = 0
+let f_index_probes = 1
+let f_index_entries = 2
+let f_inserted = 3
+let f_deleted = 4
+let f_updated = 5
+let f_hash_build = 6
+let f_hash_probe = 7
+let f_output = 8
+let f_batch_setup = 9
+
+let create () = Array.init (shards * n_fields) (fun _ -> Atomic.make 0)
+
+(* Only meaningful while no other domain is bumping (e.g. between runs). *)
+let reset m = Array.iter (fun c -> Atomic.set c 0) m
+
+let sum m field =
+  let acc = ref 0 in
+  for s = 0 to shards - 1 do
+    acc := !acc + Atomic.get m.((s * n_fields) + field)
+  done;
+  !acc
 
 let snapshot m : snapshot =
   {
-    seq_scanned = m.seq_scanned;
-    index_probes = m.index_probes;
-    index_entries = m.index_entries;
-    inserted = m.inserted;
-    deleted = m.deleted;
-    updated = m.updated;
-    hash_build = m.hash_build;
-    hash_probe = m.hash_probe;
-    output = m.output;
-    batch_setup = m.batch_setup;
+    seq_scanned = sum m f_seq_scanned;
+    index_probes = sum m f_index_probes;
+    index_entries = sum m f_index_entries;
+    inserted = sum m f_inserted;
+    deleted = sum m f_deleted;
+    updated = sum m f_updated;
+    hash_build = sum m f_hash_build;
+    hash_probe = sum m f_hash_probe;
+    output = sum m f_output;
+    batch_setup = sum m f_batch_setup;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -78,16 +77,20 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     batch_setup = a.batch_setup - b.batch_setup;
   }
 
-let bump_seq_scanned m n = m.seq_scanned <- m.seq_scanned + n
-let bump_index_probes m n = m.index_probes <- m.index_probes + n
-let bump_index_entries m n = m.index_entries <- m.index_entries + n
-let bump_inserted m n = m.inserted <- m.inserted + n
-let bump_deleted m n = m.deleted <- m.deleted + n
-let bump_updated m n = m.updated <- m.updated + n
-let bump_hash_build m n = m.hash_build <- m.hash_build + n
-let bump_hash_probe m n = m.hash_probe <- m.hash_probe + n
-let bump_output m n = m.output <- m.output + n
-let bump_batch_setup m n = m.batch_setup <- m.batch_setup + n
+let[@inline] bump m field n =
+  let shard = (Domain.self () :> int) land (shards - 1) in
+  ignore (Atomic.fetch_and_add m.((shard * n_fields) + field) n)
+
+let bump_seq_scanned m n = bump m f_seq_scanned n
+let bump_index_probes m n = bump m f_index_probes n
+let bump_index_entries m n = bump m f_index_entries n
+let bump_inserted m n = bump m f_inserted n
+let bump_deleted m n = bump m f_deleted n
+let bump_updated m n = bump m f_updated n
+let bump_hash_build m n = bump m f_hash_build n
+let bump_hash_probe m n = bump m f_hash_probe n
+let bump_output m n = bump m f_output n
+let bump_batch_setup m n = bump m f_batch_setup n
 
 (* Weights: a sequential tuple touch costs 1; an index probe pays a lookup
    overhead of 4 plus 1 per returned entry; structural modifications pay

@@ -5,7 +5,13 @@
     maintenance work.  Every physical operation in the engine bumps a counter
     on the meter attached to the table; {!cost_units} converts the counters
     to a scalar using fixed weights that approximate relative I/O and CPU
-    costs (a sequential tuple touch is the unit). *)
+    costs (a sequential tuple touch is the unit).
+
+    Meters are domain-safe: counters are sharded per domain and merged at
+    {!snapshot}, so concurrent flushes (e.g. the parallel multiview
+    coordinator) can share one meter without losing updates and without a
+    hot mutex on the per-tuple paths.  {!reset} is not atomic with respect
+    to concurrent bumps — call it only while the meter is quiescent. *)
 
 type t
 

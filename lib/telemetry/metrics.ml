@@ -5,25 +5,40 @@ let kind_name = function
   | Gauge -> "gauge"
   | Histogram -> "histogram"
 
+(* Instruments are domain-safe.  Counter and histogram state is sharded
+   into [cell_shards] cells, each with its own tiny mutex; a domain writes
+   the cell indexed by its id, so concurrent writers from different domains
+   almost always touch different locks (a per-domain shard, not one hot
+   mutex).  Snapshots merge the cells.  Gauges are written rarely and have
+   last-write / running-max semantics that do not merge across shards, so
+   they keep a single cell. *)
+
+let cell_shards = 8
+
+type cell = {
+  cm : Mutex.t;
+  mutable c_value : float; (* counter total, gauge value, histogram sum *)
+  mutable c_count : int; (* histogram observations *)
+  mutable c_min : float;
+  mutable c_max : float;
+  c_buckets : int array; (* length bounds + 1 (last = overflow); [||] else *)
+}
+
 type instrument = {
   name : string;
   labels : (string * string) list; (* sorted by key *)
   kind : kind;
-  mutable value : float; (* counter total, gauge value, histogram sum *)
-  mutable count : int; (* histogram observations *)
-  mutable min_v : float;
-  mutable max_v : float;
   bounds : float array; (* histogram bucket upper bounds; [||] otherwise *)
-  bucket_counts : int array; (* length bounds + 1 (last = overflow) *)
+  cells : cell array; (* [cell_shards] for counters/histograms, 1 for gauges *)
 }
 
 type counter = instrument
 type gauge = instrument
 type histogram = instrument
 
-type t = { tbl : (string, instrument) Hashtbl.t }
+type t = { tbl : (string, instrument) Hashtbl.t; rm : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; rm = Mutex.create () }
 
 let normalize_labels labels =
   let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
@@ -52,36 +67,50 @@ let default_buckets =
   [| 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0;
      5000.0; 10000.0 |]
 
+let make_cell ~kind ~bounds =
+  {
+    cm = Mutex.create ();
+    c_value = 0.0;
+    c_count = 0;
+    c_min = Float.infinity;
+    c_max = Float.neg_infinity;
+    c_buckets =
+      (if kind = Histogram then Array.make (Array.length bounds + 1) 0
+       else [||]);
+  }
+
 let register reg ~kind ~bounds ?(labels = []) name =
   let labels = normalize_labels labels in
   let k = key name labels in
-  match Hashtbl.find_opt reg.tbl k with
-  | Some existing ->
-      if existing.kind <> kind then
-        invalid_arg
-          (Printf.sprintf
-             "Metrics: %s already registered as a %s (cannot re-register as \
-              a %s)"
-             k (kind_name existing.kind) (kind_name kind));
-      existing
-  | None ->
-      let inst =
-        {
-          name;
-          labels;
-          kind;
-          value = 0.0;
-          count = 0;
-          min_v = Float.infinity;
-          max_v = Float.neg_infinity;
-          bounds;
-          bucket_counts =
-            (if kind = Histogram then Array.make (Array.length bounds + 1) 0
-             else [||]);
-        }
-      in
-      Hashtbl.replace reg.tbl k inst;
-      inst
+  Mutex.lock reg.rm;
+  let inst =
+    match Hashtbl.find_opt reg.tbl k with
+    | Some existing ->
+        if existing.kind <> kind then begin
+          Mutex.unlock reg.rm;
+          invalid_arg
+            (Printf.sprintf
+               "Metrics: %s already registered as a %s (cannot re-register \
+                as a %s)"
+               k (kind_name existing.kind) (kind_name kind))
+        end;
+        existing
+    | None ->
+        let n_cells = if kind = Gauge then 1 else cell_shards in
+        let inst =
+          {
+            name;
+            labels;
+            kind;
+            bounds;
+            cells = Array.init n_cells (fun _ -> make_cell ~kind ~bounds);
+          }
+        in
+        Hashtbl.replace reg.tbl k inst;
+        inst
+  in
+  Mutex.unlock reg.rm;
+  inst
 
 let counter reg ?labels name = register reg ~kind:Counter ~bounds:[||] ?labels name
 let gauge reg ?labels name = register reg ~kind:Gauge ~bounds:[||] ?labels name
@@ -91,23 +120,42 @@ let histogram reg ?(buckets = default_buckets) ?labels name =
   Array.sort compare bounds;
   register reg ~kind:Histogram ~bounds ?labels name
 
+let my_cell inst =
+  inst.cells.((Domain.self () :> int) land (Array.length inst.cells - 1))
+
 let inc c v =
   if v < 0.0 then invalid_arg "Metrics.inc: counters are monotone (v < 0)";
-  c.value <- c.value +. v
+  let cell = my_cell c in
+  Mutex.lock cell.cm;
+  cell.c_value <- cell.c_value +. v;
+  Mutex.unlock cell.cm
 
 let inc1 c = inc c 1.0
-let set g v = g.value <- v
-let set_max g v = if v > g.value then g.value <- v
+
+let set g v =
+  let cell = g.cells.(0) in
+  Mutex.lock cell.cm;
+  cell.c_value <- v;
+  Mutex.unlock cell.cm
+
+let set_max g v =
+  let cell = g.cells.(0) in
+  Mutex.lock cell.cm;
+  if v > cell.c_value then cell.c_value <- v;
+  Mutex.unlock cell.cm
 
 let observe h v =
-  h.count <- h.count + 1;
-  h.value <- h.value +. v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v;
+  let cell = my_cell h in
+  Mutex.lock cell.cm;
+  cell.c_count <- cell.c_count + 1;
+  cell.c_value <- cell.c_value +. v;
+  if v < cell.c_min then cell.c_min <- v;
+  if v > cell.c_max then cell.c_max <- v;
   let n = Array.length h.bounds in
   let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
-  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  cell.c_buckets.(i) <- cell.c_buckets.(i) + 1;
+  Mutex.unlock cell.cm
 
 (* --- snapshots ----------------------------------------------------------- *)
 
@@ -124,15 +172,34 @@ type sample = {
 
 type snapshot = sample list
 
+(* Merge an instrument's cells under their locks: sums for value/count and
+   buckets, min-of-mins / max-of-maxs for extrema; a gauge has one cell so
+   the "merge" is just a locked read. *)
 let sample_of inst =
+  let value = ref 0.0 and count = ref 0 in
+  let min_v = ref Float.infinity and max_v = ref Float.neg_infinity in
+  let buckets =
+    if inst.kind = Histogram then Array.make (Array.length inst.bounds + 1) 0
+    else [||]
+  in
+  Array.iter
+    (fun cell ->
+      Mutex.lock cell.cm;
+      value := !value +. cell.c_value;
+      count := !count + cell.c_count;
+      if cell.c_min < !min_v then min_v := cell.c_min;
+      if cell.c_max > !max_v then max_v := cell.c_max;
+      Array.iteri (fun i c -> buckets.(i) <- buckets.(i) + c) cell.c_buckets;
+      Mutex.unlock cell.cm)
+    inst.cells;
   {
     sample_name = inst.name;
     sample_labels = inst.labels;
     sample_kind = inst.kind;
-    sample_value = inst.value;
-    sample_count = inst.count;
-    sample_min = (if inst.count = 0 then Float.nan else inst.min_v);
-    sample_max = (if inst.count = 0 then Float.nan else inst.max_v);
+    sample_value = !value;
+    sample_count = !count;
+    sample_min = (if !count = 0 then Float.nan else !min_v);
+    sample_max = (if !count = 0 then Float.nan else !max_v);
     sample_buckets =
       (if inst.kind <> Histogram then []
        else
@@ -142,7 +209,7 @@ let sample_of inst =
                 ( (if i < Array.length inst.bounds then inst.bounds.(i)
                    else Float.infinity),
                   c ))
-              inst.bucket_counts));
+              buckets));
   }
 
 let compare_sample a b =
@@ -151,8 +218,10 @@ let compare_sample a b =
   | c -> c
 
 let snapshot reg =
-  Hashtbl.fold (fun _ inst acc -> sample_of inst :: acc) reg.tbl []
-  |> List.sort compare_sample
+  Mutex.lock reg.rm;
+  let insts = Hashtbl.fold (fun _ inst acc -> inst :: acc) reg.tbl [] in
+  Mutex.unlock reg.rm;
+  List.map sample_of insts |> List.sort compare_sample
 
 (* [diff later earlier]: counters and histograms subtract; gauges keep the
    later value.  Samples whose delta is zero (or gauges that did not move)

@@ -4,9 +4,15 @@
     Instruments are identified by [(name, labels)]; registering the same
     identity twice returns the same instrument, and registering it with a
     different kind raises [Invalid_argument] (the "label collision" guard).
-    Registries are cheap hashtables — the global one lives in
-    {!Telemetry}; layers that need always-on accounting can keep a private
-    one. *)
+    The global registry lives in {!Telemetry}; layers that need always-on
+    accounting can keep a private one.
+
+    Registries and instruments are domain-safe: registration takes a short
+    registry lock, and counter/histogram state is sharded into per-domain
+    cells merged at {!snapshot} — concurrent writers from different domains
+    do not contend on a single hot mutex, and no update is lost.  Gauges
+    keep one cell (last-write/max semantics do not merge), so concurrent
+    [set] is last-writer-wins. *)
 
 type kind = Counter | Gauge | Histogram
 

@@ -2,32 +2,57 @@ module Metrics = Metrics
 module Span = Span
 module Sink = Sink
 
+(* The collector is shared by every domain (parallel search shards, the
+   multiview flush pool), so its mutable pieces are domain-safe: the
+   registry is internally sharded (see {!Metrics}), [depth]/[seq] are
+   atomics, and the sink list — plus every sink notification, since sinks
+   write to shared channels — is serialized by [sm].  [enable]/[disable]/
+   [set_clock] remain main-domain operations: they swap whole collectors
+   and are not meant to race with in-flight spans. *)
 type collector = {
   reg : Metrics.t;
+  sm : Mutex.t; (* guards [sinks] and serializes sink callbacks *)
   mutable sinks : Sink.t list;
-  mutable depth : int;
-  mutable seq : int;
+  depth : int Atomic.t;
+  seq : int Atomic.t;
 }
 
 let current : collector option ref = ref None
 let enabled () = Option.is_some !current
+
+let with_sinks c f =
+  Mutex.lock c.sm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.sm) (fun () -> f c.sinks)
+
+let has_sinks c = with_sinks c (fun sinks -> sinks <> [])
 
 let disable () =
   match !current with
   | None -> ()
   | Some c ->
       let snap = Metrics.snapshot c.reg in
-      List.iter (fun (s : Sink.t) -> s.on_close snap) c.sinks;
+      with_sinks c (List.iter (fun (s : Sink.t) -> s.on_close snap));
       current := None
 
 let enable ?(sinks = []) () =
   disable ();
-  current := Some { reg = Metrics.create (); sinks; depth = 0; seq = 0 }
+  current :=
+    Some
+      {
+        reg = Metrics.create ();
+        sm = Mutex.create ();
+        sinks;
+        depth = Atomic.make 0;
+        seq = Atomic.make 0;
+      }
 
 let add_sink sink =
   match !current with
   | None -> invalid_arg "Telemetry.add_sink: collector disabled"
-  | Some c -> c.sinks <- c.sinks @ [ sink ]
+  | Some c ->
+      Mutex.lock c.sm;
+      c.sinks <- c.sinks @ [ sink ];
+      Mutex.unlock c.sm
 
 let registry () = Option.map (fun c -> c.reg) !current
 
@@ -69,24 +94,24 @@ let with_span ?(attrs = []) ~name fn =
   | None -> fn ()
   | Some c ->
       (* Snapshot-diffing the registry costs O(#instruments); skip it when
-         nothing consumes the span. *)
-      let want_metrics = c.sinks <> [] in
+         nothing consumes the span.  With concurrent spans on other domains
+         the diff attributes their updates to this span too — depth/seq stay
+         globally consistent, attribution is per-process, not per-domain. *)
+      let want_metrics = has_sinks c in
       let before = if want_metrics then Metrics.snapshot c.reg else [] in
       let start = !clock () in
-      let depth = c.depth in
-      c.depth <- depth + 1;
-      let seq = c.seq in
-      c.seq <- seq + 1;
+      let depth = Atomic.fetch_and_add c.depth 1 in
+      let seq = Atomic.fetch_and_add c.seq 1 in
       let finish () =
-        c.depth <- depth;
+        Atomic.decr c.depth;
         let duration = !clock () -. start in
-        if want_metrics || c.sinks <> [] then begin
-          let metrics =
-            if want_metrics then Metrics.diff (Metrics.snapshot c.reg) before
-            else []
-          in
-          let span = { Span.name; attrs; start; duration; depth; seq; metrics } in
-          List.iter (fun (s : Sink.t) -> s.on_span span) c.sinks
-        end
+        let metrics =
+          if want_metrics then Metrics.diff (Metrics.snapshot c.reg) before
+          else []
+        in
+        let span = { Span.name; attrs; start; duration; depth; seq; metrics } in
+        with_sinks c (fun sinks ->
+            if sinks <> [] then
+              List.iter (fun (s : Sink.t) -> s.on_span span) sinks)
       in
       Fun.protect ~finally:finish fn

@@ -1,0 +1,243 @@
+(* Multicore tests: the domain pool, the hash-distributed parallel A*, the
+   sharded meter/metrics counters, and the parallel multiview coordinator.
+
+   - Pool: map correctness and reuse, exception propagation, the
+     cooperative-batch size guard.
+   - Parallel A*: a seeded 200-instance property (via the shared Gen
+     module) that [solve ~domains:d] for d in {2, 4} returns bit-exactly
+     the sequential optimal cost and a valid plan whose [Plan.cost] agrees
+     with the reported cost; plus a determinism pin that [domains:1] is
+     bit-identical (cost AND node counts) to the default solver.
+   - Meter/Metrics: concurrent bumps from several domains are all counted
+     (per-domain shards merged at snapshot time).
+   - Multiview: a pooled coordinator run yields the same outcome as the
+     sequential one. *)
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 0.0) msg (* bit-exact *)
+
+(* --- pool ------------------------------------------------------------------ *)
+
+let test_pool_map () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      (* Several batches through one pool: results in order, pool reusable. *)
+      for round = 1 to 3 do
+        let input = Array.init 100 (fun i -> i + round) in
+        let out = Parallel.Pool.map pool (fun x -> (x * x) + round) input in
+        Array.iteri
+          (fun i x ->
+            check Alcotest.int
+              (Printf.sprintf "round %d slot %d" round i)
+              ((x * x) + round)
+              out.(i))
+          input
+      done;
+      check Alcotest.int "domains" 4 (Parallel.Pool.domains pool))
+
+let test_pool_exception () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      (match
+         Parallel.Pool.map pool
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (Array.init 20 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the task failure to propagate"
+      | exception Failure m -> check Alcotest.string "message" "boom" m);
+      (* The failed batch must not poison the pool. *)
+      let out = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      check Alcotest.(array int) "after failure" [| 2; 3; 4 |] out)
+
+let test_pool_run_guard () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      match Parallel.Pool.run pool (List.init 3 (fun _ () -> ())) with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_pool_cooperative () =
+  (* [run] tasks may block on each other: a two-task rendezvous. *)
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let a = Atomic.make 0 and b = Atomic.make 0 in
+      let wait_for cell v =
+        while Atomic.get cell < v do
+          Domain.cpu_relax ()
+        done
+      in
+      Parallel.Pool.run pool
+        [
+          (fun () ->
+            Atomic.set a 1;
+            wait_for b 1;
+            Atomic.set a 2);
+          (fun () ->
+            wait_for a 1;
+            Atomic.set b 1;
+            wait_for a 2);
+        ];
+      check Alcotest.int "a" 2 (Atomic.get a);
+      check Alcotest.int "b" 1 (Atomic.get b))
+
+(* --- parallel A* ----------------------------------------------------------- *)
+
+let solve_instance ~domains spec = Abivm.Astar.solve ~domains spec
+
+let test_parallel_astar_property () =
+  for seed = 0 to 199 do
+    let spec = Gen.instance ~seed () in
+    let seq = Abivm.Astar.solve spec in
+    List.iter
+      (fun domains ->
+        let par = solve_instance ~domains spec in
+        let ctx = Printf.sprintf "seed %d domains %d: %s" seed domains
+            (Gen.describe spec)
+        in
+        checkf (ctx ^ " cost") seq.cost par.cost;
+        if not (Abivm.Plan.is_valid spec par.plan) then
+          Alcotest.failf "%s: parallel plan invalid (%s)" ctx
+            (Abivm.Plan.to_string par.plan);
+        let plan_cost = Abivm.Plan.cost spec par.plan in
+        if Float.abs (plan_cost -. par.cost) > 1e-9 then
+          Alcotest.failf "%s: plan cost %.17g <> reported %.17g" ctx plan_cost
+            par.cost)
+      [ 2; 4 ]
+  done
+
+let test_domains1_bit_identical () =
+  (* [domains:1] must be the sequential solver itself: same cost bits and
+     the same node counts, not merely the same optimum. *)
+  for seed = 0 to 49 do
+    let spec = Gen.instance ~seed () in
+    let a = Abivm.Astar.solve spec in
+    let b = Abivm.Astar.solve ~domains:1 spec in
+    let ctx = Printf.sprintf "seed %d" seed in
+    checkf (ctx ^ " cost") a.cost b.cost;
+    check Alcotest.int (ctx ^ " expanded") a.stats.expanded b.stats.expanded;
+    check Alcotest.int (ctx ^ " generated") a.stats.generated b.stats.generated;
+    check Alcotest.int (ctx ^ " reopened") a.stats.reopened b.stats.reopened;
+    check Alcotest.int (ctx ^ " pruned") a.stats.pruned b.stats.pruned;
+    check Alcotest.int (ctx ^ " max_queue") a.stats.max_queue b.stats.max_queue;
+    check Alcotest.int (ctx ^ " max_live") a.stats.max_live b.stats.max_live;
+    if a.plan <> b.plan then Alcotest.failf "%s: plans differ" ctx
+  done
+
+(* --- sharded counters ------------------------------------------------------ *)
+
+let test_meter_concurrent () =
+  let meter = Relation.Meter.create () in
+  let per_domain = 10_000 in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Parallel.Pool.map pool
+           (fun _ ->
+             for _ = 1 to per_domain do
+               Relation.Meter.bump_seq_scanned meter 1;
+               Relation.Meter.bump_output meter 2
+             done)
+           (Array.init 8 Fun.id)));
+  let s = Relation.Meter.snapshot meter in
+  check Alcotest.int "seq_scanned" (8 * per_domain) s.Relation.Meter.seq_scanned;
+  check Alcotest.int "output" (2 * 8 * per_domain) s.Relation.Meter.output
+
+let test_metrics_concurrent () =
+  let module M = Telemetry.Metrics in
+  let reg = M.create () in
+  let per_task = 5_000 in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Parallel.Pool.map pool
+           (fun i ->
+             let c = M.counter reg "par.count" in
+             let h = M.histogram reg "par.obs" in
+             for j = 1 to per_task do
+               M.inc1 c;
+               M.observe h (float_of_int ((i + j) mod 10))
+             done)
+           (Array.init 8 Fun.id)));
+  let snap = M.snapshot reg in
+  check (Alcotest.float 0.0) "counter" (float_of_int (8 * per_task))
+    (M.value snap "par.count");
+  match M.find snap "par.obs" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s -> check Alcotest.int "observations" (8 * per_task) s.M.sample_count
+
+(* --- multiview ------------------------------------------------------------- *)
+
+let mv_problem () =
+  let n = 3 and horizon = 120 in
+  let views =
+    Array.init 4 (fun v ->
+        {
+          Multiview.Coordinator.name = Printf.sprintf "v%d" v;
+          costs =
+            Array.init n (fun i ->
+                Cost.Func.affine
+                  ~a:(1.0 +. (0.3 *. float_of_int ((v + i) mod 3)))
+                  ~b:(0.5 *. float_of_int (v + 1)));
+          limit = 12.0 +. (2.0 *. float_of_int v);
+        })
+  in
+  let prng = Util.Prng.create ~seed:11 in
+  let arrivals =
+    Array.init (horizon + 1) (fun _ ->
+        Array.init n (fun _ -> Util.Prng.int prng 3))
+  in
+  (views, Array.make n 1.0, arrivals)
+
+let outcomes_equal (a : Multiview.Coordinator.outcome)
+    (b : Multiview.Coordinator.outcome) =
+  a.total_cost = b.total_cost
+  && a.undiscounted_cost = b.undiscounted_cost
+  && a.co_flushes = b.co_flushes && a.valid = b.valid
+  && a.per_view_cost = b.per_view_cost
+
+let test_multiview_pool () =
+  let views, shared_setup, arrivals = mv_problem () in
+  let seq =
+    Multiview.Coordinator.independent ~views ~shared_setup ~arrivals ()
+  in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Multiview.Coordinator.independent ~pool ~views ~shared_setup ~arrivals
+          ()
+      in
+      if not (outcomes_equal seq par) then
+        Alcotest.fail "pooled independent run diverged from sequential";
+      let seq_pig =
+        Multiview.Coordinator.piggyback ~views ~shared_setup ~arrivals ()
+      in
+      let par_pig =
+        Multiview.Coordinator.piggyback ~pool ~views ~shared_setup ~arrivals ()
+      in
+      if not (outcomes_equal seq_pig par_pig) then
+        Alcotest.fail "pooled piggyback run diverged from sequential")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map correctness and reuse" `Quick test_pool_map;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "run batch-size guard" `Quick test_pool_run_guard;
+          Alcotest.test_case "cooperative tasks" `Quick test_pool_cooperative;
+        ] );
+      ( "astar",
+        [
+          Alcotest.test_case "200 seeded instances: parallel = sequential"
+            `Quick test_parallel_astar_property;
+          Alcotest.test_case "domains:1 bit-identical" `Quick
+            test_domains1_bit_identical;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "meter concurrent bumps" `Quick
+            test_meter_concurrent;
+          Alcotest.test_case "metrics concurrent updates" `Quick
+            test_metrics_concurrent;
+        ] );
+      ( "multiview",
+        [
+          Alcotest.test_case "pooled = sequential outcome" `Quick
+            test_multiview_pool;
+        ] );
+    ]
