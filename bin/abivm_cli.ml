@@ -384,7 +384,11 @@ let run_exec scale horizon seed strategy trace metrics =
         (Abivm.Strategy.label strategy);
       let plan = (Abivm.Simulate.run strategy spec).Abivm.Report.plan in
       let m, feeds = tpcr_engine ~scale ~seed:(seed + 100) in
-      let report = Bridge.Runner.run_plan ~strategy m feeds spec plan in
+      let report =
+        Bridge.Runner.run_plan ~strategy
+          (Bridge.Runner.engine ~maintainer:m ~feeds)
+          spec plan
+      in
       let executed = Bridge.Runner.action_costs report in
       let simulated = Bridge.Runner.simulated_action_costs report in
       Util.Tablefmt.print
@@ -459,7 +463,11 @@ let demo scale horizon trace metrics =
       let strategy = Abivm.Strategy.Online None in
       let online = Abivm.Online.plan spec in
       let m2, feeds2 = tpcr_engine ~scale ~seed:7 in
-      let report = Bridge.Runner.run_plan ~strategy m2 feeds2 spec online in
+      let report =
+        Bridge.Runner.run_plan ~strategy
+          (Bridge.Runner.engine ~maintainer:m2 ~feeds:feeds2)
+          spec online
+      in
       Printf.printf
         "executed cost %.0f units (simulated %.0f), view consistent: %b, \
          wall %.2fs\n"

@@ -101,7 +101,11 @@ let () =
   Relation.Meter.reset db2.Tpcr.Gen.meter;
   let feeds2 = Tpcr.Updates.paper_feeds ~seed:8 db2 in
   let online = Abivm.Online.plan spec in
-  let report = Bridge.Runner.run_plan m2 feeds2 spec online in
+  let report =
+    Bridge.Runner.run_plan
+      (Bridge.Runner.engine ~maintainer:m2 ~feeds:feeds2)
+      spec online
+  in
   let executed = Option.value ~default:0.0 report.Abivm.Report.cost_units in
   Printf.printf
     "  simulated %.0f units, executed %.0f units (%.1f%% apart), wall %.2fs\n"

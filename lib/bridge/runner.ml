@@ -1,7 +1,12 @@
-type result = Abivm.Report.t
+type engine = { maintainer : Ivm.Maintainer.t; feeds : Tpcr.Updates.feeds }
 
-let run_plan ?monitor ?journal ?(strategy = Abivm.Strategy.Online None) m feeds
-    spec plan =
+let engine ~maintainer ~feeds = { maintainer; feeds }
+let maintainer e = e.maintainer
+let feeds e = e.feeds
+
+let run_plan ?monitor ?journal ?(strategy = Abivm.Strategy.Online None) e spec
+    plan =
+  let m = e.maintainer and feeds = e.feeds in
   let n = Abivm.Spec.n_tables spec in
   if n <> Ivm.Viewdef.n_tables (Ivm.Maintainer.view m) then
     invalid_arg "Runner.run_plan: spec/view table count mismatch";

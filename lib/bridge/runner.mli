@@ -15,15 +15,25 @@
     (labelled by time step) record executed-vs-simulated cost per action;
     {!action_costs} reads them back from the report. *)
 
-type result = Abivm.Report.t
-[@@ocaml.deprecated "use Abivm.Report.t (cost_units/wall_seconds now live there)"]
+type engine
+(** One tenant's executed-mode state: the maintainer (view content, base
+    tables, pending queues, meter) plus the update feeds it draws concrete
+    modifications from.  The runner holds no state of its own, so several
+    engines can coexist in one process and several plans can be run against
+    one engine in sequence — the explicit handle is the seam a future
+    [abivm serve] multi-tenant front-end plugs into. *)
+
+val engine :
+  maintainer:Ivm.Maintainer.t -> feeds:Tpcr.Updates.feeds -> engine
+
+val maintainer : engine -> Ivm.Maintainer.t
+val feeds : engine -> Tpcr.Updates.feeds
 
 val run_plan :
   ?monitor:Robust.Monitor.t ->
   ?journal:Durable.Wal.t ->
   ?strategy:Abivm.Strategy.t ->
-  Ivm.Maintainer.t ->
-  Tpcr.Updates.feeds ->
+  engine ->
   Abivm.Spec.t ->
   Abivm.Plan.t ->
   Abivm.Report.t

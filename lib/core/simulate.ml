@@ -1,5 +1,3 @@
-type outcome = Report.t
-
 (* Score a plan's actions one by one, emitting a ["simulate.action"] span
    and booking per-strategy cost counters for each — skipped entirely when
    the collector is disabled so simulation stays allocation-free there. *)

@@ -9,9 +9,6 @@
     [simulate.action_cost] / [simulate.total_cost] are booked per
     strategy; the report's [telemetry] field carries the metric delta. *)
 
-type outcome = Report.t
-[@@ocaml.deprecated "use Abivm.Report.t (same record, shared with Bridge.Runner)"]
-
 val run : Strategy.t -> Spec.t -> Report.t
 (** Build the strategy's plan and score it. *)
 

@@ -168,23 +168,85 @@ let expand_step m ~delta partials (e : Viewdef.join_edge) =
         List.map (fun rt -> bind p e.right rt) matches)
       partials
   else begin
-    (* No index: build a hash over the batch, scan the partner once. *)
-    let dst_pos =
-      Relation.Schema.index_of (Relation.Table.schema dst_table) e.right_col
-    in
-    let by_value = Vhash.create (max 16 (List.length partials)) in
-    List.iter
-      (fun p ->
-        Relation.Meter.bump_hash_build m.meter 1;
-        Vhash.add by_value (bound_value p) p)
-      partials;
+    (* No index: build a hash over the batch, scan the partner once — in
+       column batches, materializing a partner tuple only on a key match.
+       Meter totals are row-equivalent to the old row-at-a-time path: one
+       hash_build per partial, one hash_probe per scanned row (bumped per
+       batch), plus the scan counters that [scan_batches] itself books. *)
+    let dst_schema = Relation.Table.schema dst_table in
+    let dst_pos = Relation.Schema.index_of dst_schema e.right_col in
+    let parr = Array.of_list partials in
+    Relation.Meter.bump_hash_build m.meter (Array.length parr);
     let out = ref [] in
-    Relation.Table.scan dst_table (fun _ rt ->
-        Relation.Meter.bump_hash_probe m.meter 1;
-        let v = Relation.Tuple.get rt dst_pos in
-        List.iter
-          (fun p -> out := bind p e.right rt :: !out)
-          (Vhash.find_all by_value v));
+    let int_key =
+      Relation.Schema.column_type dst_schema dst_pos = Relation.Datatype.TInt
+      && Array.for_all
+           (fun p ->
+             match bound_value p with
+             | Relation.Value.Int _ | Relation.Value.Null -> true
+             | _ -> false)
+           parr
+    in
+    if int_key then begin
+      (* unboxed probe set over the delta's join-key values; NULL-valued
+         partials keep their own chain because NULL joins NULL here
+         (Value.equal Null Null), as in the boxed hash path *)
+      let h = Relation.Ihash.create (max 16 (Array.length parr)) in
+      let null_partials = ref [] in
+      Array.iteri
+        (fun j p ->
+          match bound_value p with
+          | Relation.Value.Int k -> Relation.Ihash.add h k j
+          | _ -> null_partials := j :: !null_partials)
+        parr;
+      let null_partials = List.rev !null_partials in
+      Relation.Table.scan_batches dst_table (fun b ->
+          Relation.Meter.bump_hash_probe m.meter b.Relation.Batch.n_sel;
+          let col = b.Relation.Batch.cols.(dst_pos) in
+          let data = Relation.Column.int_data col in
+          let valid = Relation.Column.validity col in
+          let base = b.Relation.Batch.base and sel = b.Relation.Batch.sel in
+          for s = 0 to b.Relation.Batch.n_sel - 1 do
+            let r = Array.unsafe_get sel s in
+            let abs = base + r in
+            if Relation.Column.bit valid abs then begin
+              let cell =
+                ref (Relation.Ihash.first h (Bigarray.Array1.unsafe_get data abs))
+              in
+              if !cell >= 0 then begin
+                let rt = Relation.Batch.tuple b r in
+                while !cell >= 0 do
+                  let j = Relation.Ihash.payload_of h !cell in
+                  out := bind parr.(j) e.right rt :: !out;
+                  cell := Relation.Ihash.next_cell h !cell
+                done
+              end
+            end
+            else
+              match null_partials with
+              | [] -> ()
+              | js ->
+                  let rt = Relation.Batch.tuple b r in
+                  List.iter
+                    (fun j -> out := bind parr.(j) e.right rt :: !out)
+                    js
+          done)
+    end
+    else begin
+      let by_value = Vhash.create (max 16 (Array.length parr)) in
+      Array.iter (fun p -> Vhash.add by_value (bound_value p) p) parr;
+      Relation.Table.scan_batches dst_table (fun b ->
+          Relation.Meter.bump_hash_probe m.meter b.Relation.Batch.n_sel;
+          Relation.Batch.iter_sel
+            (fun r ->
+              let v = Relation.Batch.value b dst_pos r in
+              match Vhash.find_all by_value v with
+              | [] -> ()
+              | ps ->
+                  let rt = Relation.Batch.tuple b r in
+                  List.iter (fun p -> out := bind p e.right rt :: !out) ps)
+            b)
+    end;
     List.rev !out
   end
 
@@ -289,6 +351,7 @@ let book_batch_telemetry ~table ~k (d : Relation.Meter.snapshot) =
     add "meter.hash_probe" d.hash_probe;
     add "meter.output" d.output;
     add "meter.batch_setup" d.batch_setup;
+    add "meter.batches" d.batches;
     Telemetry.incr "maintainer.batches";
     Telemetry.add "maintainer.cost_units" (Relation.Meter.cost_units d);
     Telemetry.observe "maintainer.batch_size" (float_of_int k)

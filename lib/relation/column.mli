@@ -1,0 +1,66 @@
+(** Unboxed growable column storage.
+
+    One column holds the values of one attribute for a run of rows: ints and
+    floats in [Bigarray] buffers, strings dictionary-encoded as int codes,
+    bools as a bitmap.  NULLs live in a validity bitmap; the value slot of a
+    null row is a zero filler.  A [TFloat] column additionally tracks which
+    slots arrived as [Value.Int] (the schema admits int widening) so
+    {!get} reconstructs the original constructor exactly.
+
+    Columns are append-mostly; {!set} exists for in-place row updates.
+    Vectorized operators read the raw buffers through {!int_data} /
+    {!float_data} / {!codes} / {!validity} and must bound their indices by
+    {!length} themselves (buffers have spare capacity past the end). *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_ba =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : Datatype.t -> t
+val datatype : t -> Datatype.t
+val length : t -> int
+
+val append : t -> Value.t -> unit
+(** Raises [Invalid_argument] if the value does not fit the column's type
+    (callers validate with [Tuple.conforms] first). *)
+
+val set : t -> int -> Value.t -> unit
+val get : t -> int -> Value.t
+
+val append_from : t -> t -> int -> unit
+(** [append_from dst src i] appends row [i] of [src] to [dst] without
+    boxing when the payload representations match (same-type columns;
+    string columns additionally need a physically shared dictionary). *)
+
+val clear : t -> unit
+
+(** {1 Unboxed views}
+
+    Bit [i land 7] of byte [i lsr 3] in a bitmap corresponds to row [i];
+    {!bit} / {!set_bit} / {!clear_bit} implement that convention. *)
+
+val validity : t -> Bytes.t
+(** Set bit = non-null.  The returned bytes alias the column's live bitmap
+    and grow (i.e. are replaced) on append — re-fetch per batch. *)
+
+val int_data : t -> int_ba
+(** Raw buffer of a [TInt] column ([Invalid_argument] otherwise). *)
+
+val float_data : t -> float_ba
+(** Raw buffer of a [TFloat] column.  Slots flagged "intish" hold
+    [float_of_int] of the original value — exactly the image that
+    [Value.compare]'s cross-numeric comparison uses, so kernels may compare
+    on this buffer without consulting the flag. *)
+
+val codes : t -> int_ba
+(** Dictionary codes of a [TString] column. *)
+
+val dict_string : t -> int -> string
+(** Decode one dictionary code. *)
+
+val bit : Bytes.t -> int -> bool
+val set_bit : Bytes.t -> int -> unit
+val clear_bit : Bytes.t -> int -> unit

@@ -100,6 +100,165 @@ let compile_pred schema expr =
     | Value.Int _ | Value.Float _ | Value.Str _ ->
         invalid_arg "Expr: predicate did not evaluate to a boolean"
 
+(* --- vectorized filtering ----------------------------------------------- *)
+
+(* A predicate kernel narrows a batch's selection vector in place.  Only
+   shapes whose three-valued semantics we can reproduce exactly on the
+   unboxed buffers get a kernel: numeric comparisons between columns and
+   constants, and conjunctions of such.  Everything else falls back to the
+   row compiler over materialized tuples, so the vectorized path never
+   diverges from {!compile_pred} — comparisons on float buffers see
+   [float_of_int] images of int values, which is precisely the comparison
+   [Value.compare] performs, and a NULL operand makes the comparison NULL,
+   i.e. the row is dropped either way. *)
+
+type num_operand =
+  | Ocol_int of int
+  | Ocol_float of int
+  | Oconst_int of int
+  | Oconst_float of float
+
+let num_operand schema e =
+  match e with
+  | Col name -> (
+      let i = Schema.index_of schema name in
+      match Schema.column_type schema i with
+      | Datatype.TInt -> Some (Ocol_int i)
+      | Datatype.TFloat -> Some (Ocol_float i)
+      | Datatype.TString | Datatype.TBool -> None)
+  | Const (Value.Int k) -> Some (Oconst_int k)
+  | Const (Value.Float f) -> Some (Oconst_float f)
+  | Const (Value.Str _ | Value.Bool _ | Value.Null)
+  | Add _ | Sub _ | Mul _ | Div _ | Eq _ | Ne _ | Lt _ | Le _ | Gt _ | Ge _
+  | And _ | Or _ | Not _ ->
+      None
+
+type cmp_op = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+let cmp_holds op c =
+  match op with
+  | Ceq -> c = 0
+  | Cne -> c <> 0
+  | Clt -> c < 0
+  | Cle -> c <= 0
+  | Cgt -> c > 0
+  | Cge -> c >= 0
+
+(* Per-batch accessors for one operand: a null test and a float fetch,
+   both taking absolute row indexes. *)
+let operand_access operand (bt : Batch.t) =
+  match operand with
+  | Oconst_int k ->
+      let f = float_of_int k in
+      ((fun _ -> true), fun _ -> f)
+  | Oconst_float f -> ((fun _ -> true), fun _ -> f)
+  | Ocol_int i ->
+      let col = bt.Batch.cols.(i) in
+      let data = Column.int_data col and valid = Column.validity col in
+      ( (fun abs -> Column.bit valid abs),
+        fun abs -> float_of_int (Bigarray.Array1.unsafe_get data abs) )
+  | Ocol_float i ->
+      let col = bt.Batch.cols.(i) in
+      let data = Column.float_data col and valid = Column.validity col in
+      ( (fun abs -> Column.bit valid abs),
+        fun abs -> Bigarray.Array1.unsafe_get data abs )
+
+let cmp_kernel schema op a b =
+  match (num_operand schema a, num_operand schema b) with
+  | None, _ | _, None -> None
+  | Some (Ocol_int i), Some (Oconst_int k) ->
+      (* int column vs int constant: pure int comparisons *)
+      Some
+        (fun (bt : Batch.t) ->
+          let col = bt.Batch.cols.(i) in
+          let data = Column.int_data col and valid = Column.validity col in
+          let base = bt.Batch.base and sel = bt.Batch.sel in
+          let n = ref 0 in
+          for s = 0 to bt.Batch.n_sel - 1 do
+            let r = Array.unsafe_get sel s in
+            let abs = base + r in
+            if
+              Column.bit valid abs
+              && cmp_holds op
+                   (Int.compare (Bigarray.Array1.unsafe_get data abs) k)
+            then begin
+              Array.unsafe_set sel !n r;
+              incr n
+            end
+          done;
+          bt.Batch.n_sel <- !n)
+  | Some (Ocol_int i), Some (Ocol_int j) ->
+      Some
+        (fun (bt : Batch.t) ->
+          let ca = bt.Batch.cols.(i) and cb = bt.Batch.cols.(j) in
+          let da = Column.int_data ca and va = Column.validity ca in
+          let db = Column.int_data cb and vb = Column.validity cb in
+          let base = bt.Batch.base and sel = bt.Batch.sel in
+          let n = ref 0 in
+          for s = 0 to bt.Batch.n_sel - 1 do
+            let r = Array.unsafe_get sel s in
+            let abs = base + r in
+            if
+              Column.bit va abs && Column.bit vb abs
+              && cmp_holds op
+                   (Int.compare
+                      (Bigarray.Array1.unsafe_get da abs)
+                      (Bigarray.Array1.unsafe_get db abs))
+            then begin
+              Array.unsafe_set sel !n r;
+              incr n
+            end
+          done;
+          bt.Batch.n_sel <- !n)
+  | Some oa, Some ob ->
+      (* mixed or float operands: Value.compare's cross-numeric semantics
+         are Float.compare on the float images *)
+      Some
+        (fun (bt : Batch.t) ->
+          let va, fa = operand_access oa bt and vb, fb = operand_access ob bt in
+          let base = bt.Batch.base and sel = bt.Batch.sel in
+          let n = ref 0 in
+          for s = 0 to bt.Batch.n_sel - 1 do
+            let r = Array.unsafe_get sel s in
+            let abs = base + r in
+            if
+              va abs && vb abs
+              && cmp_holds op (Float.compare (fa abs) (fb abs))
+            then begin
+              Array.unsafe_set sel !n r;
+              incr n
+            end
+          done;
+          bt.Batch.n_sel <- !n)
+
+let rec kernel_of schema expr =
+  match expr with
+  | Eq (a, b) -> cmp_kernel schema Ceq a b
+  | Ne (a, b) -> cmp_kernel schema Cne a b
+  | Lt (a, b) -> cmp_kernel schema Clt a b
+  | Le (a, b) -> cmp_kernel schema Cle a b
+  | Gt (a, b) -> cmp_kernel schema Cgt a b
+  | Ge (a, b) -> cmp_kernel schema Cge a b
+  | And (p, q) -> (
+      (* ANDed kernels compose as successive filters: a row dropped by [p]
+         (false or NULL) is dropped by the conjunction under SQL semantics,
+         and kernel-eligible [q] can neither error nor resurrect it. *)
+      match (kernel_of schema p, kernel_of schema q) with
+      | Some kp, Some kq ->
+          Some
+            (fun bt ->
+              kp bt;
+              kq bt)
+      | _ -> None)
+  | Const _ | Col _ | Add _ | Sub _ | Mul _ | Div _ | Or _ | Not _ -> None
+
+let filter_batch schema expr =
+  match kernel_of schema expr with
+  | Some kernel -> kernel
+  | None ->
+      let p = compile_pred schema expr in
+      fun bt -> Batch.filter_in_place bt (fun r -> p (Batch.tuple bt r))
+
 let columns expr =
   let seen = Hashtbl.create 8 in
   let out = ref [] in

@@ -34,6 +34,15 @@ val compile_pred : Schema.t -> t -> Tuple.t -> bool
 (** Like {!compile} but coerces the result to bool; [Null] is false
     (SQL-style filtering). *)
 
+val filter_batch : Schema.t -> t -> Batch.t -> unit
+(** Vectorized filtering: narrow the batch's selection vector to the rows
+    satisfying the predicate, exactly as {!compile_pred} would row by row.
+    Numeric comparisons (and conjunctions of them) run as unboxed kernels
+    over the column buffers; other shapes transparently fall back to the
+    row compiler over materialized tuples.  Compilation errors (unknown or
+    ambiguous columns) are raised at partial application, evaluation errors
+    per batch. *)
+
 val columns : t -> string list
 (** Column names referenced, without duplicates, in first-use order. *)
 

@@ -9,6 +9,7 @@ type snapshot = {
   hash_probe : int;
   output : int;
   batch_setup : int;
+  batches : int;
 }
 
 (* Domain-safe metering.  Bumps happen on the engine's per-tuple hot paths
@@ -22,7 +23,7 @@ type snapshot = {
    takes no lock and allocates nothing. *)
 
 let shards = 16
-let n_fields = 10
+let n_fields = 11
 
 type t = int Atomic.t array (* [shards * n_fields], cell-major by shard *)
 
@@ -36,6 +37,7 @@ let f_hash_build = 6
 let f_hash_probe = 7
 let f_output = 8
 let f_batch_setup = 9
+let f_batches = 10
 
 let create () = Array.init (shards * n_fields) (fun _ -> Atomic.make 0)
 
@@ -61,6 +63,7 @@ let snapshot m : snapshot =
     hash_probe = sum m f_hash_probe;
     output = sum m f_output;
     batch_setup = sum m f_batch_setup;
+    batches = sum m f_batches;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -75,6 +78,7 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     hash_probe = a.hash_probe - b.hash_probe;
     output = a.output - b.output;
     batch_setup = a.batch_setup - b.batch_setup;
+    batches = a.batches - b.batches;
   }
 
 let[@inline] bump m field n =
@@ -91,6 +95,7 @@ let bump_hash_build m n = bump m f_hash_build n
 let bump_hash_probe m n = bump m f_hash_probe n
 let bump_output m n = bump m f_output n
 let bump_batch_setup m n = bump m f_batch_setup n
+let bump_batches m n = bump m f_batches n
 
 (* Weights: a sequential tuple touch costs 1; an index probe pays a lookup
    overhead of 4 plus 1 per returned entry; structural modifications pay
@@ -111,6 +116,6 @@ let cost_units (s : snapshot) =
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
     "{scan=%d; probes=%d; entries=%d; ins=%d; del=%d; upd=%d; hbuild=%d; \
-     hprobe=%d; out=%d; setup=%d; units=%.1f}"
+     hprobe=%d; out=%d; setup=%d; batches=%d; units=%.1f}"
     s.seq_scanned s.index_probes s.index_entries s.inserted s.deleted s.updated
-    s.hash_build s.hash_probe s.output s.batch_setup (cost_units s)
+    s.hash_build s.hash_probe s.output s.batch_setup s.batches (cost_units s)

@@ -26,6 +26,12 @@ type snapshot = {
   hash_probe : int;  (** probes of transient hash tables *)
   output : int;  (** tuples emitted by operators *)
   batch_setup : int;  (** fixed per-maintenance-statement setups *)
+  batches : int;
+      (** column batches touched by vectorized operators.  Weight 0 in
+          {!cost_units}: vectorized loops bump the per-row counters above
+          once per batch with row-equivalent totals (one atomic op instead
+          of one per row), and this field only records how many batches the
+          work was amortized over. *)
 }
 
 val create : unit -> t
@@ -44,6 +50,7 @@ val bump_hash_build : t -> int -> unit
 val bump_hash_probe : t -> int -> unit
 val bump_output : t -> int -> unit
 val bump_batch_setup : t -> int -> unit
+val bump_batches : t -> int -> unit
 
 val cost_units : snapshot -> float
 (** Weighted scalar cost of a snapshot (or of a {!diff}). *)

@@ -130,16 +130,7 @@ let rec eval_node node =
 and eval_join on algo left right =
   let schema_l = schema_of left and schema_r = schema_of right in
   let lpos, rpos = join_positions schema_l schema_r on in
-  let algo =
-    match algo with
-    | Auto -> (
-        match index_inner right with
-        | Some table
-          when List.for_all (fun (_, r) -> Table.has_index table (strip r)) on ->
-            Index_nested_loop
-        | Some _ | None -> Hash_join)
-    | Nested_loop | Hash_join | Index_nested_loop -> algo
-  in
+  let algo = resolve_algo on algo right in
   match algo with
   | Nested_loop ->
       let lrows = eval_node left and rrows = eval_node right in
@@ -183,7 +174,13 @@ and eval_join on algo left right =
 
 and eval_aggregate group_by specs input =
   let s = schema_of input in
-  let rows = eval_node input in
+  aggregate_rows s group_by specs (eval_node input)
+
+(* Shared by the boxed evaluator and the cursor path (which drains its
+   input to tuples first: aggregation is not a hot path of the vectorized
+   engine, and sharing the code pins the semantics — first-seen group
+   order, SQL single row for [group_by = []] even over empty input). *)
+and aggregate_rows s group_by specs rows =
   let positions = Array.of_list (List.map (Schema.index_of s) group_by) in
   if group_by = [] then
     [ Array.of_list (List.map (fun (sp : Agg.spec) -> Agg.apply s sp.func rows) specs) ]
@@ -219,7 +216,348 @@ and strip name =
   | None -> name
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
 
-let eval = eval_node
+and resolve_algo on algo right =
+  match algo with
+  | Auto -> (
+      match index_inner right with
+      | Some table
+        when List.for_all (fun (_, r) -> Table.has_index table (strip r)) on ->
+          Index_nested_loop
+      | Some _ | None -> Hash_join)
+  | Nested_loop | Hash_join | Index_nested_loop -> algo
+
+let eval_boxed = eval_node
+
+(* --- vectorized evaluation --------------------------------------------- *)
+
+type cursor = unit -> Batch.t option
+
+let drain (c : cursor) =
+  let rec loop acc =
+    match c () with None -> List.rev acc | Some b -> loop (b :: acc)
+  in
+  loop []
+
+let tuples_of_cursor (c : cursor) =
+  let out = ref [] in
+  let rec loop () =
+    match c () with
+    | None -> ()
+    | Some b ->
+        Batch.iter_tuples (fun t -> out := t :: !out) b;
+        loop ()
+  in
+  loop ();
+  List.rev !out
+
+(* Blocking operators (joins, products, aggregates) compute their full
+   output batch list on first pull, like the boxed evaluator materializes
+   its output lists; streaming operators (scan/select/project) stay
+   batch-at-a-time. *)
+let lazy_batches f : cursor =
+  let state = ref None in
+  fun () ->
+    let rest = match !state with None -> f () | Some r -> r in
+    match rest with
+    | [] ->
+        state := Some [];
+        None
+    | b :: tl ->
+        state := Some tl;
+        Some b
+
+(* Flush-on-full accumulation into an output batch list. *)
+let sink schema =
+  let builder = Batch.Builder.create schema in
+  let acc = ref [] in
+  let flush () =
+    match Batch.Builder.flush builder with
+    | Some b -> acc := b :: !acc
+    | None -> ()
+  in
+  let maybe_flush () = if Batch.Builder.full builder then flush () in
+  (builder, maybe_flush, fun () -> flush (); List.rev !acc)
+
+let batch_key lpos (b : Batch.t) r =
+  Array.map (fun i -> Batch.value b i r) lpos
+
+(* Right-side rows of a blocking join, flattened with their batch handles
+   and materialized key values. *)
+let right_rows rpos rbatches =
+  let rows = ref [] and n = ref 0 in
+  List.iter
+    (fun (rb : Batch.t) ->
+      Batch.iter_sel
+        (fun r ->
+          rows := (rb, r, batch_key rpos rb r) :: !rows;
+          incr n)
+        rb)
+    rbatches;
+  (Array.of_list (List.rev !rows), !n)
+
+let vec_nested_loop_join meter out_schema lpos rpos (lcur : cursor) rbatches =
+  let rrows, n_right = right_rows rpos rbatches in
+  let builder, maybe_flush, finish = sink out_schema in
+  let rec probe () =
+    match lcur () with
+    | None -> ()
+    | Some lb ->
+        Meter.bump_hash_probe meter (lb.Batch.n_sel * n_right);
+        let emitted = ref 0 in
+        Batch.iter_sel
+          (fun r ->
+            let lk = batch_key lpos lb r in
+            Array.iter
+              (fun (rb, rr, rk) ->
+                if Tuple.equal lk rk then begin
+                  Batch.Builder.append_join builder lb r rb rr;
+                  incr emitted;
+                  maybe_flush ()
+                end)
+              rrows)
+          lb;
+        Meter.bump_output meter !emitted;
+        probe ()
+  in
+  probe ();
+  finish ()
+
+let vec_product out_schema (lcur : cursor) rbatches =
+  let rrows, _ = right_rows [||] rbatches in
+  let builder, maybe_flush, finish = sink out_schema in
+  let rec loop () =
+    match lcur () with
+    | None -> ()
+    | Some lb ->
+        Batch.iter_sel
+          (fun r ->
+            Array.iter
+              (fun (rb, rr, _) ->
+                Batch.Builder.append_join builder lb r rb rr;
+                maybe_flush ())
+              rrows)
+          lb;
+        loop ()
+  in
+  loop ();
+  finish ()
+
+(* Hash join, build on the right / probe with the left like the boxed
+   operator, with an unboxed fast path when the (single) join key is a pair
+   of int columns.  NULL keys join NULL keys — [Value.equal Null Null] —
+   exactly as the boxed Tuple-keyed hash table does, so the fast path keeps
+   a dedicated null chain. *)
+let vec_hash_join meter out_schema schema_l schema_r lpos rpos (lcur : cursor)
+    rbatches =
+  let builder, maybe_flush, finish = sink out_schema in
+  let int_key =
+    Array.length lpos = 1
+    &&
+    match
+      ( Schema.column_type schema_l lpos.(0),
+        Schema.column_type schema_r rpos.(0) )
+    with
+    | Datatype.TInt, Datatype.TInt -> true
+    | _ -> false
+  in
+  if int_key then begin
+    let rarr = Array.of_list rbatches in
+    let h = Ihash.create 1024 in
+    let nulls = ref [] in
+    Array.iteri
+      (fun bi (rb : Batch.t) ->
+        Meter.bump_hash_build meter rb.Batch.n_sel;
+        let col = rb.Batch.cols.(rpos.(0)) in
+        let data = Column.int_data col and valid = Column.validity col in
+        let base = rb.Batch.base in
+        for s = 0 to rb.Batch.n_sel - 1 do
+          let r = Array.unsafe_get rb.Batch.sel s in
+          let abs = base + r in
+          (* rows-in-batch fit 10 bits (Batch.capacity = 1024) *)
+          let payload = (bi lsl 10) lor r in
+          if Column.bit valid abs then
+            Ihash.add h (Bigarray.Array1.unsafe_get data abs) payload
+          else nulls := payload :: !nulls
+        done)
+      rarr;
+    let nulls = List.rev !nulls in
+    let emit lb r payload =
+      Batch.Builder.append_join builder lb r
+        rarr.(payload lsr 10)
+        (payload land 0x3FF);
+      maybe_flush ()
+    in
+    let rec probe () =
+      match lcur () with
+      | None -> ()
+      | Some lb ->
+          Meter.bump_hash_probe meter lb.Batch.n_sel;
+          let col = lb.Batch.cols.(lpos.(0)) in
+          let data = Column.int_data col and valid = Column.validity col in
+          let base = lb.Batch.base in
+          let emitted = ref 0 in
+          for s = 0 to lb.Batch.n_sel - 1 do
+            let r = Array.unsafe_get lb.Batch.sel s in
+            let abs = base + r in
+            if Column.bit valid abs then begin
+              let cell =
+                ref (Ihash.first h (Bigarray.Array1.unsafe_get data abs))
+              in
+              while !cell >= 0 do
+                emit lb r (Ihash.payload_of h !cell);
+                incr emitted;
+                cell := Ihash.next_cell h !cell
+              done
+            end
+            else
+              List.iter
+                (fun payload ->
+                  emit lb r payload;
+                  incr emitted)
+                nulls
+          done;
+          Meter.bump_output meter !emitted;
+          probe ()
+    in
+    probe ()
+  end
+  else begin
+    (* general path: Tuple-keyed buckets holding (batch, row) pairs in
+       insertion order *)
+    let table = Thash.create 64 in
+    List.iter
+      (fun (rb : Batch.t) ->
+        Meter.bump_hash_build meter rb.Batch.n_sel;
+        Batch.iter_sel
+          (fun r ->
+            let k = batch_key rpos rb r in
+            match Thash.find_opt table k with
+            | Some cell -> cell := (rb, r) :: !cell
+            | None -> Thash.add table k (ref [ (rb, r) ]))
+          rb)
+      rbatches;
+    let rec probe () =
+      match lcur () with
+      | None -> ()
+      | Some lb ->
+          Meter.bump_hash_probe meter lb.Batch.n_sel;
+          let emitted = ref 0 in
+          Batch.iter_sel
+            (fun r ->
+              let k = batch_key lpos lb r in
+              match Thash.find_opt table k with
+              | None -> ()
+              | Some cell ->
+                  List.iter
+                    (fun (rb, rr) ->
+                      Batch.Builder.append_join builder lb r rb rr;
+                      incr emitted;
+                      maybe_flush ())
+                    (List.rev !cell))
+            lb;
+          Meter.bump_output meter !emitted;
+          probe ()
+    in
+    probe ()
+  end;
+  finish ()
+
+let vec_index_nested_loop out_schema lpos rpos table inner_cols (lcur : cursor) =
+  let meter = Table.meter table in
+  let first_col = List.hd inner_cols in
+  let builder, maybe_flush, finish = sink out_schema in
+  let rec probe () =
+    match lcur () with
+    | None -> ()
+    | Some lb ->
+        Batch.iter_sel
+          (fun r ->
+            let lk = batch_key lpos lb r in
+            (* Probe on the first join column, re-check the rest. *)
+            let candidates = Table.lookup table first_col lk.(0) in
+            List.iter
+              (fun rt ->
+                if Tuple.equal lk (key_of rpos rt) then begin
+                  Meter.bump_output meter 1;
+                  Batch.Builder.append_row_tuple builder lb r rt;
+                  maybe_flush ()
+                end)
+              candidates)
+          lb;
+        probe ()
+  in
+  probe ();
+  finish ()
+
+let rec cursor_node node : cursor =
+  match node with
+  | Scan { table; alias } ->
+      let qschema = Schema.qualify alias (Table.schema table) in
+      let c = Table.batch_cursor table in
+      fun () -> Option.map (fun b -> Batch.with_schema b qschema) (c ())
+  | Select (pred, input) ->
+      let s = schema_of input in
+      let filt = Expr.filter_batch s pred in
+      let c = cursor_node input in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some b ->
+            filt b;
+            if b.Batch.n_sel = 0 then next () else Some b
+      in
+      next
+  | Project (cols, input) ->
+      let s = schema_of input in
+      let out_schema, positions = Schema.project s cols in
+      let c = cursor_node input in
+      fun () ->
+        Option.map (fun b -> Batch.project b positions out_schema) (c ())
+  | Product (left, right) ->
+      let out_schema = schema_of node in
+      lazy_batches (fun () ->
+          vec_product out_schema (cursor_node left)
+            (drain (cursor_node right)))
+  | Join { on; algo; left; right } ->
+      let out_schema = schema_of node in
+      let schema_l = schema_of left and schema_r = schema_of right in
+      let lpos, rpos = join_positions schema_l schema_r on in
+      lazy_batches (fun () ->
+          match resolve_algo on algo right with
+          | Nested_loop ->
+              vec_nested_loop_join (meter_of left) out_schema lpos rpos
+                (cursor_node left)
+                (drain (cursor_node right))
+          | Hash_join | Auto ->
+              vec_hash_join (meter_of left) out_schema schema_l schema_r lpos
+                rpos (cursor_node left)
+                (drain (cursor_node right))
+          | Index_nested_loop -> (
+              match index_inner right with
+              | None ->
+                  invalid_arg
+                    "Ra: index nested-loop join requires a scan as inner input"
+              | Some table ->
+                  let inner_cols = List.map (fun (_, r) -> strip r) on in
+                  List.iter
+                    (fun c ->
+                      if not (Table.has_index table c) then
+                        invalid_arg
+                          (Printf.sprintf "Ra: inner table %s lacks index on %S"
+                             (Table.name table) c))
+                    inner_cols;
+                  vec_index_nested_loop out_schema lpos rpos table inner_cols
+                    (cursor_node left)))
+  | Aggregate { group_by; specs; input } ->
+      let out_schema = schema_of node in
+      let s = schema_of input in
+      lazy_batches (fun () ->
+          let rows = tuples_of_cursor (cursor_node input) in
+          Batch.of_tuples out_schema (aggregate_rows s group_by specs rows))
+
+let cursor = cursor_node
+
+let eval node = tuples_of_cursor (cursor_node node)
 
 let rec explain_lines indent node =
   let pad = String.make indent ' ' in

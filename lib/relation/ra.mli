@@ -1,10 +1,22 @@
 (** Relational algebra: logical plans with selectable physical join
-    operators, evaluated to materialized bags of tuples.
+    operators, evaluated over column-major batches.
 
     This evaluator is the system's "recompute from scratch" path: it defines
     reference view contents for the incremental maintainer, serves ad-hoc
     queries in the examples, and — because all access paths are metered — it
-    is also what calibration measures to derive cost functions. *)
+    is also what calibration measures to derive cost functions.
+
+    The primary interface is {!cursor}: a chunked pull API yielding
+    {!Batch.t}s, with scans, filters and projections streaming (filters run
+    as vectorized kernels over unboxed columns where {!Expr.filter_batch}
+    can, projections are zero-copy column subsets) and joins building and
+    probing on unboxed key columns.  {!eval} is a thin row-compatibility
+    shim that drains the cursor into a tuple list; {!eval_boxed} is the
+    retained row-at-a-time evaluator, kept as the semantic reference for
+    the equivalence property suite and as the baseline the columnar
+    benchmarks compare against.  Both paths bump identical row-equivalent
+    meter totals (the batch path additionally ticks the batch-granularity
+    counter), so calibrated cost functions are path-independent. *)
 
 type join_algo =
   | Auto  (** indexed nested-loop when the inner is an indexed scan, else hash *)
@@ -35,9 +47,24 @@ val aggregate : group_by:string list -> Agg.spec list -> t -> t
 val schema_of : t -> Schema.t
 (** Output schema (computed without evaluating). *)
 
+type cursor = unit -> Batch.t option
+(** Pull one batch of output; [None] when exhausted. *)
+
+val cursor : t -> cursor
+(** Chunked evaluation.  Scans, selections and projections stream batch by
+    batch; joins, products and aggregates compute their output on first
+    pull (as the boxed evaluator materialized its intermediate lists).
+    Table access is metered on the underlying tables' meters with the same
+    row-equivalent totals as {!eval_boxed}. *)
+
 val eval : t -> Tuple.t list
-(** Materialize the plan's output bag.  All table access is metered on the
-    underlying tables' meters. *)
+(** Materialize the plan's output bag — a row-compat shim draining
+    {!cursor} and boxing each selected row. *)
+
+val eval_boxed : t -> Tuple.t list
+(** The row-at-a-time reference evaluator (pre-columnar engine).  Same
+    results and same per-row meter totals as {!eval}; kept for equivalence
+    testing and boxed-vs-vectorized benchmarking. *)
 
 val explain : t -> string
 (** One-line-per-node textual plan for debugging and examples. *)

@@ -2,7 +2,9 @@ type t = {
   name : string;
   schema : Schema.t;
   meter : Meter.t;
-  rows : Tuple.t option Util.Vec.t;
+  cols : Column.t array; (* one per schema column; equal lengths = n_rows *)
+  mutable live_bits : Bytes.t; (* set bit = live row; clear = tombstone *)
+  mutable n_rows : int; (* including tombstones *)
   mutable live : int;
   indexes : (string, Index.t) Hashtbl.t;
   ordered_indexes : (string, Ordindex.t) Hashtbl.t;
@@ -14,7 +16,11 @@ let create ?meter ~name ~schema () =
     name;
     schema;
     meter;
-    rows = Util.Vec.create ();
+    cols =
+      Array.init (Schema.arity schema) (fun i ->
+          Column.create (Schema.column_type schema i));
+    live_bits = Bytes.make 8 '\000';
+    n_rows = 0;
     live = 0;
     indexes = Hashtbl.create 4;
     ordered_indexes = Hashtbl.create 4;
@@ -27,13 +33,26 @@ let row_count t = t.live
 
 let canonical_column t col = Schema.column_name t.schema (Schema.index_of t.schema col)
 
+let is_live t row = Column.bit t.live_bits row
+
+let materialize t row =
+  Array.init (Array.length t.cols) (fun c -> Column.get t.cols.(c) row)
+
 let insert t tuple =
   if not (Tuple.conforms t.schema tuple) then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): tuple %s does not conform to %s"
          t.name (Tuple.to_string tuple) (Schema.to_string t.schema));
-  let row = Util.Vec.length t.rows in
-  Util.Vec.push t.rows (Some tuple);
+  let row = t.n_rows in
+  Array.iteri (fun c col -> Column.append col (Tuple.get tuple c)) t.cols;
+  let need = (row + 8) lsr 3 in
+  if need > Bytes.length t.live_bits then begin
+    let out = Bytes.make (max need (2 * Bytes.length t.live_bits)) '\000' in
+    Bytes.blit t.live_bits 0 out 0 (Bytes.length t.live_bits);
+    t.live_bits <- out
+  end;
+  Column.set_bit t.live_bits row;
+  t.n_rows <- row + 1;
   t.live <- t.live + 1;
   Meter.bump_inserted t.meter 1;
   Hashtbl.iter
@@ -45,14 +64,14 @@ let insert t tuple =
   row
 
 let get_row t row =
-  if row < 0 || row >= Util.Vec.length t.rows then None
-  else Util.Vec.get t.rows row
+  if row < 0 || row >= t.n_rows || not (is_live t row) then None
+  else Some (materialize t row)
 
 let delete_row t row =
   match get_row t row with
   | None -> false
   | Some tuple ->
-      Util.Vec.set t.rows row None;
+      Column.clear_bit t.live_bits row;
       t.live <- t.live - 1;
       Meter.bump_deleted t.meter 1;
       Hashtbl.iter
@@ -71,7 +90,7 @@ let update_row t row tuple =
       if not (Tuple.conforms t.schema tuple) then
         invalid_arg
           (Printf.sprintf "Table.update_row(%s): non-conforming tuple" t.name);
-      Util.Vec.set t.rows row (Some tuple);
+      Array.iteri (fun c col -> Column.set col row (Tuple.get tuple c)) t.cols;
       Meter.bump_updated t.meter 1;
       Hashtbl.iter
         (fun _ idx ->
@@ -96,26 +115,22 @@ let update_row t row tuple =
 let create_index t col =
   let col = canonical_column t col in
   if not (Hashtbl.mem t.indexes col) then begin
-    let idx = Index.create ~column:(Schema.index_of t.schema col) in
-    Util.Vec.iteri
-      (fun row slot ->
-        match slot with
-        | Some tuple -> Index.add idx (Tuple.get tuple (Index.column idx)) row
-        | None -> ())
-      t.rows;
+    let pos = Schema.index_of t.schema col in
+    let idx = Index.create ~column:pos in
+    for row = 0 to t.n_rows - 1 do
+      if is_live t row then Index.add idx (Column.get t.cols.(pos) row) row
+    done;
     Hashtbl.add t.indexes col idx
   end
 
 let create_ordered_index t col =
   let col = canonical_column t col in
   if not (Hashtbl.mem t.ordered_indexes col) then begin
-    let idx = Ordindex.create ~column:(Schema.index_of t.schema col) in
-    Util.Vec.iteri
-      (fun row slot ->
-        match slot with
-        | Some tuple -> Ordindex.add idx (Tuple.get tuple (Ordindex.column idx)) row
-        | None -> ())
-      t.rows;
+    let pos = Schema.index_of t.schema col in
+    let idx = Ordindex.create ~column:pos in
+    for row = 0 to t.n_rows - 1 do
+      if is_live t row then Ordindex.add idx (Column.get t.cols.(pos) row) row
+    done;
     Hashtbl.add t.ordered_indexes col idx
   end
 
@@ -182,14 +197,12 @@ let lookup_rows t col value =
 let lookup t col value = List.map snd (lookup_rows t col value)
 
 let scan t f =
-  Util.Vec.iteri
-    (fun row slot ->
-      match slot with
-      | Some tuple ->
-          Meter.bump_seq_scanned t.meter 1;
-          f row tuple
-      | None -> ())
-    t.rows
+  for row = 0 to t.n_rows - 1 do
+    if is_live t row then begin
+      Meter.bump_seq_scanned t.meter 1;
+      f row (materialize t row)
+    end
+  done
 
 let scan_where t pred =
   let out = ref [] in
@@ -200,10 +213,49 @@ let to_list t = scan_where t (fun _ -> true)
 
 let to_list_unmetered t =
   let out = ref [] in
-  Util.Vec.iter
-    (fun slot -> match slot with Some tuple -> out := tuple :: !out | None -> ())
-    t.rows;
-  List.rev !out
+  for row = t.n_rows - 1 downto 0 do
+    if is_live t row then out := materialize t row :: !out
+  done;
+  !out
+
+(* --- batch access -------------------------------------------------------- *)
+
+let batch_cursor ?(metered = true) t =
+  let n_rows = t.n_rows in
+  (* Columns only grow, so a cursor taken before concurrent-free appends
+     still sees a consistent prefix; we pin the row count at creation. *)
+  let base = ref 0 in
+  fun () ->
+    if !base >= n_rows then None
+    else begin
+      let b = !base in
+      let len = min Batch.capacity (n_rows - b) in
+      base := b + len;
+      let sel = Array.make len 0 in
+      let n = ref 0 in
+      for r = 0 to len - 1 do
+        if is_live t (b + r) then begin
+          Array.unsafe_set sel !n r;
+          incr n
+        end
+      done;
+      if metered then begin
+        Meter.bump_seq_scanned t.meter !n;
+        Meter.bump_batches t.meter 1
+      end;
+      Some (Batch.view ~schema:t.schema ~cols:t.cols ~base:b ~len ~sel ~n_sel:!n)
+    end
+
+let scan_batches ?metered t f =
+  let next = batch_cursor ?metered t in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some b ->
+        f b;
+        loop ()
+  in
+  loop ()
 
 let delete_tuple t tuple =
   (* Use the most selective index (most distinct keys); fall back to a
@@ -234,22 +286,22 @@ let delete_tuple t tuple =
   | None -> (
       let victim = ref None in
       (try
-         Util.Vec.iteri
-           (fun row slot ->
-             match slot with
-             | Some candidate ->
-                 Meter.bump_seq_scanned t.meter 1;
-                 if !victim = None && Tuple.equal candidate tuple then begin
-                   victim := Some row;
-                   raise Exit
-                 end
-             | None -> ())
-           t.rows
+         for row = 0 to t.n_rows - 1 do
+           if is_live t row then begin
+             Meter.bump_seq_scanned t.meter 1;
+             if Tuple.equal (materialize t row) tuple then begin
+               victim := Some row;
+               raise Exit
+             end
+           end
+         done
        with Exit -> ());
       match !victim with Some row -> delete_row t row | None -> false)
 
 let clear t =
-  Util.Vec.clear t.rows;
+  Array.iter Column.clear t.cols;
+  Bytes.fill t.live_bits 0 (Bytes.length t.live_bits) '\000';
+  t.n_rows <- 0;
   t.live <- 0;
   let hash_cols = List.of_seq (Hashtbl.to_seq_keys t.indexes) in
   let ordered_cols = List.of_seq (Hashtbl.to_seq_keys t.ordered_indexes) in

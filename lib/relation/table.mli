@@ -1,10 +1,15 @@
 (** Mutable in-memory tables with optional secondary indexes and cost
     metering.
 
-    Rows live in a growable array indexed by row id; deletion leaves a
-    tombstone.  Every read/write path bumps the table's {!Meter.t}, which is
-    typically shared across all tables of a database so an experiment can
-    measure total work. *)
+    Storage is columnar: each attribute lives in a growable unboxed
+    {!Column.t}, rows are addressed by id, and deletion clears the row's
+    bit in a liveness bitmap (the tombstone).  Row-at-a-time accessors
+    ({!get_row}, {!scan}, {!to_list}) materialize boxed tuples on demand;
+    the vectorized engine reads whole {!Batch.t} chunks through
+    {!batch_cursor} / {!scan_batches} without materializing anything.
+    Every read/write path bumps the table's {!Meter.t}, which is typically
+    shared across all tables of a database so an experiment can measure
+    total work. *)
 
 type t
 
@@ -67,6 +72,18 @@ val lookup_rows : t -> string -> Value.t -> (int * Tuple.t) list
 
 val scan : t -> (int -> Tuple.t -> unit) -> unit
 (** Iterate all live rows; bumps the sequential-scan counter per live row. *)
+
+val batch_cursor : ?metered:bool -> t -> unit -> Batch.t option
+(** Pull-based chunked scan: successive calls yield windows of up to
+    [Batch.capacity] rows (tombstones dropped from the selection vector),
+    then [None].  Row ids are [batch.base + r] for relative index [r].
+    Metered like {!scan} — the scan counter advances by the batch's live
+    rows in one bump, plus one batch-granularity tick — unless
+    [metered:false].  The cursor pins the row count at creation; rows
+    appended afterwards are not yielded. *)
+
+val scan_batches : ?metered:bool -> t -> (Batch.t -> unit) -> unit
+(** Drain {!batch_cursor}. *)
 
 val scan_where : t -> (Tuple.t -> bool) -> Tuple.t list
 val to_list : t -> Tuple.t list

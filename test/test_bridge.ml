@@ -76,7 +76,7 @@ let test_runner_executes_naive () =
   Telemetry.enable ();
   let report =
     Fun.protect ~finally:Telemetry.disable (fun () ->
-        Bridge.Runner.run_plan m feeds spec plan)
+        Bridge.Runner.run_plan (Bridge.Runner.engine ~maintainer:m ~feeds) spec plan)
   in
   checkb "final consistent" true report.Abivm.Report.valid;
   checkb "executed cost positive" true
@@ -92,7 +92,7 @@ let test_runner_simulated_close_to_executed () =
   List.iter
     (fun plan ->
       let _, m, feeds = env ~seed:8 () in
-      let report = Bridge.Runner.run_plan m feeds spec plan in
+      let report = Bridge.Runner.run_plan (Bridge.Runner.engine ~maintainer:m ~feeds) spec plan in
       let simulated = Bridge.Runner.simulated_cost spec plan in
       let executed =
         Option.value ~default:0.0 report.Abivm.Report.cost_units
@@ -111,7 +111,7 @@ let test_runner_rejects_invalid_plan () =
   let _, m, feeds = env ~seed:10 () in
   checkb "raises" true
     (try
-       ignore (Bridge.Runner.run_plan m feeds spec plan);
+       ignore (Bridge.Runner.run_plan (Bridge.Runner.engine ~maintainer:m ~feeds) spec plan);
        false
      with Invalid_argument _ -> true)
 
@@ -127,7 +127,7 @@ let test_runner_asymmetric_plan_consistent () =
          (a.(0) > 0 && a.(1) = 0) || (a.(1) > 0 && a.(0) = 0))
        (Abivm.Plan.actions plan));
   let _, m, feeds = env ~seed:12 () in
-  let report = Bridge.Runner.run_plan m feeds spec plan in
+  let report = Bridge.Runner.run_plan (Bridge.Runner.engine ~maintainer:m ~feeds) spec plan in
   checkb "consistent" true report.Abivm.Report.valid
 
 (* --- codec / changelog ----------------------------------------------------- *)
@@ -271,7 +271,10 @@ let test_changelog_record_replay_equivalence () =
     in
     Relation.Meter.reset db.Tpcr.Gen.meter;
     let report =
-      Bridge.Runner.run_plan m (Bridge.Changelog.replay_feeds entries) spec plan
+      Bridge.Runner.run_plan
+        (Bridge.Runner.engine ~maintainer:m
+           ~feeds:(Bridge.Changelog.replay_feeds entries))
+        spec plan
     in
     (report.Abivm.Report.cost_units, Ivm.Maintainer.rows m)
   in

@@ -482,7 +482,9 @@ let test_runner_journal () =
   let dir = scratch () in
   let wal = Durable.Wal.open_ ~dir ~sync:Durable.Wal.Never () in
   let report =
-    Bridge.Runner.run_plan ~journal:wal m feeds env.Durable.Exec.spec
+    Bridge.Runner.run_plan ~journal:wal
+      (Bridge.Runner.engine ~maintainer:m ~feeds)
+      env.Durable.Exec.spec
       env.Durable.Exec.plan
   in
   Durable.Wal.close wal;
