@@ -8,7 +8,7 @@
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
    conjectures multiview multiview-par multiview-par-smoke astar
    astar-smoke robust robust-smoke durable durable-smoke columnar
-   columnar-smoke micro
+   columnar-smoke serve serve-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
    (telemetry trace), --metrics (print the metrics table at the end),
    --domains 1,2,4 (domain counts swept by the parallel sections; the
@@ -18,8 +18,10 @@
    The astar sections additionally write BENCH_astar.json (search-engine
    scaling data), the robust sections BENCH_robust.json (drifted-stream
    comparison), the durable sections BENCH_durable.json (WAL/checkpoint
-   overhead and recovery time) and the multiview-par sections
-   BENCH_multiview.json (pooled coordinator + concurrent flush data) to
+   overhead and recovery time), the multiview-par sections
+   BENCH_multiview.json (pooled coordinator + concurrent flush data) and
+   the serve sections BENCH_serve.json (shared SLO scheduler vs
+   independent per-tenant ONLINE) to
    the working directory, each stamped with a "meta" block (commit,
    ocaml_version, domains swept, host cores); the -smoke variants are
    tiny grids wired to the @bench-smoke alias so the bench binary cannot
@@ -1480,6 +1482,181 @@ let run_columnar () =
 let run_columnar_smoke () =
   run_columnar_grid ~name:"smoke" ~rows:80_000 ~deltas:600 ~repeat:1 ()
 
+(* --- serve: shared SLO scheduler vs independent per-tenant ONLINE ---------- *)
+
+(* Each tenant runs the §4.3 ONLINE controller as an SLO over its own
+   engine either way; the question the table answers is what the shared
+   scheduler's cross-tenant co-flush coordination buys.  "independent"
+   disables coordination (every tenant flushes alone, full price);
+   "shared" lets nearly-due tenants piggyback on a forced flush and
+   prices each table's combined work with the multiview shared-setup
+   discount.  The shared scheduler must still meet every tenant's
+   constraint — the worst violation rate may not regress — at an
+   aggregate charged cost no higher than the independent runs'. *)
+let rec bench_rmtree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> bench_rmtree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_serve_grid ~name ~tenants ~rows ~horizon ~limit_factor () =
+  section
+    (Printf.sprintf
+       "Serve (%s grid) — shared SLO scheduler vs independent per-tenant \
+        ONLINE (%d tenants, %d rows, horizon %d)"
+       name tenants rows horizon);
+  let tenant_cfgs =
+    List.init tenants (fun i ->
+        {
+          Serve.Tenant.name = Printf.sprintf "t%d" i;
+          seed = base_seed + (10 * i);
+          rows;
+          horizon;
+          limit_factor;
+          streams = [ "ss"; "ss" ];
+        })
+  in
+  let run_mode ~coordinate =
+    let root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abivm-bench-serve-%d-%s-%b" (Unix.getpid ()) name
+           coordinate)
+    in
+    bench_rmtree root;
+    let config =
+      {
+        Serve.Service.default_config with
+        admission =
+          { Serve.Admission.max_active = tenants; max_queued = tenants };
+        coordinate;
+        discount_factor = 0.8;
+      }
+    in
+    let svc = Serve.Service.create ~root config in
+    List.iter
+      (fun cfg ->
+        match Serve.Service.register svc cfg with
+        | Ok Serve.Admission.Admit -> ()
+        | Ok d ->
+            Printf.eprintf "FAIL: tenant %s not admitted (%s)\n"
+              cfg.Serve.Tenant.name
+              (Serve.Admission.describe d);
+            exit 1
+        | Error e ->
+            Printf.eprintf "FAIL: tenant %s: %s\n" cfg.Serve.Tenant.name e;
+            exit 1)
+      tenant_cfgs;
+    let t0 = Unix.gettimeofday () in
+    let outcome = Serve.Service.run svc in
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    bench_rmtree root;
+    List.iter
+      (fun (t : Serve.Service.tenant_outcome) ->
+        if not t.Serve.Service.consistent then begin
+          Printf.eprintf "FAIL: tenant %s finished inconsistent\n"
+            t.Serve.Service.tenant;
+          exit 1
+        end)
+      outcome.Serve.Service.tenants;
+    (outcome, wall_ms)
+  in
+  let indep, indep_ms = run_mode ~coordinate:false in
+  let shared, shared_ms = run_mode ~coordinate:true in
+  let row label (o : Serve.Service.outcome) wall_ms =
+    [
+      label;
+      fcell ~decimals:2 o.Serve.Service.aggregate_charged;
+      fcell ~decimals:2 o.Serve.Service.aggregate_undiscounted;
+      string_of_int o.Serve.Service.co_flushes;
+      fcell ~decimals:4 o.Serve.Service.worst_violation_rate;
+      fcell ~decimals:1 wall_ms;
+    ]
+  in
+  emit
+    ~name:("serve_" ^ name)
+    ~aligns:
+      [ Util.Tablefmt.Left; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "scheduler"; "aggregate charged"; "undiscounted"; "co-flush joins";
+        "worst SLO violation rate"; "wall (ms)" ]
+    [ row "independent ONLINE" indep indep_ms;
+      row "shared (co-flush)" shared shared_ms ];
+  let savings =
+    100.0
+    *. (1.0
+       -. (shared.Serve.Service.aggregate_charged
+          /. Float.max 1e-9 indep.Serve.Service.aggregate_charged))
+  in
+  Printf.printf
+    "shared scheduler: %.1f%% aggregate cost vs independent, worst \
+     violation rate %.4f (independent %.4f)\n"
+    (100.0 -. savings)
+    shared.Serve.Service.worst_violation_rate
+    indep.Serve.Service.worst_violation_rate;
+  if
+    shared.Serve.Service.aggregate_charged
+    > indep.Serve.Service.aggregate_charged +. 1e-6
+  then begin
+    Printf.eprintf
+      "FAIL: shared scheduler charged more than independent ONLINE\n";
+    exit 1
+  end;
+  if
+    shared.Serve.Service.worst_violation_rate
+    > indep.Serve.Service.worst_violation_rate +. 1e-12
+  then begin
+    Printf.eprintf
+      "FAIL: shared scheduler regressed the worst tenant's SLO\n";
+    exit 1
+  end;
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  let mode_json label (o : Serve.Service.outcome) wall_ms =
+    Printf.sprintf
+      "  \"%s\": {\n    \"aggregate_charged\": %.6f,\n    \
+       \"aggregate_undiscounted\": %.6f,\n    \"co_flushes\": %d,\n    \
+       \"worst_violation_rate\": %.6f,\n    \"rounds\": %d,\n    \
+       \"wall_ms\": %.3f,\n    \"tenants\": [\n%s\n    ]\n  }"
+      label o.Serve.Service.aggregate_charged
+      o.Serve.Service.aggregate_undiscounted o.Serve.Service.co_flushes
+      o.Serve.Service.worst_violation_rate o.Serve.Service.rounds wall_ms
+      (String.concat ",\n"
+         (List.map
+            (fun (t : Serve.Service.tenant_outcome) ->
+              Printf.sprintf
+                "      { \"tenant\": %S, \"metered_cost\": %.6f, \
+                 \"charged_cost\": %.6f, \"violations\": %d, \
+                 \"violation_rate\": %.6f, \"sheds\": %d, \"reanchors\": \
+                 %d, \"consistent\": %b }"
+                t.Serve.Service.tenant t.Serve.Service.metered_cost
+                t.Serve.Service.charged_cost t.Serve.Service.violations
+                t.Serve.Service.violation_rate t.Serve.Service.sheds
+                t.Serve.Service.reanchors t.Serve.Service.consistent)
+            o.Serve.Service.tenants))
+  in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  %s,\n  \"tenants\": %d,\n  \"rows\": %d,\n  \
+     \"horizon\": %d,\n  \"limit_factor\": %.2f,\n%s,\n%s\n}\n"
+    name (meta_json ()) tenants rows horizon limit_factor
+    (mode_json "independent" indep indep_ms)
+    (mode_json "shared" shared shared_ms);
+  close_out oc;
+  Printf.printf "(written to %s)\n" path
+
+let run_serve () =
+  run_serve_grid ~name:"reference" ~tenants:6 ~rows:120 ~horizon:60
+    ~limit_factor:1.5 ()
+
+let run_serve_smoke () =
+  run_serve_grid ~name:"smoke" ~tenants:4 ~rows:60 ~horizon:25
+    ~limit_factor:1.2 ()
+
 let sections =
   [
     ("fig1", run_fig1);
@@ -1503,6 +1680,8 @@ let sections =
     ("durable-smoke", run_durable_smoke);
     ("columnar", run_columnar);
     ("columnar-smoke", run_columnar_smoke);
+    ("serve", run_serve);
+    ("serve-smoke", run_serve_smoke);
     ("micro", run_micro);
   ]
 

@@ -962,10 +962,242 @@ let durable_cmd =
           (run / recover / verify)")
     [ durable_run_cmd; durable_recover_cmd; durable_verify_cmd ]
 
+(* --- serve -------------------------------------------------------------------- *)
+
+let print_serve_outcome (o : Serve.Service.outcome) =
+  Util.Tablefmt.print
+    ~aligns:
+      [ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right;
+        Util.Tablefmt.Right; Util.Tablefmt.Right; Util.Tablefmt.Right;
+        Util.Tablefmt.Right; Util.Tablefmt.Left ]
+    ~header:
+      [ "tenant"; "steps"; "metered"; "charged"; "violations"; "sheds";
+        "reanchors"; "consistent" ]
+    (List.map
+       (fun (t : Serve.Service.tenant_outcome) ->
+         [
+           t.Serve.Service.tenant;
+           string_of_int t.Serve.Service.steps;
+           Util.Tablefmt.float_cell t.Serve.Service.metered_cost;
+           Util.Tablefmt.float_cell t.Serve.Service.charged_cost;
+           string_of_int t.Serve.Service.violations;
+           string_of_int t.Serve.Service.sheds;
+           string_of_int t.Serve.Service.reanchors;
+           string_of_bool t.Serve.Service.consistent;
+         ])
+       o.Serve.Service.tenants);
+  Printf.printf
+    "%d round(s); aggregate charged %.2f (undiscounted %.2f, %d co-flush \
+     join(s)); worst violation rate %.3f; %d rejected, queue peak %d\n"
+    o.Serve.Service.rounds o.Serve.Service.aggregate_charged
+    o.Serve.Service.aggregate_undiscounted o.Serve.Service.co_flushes
+    o.Serve.Service.worst_violation_rate o.Serve.Service.rejected
+    o.Serve.Service.queued_peak;
+  if List.exists (fun t -> not t.Serve.Service.consistent) o.Serve.Service.tenants
+  then Printf.printf "WARNING: some tenant's view failed its consistency check\n"
+
+let with_serve_pool domains f =
+  if domains <= 1 then f None
+  else Parallel.Pool.with_pool ~domains (fun p -> f (Some p))
+
+let serve_run dir tenants rows horizon limit_factor seed streams discount
+    budget no_coordinate domains sync kill_at_round trace metrics =
+  let streams = if streams = [] then [ "ss"; "ss" ] else streams in
+  if List.length streams <> Serve.Tenant.n_tables then
+    `Error (false, "need exactly two --stream arguments (tables R and S)")
+  else begin
+    with_telemetry ~trace ~metrics (fun () ->
+        let hook =
+          match kill_at_round with
+          | None -> Durable.Hook.none
+          | Some target -> (
+              function
+              | Durable.Hook.Step_start r when r = target ->
+                  raise
+                    (Durable.Hook.Crash
+                       (Printf.sprintf "--kill-at-round %d" target))
+              | _ -> ())
+        in
+        let config =
+          {
+            Serve.Service.default_config with
+            Serve.Service.coordinate = not no_coordinate;
+            discount_factor = discount;
+            shed_budget = budget;
+            sync;
+            hook;
+          }
+        in
+        with_serve_pool domains (fun pool ->
+            let svc = Serve.Service.create ?pool ~root:dir config in
+            let ok = ref true in
+            for i = 0 to tenants - 1 do
+              let cfg =
+                {
+                  Serve.Tenant.name = Printf.sprintf "t%d" i;
+                  seed = seed + (10 * i);
+                  rows;
+                  horizon;
+                  limit_factor;
+                  streams;
+                }
+              in
+              match Serve.Service.register svc cfg with
+              | Ok decision ->
+                  Printf.printf "register %s: %s\n%!" cfg.Serve.Tenant.name
+                    (Serve.Admission.describe decision)
+              | Error e ->
+                  ok := false;
+                  Printf.printf "register %s: ERROR %s\n%!"
+                    cfg.Serve.Tenant.name e
+            done;
+            if !ok then
+              try print_serve_outcome (Serve.Service.run svc)
+              with Durable.Hook.Crash what ->
+                Printf.printf
+                  "killed at crash point [%s] — `abivm serve recover --dir \
+                   %s` will finish the run\n"
+                  what dir));
+    `Ok ()
+  end
+
+let serve_recover dir domains trace metrics =
+  with_telemetry ~trace ~metrics (fun () ->
+      with_serve_pool domains (fun pool ->
+          match Serve.Service.recover ?pool ~root:dir () with
+          | Error e -> `Error (false, e)
+          | Ok svc ->
+              Printf.printf "replayed %d WAL record(s) across tenants\n%!"
+                (Serve.Service.total_replayed svc);
+              print_serve_outcome (Serve.Service.run svc);
+              `Ok ()))
+
+let serve_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Service root (service manifest + per-tenant WAL directories).")
+
+let serve_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Fan per-tenant work of each round out over $(docv) domains \
+           (outcome is bit-identical to sequential; default 1).")
+
+let serve_run_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 4
+      & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants (default 4).")
+  in
+  let rows =
+    Arg.(
+      value & opt int 120
+      & info [ "rows" ] ~docv:"N"
+          ~doc:"Rows per synthetic base table per tenant (default 120).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 40
+      & info [ "horizon"; "T" ] ~docv:"T"
+          ~doc:"Per-tenant horizon (default 40).")
+  in
+  let limit_factor =
+    Arg.(
+      value & opt float 6.0
+      & info [ "limit-factor" ] ~docv:"X"
+          ~doc:
+            "Refresh budget C as a multiple of the dearer table's calibrated \
+             single-modification cost (default 6).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Base PRNG seed.")
+  in
+  let streams =
+    Arg.(
+      value & opt_all string []
+      & info [ "stream" ] ~docv:"STREAM"
+          ~doc:
+            "Arrival stream per table, twice (default ss ss): constant:N, \
+             burst:P,MU,SIGMA, poisson:M, onoff:ON,OFF,RATE, or ss/su/fs/fu.")
+  in
+  let discount =
+    Arg.(
+      value & opt float 0.8
+      & info [ "discount" ] ~docv:"F"
+          ~doc:
+            "Co-flush discount as a fraction of the cheapest participant's \
+             single-modification cost (default 0.8; 0 disables).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"COST"
+          ~doc:
+            "Model-cost budget per round; optional co-flush joins beyond it \
+             are shed (default: unlimited).")
+  in
+  let no_coordinate =
+    Arg.(
+      value & flag
+      & info [ "no-coordinate" ]
+          ~doc:"Run tenants' controllers independently (no piggybacking).")
+  in
+  let sync =
+    Arg.(
+      value
+      & opt sync_conv Durable.Wal.Always
+      & info [ "sync" ] ~docv:"POLICY"
+          ~doc:"Per-tenant WAL fsync policy: always, never, or interval:N.")
+  in
+  let kill_at_round =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-at-round" ] ~docv:"R"
+          ~doc:
+            "Simulate a crash: die at the start of scheduler round $(docv) \
+             (then try `serve recover`).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "run N tenants' maintenance concurrently under the shared SLO \
+          scheduler, each with a private WAL")
+    Term.(
+      ret
+        (const serve_run $ serve_dir_arg $ tenants $ rows $ horizon
+       $ limit_factor $ seed $ streams $ discount $ budget $ no_coordinate
+       $ serve_domains_arg $ sync $ kill_at_round $ trace_arg $ metrics_arg))
+
+let serve_recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "rebuild every tenant from its manifest, replay the WALs \
+          (verified bit-exact), and finish the run")
+    Term.(
+      ret
+        (const serve_recover $ serve_dir_arg $ serve_domains_arg $ trace_arg
+       $ metrics_arg))
+
+let serve_cmd =
+  Cmd.group
+    (Cmd.info "serve"
+       ~doc:
+         "multi-tenant maintenance service: per-tenant ONLINE controllers \
+          under a shared SLO scheduler with admission control, co-flush \
+          coordination, and per-tenant WAL durability (run / recover)")
+    [ serve_run_cmd; serve_recover_cmd ]
+
 let main_cmd =
   let doc = "asymmetric batch incremental view maintenance" in
   Cmd.group (Cmd.info "abivm" ~version:"1.0.0" ~doc)
     [ simulate_cmd; astar_cmd; calibrate_cmd; run_cmd; demo_cmd; tightness_cmd;
-      robust_cmd; durable_cmd ]
+      robust_cmd; durable_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -46,9 +46,52 @@ val run_plan :
     ([Durable.Record.Applied] with the metered cost, committed per
     action) — a WAL of the run that [Durable.Recovery] can replay.
     [strategy] (default [Online None]) only labels the report.  Raises
-    [Invalid_argument] if the plan asks to process more modifications than
-    are pending (i.e. the plan is invalid for the spec).  The consistency
-    check at the end is unmetered. *)
+    [Invalid_argument] if the plan asks to process more modifications
+    than will be pending at any action time — checked {e before} any
+    modification is drawn or processed, so a rejected plan leaves the
+    engine (queues, feeds, meter) untouched and reusable.  The
+    consistency check at the end is unmetered. *)
+
+(** {1 Resumable per-action stepping}
+
+    A {!stepper} executes the same run one time step at a time, so a
+    scheduler (e.g. [abivm serve]) can interleave many engines' plan
+    executions without dedicating a thread per run. *)
+
+type stepper
+
+type step_outcome = {
+  time : int;
+  action : Abivm.Statevec.t option;  (** the plan's action, if any *)
+  cost : float;  (** metered engine cost of that action *)
+}
+
+val start :
+  ?monitor:Robust.Monitor.t ->
+  ?journal:Durable.Wal.t ->
+  ?strategy:Abivm.Strategy.t ->
+  engine ->
+  Abivm.Spec.t ->
+  Abivm.Plan.t ->
+  stepper
+(** Validate the whole plan against the engine's current pending counts
+    plus the spec's arrival schedule, then return a stepper positioned
+    at step 0.  Raises [Invalid_argument] (before touching the engine)
+    if any plan action would exceed the pending count at its time, or
+    lies past the horizon. *)
+
+val step : stepper -> step_outcome option
+(** Execute the next time step: ingest its arrivals (journalled, one
+    commit) and run the plan's action at that step if any (journalled,
+    one commit).  [None] once the horizon has been passed. *)
+
+val next_step : stepper -> int
+val cost_so_far : stepper -> float
+val finished : stepper -> bool
+
+val finish : stepper -> Abivm.Report.t
+(** Run any remaining steps, then the final consistency check; the
+    report is identical to what {!run_plan} would have returned. *)
 
 val action_costs : Abivm.Report.t -> (int * float) list
 (** (time, measured cost units) per plan action, recovered from the

@@ -161,7 +161,7 @@ let plan ?(predictor = default_predictor) ?(scorer = default_scorer) spec =
 (* --- step-by-step controller -------------------------------------------- *)
 
 type controller = {
-  ctrl_costs : Cost.Func.t array;
+  mutable ctrl_costs : Cost.Func.t array;
   ctrl_limit : float;
   alpha : float;
   ctrl_rates : float array;
@@ -195,28 +195,50 @@ let pending c = Statevec.copy c.ctrl_pending
 
 let rates c = Array.copy c.ctrl_rates
 
-let step c ~arrivals =
+let costs c = Array.copy c.ctrl_costs
+
+let set_costs c costs =
+  if Array.length costs <> Array.length c.ctrl_costs then
+    invalid_arg "Online.set_costs: cost vector width mismatch";
+  c.ctrl_costs <- Array.copy costs
+
+let observe c ~arrivals =
   if Array.length arrivals <> Array.length c.ctrl_costs then
-    invalid_arg "Online.step: arrival vector width mismatch";
+    invalid_arg "Online.observe: arrival vector width mismatch";
   c.clock <- c.clock + 1;
   Array.iteri
     (fun i d ->
       c.ctrl_rates.(i) <-
         ((1.0 -. c.alpha) *. c.ctrl_rates.(i)) +. (c.alpha *. float_of_int d))
     arrivals;
-  c.ctrl_pending <- Statevec.add c.ctrl_pending arrivals;
+  c.ctrl_pending <- Statevec.add c.ctrl_pending arrivals
+
+let propose c =
   let spec = ctrl_spec c in
   if not (Spec.is_full spec c.ctrl_pending) then None
   else begin
     Telemetry.incr "online.decisions";
     let ttf = time_to_full spec ~rates:c.ctrl_rates ~from_time:c.clock in
-    let action =
-      best_action spec ~ttf ~spent:c.ctrl_spent ~t:c.clock c.ctrl_pending
-    in
-    c.ctrl_spent <- c.ctrl_spent +. Spec.f spec action;
-    c.ctrl_pending <- Statevec.sub c.ctrl_pending action;
-    Some action
+    Some (best_action spec ~ttf ~spent:c.ctrl_spent ~t:c.clock c.ctrl_pending)
   end
+
+let absorb c batches =
+  if Array.length batches <> Array.length c.ctrl_costs then
+    invalid_arg "Online.absorb: batch vector width mismatch";
+  if not (Statevec.is_zero batches) then begin
+    (* Statevec.sub raises if any batch exceeds the pending count. *)
+    let pending' = Statevec.sub c.ctrl_pending batches in
+    c.ctrl_spent <- c.ctrl_spent +. Spec.f (ctrl_spec c) batches;
+    c.ctrl_pending <- pending'
+  end
+
+let step c ~arrivals =
+  observe c ~arrivals;
+  match propose c with
+  | None -> None
+  | Some action ->
+      absorb c action;
+      Some action
 
 let force_refresh c =
   Telemetry.incr "online.flush.forced";

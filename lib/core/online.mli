@@ -67,7 +67,47 @@ val step : controller -> arrivals:int array -> Statevec.t option
 (** Advance one time step: record the arrivals, and if the response-time
     constraint is now violated return the greedy minimal action minimizing
     the amortized-cost score [H].  The caller must process exactly the
-    returned batch sizes; the controller's pending bookkeeping assumes it. *)
+    returned batch sizes; the controller's pending bookkeeping assumes it.
+    Equivalent to {!observe} then {!propose} then {!absorb} of the
+    proposal. *)
+
+(** {2 Split-phase stepping}
+
+    [step] assumes the caller processes exactly what it returns.  A
+    coordinator that may {e enlarge} the batch (co-flushing a table
+    together with another view to pocket a shared-setup discount) needs
+    the decision split from the bookkeeping: {!observe} the arrivals,
+    {!propose} an action, adjust it, then {!absorb} what was actually
+    processed. *)
+
+val observe : controller -> arrivals:int array -> unit
+(** Record one time step's arrivals: advance the clock, update the EWMA
+    rates, add to pending.  Decides nothing. *)
+
+val propose : controller -> Statevec.t option
+(** The action {!step} would return at the current state, without
+    committing to it: [None] if the response-time constraint holds,
+    otherwise the greedy minimal action minimizing [H].  Pure — repeated
+    calls return the same proposal. *)
+
+val absorb : controller -> Statevec.t -> unit
+(** The caller processed exactly these batch sizes (possibly more than
+    proposed, e.g. a coordinated co-flush; possibly none — the zero
+    vector is a no-op): subtract them from pending and charge their cost
+    [f] to the controller's spent total.  Raises [Invalid_argument] if a
+    batch exceeds the pending count for its table.
+    [step c ~arrivals] ≡ [observe c ~arrivals; match propose c with
+    None -> None | Some a -> absorb c a; Some a] — bit-identically, which
+    recovery replay relies on. *)
+
+val costs : controller -> Cost.Func.t array
+(** The current cost model (a copy). *)
+
+val set_costs : controller -> Cost.Func.t array -> unit
+(** Replace the cost model in place — the re-anchoring step of the
+    robustness loop ([Robust.Replan.reanchor]) applied to a live
+    controller.  Rates, pending, clock and spent are untouched.  Raises
+    [Invalid_argument] on a width mismatch. *)
 
 val force_refresh : controller -> Statevec.t
 (** An external event (a notification) forces the view up to date: returns

@@ -30,11 +30,22 @@ let validate ~views ~shared_setup ~arrivals =
     views;
   n
 
+(* One table's co-flush price: every participant beyond the first earns
+   one [discount], floored so the shared cost never drops below the most
+   expensive single participant. *)
+let charge_shared ~discount part_costs =
+  if discount < 0.0 then invalid_arg "Multiview.charge_shared: negative discount";
+  match part_costs with
+  | [] -> 0.0
+  | costs ->
+      let raw = List.fold_left ( +. ) 0.0 costs in
+      let floor_cost = List.fold_left Float.max 0.0 costs in
+      let extra = List.length costs - 1 in
+      Float.max floor_cost (raw -. (float_of_int extra *. discount))
+
 (* Charge one instant's combined actions.  [batches.(v).(i)] is the batch
    view [v] processes from table [i] right now.  Raw cost sums per-view
-   costs; every additional view co-flushing table [i] earns one
-   [shared_setup.(i)] discount, floored so the discounted table cost never
-   drops below the most expensive single participant. *)
+   costs; the per-table discounted price is {!charge_shared}. *)
 let charge ~views ~shared_setup batches =
   let k = Array.length views and n = Array.length shared_setup in
   let per_view = Array.make k 0.0 in
@@ -52,16 +63,10 @@ let charge ~views ~shared_setup batches =
     match !participants with
     | [] -> ()
     | parts ->
-        let raw = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 parts in
-        let extra = List.length parts - 1 in
-        joins := !joins + extra;
-        let floor_cost =
-          List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 parts
-        in
-        let discounted =
-          Float.max floor_cost
-            (raw -. (float_of_int extra *. shared_setup.(i)))
-        in
+        let costs = List.map snd parts in
+        let raw = List.fold_left ( +. ) 0.0 costs in
+        joins := !joins + (List.length parts - 1);
+        let discounted = charge_shared ~discount:shared_setup.(i) costs in
         raw_total := !raw_total +. raw;
         discounted_total := !discounted_total +. discounted
   done;

@@ -29,6 +29,17 @@ type view_spec = {
   limit : float;
 }
 
+val charge_shared : discount:float -> float list -> float
+(** The price of one table's co-flush, given each participant's own cost
+    for its batch: the raw sum minus one [discount] per participant
+    beyond the first, never below the most expensive single participant
+    (the shared scan can't make the combined work cheaper than the
+    biggest job alone).  [0.0] for no participants.  This is the exact
+    accounting {!independent}/{!piggyback} apply per table per instant,
+    exposed so an external scheduler ([abivm serve]) charges co-flushes
+    across tenants by the same rule.  Raises [Invalid_argument] on a
+    negative discount. *)
+
 type outcome = {
   per_view_cost : (string * float) array;
   total_cost : float;  (** after co-flush discounts *)

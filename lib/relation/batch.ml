@@ -32,8 +32,17 @@ let iter_sel f b =
 
 let iter_tuples f b = iter_sel (fun r -> f (tuple b r)) b
 
+(* Column data is shared (zero-copy), but the projection gets a private
+   selection vector: [sel]/[n_sel] are mutable and a filter above the
+   projection compacts them in place, which must not narrow the source
+   batch under any other consumer of the same drained chunk. *)
 let project b positions schema =
-  { b with schema; cols = Array.map (fun i -> b.cols.(i)) positions }
+  {
+    b with
+    schema;
+    cols = Array.map (fun i -> b.cols.(i)) positions;
+    sel = Array.sub b.sel 0 b.n_sel;
+  }
 
 let filter_in_place b keep =
   let n = ref 0 in

@@ -52,7 +52,11 @@ val iter_sel : (int -> unit) -> t -> unit
 val iter_tuples : (Tuple.t -> unit) -> t -> unit
 
 val project : t -> int array -> Schema.t -> t
-(** Column subset/reorder; zero-copy, selection shared. *)
+(** Column subset/reorder.  Column data is zero-copy (shared with the
+    source), but the result owns a {e private} selection vector, so a
+    later {!filter_in_place} on the projection cannot narrow the source
+    batch under another consumer.  This is the engine's batch-ownership
+    convention: whoever narrows a batch must own its selection. *)
 
 val filter_in_place : t -> (int -> bool) -> unit
 (** Keep only selected rows satisfying the predicate (given relative

@@ -18,8 +18,17 @@ type t = {
    keys are not in the delta), and linear probing degrades steeply with
    load, while slots are only ints and a byte.  [create] sizes for [hint]
    distinct keys at that load. *)
+(* [hint] is only a sizing hint.  Clamp it before the power-of-two
+   sizing loop: for huge hints [4 * hint] (and the doubling itself) can
+   overflow, after which [cap] never reaches its target and loops
+   forever — and even a non-overflowing pathological hint should not
+   demand a gigantic up-front allocation.  Past the clamp the table
+   grows on demand as usual. *)
+let max_hint = 1 lsl 20
+
 let create hint =
-  let rec cap n = if n >= 4 * max 8 hint then n else cap (2 * n) in
+  let hint = min max_hint (max 8 hint) in
+  let rec cap n = if n >= 4 * hint then n else cap (2 * n) in
   let c = cap 8 in
   {
     mask = c - 1;
@@ -27,8 +36,8 @@ let create hint =
     keys = Array.make c 0;
     heads = Array.make c (-1);
     tails = Array.make c (-1);
-    next = Array.make (max 8 hint) (-1);
-    payloads = Array.make (max 8 hint) 0;
+    next = Array.make hint (-1);
+    payloads = Array.make hint 0;
     n_slots = 0;
     n = 0;
   }

@@ -8,7 +8,9 @@
 type t
 
 val create : int -> t
-(** [create hint] — sized for about [hint] payloads. *)
+(** [create hint] — sized for about [hint] payloads.  The hint is
+    clamped (negative, zero and pathologically large values are safe);
+    the table grows on demand regardless of the initial size. *)
 
 val length : t -> int
 val add : t -> int -> int -> unit

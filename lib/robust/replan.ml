@@ -40,6 +40,16 @@ let mean_rates spec =
     d;
   Array.map (fun s -> s /. float_of_int (Array.length d)) acc
 
+(* The model-correction half of a replan, shared with live controllers
+   ([abivm serve]): fold the monitor's realized/expected cost ratio into
+   the cumulative correction, scale the model's cost functions by it, and
+   rebase the monitor so the corrected model is the new baseline. *)
+let reanchor ~monitor ~corr costs =
+  let corr = corr *. Float.max 1e-6 (Monitor.cost_ratio monitor) in
+  let costs = Array.map (Cost.Func.scale corr) costs in
+  Monitor.rebase monitor;
+  (costs, corr)
+
 let static_adapt ~model ~actual ~t0 =
   let t0_plan = (Astar.solve (Adapt.projected model ~t0)).Astar.plan in
   Adapt.replay actual ~t0 ~t0_plan
@@ -105,8 +115,8 @@ let run ?(config = default_config) ~model ~actual ~t0 () =
     if t < horizon && t >= !next_allowed && Monitor.tripped monitor then begin
       (* Rebuild the instance over [t+1, horizon] from what the monitor
          learned, re-solve, and switch to the new schedule. *)
-      corr := !corr *. Float.max 1e-6 (Monitor.cost_ratio monitor);
-      let costs = Array.map (Cost.Func.scale !corr) (Spec.costs model) in
+      let costs, corr' = reanchor ~monitor ~corr:!corr (Spec.costs model) in
+      corr := corr';
       let rates = Monitor.rates monitor in
       (* Project fractional EWMA rates by accumulation — row r carries
          floor((r+1)·rate) − floor(r·rate) — so a 0.7/step table gets 7
@@ -130,7 +140,6 @@ let run ?(config = default_config) ~model ~actual ~t0 () =
                redundant. *)
             if at < horizon then Some (at, Statevec.support a) else None)
           (Plan.actions plan');
-      Monitor.rebase monitor;
       incr replans;
       Telemetry.incr "robust.replans";
       next_allowed := t + !gap;

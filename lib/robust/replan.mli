@@ -51,6 +51,20 @@ type result = {
   drift_peak : float;  (** highest drift score seen during the run *)
 }
 
+val reanchor :
+  monitor:Monitor.t ->
+  corr:float ->
+  Cost.Func.t array ->
+  Cost.Func.t array * float
+(** The model-correction step of a replan, on its own: fold the
+    monitor's realized/expected cost ratio (floored at [1e-6]) into the
+    cumulative correction [corr], scale the given cost functions by the
+    new correction, and {!Monitor.rebase} so the corrected model becomes
+    the baseline further drift is judged against.  Returns the scaled
+    costs and the new correction.  {!run} applies exactly this on every
+    trip; a live controller ([abivm serve]) feeds the result to
+    [Online.set_costs] instead of re-solving with A*. *)
+
 val mean_rates : Abivm.Spec.t -> float array
 (** Per-table mean arrivals per step over the whole horizon — the rate
     vector a planner implicitly assumes, and the monitor's initial

@@ -1,0 +1,25 @@
+type config = { max_active : int; max_queued : int }
+
+let default = { max_active = 8; max_queued = 8 }
+
+type decision = Admit | Queue | Reject of string
+
+let describe = function
+  | Admit -> "admit"
+  | Queue -> "queue"
+  | Reject reason -> "reject: " ^ reason
+
+let decide config ~active ~queued ~known name =
+  if config.max_active < 1 then
+    invalid_arg "Admission: max_active must be >= 1"
+  else if not (Durable.Fsutil.valid_tenant_name name) then
+    Reject (Printf.sprintf "invalid tenant name %S" name)
+  else if List.mem name known then
+    Reject (Printf.sprintf "tenant %S already registered" name)
+  else if active < config.max_active then Admit
+  else if queued < config.max_queued then Queue
+  else
+    Reject
+      (Printf.sprintf
+         "at capacity (%d active, %d queued) — retry after a tenant completes"
+         active queued)

@@ -1,0 +1,23 @@
+(** Admission control for the multi-tenant service.
+
+    A pure policy: at most [max_active] tenants run concurrently;
+    registrations beyond that wait in a bounded FIFO queue of
+    [max_queued]; past both bounds (or with an invalid/duplicate name)
+    the registration is rejected outright.  {!Service} promotes queued
+    tenants as active ones complete their horizons. *)
+
+type config = { max_active : int; max_queued : int }
+
+val default : config
+(** [max_active = 8], [max_queued = 8]. *)
+
+type decision = Admit | Queue | Reject of string
+
+val describe : decision -> string
+
+val decide :
+  config -> active:int -> queued:int -> known:string list -> string -> decision
+(** [decide config ~active ~queued ~known name] — [known] is every name
+    already registered (active, queued or completed); duplicates are
+    rejected, never queued.  Raises [Invalid_argument] if
+    [config.max_active < 1]. *)

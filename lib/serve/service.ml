@@ -1,0 +1,584 @@
+type config = {
+  admission : Admission.config;
+  coordinate : bool;
+  discount_factor : float;
+  shed_budget : float option;
+  sync : Durable.Wal.sync;
+  hook : Durable.Hook.point -> unit;
+}
+
+let default_config =
+  {
+    admission = Admission.default;
+    coordinate = true;
+    discount_factor = 0.0;
+    shed_budget = None;
+    sync = Durable.Wal.Always;
+    hook = Durable.Hook.none;
+  }
+
+type tenant_outcome = {
+  tenant : string;
+  steps : int;
+  metered_cost : float;
+  charged_cost : float;
+  violations : int;
+  violation_rate : float;
+  sheds : int;
+  reanchors : int;
+  consistent : bool;
+  replayed : int;
+}
+
+type outcome = {
+  tenants : tenant_outcome list;
+  rounds : int;
+  aggregate_charged : float;
+  aggregate_undiscounted : float;
+  co_flushes : int;
+  worst_violation_rate : float;
+  rejected : int;
+  queued_peak : int;
+}
+
+type t = {
+  root : string;
+  config : config;
+  pool : Parallel.Pool.t option;
+  mutable active : Tenant.t list;  (* registration order *)
+  mutable waiting : Tenant.config list;  (* FIFO, creation deferred *)
+  mutable completed : (Tenant.t * bool) list;  (* newest first *)
+  mutable known : string list;
+  mutable starts : (string * int) list;  (* admission round per tenant *)
+  mutable rejected : int;
+  mutable queued_peak : int;
+  mutable rounds : int;
+  mutable agg_charged : float;
+  mutable agg_raw : float;
+  mutable co_flushes : int;
+}
+
+(* --- service manifest ----------------------------------------------------- *)
+
+let sync_to_string = function
+  | Durable.Wal.Always -> "always"
+  | Durable.Wal.Never -> "never"
+  | Durable.Wal.Interval n -> Printf.sprintf "interval:%d" n
+
+let sync_of_string text =
+  match String.lowercase_ascii text with
+  | "always" -> Ok Durable.Wal.Always
+  | "never" -> Ok Durable.Wal.Never
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i when String.sub other 0 i = "interval" -> (
+          match
+            int_of_string_opt
+              (String.sub other (i + 1) (String.length other - i - 1))
+          with
+          | Some n when n > 0 -> Ok (Durable.Wal.Interval n)
+          | _ -> Error (Printf.sprintf "bad sync policy %S" text))
+      | _ -> Error (Printf.sprintf "bad sync policy %S" text))
+
+(* The root manifest pins everything recovery needs to continue the run
+   identically: the scheduler's coordination parameters and the admitted
+   tenants in registration order (coordination iterates tenants in that
+   order, so the order is part of the deterministic state), each with the
+   round it was admitted at — a tenant's local step [k] always executes
+   at global round [start + k], which recovery re-establishes. *)
+let service_params t =
+  [
+    ("kind", "serve");
+    ("coordinate", string_of_bool t.config.coordinate);
+    ("discount_factor", Printf.sprintf "%h" t.config.discount_factor);
+    ( "shed_budget",
+      match t.config.shed_budget with
+      | None -> "none"
+      | Some b -> Printf.sprintf "%h" b );
+    ("sync", sync_to_string t.config.sync);
+    ("max_active", string_of_int t.config.admission.Admission.max_active);
+    ("max_queued", string_of_int t.config.admission.Admission.max_queued);
+    ( "tenants",
+      String.concat ";"
+        (List.map
+           (fun (name, start) -> Printf.sprintf "%s:%d" name start)
+           t.starts) );
+  ]
+
+let save_manifest t =
+  Durable.Manifest.save ~dir:t.root
+    (Durable.Manifest.empty ~params:(service_params t))
+
+let config_of_params params =
+  let ( let* ) = Result.bind in
+  let find key =
+    match List.assoc_opt key params with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "service params missing %S" key)
+  in
+  let int_param key =
+    Result.bind (find key) (fun v ->
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad %s parameter %S" key v))
+  in
+  let* kind = find "kind" in
+  let* () =
+    if kind = "serve" then Ok ()
+    else Error (Printf.sprintf "not a serve directory (kind %S)" kind)
+  in
+  let* coordinate =
+    Result.bind (find "coordinate") (fun v ->
+        match bool_of_string_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "bad coordinate parameter %S" v))
+  in
+  let* discount_factor =
+    Result.bind (find "discount_factor") (fun v ->
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad discount_factor parameter %S" v))
+  in
+  let* shed_budget =
+    Result.bind (find "shed_budget") (fun v ->
+        if v = "none" then Ok None
+        else
+          match float_of_string_opt v with
+          | Some f -> Ok (Some f)
+          | None -> Error (Printf.sprintf "bad shed_budget parameter %S" v))
+  in
+  let* sync = Result.bind (find "sync") sync_of_string in
+  let* max_active = int_param "max_active" in
+  let* max_queued = int_param "max_queued" in
+  let* tenants =
+    Result.bind (find "tenants") (fun v ->
+        let entries =
+          List.filter (fun s -> s <> "") (String.split_on_char ';' v)
+        in
+        List.fold_left
+          (fun acc entry ->
+            let* acc = acc in
+            match String.index_opt entry ':' with
+            | Some i -> (
+                let name = String.sub entry 0 i in
+                match
+                  int_of_string_opt
+                    (String.sub entry (i + 1) (String.length entry - i - 1))
+                with
+                | Some s when s >= 0 -> Ok ((name, s) :: acc)
+                | _ -> Error (Printf.sprintf "bad tenant entry %S" entry))
+            | None -> Ok ((entry, 0) :: acc))
+          (Ok []) entries
+        |> Result.map List.rev)
+  in
+  Ok
+    ( {
+        admission = { Admission.max_active; max_queued };
+        coordinate;
+        discount_factor;
+        shed_budget;
+        sync;
+        hook = Durable.Hook.none;
+      },
+      tenants )
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let create ?pool ~root config =
+  if config.discount_factor < 0.0 then
+    invalid_arg "Service: discount_factor must be >= 0";
+  Durable.Fsutil.mkdirs root;
+  let t =
+    {
+      root;
+      config;
+      pool;
+      active = [];
+      waiting = [];
+      completed = [];
+      known = [];
+      starts = [];
+      rejected = 0;
+      queued_peak = 0;
+      rounds = 0;
+      agg_charged = 0.0;
+      agg_raw = 0.0;
+      co_flushes = 0;
+    }
+  in
+  save_manifest t;
+  t
+
+let admit t cfg =
+  match Tenant.create ~root:t.root ~sync:t.config.sync cfg with
+  | Error e -> Error e
+  | Ok tenant ->
+      t.active <- t.active @ [ tenant ];
+      t.known <- cfg.Tenant.name :: t.known;
+      t.starts <- t.starts @ [ (cfg.Tenant.name, t.rounds) ];
+      save_manifest t;
+      Ok ()
+
+let register t cfg =
+  let decision =
+    Admission.decide t.config.admission ~active:(List.length t.active)
+      ~queued:(List.length t.waiting) ~known:t.known cfg.Tenant.name
+  in
+  match decision with
+  | Admission.Admit ->
+      Result.map (fun () -> Admission.Admit) (admit t cfg)
+  | Admission.Queue ->
+      t.waiting <- t.waiting @ [ cfg ];
+      t.known <- cfg.Tenant.name :: t.known;
+      t.queued_peak <- max t.queued_peak (List.length t.waiting);
+      Ok Admission.Queue
+  | Admission.Reject _ as r ->
+      t.rejected <- t.rejected + 1;
+      Ok r
+
+let promote_waiting t =
+  let rec loop () =
+    if
+      List.length t.active < t.config.admission.Admission.max_active
+      && t.waiting <> []
+    then begin
+      match t.waiting with
+      | [] -> ()
+      | cfg :: rest -> (
+          t.waiting <- rest;
+          match Tenant.create ~root:t.root ~sync:t.config.sync cfg with
+          | Ok tenant ->
+              t.active <- t.active @ [ tenant ];
+              t.starts <- t.starts @ [ (cfg.Tenant.name, t.rounds) ];
+              save_manifest t;
+              loop ()
+          | Error e ->
+              t.rejected <- t.rejected + 1;
+              Telemetry.incr "serve.promote_failures";
+              ignore e;
+              loop ())
+    end
+  in
+  loop ()
+
+let sweep_completed t =
+  let done_, still = List.partition Tenant.finished t.active in
+  t.active <- still;
+  List.iter
+    (fun tenant ->
+      let consistent = Tenant.finish tenant in
+      t.completed <- (tenant, consistent) :: t.completed)
+    done_;
+  if done_ <> [] then promote_waiting t
+
+(* Phases A and C touch one tenant's private state each (its engine, WAL,
+   controller, monitor), so fanning them out over the pool is
+   bit-identical to the sequential order; phase B (coordination and
+   accounting) is cross-tenant and stays sequential. *)
+let pmap t f arr =
+  match t.pool with
+  | Some p when Parallel.Pool.domains p > 1 && Array.length arr > 1 ->
+      Parallel.Pool.map p f arr
+  | _ -> Array.map f arr
+
+let start_of t name =
+  match List.assoc_opt name t.starts with Some s -> s | None -> 0
+
+(* A tenant lagging behind the global round only happens after recovery:
+   trailing zero-arrival no-flush steps leave no WAL trace, so replay
+   stops short of them and the tenant's local clock trails the others'.
+   Re-executing those steps solo before the round proper reproduces the
+   crashed run exactly (they were pure-observe steps, and [mandatory] is
+   deterministic in the replayed controller state) and restores the
+   invariant that every active tenant's local step [k] runs at global
+   round [start + k] — which the co-flush coincidence structure, and
+   hence the discounted aggregate, depends on.  A crash mid-round can
+   additionally leave one real ingested-but-unflushed step behind; it is
+   executed here with its mandatory flush, charged undiscounted (its
+   round's coordination died with the crash and was never journalled). *)
+let catch_up t tenant =
+  while
+    (not (Tenant.finished tenant))
+    && start_of t (Tenant.name tenant) + Tenant.time tenant < t.rounds
+  do
+    Tenant.begin_step tenant;
+    let batch =
+      match Tenant.mandatory tenant with
+      | Some action -> Array.copy action
+      | None -> Array.make Tenant.n_tables 0
+    in
+    Array.iteri
+      (fun i b ->
+        if b > 0 then begin
+          let c = Tenant.model_cost tenant i b in
+          t.agg_charged <- t.agg_charged +. c;
+          t.agg_raw <- t.agg_raw +. c
+        end)
+      batch;
+    Tenant.execute tenant batch;
+    Tenant.close_step tenant
+  done
+
+let run_round t =
+  t.config.hook (Durable.Hook.Step_start t.rounds);
+  let tenants = Array.of_list t.active in
+  let k = Array.length tenants in
+  (* Phase A: ingest + observe + mandatory proposal, per tenant. *)
+  let proposals =
+    pmap t
+      (fun tenant ->
+        Tenant.begin_step tenant;
+        Tenant.mandatory tenant)
+      tenants
+  in
+  let batches =
+    Array.map
+      (function
+        | Some action -> Array.copy action
+        | None -> Array.make Tenant.n_tables 0)
+      proposals
+  in
+  (* Phase B: coordination.  A tenant forced to flush table [i] invites
+     every other tenant whose own table-[i] flush is nearly due
+     (pending >= 60% of its budgeted batch capacity, the multiview
+     piggyback rule) — optional work the shed budget may refuse. *)
+  let round_model_cost = ref 0.0 in
+  for v = 0 to k - 1 do
+    Array.iteri
+      (fun i b ->
+        if b > 0 then
+          round_model_cost :=
+            !round_model_cost +. Tenant.model_cost tenants.(v) i b)
+      batches.(v)
+  done;
+  if t.config.coordinate then
+    for i = 0 to Tenant.n_tables - 1 do
+      let someone_flushes =
+        Array.exists (fun row -> row.(i) > 0) batches
+      in
+      if someone_flushes then
+        Array.iteri
+          (fun v tenant ->
+            if batches.(v).(i) = 0 then begin
+              let pending_i = (Tenant.pending tenant).(i) in
+              if
+                pending_i > 0
+                && float_of_int pending_i
+                   >= 0.6 *. float_of_int (max 1 (Tenant.capacity tenant i))
+              then begin
+                let c = Tenant.model_cost tenant i pending_i in
+                match t.config.shed_budget with
+                | Some budget when !round_model_cost +. c > budget ->
+                    Tenant.shed tenant
+                | _ ->
+                    batches.(v).(i) <- pending_i;
+                    round_model_cost := !round_model_cost +. c
+              end
+            end)
+          tenants
+    done;
+  (* Accounting: per table, the co-flush price across tenants under the
+     multiview shared-setup rule.  The discount is a fraction of the
+     cheapest participant's single-modification cost — the shared part of
+     the scan, in calibrated units. *)
+  for i = 0 to Tenant.n_tables - 1 do
+    let costs = ref [] in
+    let min_setup = ref infinity in
+    for v = 0 to k - 1 do
+      let b = batches.(v).(i) in
+      if b > 0 then begin
+        costs := Tenant.model_cost tenants.(v) i b :: !costs;
+        min_setup := Float.min !min_setup (Tenant.model_cost tenants.(v) i 1)
+      end
+    done;
+    match !costs with
+    | [] -> ()
+    | costs ->
+        (* Without coordination, tenants flushing the same table in the
+           same round is coincidence, not a shared scan: full price, no
+           join counted. *)
+        let discount =
+          if t.config.coordinate then t.config.discount_factor *. !min_setup
+          else 0.0
+        in
+        let charged = Multiview.Coordinator.charge_shared ~discount costs in
+        let raw = List.fold_left ( +. ) 0.0 costs in
+        t.agg_charged <- t.agg_charged +. charged;
+        t.agg_raw <- t.agg_raw +. raw;
+        if t.config.coordinate then
+          t.co_flushes <- t.co_flushes + (List.length costs - 1)
+  done;
+  (* Phase C: execute + close, per tenant. *)
+  ignore
+    (pmap t
+       (fun (tenant, batch) ->
+         Tenant.execute tenant batch;
+         Tenant.close_step tenant)
+       (Array.init k (fun v -> (tenants.(v), batches.(v)))));
+  if Telemetry.enabled () then begin
+    Telemetry.set_gauge "serve.tenants_active"
+      (float_of_int (List.length t.active));
+    Telemetry.set_gauge "serve.tenants_queued"
+      (float_of_int (List.length t.waiting))
+  end;
+  t.rounds <- t.rounds + 1
+
+let outcome_of t =
+  let tenant_outcomes =
+    List.rev_map
+      (fun (tenant, consistent) ->
+        let steps = Tenant.config tenant |> fun c -> c.Tenant.horizon + 1 in
+        {
+          tenant = Tenant.name tenant;
+          steps;
+          metered_cost = Tenant.metered_cost tenant;
+          charged_cost = Tenant.charged_cost tenant;
+          violations = Tenant.violations tenant;
+          violation_rate =
+            float_of_int (Tenant.violations tenant) /. float_of_int steps;
+          sheds = Tenant.sheds tenant;
+          reanchors = Tenant.reanchors tenant;
+          consistent;
+          replayed = Tenant.replayed tenant;
+        })
+      t.completed
+  in
+  {
+    tenants = tenant_outcomes;
+    rounds = t.rounds;
+    aggregate_charged = t.agg_charged;
+    aggregate_undiscounted = t.agg_raw;
+    co_flushes = t.co_flushes;
+    worst_violation_rate =
+      List.fold_left
+        (fun acc o -> Float.max acc o.violation_rate)
+        0.0 tenant_outcomes;
+    rejected = t.rejected;
+    queued_peak = t.queued_peak;
+  }
+
+let run t =
+  try
+    (* Lag exists only immediately after recovery; one catch-up pass
+       re-aligns every tenant's local clock with the global round. *)
+    List.iter (catch_up t) t.active;
+    sweep_completed t;
+    while t.active <> [] || t.waiting <> [] do
+      if t.active = [] then promote_waiting t;
+      run_round t;
+      sweep_completed t
+    done;
+    outcome_of t
+  with Durable.Hook.Crash _ as crash ->
+    (* Simulated process death: drop every tenant's unflushed WAL tail
+       exactly as a real crash would, then let the exception out. *)
+    List.iter Tenant.abandon t.active;
+    raise crash
+
+(* --- recovery ------------------------------------------------------------- *)
+
+let recover ?pool ~root () =
+  let ( let* ) = Result.bind in
+  let* manifest =
+    match Durable.Manifest.load ~dir:root with
+    | Ok (Some m) -> Ok m
+    | Ok None -> Error (Printf.sprintf "%s: no serve manifest" root)
+    | Error e -> Error (Printf.sprintf "%s: manifest: %s" root e)
+  in
+  let* config, starts = config_of_params manifest.Durable.Manifest.params in
+  let names = List.map fst starts in
+  let t =
+    {
+      root;
+      config;
+      pool;
+      active = [];
+      waiting = [];
+      completed = [];
+      known = [];
+      starts;
+      rejected = 0;
+      queued_peak = 0;
+      rounds = 0;
+      agg_charged = 0.0;
+      agg_raw = 0.0;
+      co_flushes = 0;
+    }
+  in
+  let* tenants =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let dir = Filename.concat (Filename.concat root "tenants") name in
+        let* tenant_manifest =
+          match Durable.Manifest.load ~dir with
+          | Ok (Some m) -> Ok m
+          | Ok None -> Error (Printf.sprintf "tenant %S: no manifest" name)
+          | Error e -> Error (Printf.sprintf "tenant %S: manifest: %s" name e)
+        in
+        let* cfg =
+          Tenant.config_of_params tenant_manifest.Durable.Manifest.params
+        in
+        let* tenant = Tenant.recover ~root ~sync:config.sync cfg in
+        Ok (tenant :: acc))
+      (Ok []) names
+    |> Result.map List.rev
+  in
+  t.active <- tenants;
+  t.known <- List.rev names;
+  (* Resume at the furthest round any tenant reached; the others catch up
+     their unjournalled trailing steps at the head of the next round. *)
+  t.rounds <-
+    List.fold_left
+      (fun acc tenant ->
+        max acc (start_of t (Tenant.name tenant) + Tenant.time tenant))
+      0 tenants;
+  (* Rebuild the coordination accounting for the replayed portion.  The
+     live scheduler grouped flushes by (global round, table), priced each
+     group in ascending (round, table) order, and listed participants in
+     registration order; every replayed flush carries its local time and
+     its model costs as evaluated at that point of the replay, so the
+     same groups — and bit-identical aggregates — fall out. *)
+  let groups : (int * int, (float * float) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun tenant ->
+      let start = start_of t (Tenant.name tenant) in
+      List.iter
+        (fun (time, table, cost, setup) ->
+          let key = (start + time, table) in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt groups key)
+          in
+          Hashtbl.replace groups key ((cost, setup) :: prev))
+        (Tenant.replayed_flushes tenant))
+    tenants;
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+  in
+  List.iter
+    (fun key ->
+      let entries = Hashtbl.find groups key in
+      let costs = List.map fst entries in
+      let min_setup =
+        List.fold_left (fun acc (_, s) -> Float.min acc s) infinity entries
+      in
+      let discount =
+        if t.config.coordinate then t.config.discount_factor *. min_setup
+        else 0.0
+      in
+      let charged = Multiview.Coordinator.charge_shared ~discount costs in
+      let raw = List.fold_left ( +. ) 0.0 costs in
+      t.agg_charged <- t.agg_charged +. charged;
+      t.agg_raw <- t.agg_raw +. raw;
+      if t.config.coordinate then
+        t.co_flushes <- t.co_flushes + (List.length entries - 1))
+    keys;
+  Ok t
+
+let total_replayed t =
+  List.fold_left (fun acc tenant -> acc + Tenant.replayed tenant) 0 t.active
+  + List.fold_left
+      (fun acc (tenant, _) -> acc + Tenant.replayed tenant)
+      0 t.completed

@@ -1,0 +1,117 @@
+(** The multi-tenant maintenance service behind [abivm serve].
+
+    Tenants register with a {!Tenant.config}; {!Admission} admits,
+    queues, or rejects them.  {!run} then drives every active tenant in
+    lockstep rounds, each round one time step per tenant, in three
+    phases:
+
+    + {b ingest + propose} (parallelizable over a {!Parallel.Pool}):
+      each tenant journals its arrivals into its private WAL (group
+      commit, one commit per step) and its §4.3 ONLINE controller
+      proposes the mandatory flush — per-tenant state only, so the
+      fan-out is bit-identical to sequential execution;
+    + {b coordinate} (sequential): tenants forced to flush a base table
+      invite the others whose own flush of that table is nearly due
+      (the multiview piggyback rule); joins are optional work that the
+      shed budget may refuse (backpressure — arrivals are never shed,
+      only extra flush work).  Each table's combined work is priced by
+      {!Multiview.Coordinator.charge_shared} with a discount
+      proportional to the cheapest participant's single-modification
+      cost;
+    + {b execute + close} (parallelizable): each tenant processes its
+      batches on its engine, journals [Applied] records with metered
+      costs, and closes the step (SLO accounting, drift-triggered
+      re-anchoring, per-tenant gauges).
+
+    Completed tenants are consistency-checked, their WALs closed, and
+    queued tenants promoted into the freed slots.
+
+    The root directory holds a service manifest (coordination
+    parameters + admitted tenants in registration order) and one
+    durability directory per tenant; {!recover} rebuilds the whole
+    service from those files alone and replays every tenant's WAL. *)
+
+type config = {
+  admission : Admission.config;
+  coordinate : bool;  (** enable cross-tenant piggyback co-flushes *)
+  discount_factor : float;
+      (** co-flush discount as a fraction of the cheapest participant's
+          single-modification cost (>= 0; 0 disables discounts) *)
+  shed_budget : float option;
+      (** model-cost budget per round; optional joins beyond it are shed *)
+  sync : Durable.Wal.sync;  (** per-tenant WAL sync policy *)
+  hook : Durable.Hook.point -> unit;
+      (** fires [Step_start round] before every round — crash injection *)
+}
+
+val default_config : config
+(** Coordinating, no discounts, no shed budget, [sync = Always]. *)
+
+type tenant_outcome = {
+  tenant : string;
+  steps : int;
+  metered_cost : float;  (** engine meter units *)
+  charged_cost : float;  (** model units, pre-discount *)
+  violations : int;  (** steps that ended still over the budget [C] *)
+  violation_rate : float;
+  sheds : int;
+  reanchors : int;
+  consistent : bool;
+  replayed : int;  (** WAL records replayed at recovery (0 if fresh) *)
+}
+
+type outcome = {
+  tenants : tenant_outcome list;  (** registration order *)
+  rounds : int;
+  aggregate_charged : float;  (** co-flush-discounted model cost *)
+  aggregate_undiscounted : float;
+  co_flushes : int;
+  worst_violation_rate : float;
+  rejected : int;
+  queued_peak : int;
+}
+
+type t
+
+val create : ?pool:Parallel.Pool.t -> root:string -> config -> t
+(** Fresh service over [root] (created if missing); writes the service
+    manifest.  Raises [Invalid_argument] on a negative
+    [discount_factor]. *)
+
+val register : t -> Tenant.config -> (Admission.decision, string) result
+(** Apply admission: [Admit] builds the tenant now (manifest + WAL under
+    [root/tenants/<name>]), [Queue] defers creation until a slot frees,
+    [Reject] counts against the outcome.  [Error] only when an admitted
+    tenant fails to build. *)
+
+val run : t -> outcome
+(** Drive rounds until every registered tenant (including queued ones)
+    has completed its horizon.  If the hook raises {!Durable.Hook.Crash}
+    the active tenants' WALs are abandoned unflushed (simulating the
+    process dying) and the exception propagates. *)
+
+val recover : ?pool:Parallel.Pool.t -> root:string -> unit -> (t, string) result
+(** Rebuild the service from the root manifest and every admitted
+    tenant's manifest + WAL ({!Tenant.recover} — deterministic re-draw
+    and bit-exact re-metering, verified).  The returned service resumes
+    at the furthest global round any tenant's WAL reached; tenants whose
+    replay stopped short (trailing zero-arrival steps leave no WAL
+    trace) catch those steps up solo at the start of {!run}, restoring
+    the lockstep alignment the co-flush structure depends on.  The
+    replayed flushes' coordination accounting is rebuilt group by group,
+    so after a crash at a round boundary the finished run's outcome —
+    per-tenant costs, aggregates, discounts, co-flush counts and round
+    numbering — is bit-identical to the uninterrupted run's.  (A crash
+    mid-round can lose a not-yet-committed participant of that round's
+    co-flush; the recovered run is then a valid execution in which that
+    tenant flushes later, but the lost round's discount differs.) *)
+
+val total_replayed : t -> int
+(** WAL records replayed across all recovered tenants. *)
+
+val sync_to_string : Durable.Wal.sync -> string
+val sync_of_string : string -> (Durable.Wal.sync, string) result
+val config_of_params :
+  (string * string) list -> (config * (string * int) list, string) result
+(** The service-manifest decoding: configuration plus admitted tenants
+    in registration order, each with its admission round. *)

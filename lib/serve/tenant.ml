@@ -1,0 +1,441 @@
+let n_tables = 2
+let calib_sizes = [ 1; 5; 10; 20; 50 ]
+
+type config = {
+  name : string;
+  seed : int;
+  rows : int;
+  horizon : int;
+  limit_factor : float;
+  streams : string list;
+}
+
+let params_of_config c =
+  [
+    ("name", c.name);
+    ("seed", string_of_int c.seed);
+    ("rows", string_of_int c.rows);
+    ("horizon", string_of_int c.horizon);
+    ("limit_factor", Printf.sprintf "%h" c.limit_factor);
+    ("streams", String.concat ";" c.streams);
+  ]
+
+let config_of_params params =
+  let ( let* ) = Result.bind in
+  let find key =
+    match List.assoc_opt key params with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "tenant params missing %S" key)
+  in
+  let int_param key =
+    Result.bind (find key) (fun v ->
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad %s parameter %S" key v))
+  in
+  let* name = find "name" in
+  let* seed = int_param "seed" in
+  let* rows = int_param "rows" in
+  let* horizon = int_param "horizon" in
+  let* limit_factor =
+    Result.bind (find "limit_factor") (fun v ->
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad limit_factor parameter %S" v))
+  in
+  let* streams = Result.map (String.split_on_char ';') (find "streams") in
+  Ok { name; seed; rows; horizon; limit_factor; streams }
+
+type t = {
+  config : config;
+  dir : string;
+  arrivals : int array array;
+  maintainer : Ivm.Maintainer.t;
+  feeds : Tpcr.Updates.feeds;
+  controller : Abivm.Online.controller;
+  monitor : Robust.Monitor.t;
+  wal : Durable.Wal.t;
+  base_costs : Cost.Func.t array;
+  limit : float;
+  mutable costs : Cost.Func.t array;  (* base_costs scaled by [corr] *)
+  mutable next_step : int;
+  mutable corr : float;
+  mutable next_allowed : int;  (* reanchor backoff *)
+  mutable gap : int;
+  mutable metered : float;
+  mutable charged : float;  (* model-cost units, pre-discount *)
+  mutable violations : int;
+  mutable sheds : int;
+  mutable reanchors : int;
+  mutable replayed : int;
+  mutable flush_log : (int * int * float * float) list;
+      (* replayed flushes, newest first: (time, table, model cost of the
+         batch, single-modification setup cost) — both costs evaluated
+         at the replay point, i.e. under the then-current re-anchored
+         model, so the service can rebuild its coordination accounting *)
+}
+
+let name t = t.config.name
+let config t = t.config
+let time t = t.next_step
+let finished t = t.next_step > t.config.horizon
+let limit t = t.limit
+let metered_cost t = t.metered
+let charged_cost t = t.charged
+let violations t = t.violations
+let sheds t = t.sheds
+let reanchors t = t.reanchors
+let replayed t = t.replayed
+let replayed_flushes t = List.rev t.flush_log
+let pending t = Abivm.Online.pending t.controller
+let controller t = t.controller
+
+let model_cost t i k = Cost.Func.eval t.costs.(i) k
+
+let refresh_cost t =
+  let p = Abivm.Online.pending t.controller in
+  let acc = ref 0.0 in
+  Array.iteri (fun i k -> acc := !acc +. Cost.Func.eval t.costs.(i) k) p;
+  !acc
+
+let capacity t i = Cost.Check.max_batch t.costs.(i) ~limit:t.limit ~cap:1_000_000
+
+let ( let* ) = Result.bind
+
+let validate config =
+  if not (Durable.Fsutil.valid_tenant_name config.name) then
+    Error (Printf.sprintf "invalid tenant name %S" config.name)
+  else if config.rows < 1 then Error "rows must be >= 1"
+  else if config.horizon < 0 then Error "horizon must be >= 0"
+  else if config.limit_factor <= 0.0 then Error "limit_factor must be > 0"
+  else if List.length config.streams <> n_tables then
+    Error
+      (Printf.sprintf "tenant %S needs exactly %d streams" config.name n_tables)
+  else
+    List.fold_left
+      (fun acc text ->
+        let* acc = acc in
+        let* s = Workload.Arrivals.stream_of_string text in
+        Ok (s :: acc))
+      (Ok []) config.streams
+    |> Result.map (fun streams -> Array.of_list (List.rev streams))
+
+(* The whole tenant environment is deterministic in the config: the
+   synthetic database, the update feeds, the arrival schedule, and the
+   cost model (calibrated on a throwaway engine built from the same seed,
+   so calibration batches never pollute the live engine's meter).  This
+   is what lets a manifest holding only the params rebuild the tenant
+   bit-identically at recovery. *)
+let build ~dir ~sync config =
+  let* streams = validate config in
+  let arrivals =
+    Workload.Arrivals.generate ~seed:(config.seed + 2) ~horizon:config.horizon
+      streams
+  in
+  let cal =
+    Tpcr.Synth.generate ~seed:config.seed ~r_rows:config.rows
+      ~s_rows:config.rows ()
+  in
+  let cal_m =
+    Ivm.Maintainer.create ~meter:cal.Tpcr.Synth.meter (Tpcr.Synth.join_view cal)
+  in
+  Relation.Meter.reset cal.Tpcr.Synth.meter;
+  let cal_feeds = Tpcr.Synth.insert_feeds ~seed:(config.seed + 1) cal in
+  let curve table suffix =
+    Bridge.Calibrate.tabulated
+      ~name:(config.name ^ suffix)
+      (Bridge.Calibrate.measure_curve cal_m cal_feeds ~table ~sizes:calib_sizes)
+  in
+  let base_costs = [| curve 0 ".dR"; curve 1 ".dS" |] in
+  let limit =
+    config.limit_factor
+    *. Float.max
+         (Cost.Func.eval base_costs.(0) 1)
+         (Cost.Func.eval base_costs.(1) 1)
+  in
+  let db =
+    Tpcr.Synth.generate ~seed:config.seed ~r_rows:config.rows
+      ~s_rows:config.rows ()
+  in
+  let maintainer =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter (Tpcr.Synth.join_view db)
+  in
+  Relation.Meter.reset db.Tpcr.Synth.meter;
+  let feeds = Tpcr.Synth.insert_feeds ~seed:(config.seed + 1) db in
+  let controller = Abivm.Online.controller ~costs:base_costs ~limit () in
+  let monitor =
+    Robust.Monitor.create
+      ~predicted_rates:(Workload.Arrivals.mean_rates arrivals)
+      ()
+  in
+  let wal = Durable.Wal.open_ ~dir ~sync () in
+  Ok
+    {
+      config;
+      dir;
+      arrivals;
+      maintainer;
+      feeds;
+      controller;
+      monitor;
+      wal;
+      base_costs;
+      limit;
+      costs = base_costs;
+      next_step = 0;
+      corr = 1.0;
+      next_allowed = 0;
+      gap = 2;
+      metered = 0.0;
+      charged = 0.0;
+      violations = 0;
+      sheds = 0;
+      reanchors = 0;
+      replayed = 0;
+      flush_log = [];
+    }
+
+let create ~root ?(sync = Durable.Wal.Always) config =
+  let* () =
+    if Durable.Fsutil.valid_tenant_name config.name then Ok ()
+    else Error (Printf.sprintf "invalid tenant name %S" config.name)
+  in
+  let dir = Durable.Fsutil.tenant_dir ~root ~name:config.name in
+  let* () =
+    match Durable.Manifest.load ~dir with
+    | Ok None ->
+        Durable.Manifest.save ~dir
+          (Durable.Manifest.empty ~params:(params_of_config config));
+        Ok ()
+    | Ok (Some _) ->
+        Error (Printf.sprintf "tenant %S already exists in %s" config.name root)
+    | Error e -> Error (Printf.sprintf "tenant %S manifest: %s" config.name e)
+  in
+  build ~dir ~sync config
+
+(* --- one time step, in scheduler-driven phases --------------------------- *)
+
+let begin_step t =
+  let time = t.next_step in
+  let d = t.arrivals.(time) in
+  Array.iteri
+    (fun i count ->
+      for _ = 1 to count do
+        let change = t.feeds.Tpcr.Updates.next i in
+        Ivm.Maintainer.on_arrive t.maintainer i change;
+        Durable.Wal.append t.wal
+          (Durable.Record.Arrival { time; table = i; change })
+      done)
+    d;
+  if Durable.Wal.buffered t.wal > 0 then Durable.Wal.commit t.wal;
+  Robust.Monitor.observe_arrivals t.monitor d;
+  Abivm.Online.observe t.controller ~arrivals:d
+
+let mandatory t =
+  if t.next_step >= t.config.horizon then begin
+    let p = Abivm.Online.pending t.controller in
+    if Abivm.Statevec.is_zero p then None else Some p
+  end
+  else Abivm.Online.propose t.controller
+
+let shed t =
+  t.sheds <- t.sheds + 1;
+  Telemetry.incr "serve.sheds"
+
+let execute t batches =
+  let time = t.next_step in
+  Array.iteri
+    (fun i k ->
+      if k > 0 then begin
+        let delta = Ivm.Maintainer.process t.maintainer i k in
+        let cost = Relation.Meter.cost_units delta in
+        Durable.Wal.append t.wal
+          (Durable.Record.Applied { time; table = i; count = k; cost });
+        let expected = Cost.Func.eval t.costs.(i) k in
+        Robust.Monitor.observe_cost t.monitor ~expected ~observed:cost;
+        t.metered <- t.metered +. cost;
+        t.charged <- t.charged +. expected
+      end)
+    batches;
+  if Durable.Wal.buffered t.wal > 0 then Durable.Wal.commit t.wal;
+  Abivm.Online.absorb t.controller batches
+
+let close_step t =
+  let time = t.next_step in
+  let rc = refresh_cost t in
+  if time < t.config.horizon && rc > t.limit then
+    t.violations <- t.violations + 1;
+  (* Escalation: the §4.3 controller's model has drifted from the metered
+     engine — re-anchor it by the monitor's cost ratio (the replanner's
+     exact correction step), with exponential backoff so a noisy tenant
+     cannot thrash. *)
+  if time >= t.next_allowed && Robust.Monitor.tripped t.monitor then begin
+    let costs', corr' =
+      Robust.Replan.reanchor ~monitor:t.monitor ~corr:t.corr t.base_costs
+    in
+    t.corr <- corr';
+    t.costs <- costs';
+    Abivm.Online.set_costs t.controller costs';
+    t.reanchors <- t.reanchors + 1;
+    t.next_allowed <- time + t.gap;
+    t.gap <- int_of_float (Float.round (2.0 *. float_of_int t.gap))
+  end;
+  if Telemetry.enabled () then begin
+    let labels = [ ("tenant", t.config.name) ] in
+    Telemetry.set_gauge ~labels "serve.slo_headroom" ((t.limit -. rc) /. t.limit);
+    Telemetry.set_gauge ~labels "serve.queue_depth"
+      (float_of_int (Abivm.Statevec.total (Abivm.Online.pending t.controller)));
+    Telemetry.set_gauge ~labels "serve.shed" (float_of_int t.sheds)
+  end;
+  t.next_step <- time + 1
+
+let step t batches =
+  begin_step t;
+  execute t batches;
+  close_step t
+
+let finish t =
+  let consistent = Ivm.Maintainer.check_consistent t.maintainer = Ok () in
+  Durable.Wal.close t.wal;
+  consistent
+
+let abandon t = Durable.Wal.abandon t.wal
+
+(* --- recovery ------------------------------------------------------------ *)
+
+(* Replay drives on the deterministic schedule, not on the records: step
+   [time] expects [arrivals.(time).(i)] Arrival records per table (in
+   table order — exactly the order [begin_step] journals them), then any
+   Applied records for that step.  Every replayed arrival is re-drawn
+   from the feeds and must encode to the identical WAL line; every
+   replayed batch must re-meter to the bit-identical cost.  A record tail
+   cut mid-ingest (a crash between arrival commits) is completed: the
+   missing arrivals of that step are drawn, ingested and journalled, so a
+   committed arrival is never dropped and the schedule stays whole.  A
+   step whose arrivals all committed but whose flush was lost replays as
+   a no-flush step; the still-pending work is flushed by a later step. *)
+let replay t records =
+  let rest = ref records in
+  let result = ref (Ok ()) in
+  let fail msg = if !result = Ok () then result := Error msg in
+  while !rest <> [] && !result = Ok () do
+    let time = t.next_step in
+    if time > t.config.horizon then
+      fail (Printf.sprintf "%s: WAL extends past horizon %d" t.config.name
+              t.config.horizon)
+    else begin
+      let d = t.arrivals.(time) in
+      let topped_up = ref false in
+      for i = 0 to n_tables - 1 do
+        for _ = 1 to d.(i) do
+          if !result = Ok () then
+            match !rest with
+            | Durable.Record.Arrival { time = rt; table; change } :: tl
+              when rt = time && table = i ->
+                let drawn = t.feeds.Tpcr.Updates.next i in
+                let recorded =
+                  Durable.Record.to_line
+                    (Durable.Record.Arrival { time; table = i; change })
+                in
+                let redrawn =
+                  Durable.Record.to_line
+                    (Durable.Record.Arrival { time; table = i; change = drawn })
+                in
+                if recorded <> redrawn then
+                  fail
+                    (Printf.sprintf
+                       "%s: t=%d table %d: journalled arrival differs from \
+                        the deterministic feed"
+                       t.config.name time i)
+                else begin
+                  Ivm.Maintainer.on_arrive t.maintainer i drawn;
+                  t.replayed <- t.replayed + 1;
+                  rest := tl
+                end
+            | [] ->
+                (* Crash mid-ingest: finish this step's arrivals live. *)
+                topped_up := true;
+                let change = t.feeds.Tpcr.Updates.next i in
+                Ivm.Maintainer.on_arrive t.maintainer i change;
+                Durable.Wal.append t.wal
+                  (Durable.Record.Arrival { time; table = i; change })
+            | _ :: _ ->
+                fail
+                  (Printf.sprintf
+                     "%s: t=%d table %d: WAL does not match the tenant's \
+                      deterministic arrival schedule"
+                     t.config.name time i)
+        done
+      done;
+      if !topped_up && Durable.Wal.buffered t.wal > 0 then
+        Durable.Wal.commit t.wal;
+      if !result = Ok () then begin
+        (match !rest with
+        | Durable.Record.Arrival { time = rt; _ } :: _ when rt = time ->
+            fail
+              (Printf.sprintf "%s: t=%d: more arrivals than the schedule"
+                 t.config.name time)
+        | _ -> ());
+        Robust.Monitor.observe_arrivals t.monitor d;
+        Abivm.Online.observe t.controller ~arrivals:d;
+        let batches = Array.make n_tables 0 in
+        let continue_applied = ref true in
+        while !continue_applied && !result = Ok () do
+          match !rest with
+          | Durable.Record.Applied { time = rt; table; count; cost } :: tl
+            when rt = time ->
+              if table < 0 || table >= n_tables then
+                fail
+                  (Printf.sprintf "%s: applied record for unknown table %d"
+                     t.config.name table)
+              else begin
+                let delta = Ivm.Maintainer.process t.maintainer table count in
+                let recomputed = Relation.Meter.cost_units delta in
+                if
+                  Int64.bits_of_float recomputed <> Int64.bits_of_float cost
+                then
+                  fail
+                    (Printf.sprintf
+                       "%s: t=%d table %d: replayed cost %.17g differs from \
+                        recorded %.17g — non-deterministic replay"
+                       t.config.name time table recomputed cost)
+                else begin
+                  let expected = Cost.Func.eval t.costs.(table) count in
+                  Robust.Monitor.observe_cost t.monitor ~expected
+                    ~observed:recomputed;
+                  t.metered <- t.metered +. recomputed;
+                  t.charged <- t.charged +. expected;
+                  t.flush_log <-
+                    (time, table, expected, Cost.Func.eval t.costs.(table) 1)
+                    :: t.flush_log;
+                  batches.(table) <- batches.(table) + count;
+                  t.replayed <- t.replayed + 1;
+                  rest := tl
+                end
+              end
+          | _ -> continue_applied := false
+        done;
+        if !result = Ok () then begin
+          Abivm.Online.absorb t.controller batches;
+          close_step t
+        end
+      end
+    end
+  done;
+  Result.map (fun () -> t.replayed) !result
+
+let recover ~root ?(sync = Durable.Wal.Always) config =
+  let dir =
+    Filename.concat (Filename.concat root "tenants") config.name
+  in
+  if not (Sys.file_exists dir) then
+    Error (Printf.sprintf "tenant %S: no durable state in %s" config.name root)
+  else
+    let* records =
+      match Durable.Wal.read ~dir ~from_lsn:0 with
+      | Ok records -> Ok records
+      | Error e -> Error (Printf.sprintf "tenant %S wal: %s" config.name e)
+    in
+    let* t = build ~dir ~sync config in
+    let* _replayed = replay t records in
+    Ok t

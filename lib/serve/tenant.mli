@@ -1,0 +1,136 @@
+(** One tenant of the [abivm serve] maintenance service.
+
+    A tenant is a registered (view, refresh budget, arrival stream)
+    triple: a synthetic two-table join view ({!Tpcr.Synth}), a response
+    time constraint [C] derived from its own calibrated cost curves, and
+    a seeded arrival schedule.  Each tenant owns a live maintenance
+    engine, a §4.3 ONLINE controller over costs calibrated on a
+    throwaway engine built from the same seed (so model and meter agree
+    on units), a {!Robust.Monitor} watching metered costs for drift, and
+    a private {!Durable.Wal} under [root/tenants/<name>].
+
+    The whole environment is deterministic in {!config}, which is also
+    exactly what the tenant's manifest persists — recovery rebuilds the
+    tenant from its params and replays the WAL, re-drawing every
+    journalled arrival from the feeds and re-metering every batch, both
+    verified bit-exactly against the records.
+
+    The per-step API is split into scheduler-driven phases so
+    {!Service} can interleave many tenants: {!begin_step} (ingest +
+    observe, journalled), {!mandatory} (the controller's proposal — or
+    the full pending flush at the horizon), {!execute} (process the
+    possibly coordinator-enlarged batches, journalled), {!close_step}
+    (SLO bookkeeping, drift escalation via {!Robust.Replan.reanchor},
+    per-tenant gauges).  {!step} chains all four for standalone use. *)
+
+val n_tables : int
+(** Tenant views span exactly 2 base tables (R and S). *)
+
+type config = {
+  name : string;  (** must satisfy {!Durable.Fsutil.valid_tenant_name} *)
+  seed : int;
+  rows : int;  (** synthetic rows per base table *)
+  horizon : int;
+  limit_factor : float;
+      (** the refresh budget [C] as a multiple of the dearer table's
+          calibrated single-modification cost *)
+  streams : string list;
+      (** per-table arrival stream descriptors
+          ({!Workload.Arrivals.stream_of_string} grammar), length 2 *)
+}
+
+val params_of_config : config -> (string * string) list
+val config_of_params : (string * string) list -> (config, string) result
+
+type t
+
+val create :
+  root:string -> ?sync:Durable.Wal.sync -> config -> (t, string) result
+(** Build the tenant fresh: calibrate, construct the engine, write the
+    manifest (refusing a name whose directory already holds one), open
+    the WAL.  [sync] defaults to [Always]. *)
+
+val recover :
+  root:string -> ?sync:Durable.Wal.sync -> config -> (t, string) result
+(** Rebuild the tenant from its config and replay its WAL.  Every
+    journalled arrival must equal the deterministic feed's re-draw and
+    every batch must re-meter to the bit-identical cost; a tail cut
+    mid-step is completed (the missing arrivals are drawn and
+    journalled), so no committed arrival is ever dropped.  The tenant
+    resumes at the step after the last journalled one. *)
+
+(** {1 Inspection} *)
+
+val name : t -> string
+val config : t -> config
+val time : t -> int  (** next step to execute *)
+
+val finished : t -> bool
+val limit : t -> float  (** the absolute refresh budget [C] *)
+
+val pending : t -> Abivm.Statevec.t
+val refresh_cost : t -> float  (** model cost of flushing everything pending *)
+
+val capacity : t -> int -> int
+(** Largest batch of table [i] within the budget under the current
+    (re-anchored) cost model. *)
+
+val model_cost : t -> int -> int -> float
+(** [model_cost t i k] — current model cost of a [k]-batch of table [i]. *)
+
+val controller : t -> Abivm.Online.controller
+val metered_cost : t -> float
+val charged_cost : t -> float  (** model-cost units, pre-discount *)
+
+val violations : t -> int
+val sheds : t -> int
+val reanchors : t -> int
+val replayed : t -> int
+
+val replayed_flushes : t -> (int * int * float * float) list
+(** Every flush replayed from the WAL, in replay order:
+    [(time, table, model cost of the batch, single-modification setup
+    cost)], both costs evaluated under the re-anchored model current at
+    that point of the replay — exactly the inputs the service's
+    coordination accounting used live, letting {!Service.recover}
+    rebuild the discounted aggregate for the replayed portion. *)
+
+(** {1 Scheduler-driven stepping} *)
+
+val begin_step : t -> unit
+(** Ingest this step's arrivals (drawn from the feeds, journalled and
+    committed as one batch) and observe them in the monitor and the
+    controller. *)
+
+val mandatory : t -> Abivm.Statevec.t option
+(** The non-negotiable flush for this step: the controller's proposal
+    when the constraint is violated, the full pending vector at the
+    horizon, [None] otherwise.  Pure — the coordinator may enlarge the
+    result before {!execute} but must never shrink it. *)
+
+val shed : t -> unit
+(** Record that optional co-flush work for this tenant was shed by the
+    scheduler's backpressure. *)
+
+val execute : t -> int array -> unit
+(** Process the batches (per table), journal each as an [Applied] record
+    with its metered cost, commit, feed the monitor, and absorb the
+    batches into the controller's bookkeeping. *)
+
+val close_step : t -> unit
+(** SLO accounting (a step ending still over budget counts as a
+    violation), drift escalation ({!Robust.Replan.reanchor} +
+    [Online.set_costs] under exponential backoff), per-tenant telemetry
+    gauges ([serve.slo_headroom], [serve.queue_depth], [serve.shed]),
+    and the step counter. *)
+
+val step : t -> int array -> unit
+(** [begin_step]; [execute]; [close_step] — standalone single-tenant
+    stepping (the scheduler calls the phases itself). *)
+
+val finish : t -> bool
+(** Final consistency check (incremental content vs from-scratch
+    recompute) and WAL close.  [true] iff consistent. *)
+
+val abandon : t -> unit
+(** Simulated-crash shutdown: close the WAL without flushing. *)

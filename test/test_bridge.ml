@@ -115,6 +115,77 @@ let test_runner_rejects_invalid_plan () =
        false
      with Invalid_argument _ -> true)
 
+let test_runner_rejected_plan_leaves_engine_intact () =
+  (* Regression: an invalid action deep in the plan used to be detected
+     only when execution reached it, after earlier steps had already
+     drawn modifications and mutated the queues — a rejected plan
+     corrupted the engine.  Validation now happens before any
+     modification is drawn, so rejection must leave the engine
+     bit-identical and reusable. *)
+  let _, cal_m, cal_feeds = env ~seed:21 () in
+  let spec = fitted_spec cal_m cal_feeds ~limit:3000.0 ~horizon:8 in
+  let _, m, feeds = env ~seed:22 () in
+  let eng = Bridge.Runner.engine ~maintainer:m ~feeds in
+  (* Pre-existing pending state the run must not disturb. *)
+  Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0);
+  let before_pending = Ivm.Maintainer.pending_sizes m in
+  let before_changes = Ivm.Maintainer.pending_changes m 0 in
+  let before_rows = Ivm.Maintainer.rows m in
+  let before_meter = Relation.Meter.snapshot (Ivm.Maintainer.meter m) in
+  (* Valid at t = 0, impossible at t = 3: the old code would execute
+     steps 0..2 before noticing. *)
+  let plan =
+    Abivm.Plan.of_actions [ (0, [| 1; 0; 0; 0 |]); (3, [| 100; 0; 0; 0 |]) ]
+  in
+  (try
+     ignore (Bridge.Runner.run_plan eng spec plan);
+     Alcotest.fail "invalid plan accepted"
+   with Invalid_argument _ -> ());
+  checkb "pending sizes untouched" true
+    (Ivm.Maintainer.pending_sizes m = before_pending);
+  checkb "pending changes untouched" true
+    (Ivm.Maintainer.pending_changes m 0 = before_changes);
+  checkb "view rows untouched" true (Ivm.Maintainer.rows m = before_rows);
+  checkb "meter untouched" true
+    (Relation.Meter.snapshot (Ivm.Maintainer.meter m) = before_meter);
+  (* ... and the engine is still usable for a valid plan. *)
+  let report = Bridge.Runner.run_plan eng spec (Abivm.Naive.plan spec) in
+  checkb "engine reusable after rejection" true report.Abivm.Report.valid
+
+let test_runner_stepper_matches_run_plan () =
+  (* The resumable stepper must execute the identical run: same metered
+     cost, same validity, same action count. *)
+  let _, cal_m, cal_feeds = env ~seed:23 () in
+  let spec = fitted_spec cal_m cal_feeds ~limit:3000.0 ~horizon:12 in
+  let plan = Abivm.Naive.plan spec in
+  let _, m1, feeds1 = env ~seed:24 () in
+  let whole =
+    Bridge.Runner.run_plan
+      (Bridge.Runner.engine ~maintainer:m1 ~feeds:feeds1)
+      spec plan
+  in
+  let _, m2, feeds2 = env ~seed:24 () in
+  let stepper =
+    Bridge.Runner.start
+      (Bridge.Runner.engine ~maintainer:m2 ~feeds:feeds2)
+      spec plan
+  in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Bridge.Runner.step stepper with
+    | Some _ -> incr steps
+    | None -> continue := false
+  done;
+  checkb "finished" true (Bridge.Runner.finished stepper);
+  let report = Bridge.Runner.finish stepper in
+  checki "every step executed" 13 !steps;
+  checkb "stepped run valid" true report.Abivm.Report.valid;
+  checkb "identical metered cost" true
+    (match (report.Abivm.Report.cost_units, whole.Abivm.Report.cost_units) with
+    | Some a, Some b -> Int64.bits_of_float a = Int64.bits_of_float b
+    | _ -> false)
+
 let test_runner_asymmetric_plan_consistent () =
   (* An OPT-LGM plan (asymmetric by construction) must keep the executed
      view consistent end-to-end. *)
@@ -301,6 +372,10 @@ let () =
           Alcotest.test_case "executes naive" `Quick test_runner_executes_naive;
           Alcotest.test_case "simulated close to executed" `Quick
             test_runner_simulated_close_to_executed;
+          Alcotest.test_case "rejected plan leaves engine intact" `Quick
+            test_runner_rejected_plan_leaves_engine_intact;
+          Alcotest.test_case "stepper matches run_plan" `Quick
+            test_runner_stepper_matches_run_plan;
           Alcotest.test_case "rejects invalid plan" `Quick
             test_runner_rejects_invalid_plan;
           Alcotest.test_case "asymmetric plan consistent" `Quick

@@ -605,6 +605,69 @@ let test_ra_explain () =
   checkb "mentions join" true (contains text "Join");
   checkb "mentions aggregate" true (contains text "COUNT(*) AS n")
 
+(* --- batch ownership ------------------------------------------------------ *)
+
+let test_batch_project_owns_selection () =
+  (* Regression: [project] used to alias the source's selection vector,
+     so narrowing the projection compacted the source batch's [sel] in
+     place under any other consumer of the same chunk. *)
+  let s = Schema.make [ ("a", ti); ("b", tf) ] in
+  let tuples = List.init 8 (fun i -> [| vi i; vf (float_of_int i) |]) in
+  match Batch.of_tuples s tuples with
+  | [ b ] ->
+      let proj = Batch.project b [| 0 |] (Schema.make [ ("a", ti) ]) in
+      Batch.filter_in_place proj (fun r -> r mod 2 = 0);
+      checki "projection narrowed" 4 (Batch.length proj);
+      checki "source still full" 8 (Batch.length b);
+      checkb "source rows intact, in order" true (Batch.to_tuples b = tuples)
+  | _ -> Alcotest.fail "expected a single batch"
+
+let test_batch_filter_after_project_independent () =
+  let s = Schema.make [ ("a", ti) ] in
+  let tuples = List.init 6 (fun i -> [| vi i |]) in
+  match Batch.of_tuples s tuples with
+  | [ b ] ->
+      let p1 = Batch.project b [| 0 |] s in
+      let p2 = Batch.project b [| 0 |] s in
+      Batch.filter_in_place p1 (fun r -> r < 2);
+      Batch.filter_in_place p2 (fun r -> r >= 4);
+      checki "p1" 2 (Batch.length p1);
+      checki "p2" 2 (Batch.length p2);
+      checki "source" 6 (Batch.length b)
+  | _ -> Alcotest.fail "expected a single batch"
+
+(* --- ihash sizing --------------------------------------------------------- *)
+
+let test_ihash_huge_hint_safe () =
+  (* Regression: [create hint] sized via a doubling loop toward
+     [4 * hint]; for huge hints the product (or the doubling) overflowed
+     and the loop never reached its target — and even short of overflow
+     the hint demanded absurd up-front allocations.  The hint is now
+     clamped; the table still grows on demand. *)
+  List.iter
+    (fun hint ->
+      let h = Ihash.create hint in
+      Ihash.add h 42 1;
+      Ihash.add h 42 2;
+      Ihash.add h 7 3;
+      checki "length" 3 (Ihash.length h);
+      let acc = ref [] in
+      Ihash.iter_matches h 42 (fun p -> acc := p :: !acc);
+      checkb "insertion order kept" true (List.rev !acc = [ 1; 2 ]);
+      checkb "other key present" true (Ihash.mem h 7);
+      checkb "absent key absent" false (Ihash.mem h 9))
+    [ max_int; max_int / 2; 1 lsl 40; 1 lsl 21 ]
+
+let test_ihash_grows_past_clamped_hint () =
+  let h = Ihash.create max_int in
+  for i = 0 to 9_999 do
+    Ihash.add h (i mod 97) i
+  done;
+  checki "all payloads kept" 10_000 (Ihash.length h);
+  let n = ref 0 in
+  Ihash.iter_matches h 0 (fun _ -> incr n);
+  checki "chain complete" (10_000 / 97 + 1) !n
+
 let () =
   Alcotest.run "relation"
     [
@@ -705,6 +768,19 @@ let () =
           Alcotest.test_case "empty" `Quick test_agg_empty;
           Alcotest.test_case "nulls skipped" `Quick test_agg_nulls_skipped;
           Alcotest.test_case "output types" `Quick test_agg_output_types;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "project owns selection" `Quick
+            test_batch_project_owns_selection;
+          Alcotest.test_case "independent projections" `Quick
+            test_batch_filter_after_project_independent;
+        ] );
+      ( "ihash",
+        [
+          Alcotest.test_case "huge hint safe" `Quick test_ihash_huge_hint_safe;
+          Alcotest.test_case "grows past clamped hint" `Quick
+            test_ihash_grows_past_clamped_hint;
         ] );
       ( "ra",
         [

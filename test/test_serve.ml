@@ -1,0 +1,323 @@
+(* Tests for the multi-tenant serve scheduler (lib/serve): admission
+   decisions, the bit-identical guarantee for pool-parallel rounds
+   (phases A and C touch per-tenant state only, so fanning them over 4
+   domains must reproduce the sequential run exactly), crash + recovery
+   equivalence against an uninterrupted twin, and the backpressure
+   contract — shedding refuses optional co-flush work but never drops a
+   committed arrival from any tenant's WAL. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let rec rmtree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> rmtree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_counter = ref 0
+
+let scratch () =
+  incr scratch_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abivm-serve-%d-%d" (Unix.getpid ()) !scratch_counter)
+  in
+  rmtree dir;
+  dir
+
+(* Small but busy: limit_factor 1.2 keeps capacity tight enough that
+   tenants flush throughout the run, exercising coordination, discounts
+   and mid-run WAL [Applied] records. *)
+let tenant_cfg ?(rows = 50) ?(horizon = 15) ?(limit_factor = 1.2) ~seed name =
+  {
+    Serve.Tenant.name;
+    seed;
+    rows;
+    horizon;
+    limit_factor;
+    streams = [ "ss"; "ss" ];
+  }
+
+let fleet ?rows ?horizon ?limit_factor n =
+  List.init n (fun i ->
+      tenant_cfg ?rows ?horizon ?limit_factor ~seed:(42 + (10 * i))
+        (Printf.sprintf "t%d" i))
+
+let service_cfg ?(coordinate = true) ?(discount_factor = 0.8) ?shed_budget
+    ?(hook = Durable.Hook.none) ?(admission = Serve.Admission.default) () =
+  {
+    Serve.Service.admission;
+    coordinate;
+    discount_factor;
+    shed_budget;
+    sync = Durable.Wal.Always;
+    hook;
+  }
+
+let run_service ?pool ~root config cfgs =
+  let svc = Serve.Service.create ?pool ~root config in
+  List.iter
+    (fun cfg ->
+      match Serve.Service.register svc cfg with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "register %s: %s" cfg.Serve.Tenant.name e)
+    cfgs;
+  Serve.Service.run svc
+
+let bits = Int64.bits_of_float
+
+let check_tenant_outcomes_equal what (a : Serve.Service.tenant_outcome)
+    (b : Serve.Service.tenant_outcome) =
+  let ckb label av bv =
+    Alcotest.check Alcotest.bool
+      (Printf.sprintf "%s: %s %s" what a.Serve.Service.tenant label)
+      true (av = bv)
+  in
+  ckb "name" a.Serve.Service.tenant b.Serve.Service.tenant;
+  ckb "steps" a.steps b.steps;
+  ckb "metered bits" (bits a.metered_cost) (bits b.metered_cost);
+  ckb "charged bits" (bits a.charged_cost) (bits b.charged_cost);
+  ckb "violations" a.violations b.violations;
+  ckb "sheds" a.sheds b.sheds;
+  ckb "reanchors" a.reanchors b.reanchors;
+  ckb "consistent" a.consistent b.consistent
+
+let check_outcomes_equal what (a : Serve.Service.outcome)
+    (b : Serve.Service.outcome) =
+  checki (what ^ ": tenant count")
+    (List.length a.Serve.Service.tenants)
+    (List.length b.Serve.Service.tenants);
+  List.iter2 (check_tenant_outcomes_equal what) a.Serve.Service.tenants
+    b.Serve.Service.tenants;
+  checki (what ^ ": rounds") a.rounds b.rounds;
+  checkb (what ^ ": aggregate charged bits") true
+    (bits a.aggregate_charged = bits b.aggregate_charged);
+  checkb (what ^ ": aggregate undiscounted bits") true
+    (bits a.aggregate_undiscounted = bits b.aggregate_undiscounted);
+  checki (what ^ ": co-flushes") a.co_flushes b.co_flushes
+
+let all_consistent (o : Serve.Service.outcome) =
+  List.for_all
+    (fun t -> t.Serve.Service.consistent)
+    o.Serve.Service.tenants
+
+(* --- admission ------------------------------------------------------------ *)
+
+let test_admission_decisions () =
+  let cfg = { Serve.Admission.max_active = 2; max_queued = 1 } in
+  let decide = Serve.Admission.decide cfg in
+  (match decide ~active:0 ~queued:0 ~known:[] "t0" with
+  | Serve.Admission.Admit -> ()
+  | d -> Alcotest.failf "expected admit, got %s" (Serve.Admission.describe d));
+  (match decide ~active:2 ~queued:0 ~known:[ "t0"; "t1" ] "t2" with
+  | Serve.Admission.Queue -> ()
+  | d -> Alcotest.failf "expected queue, got %s" (Serve.Admission.describe d));
+  (match decide ~active:2 ~queued:1 ~known:[ "t0"; "t1"; "t2" ] "t3" with
+  | Serve.Admission.Reject _ -> ()
+  | d ->
+      Alcotest.failf "expected reject (queue full), got %s"
+        (Serve.Admission.describe d));
+  (match decide ~active:1 ~queued:0 ~known:[ "t0" ] "t0" with
+  | Serve.Admission.Reject _ -> ()
+  | d ->
+      Alcotest.failf "expected reject (duplicate), got %s"
+        (Serve.Admission.describe d));
+  (match decide ~active:0 ~queued:0 ~known:[] "../evil" with
+  | Serve.Admission.Reject _ -> ()
+  | d ->
+      Alcotest.failf "expected reject (bad name), got %s"
+        (Serve.Admission.describe d))
+
+(* --- pool-parallel vs sequential ------------------------------------------ *)
+
+let test_parallel_bit_identical () =
+  let cfgs = fleet 4 in
+  let seq_root = scratch () and par_root = scratch () in
+  Fun.protect
+    ~finally:(fun () ->
+      rmtree seq_root;
+      rmtree par_root)
+    (fun () ->
+      let seq = run_service ~root:seq_root (service_cfg ()) cfgs in
+      let par =
+        Parallel.Pool.with_pool ~domains:4 (fun pool ->
+            run_service ~pool ~root:par_root (service_cfg ()) cfgs)
+      in
+      checkb "sequential run consistent" true (all_consistent seq);
+      check_outcomes_equal "par-vs-seq" seq par)
+
+(* --- crash + recovery ----------------------------------------------------- *)
+
+let kill_at round point =
+  match point with
+  | Durable.Hook.Step_start r when r = round ->
+      raise (Durable.Hook.Crash (Printf.sprintf "round %d" round))
+  | _ -> ()
+
+let crash_recover_case ~kill_round () =
+  let cfgs = fleet 4 in
+  let base_root = scratch () and crash_root = scratch () in
+  Fun.protect
+    ~finally:(fun () ->
+      rmtree base_root;
+      rmtree crash_root)
+    (fun () ->
+      let baseline = run_service ~root:base_root (service_cfg ()) cfgs in
+      checkb "baseline consistent" true (all_consistent baseline);
+      (* Same fleet, killed mid-run. *)
+      let crashed =
+        try
+          ignore
+            (run_service ~root:crash_root
+               (service_cfg ~hook:(kill_at kill_round) ())
+               cfgs);
+          false
+        with Durable.Hook.Crash _ -> true
+      in
+      checkb "hook killed the run" true crashed;
+      match Serve.Service.recover ~root:crash_root () with
+      | Error e -> Alcotest.failf "recover: %s" e
+      | Ok svc ->
+          checkb "something was replayed" true
+            (Serve.Service.total_replayed svc > 0);
+          let recovered = Serve.Service.run svc in
+          check_outcomes_equal "recovered-vs-baseline" baseline recovered)
+
+(* Early kill: flushes are still ahead; late kill: the WALs already hold
+   [Applied] records whose replay must re-meter bit-exactly. *)
+let test_crash_recover_early () = crash_recover_case ~kill_round:4 ()
+let test_crash_recover_late () = crash_recover_case ~kill_round:12 ()
+
+let test_recovered_wal_replays_full_history () =
+  (* A second recovery of the *finished* directory replays everything
+     and yields the same per-tenant accounting once more — the WAL plus
+     manifest really is the whole state. *)
+  let cfgs = fleet 2 in
+  let root = scratch () in
+  Fun.protect
+    ~finally:(fun () -> rmtree root)
+    (fun () ->
+      let first = run_service ~root (service_cfg ()) cfgs in
+      match Serve.Service.recover ~root () with
+      | Error e -> Alcotest.failf "recover: %s" e
+      | Ok svc ->
+          let again = Serve.Service.run svc in
+          check_outcomes_equal "rerun-vs-first" first again)
+
+(* --- backpressure never drops a committed arrival ------------------------- *)
+
+let arrival_count root name =
+  let dir = Filename.concat (Filename.concat root "tenants") name in
+  match Durable.Wal.read ~dir ~from_lsn:0 with
+  | Error e -> Alcotest.failf "wal read %s: %s" name e
+  | Ok records ->
+      List.fold_left
+        (fun n r ->
+          match r with Durable.Record.Arrival _ -> n + 1 | _ -> n)
+        0 records
+
+let test_shedding_never_drops_arrivals () =
+  let cfgs = fleet 4 in
+  let free_root = scratch () and tight_root = scratch () in
+  Fun.protect
+    ~finally:(fun () ->
+      rmtree free_root;
+      rmtree tight_root)
+    (fun () ->
+      let free = run_service ~root:free_root (service_cfg ()) cfgs in
+      checkb "free run consistent" true (all_consistent free);
+      (* A budget of one model-cost unit per round refuses essentially
+         every optional piggyback join. *)
+      let tight =
+        run_service ~root:tight_root
+          (service_cfg ~shed_budget:1.0 ())
+          cfgs
+      in
+      let total_sheds =
+        List.fold_left
+          (fun n t -> n + t.Serve.Service.sheds)
+          0 tight.Serve.Service.tenants
+      in
+      checkb "budget forced shedding" true (total_sheds > 0);
+      checkb "shed run still consistent" true (all_consistent tight);
+      List.iter
+        (fun cfg ->
+          let name = cfg.Serve.Tenant.name in
+          checki
+            (Printf.sprintf "%s: same committed arrivals" name)
+            (arrival_count free_root name)
+            (arrival_count tight_root name))
+        cfgs)
+
+(* --- queueing and promotion ----------------------------------------------- *)
+
+let test_queue_and_promotion () =
+  let cfgs = fleet ~horizon:8 ~rows:40 4 in
+  let root = scratch () in
+  Fun.protect
+    ~finally:(fun () -> rmtree root)
+    (fun () ->
+      let admission = { Serve.Admission.max_active = 2; max_queued = 4 } in
+      let svc = Serve.Service.create ~root (service_cfg ~admission ()) in
+      let decisions =
+        List.map
+          (fun cfg ->
+            match Serve.Service.register svc cfg with
+            | Ok d -> d
+            | Error e -> Alcotest.failf "register: %s" e)
+          cfgs
+      in
+      checki "two admitted" 2
+        (List.length
+           (List.filter (fun d -> d = Serve.Admission.Admit) decisions));
+      checki "two queued" 2
+        (List.length
+           (List.filter (fun d -> d = Serve.Admission.Queue) decisions));
+      (match Serve.Service.register svc (tenant_cfg ~seed:1 "bad/name") with
+      | Ok (Serve.Admission.Reject _) -> ()
+      | Ok d ->
+          Alcotest.failf "expected reject, got %s" (Serve.Admission.describe d)
+      | Error e -> Alcotest.failf "register: %s" e);
+      let outcome = Serve.Service.run svc in
+      checki "all four completed" 4
+        (List.length outcome.Serve.Service.tenants);
+      checkb "all consistent" true (all_consistent outcome);
+      checki "queue peak" 2 outcome.Serve.Service.queued_peak;
+      checki "one rejected" 1 outcome.Serve.Service.rejected)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "admission",
+        [ Alcotest.test_case "decisions" `Quick test_admission_decisions ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "4-domain pool bit-identical" `Quick
+            test_parallel_bit_identical;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "crash early + recover" `Quick
+            test_crash_recover_early;
+          Alcotest.test_case "crash late + recover" `Quick
+            test_crash_recover_late;
+          Alcotest.test_case "finished dir replays in full" `Quick
+            test_recovered_wal_replays_full_history;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "shedding never drops arrivals" `Quick
+            test_shedding_never_drops_arrivals;
+        ] );
+      ( "admission-lifecycle",
+        [
+          Alcotest.test_case "queue + promotion" `Quick
+            test_queue_and_promotion;
+        ] );
+    ]
