@@ -8,7 +8,7 @@
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
    conjectures multiview multiview-par multiview-par-smoke astar
    astar-smoke robust robust-smoke durable durable-smoke columnar
-   columnar-smoke serve serve-smoke micro
+   columnar-smoke serve serve-smoke ho ho-smoke micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
    (telemetry trace), --metrics (print the metrics table at the end),
    --domains 1,2,4 (domain counts swept by the parallel sections; the
@@ -19,9 +19,10 @@
    scaling data), the robust sections BENCH_robust.json (drifted-stream
    comparison), the durable sections BENCH_durable.json (WAL/checkpoint
    overhead and recovery time), the multiview-par sections
-   BENCH_multiview.json (pooled coordinator + concurrent flush data) and
-   the serve sections BENCH_serve.json (shared SLO scheduler vs
-   independent per-tenant ONLINE) to
+   BENCH_multiview.json (pooled coordinator + concurrent flush data), the
+   serve sections BENCH_serve.json (shared SLO scheduler vs independent
+   per-tenant ONLINE) and the ho sections BENCH_ho.json (first-order vs
+   higher-order cost curves and re-derived planner bounds) to
    the working directory, each stamped with a "meta" block (commit,
    ocaml_version, domains swept, host cores); the -smoke variants are
    tiny grids wired to the @bench-smoke alias so the bench binary cannot
@@ -1657,6 +1658,270 @@ let run_serve_smoke () =
   run_serve_grid ~name:"smoke" ~tenants:4 ~rows:60 ~horizon:25
     ~limit_factor:1.2 ()
 
+(* --- ho: first-order vs higher-order maintenance --------------------------- *)
+
+(* The DESIGN.md §13 experiment.  Two questions:
+
+   1. What do materialized delta views do to the engine's batch cost
+      curves f_i(k)?  Measured on FO/HO twin synth engines (R indexed on
+      the join key, S not), under a uniform and a Zipfian-skewed insert
+      stream.  The headline is the ΔR (table 0) curve: under FO a ΔR batch
+      scans S once per batch, so f_0(1) starts at the full scan price;
+      under HO it becomes one hash probe per tuple into d(V)/d(R) — the
+      indexed-probe shape.  The acceptance gate requires HO to beat FO by
+      >= 2x at small k there.  On the already-indexed ΔS side the win is a
+      flatter slope (the Fit.slope gate), and at large k HO loses its
+      lead — per-tuple probing cannot amortize like one shared scan —
+      which is exactly the frontier shift the planner must re-learn.
+
+   2. What do the re-derived batch bounds / heuristic do with those
+      curves?  A six-table planner grid (both stream shapes plus a scaled
+      echo, all measured curves repaired to their subadditive hull)
+      compares NAIVE vs LGM(NAIVE) vs A* under both orders, reports the
+      per-table batch bounds K_i, and gates on (a) A* with the DP
+      heuristic returning bit-identically the uniform-cost (Dijkstra)
+      optimum, and (b) exact <= A* <= 2 * exact on an Exact-solvable
+      two-table sub-instance.  Any gate failure exits 1. *)
+
+let run_ho_grid ~name ~r_rows ~s_rows ~sizes ~horizon () =
+  section
+    (Printf.sprintf
+       "Higher-order delta views (%s grid; %dx%d rows, batches up to %d) — \
+        FO vs HO cost curves and the re-derived planner bounds"
+       name r_rows s_rows
+       (List.fold_left max 1 sizes));
+  let fo = Ivm.Viewdef.First_order and ho = Ivm.Viewdef.Higher_order in
+  let mk ~zipf order =
+    let db = Tpcr.Synth.generate ~seed:7 ~r_rows ~s_rows () in
+    let m =
+      Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter ~order
+        (Tpcr.Synth.join_view db)
+    in
+    let feeds =
+      if zipf then Tpcr.Synth.zipf_feeds ~seed:11 db
+      else Tpcr.Synth.insert_feeds ~seed:11 db
+    in
+    (m, feeds)
+  in
+  let curves ~zipf table =
+    Bridge.Calibrate.measure_orders ~make:(mk ~zipf) ~table ~sizes
+  in
+  let u0 = curves ~zipf:false 0 and u1 = curves ~zipf:false 1 in
+  let z0 = curves ~zipf:true 0 and z1 = curves ~zipf:true 1 in
+  let get o cs = List.assoc o cs in
+  let at k c = List.assoc k c in
+  (* -- the measured curves -------------------------------------------------- *)
+  emit ~name:("ho_curves_" ^ name)
+    ~aligns:
+      (Util.Tablefmt.Right
+      :: List.map (fun _ -> Util.Tablefmt.Right) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ~header:
+      [ "k"; "FO dR"; "HO dR"; "FO dS"; "HO dS"; "FO dR zipf"; "HO dR zipf";
+        "FO dS zipf"; "HO dS zipf" ]
+    (List.map
+       (fun k ->
+         string_of_int k
+         :: List.map
+              (fun c -> fcell ~decimals:1 (at k c))
+              [ get fo u0; get ho u0; get fo u1; get ho u1; get fo z0;
+                get ho z0; get fo z1; get ho z1 ])
+       sizes);
+  let slope c = Cost.Fit.slope c in
+  Printf.printf
+    "fitted slopes (cost units per modification): dS %.2f (FO) vs %.2f (HO); \
+     zipf dS %.2f (FO) vs %.2f (HO)\n"
+    (slope (get fo u1)) (slope (get ho u1)) (slope (get fo z1))
+    (slope (get ho z1));
+  (* -- the planner grid ----------------------------------------------------- *)
+  let upto = 4 * List.fold_left max 1 sizes in
+  let repaired nm curve =
+    Cost.Func.subadditive_hull ~upto (Bridge.Calibrate.tabulated ~name:nm curve)
+  in
+  (* Six tables from measured data: both stream shapes for both delta
+     sides, plus a scaled echo pair standing in for two smaller tables
+     with the same access-path shapes. *)
+  let costs_of order =
+    [|
+      repaired "u_dR" (get order u0);
+      repaired "u_dS" (get order u1);
+      repaired "z_dR" (get order z0);
+      repaired "z_dS" (get order z1);
+      Cost.Func.scale 0.5 (repaired "u_dR_half" (get order u0));
+      Cost.Func.scale 0.5 (repaired "u_dS_half" (get order u1));
+    |]
+  in
+  let prng = Util.Prng.create ~seed:5 in
+  let arrivals =
+    Array.init (horizon + 1) (fun _ -> Array.init 6 (fun _ -> Util.Prng.int prng 2))
+  in
+  (* The response-time constraint is an external SLA: the same C for both
+     orders, set from the first-order curves.  Against that fixed C the
+     flatter higher-order curves admit far bigger batches — the batch
+     bounds K_i the heuristic is re-derived from shift visibly, and
+     planning itself nearly degenerates (the constraint stops binding).
+     A third configuration re-tightens C proportionally to the HO curves
+     so the HO planner is also exercised on a non-trivial instance. *)
+  let limit_for costs =
+    3.0
+    *. Array.fold_left
+         (fun acc f -> Float.max acc (Cost.Func.eval f 1))
+         0.0 costs
+  in
+  let limit = limit_for (costs_of fo) in
+  let spec_of costs ~limit n_tables horizon' =
+    let costs = Array.sub costs 0 n_tables in
+    Abivm.Spec.make ~costs ~limit
+      ~arrivals:
+        (Array.init (horizon' + 1) (fun t ->
+             Array.sub arrivals.(min t horizon) 0 n_tables))
+  in
+  let gate_failures = ref [] in
+  let gate what ok detail =
+    Printf.printf "gate %-34s %s  (%s)\n" what (if ok then "PASS" else "FAIL")
+      detail;
+    if not ok then gate_failures := what :: !gate_failures
+  in
+  let planner_rows = ref [] and planner_json = ref [] in
+  List.iter
+    (fun (oname, order, limit) ->
+      let costs = costs_of order in
+      let spec = spec_of costs ~limit 6 horizon in
+      let naive_cost = Abivm.Plan.cost spec (Abivm.Naive.plan spec) in
+      let lgm_cost =
+        Abivm.Plan.cost spec (Abivm.Transforms.make_lgm spec (Abivm.Naive.plan spec))
+      in
+      let astar = Abivm.Astar.solve spec in
+      let dijkstra = Abivm.Astar.solve ~use_heuristic:false spec in
+      (* K_i against a horizon long enough that C binds before the
+         total-arrivals clamp: the curve-driven shift.  HO raises the
+         bound on the probe side (flatter slope) and lowers it on the
+         scan side past the crossover where per-tuple probing stops
+         amortizing — both directions are the re-derivation at work. *)
+      let bounds =
+        Abivm.Astar.batch_bounds
+          (Abivm.Spec.make ~costs ~limit
+             ~arrivals:(Array.init 241 (fun _ -> Array.make 6 1)))
+      in
+      gate
+        (Printf.sprintf "A* heuristic = Dijkstra (%s)" oname)
+        (astar.Abivm.Astar.cost = dijkstra.Abivm.Astar.cost)
+        (Printf.sprintf "%.2f vs %.2f, %d vs %d expanded" astar.Abivm.Astar.cost
+           dijkstra.Abivm.Astar.cost astar.Abivm.Astar.stats.Abivm.Astar.expanded
+           dijkstra.Abivm.Astar.stats.Abivm.Astar.expanded);
+      (* Exact is feasible on the two-table head of the grid. *)
+      let sub = spec_of costs ~limit 2 (min horizon 8) in
+      let sub_astar = (Abivm.Astar.solve sub).Abivm.Astar.cost in
+      (match Abivm.Exact.solve ~max_expansions:500_000 sub with
+      | exception Abivm.Exact.Too_large _ ->
+          gate
+            (Printf.sprintf "exact <= A* <= 2 exact (%s)" oname)
+            false "exact solver exceeded its expansion budget"
+      | exact_cost, _ ->
+          gate
+            (Printf.sprintf "exact <= A* <= 2 exact (%s)" oname)
+            (sub_astar >= exact_cost -. 1e-6
+            && sub_astar <= (2.0 *. exact_cost) +. 1e-6)
+            (Printf.sprintf "exact %.2f, A* %.2f" exact_cost sub_astar));
+      planner_rows :=
+        [
+          oname; fcell ~decimals:1 naive_cost; fcell ~decimals:1 lgm_cost;
+          fcell ~decimals:1 astar.Abivm.Astar.cost;
+          string_of_int astar.Abivm.Astar.stats.Abivm.Astar.expanded;
+          String.concat " "
+            (Array.to_list (Array.map string_of_int bounds));
+        ]
+        :: !planner_rows;
+      planner_json :=
+        Printf.sprintf
+          "    { \"order\": %S, \"naive\": %.3f, \"lgm\": %.3f, \"astar\": \
+           %.3f, \"astar_expanded\": %d, \"dijkstra_expanded\": %d, \
+           \"batch_bounds\": [%s] }"
+          oname naive_cost lgm_cost astar.Abivm.Astar.cost
+          astar.Abivm.Astar.stats.Abivm.Astar.expanded
+          dijkstra.Abivm.Astar.stats.Abivm.Astar.expanded
+          (String.concat ", " (Array.to_list (Array.map string_of_int bounds)))
+        :: !planner_json)
+    [
+      ("first-order", fo, limit);
+      ("higher-order", ho, limit);
+      ("higher-order tight C", ho, limit_for (costs_of ho));
+    ];
+  emit ~name:("ho_planner_" ^ name)
+    ~aligns:
+      [ Util.Tablefmt.Left; Util.Tablefmt.Right; Util.Tablefmt.Right;
+        Util.Tablefmt.Right; Util.Tablefmt.Right; Util.Tablefmt.Left ]
+    ~header:
+      [ "order"; "NAIVE"; "LGM(NAIVE)"; "A*"; "A* expanded"; "batch bounds K_i" ]
+    (List.rev !planner_rows);
+  (* -- acceptance gates on the engine curves -------------------------------- *)
+  let k_small = List.nth sizes 0 and k_mid = List.nth sizes 1 in
+  let speedup k = at k (get fo u0) /. at k (get ho u0) in
+  gate "HO >= 2x FO on dR at small k"
+    (speedup k_small >= 2.0 && speedup k_mid >= 2.0)
+    (Printf.sprintf "k=%d: %.1fx, k=%d: %.1fx" k_small (speedup k_small) k_mid
+       (speedup k_mid));
+  gate "HO dS slope flatter than FO"
+    (Cost.Fit.flatter (get ho u1) ~than:(get fo u1))
+    (Printf.sprintf "%.2f vs %.2f" (slope (get ho u1)) (slope (get fo u1)));
+  (* -- JSON ------------------------------------------------------------------ *)
+  let curve_json stream table order curve =
+    Printf.sprintf
+      "    { \"stream\": %S, \"table\": %d, \"order\": %S, \"slope\": %.4f, \
+       \"points\": [%s] }"
+      stream table
+      (Ivm.Viewdef.order_name order)
+      (slope curve)
+      (String.concat ", "
+         (List.map (fun (k, c) -> Printf.sprintf "[%d, %.3f]" k c) curve))
+  in
+  let path = "BENCH_ho.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"grid\": %S,\n  %s,\n  \"r_rows\": %d,\n  \"s_rows\": %d,\n  \
+     \"curves\": [\n%s\n  ],\n  \"planner\": [\n%s\n  ],\n  \"gates\": { \
+     \"ho_speedup_dr_k%d\": %.3f, \"ho_speedup_dr_k%d\": %.3f, \
+     \"ho_ds_flatter\": %b, \"failed\": [%s] }\n}\n"
+    name (meta_json ()) r_rows s_rows
+    (String.concat ",\n"
+       (List.concat_map
+          (fun (stream, t, cs) ->
+            List.map (fun (o, c) -> curve_json stream t o c) cs)
+          [
+            ("uniform", 0, u0); ("uniform", 1, u1); ("zipf", 0, z0);
+            ("zipf", 1, z1);
+          ]))
+    (String.concat ",\n" (List.rev !planner_json))
+    k_small (speedup k_small) k_mid (speedup k_mid)
+    (Cost.Fit.flatter (get ho u1) ~than:(get fo u1))
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "%S" s) !gate_failures));
+  close_out oc;
+  Printf.printf "(written to %s)\n" path;
+  Printf.printf
+    "headline: materializing d(V)/d(R) turns the dR batch from a scan of S \
+     into hash probes — %.1fx cheaper at k=%d — while at k=%d the shared \
+     scan catches back up (%.1fx); the planner sees the shift through \
+     re-derived batch bounds, and A* with the DP heuristic stays \
+     bit-identical to uniform-cost search on every instance\n"
+    (speedup k_small) k_small
+    (List.fold_left max 1 sizes)
+    (let kmax = List.fold_left max 1 sizes in
+     at kmax (get fo u0) /. at kmax (get ho u0));
+  if !gate_failures <> [] then begin
+    Printf.eprintf "ho bench: %d gate(s) failed: %s\n"
+      (List.length !gate_failures)
+      (String.concat "; " (List.rev !gate_failures));
+    exit 1
+  end
+
+let run_ho () =
+  run_ho_grid ~name:"reference" ~r_rows:400 ~s_rows:400
+    ~sizes:[ 1; 8; 64; 256 ] ~horizon:14 ()
+
+let run_ho_smoke () =
+  run_ho_grid ~name:"smoke" ~r_rows:160 ~s_rows:160 ~sizes:[ 1; 8; 32 ]
+    ~horizon:8 ()
+
 let sections =
   [
     ("fig1", run_fig1);
@@ -1682,6 +1947,8 @@ let sections =
     ("columnar-smoke", run_columnar_smoke);
     ("serve", run_serve);
     ("serve-smoke", run_serve_smoke);
+    ("ho", run_ho);
+    ("ho-smoke", run_ho_smoke);
     ("micro", run_micro);
   ]
 
@@ -1746,7 +2013,8 @@ let () =
       List.filter
         (fun s ->
           s <> "astar-smoke" && s <> "robust-smoke" && s <> "durable-smoke"
-          && s <> "multiview-par-smoke" && s <> "columnar-smoke")
+          && s <> "multiview-par-smoke" && s <> "columnar-smoke"
+          && s <> "ho-smoke")
         (List.map fst sections)
   in
   List.iter

@@ -31,3 +31,12 @@ let tabulated ~name samples =
   in
   let positive = List.filter (fun (k, _) -> k > 0) monotone in
   Cost.Func.tabulated ~name positive
+
+let measure_orders ~make ~table ~sizes =
+  List.map
+    (fun order ->
+      let m, feeds = make order in
+      if Ivm.Maintainer.order m <> order then
+        invalid_arg "Calibrate.measure_orders: factory ignored the order";
+      (order, measure_curve m feeds ~table ~sizes))
+    [ Ivm.Viewdef.First_order; Ivm.Viewdef.Higher_order ]

@@ -27,3 +27,15 @@ val tabulated : name:string -> (int * float) list -> Cost.Func.t
 (** The measured curve itself as a piecewise-linear cost function —
     maximum fidelity, but check subadditivity before trusting LGM bounds
     ({!Cost.Check.is_subadditive}). *)
+
+val measure_orders :
+  make:(Ivm.Viewdef.order -> Ivm.Maintainer.t * Tpcr.Updates.feeds) ->
+  table:int ->
+  sizes:int list ->
+  (Ivm.Viewdef.order * (int * float) list) list
+(** Meter one table's cost curve under both maintenance orders.  [make]
+    must build a {e fresh} engine (identical seed/state) for the given
+    order — each order's curve is measured against its own engine so base
+    drift from one measurement cannot leak into the other.  Returns the
+    curves in [[First_order; Higher_order]] order; feed them to {!fitted}
+    / {!tabulated} and compare shapes with {!Cost.Fit.flatter}. *)

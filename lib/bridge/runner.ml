@@ -138,7 +138,10 @@ let exec_step st =
               let cost =
                 Telemetry.with_span ~name:"runner.action"
                   ~attrs:
-                    (("strategy", Abivm.Strategy.name st.st_strategy) :: labels)
+                    (("strategy", Abivm.Strategy.name st.st_strategy)
+                    :: ( "order",
+                         Ivm.Viewdef.order_name (Ivm.Maintainer.order m) )
+                    :: labels)
                   run_action
               in
               (* Executed vs simulated cost of the same action, keyed by
@@ -191,7 +194,11 @@ let run_plan ?monitor ?journal ?(strategy = Abivm.Strategy.Online None) e spec
     plan =
   let st = start ?monitor ?journal ~strategy e spec plan in
   Telemetry.with_span ~name:"runner.plan"
-    ~attrs:[ ("strategy", Abivm.Strategy.label strategy) ]
+    ~attrs:
+      [
+        ("strategy", Abivm.Strategy.label strategy);
+        ("order", Ivm.Viewdef.order_name (Ivm.Maintainer.order e.maintainer));
+      ]
     (fun () -> finish st)
 
 let action_costs (r : Abivm.Report.t) =
@@ -217,3 +224,5 @@ let simulated_action_costs (r : Abivm.Report.t) =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let simulated_cost = Abivm.Plan.cost
+
+let order e = Ivm.Maintainer.order e.maintainer

@@ -26,6 +26,10 @@ type engine
 val engine :
   maintainer:Ivm.Maintainer.t -> feeds:Tpcr.Updates.feeds -> engine
 
+val order : engine -> Ivm.Viewdef.order
+(** The engine's maintenance order (from its maintainer) — stamped on the
+    ["runner.plan"] / ["runner.action"] telemetry spans. *)
+
 val maintainer : engine -> Ivm.Maintainer.t
 val feeds : engine -> Tpcr.Updates.feeds
 

@@ -14,14 +14,15 @@ module Ktbl = Statekey.Tbl
 (* Per-solve precomputation shared by the heuristic and the edge-weight
    evaluator: suffix sums K.(t).(i) = total arrivals to table i during
    [t, T], the global per-table one-step maximum m_i, the paper's batch
-   bounds b_i with their costs f_i(b_i), and each f_i tabulated over the
-   reachable argument range [0, K.(0).(i) + m_i] so hot-path cost lookups
-   are array reads instead of closure calls. *)
+   bounds b_i, each f_i tabulated over the reachable argument range
+   [0, K.(0).(i) + m_i] so hot-path cost lookups are array reads instead
+   of closure calls, and the per-table decomposition lower bounds lb_i
+   (see below). *)
 type tables = {
   suffix : int array array;
   bounds : int array;
-  f_bounds : float array;
   f_tab : float array array;
+  lb : float array array;
 }
 
 let precompute spec =
@@ -46,16 +47,40 @@ let precompute spec =
         in
         max 1 (m.(i) + best))
   in
-  let f_bounds =
-    Array.mapi (fun i bi -> Cost.Func.eval (Spec.cost_fn spec i) bi) bounds
-  in
   let f_tab =
     Array.init n (fun i ->
         Array.init
           (suffix.(0).(i) + m.(i) + 1)
           (fun k -> Cost.Func.eval (Spec.cost_fn spec i) k))
   in
-  { suffix; bounds; f_bounds; f_tab }
+  (* lb.(i).(M) = min over decompositions M = k_1 + ... + k_j with every
+     k_j <= b_i of Σ_j f_i(k_j): the exact optimum of the single-table
+     relaxation.  Any plan reaching the horizon from a node with M
+     modifications of table i left must process exactly M of them in
+     batches of at most b_i (a post-action state is never full, so
+     s_i <= max_batch_i, and one step adds at most m_i), so lb_i(M) is
+     admissible — and it dominates both of the paper's §4.1 terms:
+     lb_i(M) >= f_i(M) by subadditivity, and the batch-count floor bound
+     floor(M / b_i) * f_i(b_i) is NOT sound in general (for subadditive
+     but non-concave f, e.g. the blocked family, f(k)/k can increase, so
+     the floor bound can exceed the cheapest decomposition), which this
+     re-derivation fixes.  Tabulated once per solve: O(M_max * b_i) per
+     table. *)
+  let lb =
+    Array.init n (fun i ->
+        let mmax = suffix.(0).(i) + m.(i) in
+        let tab = Array.make (mmax + 1) 0.0 in
+        for mm = 1 to mmax do
+          let best = ref Float.infinity in
+          for k = 1 to min bounds.(i) mm do
+            let c = f_tab.(i).(k) +. tab.(mm - k) in
+            if c < !best then best := c
+          done;
+          tab.(mm) <- !best
+        done;
+        tab)
+  in
+  { suffix; bounds; f_tab; lb }
 
 (* Tabulated f_i(k); falls back to a direct evaluation for arguments
    beyond the reachable range (only possible for caller-supplied states,
@@ -74,16 +99,17 @@ let f_vector spec tables (v : Statevec.t) =
   done;
   !acc
 
-(* Per-table lower bound on the cost of processing M remaining
-   modifications: the paper's batch-count bound floor(M / b_i) * f_i(b_i)
-   (any lazy batch holds at most b_i modifications), strengthened with the
-   subadditive bound f_i(M).  Both are admissible, so their max is.
-
-   Note a deviation from the paper: Lemma 7 claims this heuristic is
-   consistent, but it is not — crossing a floor boundary can drop the
-   batch-count term by f_i(b_i) while the connecting edge costs only
-   f_i(q) < f_i(b_i).  The search below therefore allows node reopening,
-   which keeps A* optimal for any admissible heuristic. *)
+(* h(t, s) = Σ_i lb_i(s_i + K_i) with K_i the arrivals in (t, T] — each
+   table's exact decomposition optimum (see [precompute]).  Along any
+   search edge the action satisfies a_i <= b_i and shrinks each table's
+   remaining count by exactly a_i, and lb_i(M) <= f_i(a_i) + lb_i(M - a_i)
+   by DP optimality, so on search-generated nodes the heuristic is both
+   admissible and consistent — strictly tighter than the paper's
+   floor(M / b_i) * f_i(b_i) ∨ f_i(M), whose floor term is additionally
+   unsound for non-concave subadditive costs (Lemma 7's consistency claim
+   already failed for it; see DESIGN.md §13).  Node reopening below is
+   kept: callers may evaluate the heuristic on states outside the
+   reachable range, where the fallback is only admissible. *)
 let heuristic_of spec tables =
   let horizon = Spec.horizon spec in
   fun ~t (s : Statevec.t) ->
@@ -93,15 +119,38 @@ let heuristic_of spec tables =
     Array.iteri
       (fun i si ->
         let remaining = si + tables.suffix.(start).(i) in
-        let batch_bound =
-          float_of_int (remaining / tables.bounds.(i)) *. tables.f_bounds.(i)
+        let tab = tables.lb.(i) in
+        let bound =
+          if remaining < Array.length tab then tab.(remaining)
+          else
+            (* Caller-supplied states can exceed the reachable range; the
+               table's last entry (lb is monotone in M) and the
+               subadditive one-batch bound both lower-bound any
+               continuation. *)
+            Float.max
+              tab.(Array.length tab - 1)
+              (f_component spec tables i remaining)
         in
-        let subadditive_bound = f_component spec tables i remaining in
-        acc := !acc +. Float.max batch_bound subadditive_bound)
+        acc := !acc +. bound)
       s;
     !acc
 
 let make_heuristic spec = heuristic_of spec (precompute spec)
+
+let batch_bounds spec = (precompute spec).bounds
+
+let table_lower_bound spec ~table ~remaining =
+  if remaining < 0 then
+    invalid_arg "Astar.table_lower_bound: negative remaining";
+  let tables = precompute spec in
+  if table < 0 || table >= Array.length tables.lb then
+    invalid_arg "Astar.table_lower_bound: bad table index";
+  let tab = tables.lb.(table) in
+  if remaining < Array.length tab then tab.(remaining)
+  else
+    Float.max
+      tab.(Array.length tab - 1)
+      (f_component spec tables table remaining)
 
 (* Partial application memoizes the precomputation: [heuristic spec] does
    the O(T·n) suffix-sum / batch-bound / tabulation work once and returns

@@ -2,17 +2,27 @@
 
     Nodes are (time, post-action state) pairs; an edge leaves a node at the
     first future time its pre-action state becomes full and carries one
-    minimal greedy valid action.  The paper's heuristic
-    [h(x) = Σ_i floor((s[i] + K_i) / b_i) * f_i(b_i)] is admissible; we
-    additionally take the max with the subadditive bound [Σ_i f_i(s[i] +
-    K_i)].
+    minimal greedy valid action.
 
-    Deviation from the paper: Lemma 7 claims the heuristic consistent, but
-    crossing a floor boundary can decrease the batch-count term by
-    [f_i(b_i)] while the edge costs only [f_i(q) < f_i(b_i)], so it is
-    not.  The search therefore reopens nodes when a cheaper path appears
-    (skipping stale queue entries), which keeps A* optimal under any
-    admissible heuristic.  See DESIGN.md.
+    Heuristic (re-derived; DESIGN.md §13): [h(t, s) = Σ_i lb_i(s[i] +
+    K_i)], where [lb_i(M)] is the exact optimum of the single-table
+    relaxation — the cheapest way to process [M] modifications of table
+    [i] in batches of at most [b_i] (the paper's batch bound
+    [b_i = m_i + max{k : f_i(k) <= C}]) — tabulated by dynamic
+    programming once per solve.  This dominates both terms of the paper's
+    §4.1 heuristic [floor(M / b_i) * f_i(b_i) ∨ f_i(M)]: the subadditive
+    term because a one-batch decomposition is in the minimand, and the
+    floor term because that term is {e unsound} for subadditive
+    non-concave costs (the blocked family has increasing [f(k)/k], so
+    the floor bound can exceed the cheapest decomposition — Lemma 7's
+    consistency claim fails for the same reason).  On search-generated
+    nodes the DP bound is consistent (every edge action satisfies
+    [a_i <= b_i] and [lb_i(M) <= f_i(a_i) + lb_i(M - a_i)]); reopening is
+    kept for caller-supplied states outside the reachable range, where
+    only admissibility holds.  Flatter higher-order cost curves make
+    [b_i] large and the old floor term vacuous; the DP bound stays tight
+    for them — that is what re-deriving the [K_i]/batch bounds for
+    {!Ivm.Viewdef.Higher_order} calibration amounts to.
 
     Engine notes (DESIGN.md §5): hashtables are keyed on packed
     {!Statekey.t} values (allocation-free probes, full-width FNV hash);
@@ -59,6 +69,18 @@ val solve : ?use_heuristic:bool -> ?domains:int -> Spec.t -> result
 
 val heuristic : Spec.t -> t:int -> Statevec.t -> float
 (** Exposed for the consistency property test.  [heuristic spec] performs
-    the suffix-sum / batch-bound precomputation once and returns a closure
-    reusable across [(t, s)] queries — hold on to the partial application
-    when evaluating many states. *)
+    the suffix-sum / batch-bound / DP-tabulation precomputation once and
+    returns a closure reusable across [(t, s)] queries — hold on to the
+    partial application when evaluating many states. *)
+
+val batch_bounds : Spec.t -> int array
+(** The per-table batch bounds [b_i = m_i + max{k : f_i(k) <= C}] (at
+    least 1) the heuristic's decompositions are restricted to — exposed so
+    benches and tests can report how calibrated cost shapes move them. *)
+
+val table_lower_bound : Spec.t -> table:int -> remaining:int -> float
+(** [table_lower_bound spec ~table ~remaining] — the tabulated [lb_i(M)]:
+    the cheapest total cost of processing [M] modifications of the table
+    in batches of at most [b_i].  Exposed for the admissibility property
+    suite (it must never exceed the cost of any explicit decomposition).
+    Recomputes the precomputation; use {!heuristic} in hot loops. *)

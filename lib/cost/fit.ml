@@ -13,3 +13,7 @@ let to_func ?name fit =
   let a = if fit.a <= 0.0 then 1e-9 else fit.a in
   let f = Func.affine ~a ~b:fit.b in
   match name with Some n -> Func.rename n f | None -> f
+
+let slope samples = (affine samples).a
+
+let flatter samples ~than = slope samples < slope than

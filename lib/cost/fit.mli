@@ -9,3 +9,11 @@ val affine : (int * float) list -> affine_fit
 val to_func : ?name:string -> affine_fit -> Func.t
 (** The fitted function as a {!Func.t} (degenerate [a <= 0] fits are clamped
     to a tiny positive slope to preserve the monotone contract). *)
+
+val slope : (int * float) list -> float
+(** The affine-fit slope alone — the flatness of a measured curve.  Used
+    to compare maintenance orders: higher-order delta processing is
+    expected to flatten a probe-heavy curve ({!flatter}). *)
+
+val flatter : (int * float) list -> than:(int * float) list -> bool
+(** [flatter ho ~than:fo] — strictly smaller fitted slope. *)

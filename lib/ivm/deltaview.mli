@@ -1,0 +1,60 @@
+(** Materialized first-order delta views [d(V)/d(R_i)] — the auxiliary
+    structures behind {!Viewdef.Higher_order} maintenance (DBToaster-style
+    second-order delta processing).
+
+    For each base table [i], removing [i] from the (connected) join graph
+    splits the remaining tables into connected components; each component's
+    sub-join is materialized as a hash multimap from the values [i] joins
+    against (the anchor-edge columns) to the component's joined subtuples
+    with multiplicity.  Applying a batch of [k] modifications of [i] is
+    then one hash probe per (delta tuple, component) plus a cross product
+    of the matches — index-like in [k] — instead of a delta join against
+    the base tables.  Keeping components separate avoids materializing the
+    cross product of unrelated branches (for a star join, the full rest
+    join of the hub table would be the product of every spoke).
+
+    The second-order part: when a batch of table [i] is processed, every
+    other table's delta view contains [i] in exactly one component; that
+    component is maintained by expanding the batch across the component's
+    own edges (a strictly smaller join) and merging the subtuples.
+
+    Metering: probes bump [hash_probe] (one per delta tuple per component)
+    and [index_entries] (one per matched subtuple); maintenance merges
+    bump [hash_build] (one per merged subtuple).  Expansions during
+    maintenance are metered by the {!Maintainer} machinery they reuse. *)
+
+type t
+
+type expander =
+  scope:bool array ->
+  delta:int ->
+  (Relation.Tuple.t * int) list ->
+  (Relation.Tuple.t option array * int) list
+(** Delta-join expansion restricted to the tables with [scope] set: given
+    signed delta tuples of table [delta] (which must be in scope), returns
+    partials binding every in-scope table.  Provided by {!Maintainer} so
+    the delta views reuse its metered index/scan machinery. *)
+
+val create : meter:Relation.Meter.t -> expand:expander -> Viewdef.t -> t
+(** Build and fill one delta view per base table from the current base
+    table contents. *)
+
+val contributions :
+  t -> int -> (Relation.Tuple.t * int) list -> (Relation.Tuple.t * int) list
+(** [contributions t i deltas] — the signed joined-row contributions of a
+    signed delta batch of table [i], computed purely from [i]'s delta view
+    (no base-table access).  Rows are in canonical joined-schema order;
+    the caller nets, filters and applies them. *)
+
+val update : t -> delta:int -> (Relation.Tuple.t * int) list -> expand:expander -> unit
+(** Fold a processed batch of table [delta] into every other table's delta
+    view (the base tables must not yet reflect the batch).  Owners whose
+    affected component is the same table set share one expansion. *)
+
+val entries : t -> int
+(** Total materialized subtuple count across all delta views — the memory
+    footprint higher-order maintenance pays for its flat cost curves. *)
+
+val check : t -> expand:expander -> (unit, string) result
+(** Compare every component against a from-scratch recompute over the
+    current base tables. *)

@@ -24,10 +24,15 @@ type t = {
   content : content;
   filter_fn : (Relation.Tuple.t -> bool) option;
   meter : Relation.Meter.t;
+  order : Viewdef.order;
+  mutable dv : Deltaview.t option;
+      (** the materialized [d(V)/d(R_i)] structures; [Some] iff
+          [order = Higher_order] *)
 }
 
 let view m = m.view
 let meter m = m.meter
+let order m = m.order
 
 let bag_apply counts tuple count =
   let current = match Thash.find_opt counts tuple with Some c -> c | None -> 0 in
@@ -36,47 +41,6 @@ let bag_apply counts tuple count =
     invalid_arg "Maintainer: view tuple multiplicity would go negative";
   if updated = 0 then Thash.remove counts tuple
   else Thash.replace counts tuple updated
-
-let create ?meter view =
-  let tables = Viewdef.tables view in
-  let meter =
-    match meter with Some m -> m | None -> Relation.Table.meter tables.(0)
-  in
-  let joined_schema = Viewdef.joined_schema view in
-  let filter_fn =
-    Option.map (Relation.Expr.compile_pred joined_schema) (Viewdef.filter view)
-  in
-  let joined_rows = Relation.Ra.eval (Viewdef.joined_plan view) in
-  let content =
-    if Viewdef.aggs view <> [] then begin
-      let groups =
-        Groups.create ~schema:joined_schema ~group_by:(Viewdef.group_by view)
-          ~specs:(Viewdef.aggs view)
-      in
-      List.iter (fun row -> Groups.apply groups row 1) joined_rows;
-      Grouped groups
-    end
-    else begin
-      let positions =
-        match Viewdef.projection view with
-        | Some cols -> snd (Relation.Schema.project joined_schema cols)
-        | None ->
-            Array.init (Relation.Schema.arity joined_schema) (fun i -> i)
-      in
-      let counts = Thash.create 256 in
-      List.iter
-        (fun row -> bag_apply counts (Relation.Tuple.project row positions) 1)
-        joined_rows;
-      Bag { counts; positions }
-    end
-  in
-  {
-    view;
-    pending = Array.map (fun _ -> Pending.create ()) tables;
-    content;
-    filter_fn;
-    meter;
-  }
 
 let on_arrive m i change =
   if i < 0 || i >= Array.length m.pending then
@@ -97,12 +61,15 @@ let bind partial j tuple =
   bindings.(j) <- Some tuple;
   { partial with bindings }
 
-(* Candidate expansion edges: those with exactly one endpoint bound,
-   normalized so [left] is the bound side. *)
-let frontier_edges view bound =
+(* Candidate expansion edges: those inside the scope with exactly one
+   endpoint bound, normalized so [left] is the bound side.  First-order
+   maintenance always passes an all-true scope (the whole view); the
+   higher-order path restricts expansion to one delta-view component. *)
+let frontier_edges view ~scope bound =
   List.filter_map
     (fun (e : Viewdef.join_edge) ->
-      if bound.(e.left) && not bound.(e.right) then Some e
+      if not (scope.(e.left) && scope.(e.right)) then None
+      else if bound.(e.left) && not bound.(e.right) then Some e
       else if bound.(e.right) && not bound.(e.left) then
         Some
           {
@@ -129,8 +96,8 @@ let edge_cost_estimate view ~delta (e : Viewdef.join_edge) =
 
 (* Pick the next join edge from a bound table to an unbound one: first in
    edge-list order (Fixed) or cheapest estimated expansion (Adaptive). *)
-let next_edge view ~delta bound =
-  match frontier_edges view bound with
+let next_edge view ~delta ~scope bound =
+  match frontier_edges view ~scope bound with
   | [] -> None
   | first :: rest -> (
       match Viewdef.join_order view with
@@ -262,50 +229,118 @@ let joined_tuple m partial =
   in
   Array.concat (Array.to_list parts)
 
-(* Compute the signed joined contributions of a batch of delta tuples from
-   table [i]. *)
-let expand_batch m i deltas =
+(* Delta-join expansion of signed delta tuples of table [delta] across the
+   in-scope tables (all bindings in the result cover exactly the scope). *)
+let expand_scoped m ~scope ~delta deltas =
   let n = Viewdef.n_tables m.view in
   let bound = Array.make n false in
-  bound.(i) <- true;
+  bound.(delta) <- true;
   let partials =
     List.map
       (fun (tuple, sign) ->
         let bindings = Array.make n None in
-        bindings.(i) <- Some tuple;
+        bindings.(delta) <- Some tuple;
         { bindings; sign })
       deltas
   in
   let rec expand partials bound =
-    match next_edge m.view ~delta:i bound with
+    match next_edge m.view ~delta ~scope bound with
     | None -> partials
     | Some e ->
-        let expanded = expand_step m ~delta:i partials e in
+        let expanded = expand_step m ~delta partials e in
         bound.(e.right) <- true;
         expand expanded bound
   in
-  let full = expand partials bound in
-  (* Net the contributions per distinct joined row: expansion order depends
-     on the physical path (index probes preserve delta order, shared scans
-     emit in scan order), and a batch touching the same row twice must not
-     apply a removal before the matching insertion.  Netting makes the
-     application order-insensitive. *)
+  expand partials bound
+
+(* The scoped expansion in the shape {!Deltaview} consumes. *)
+let expander m : Deltaview.expander =
+ fun ~scope ~delta deltas ->
+  List.map
+    (fun p -> (p.bindings, p.sign))
+    (expand_scoped m ~scope ~delta deltas)
+
+(* Net signed joined rows per distinct row: expansion order depends on the
+   physical path (index probes preserve delta order, shared scans emit in
+   scan order), and a batch touching the same row twice must not apply a
+   removal before the matching insertion.  Netting makes the application
+   order-insensitive.  The view filter is applied here, on the full joined
+   row. *)
+let net_contributions m rows =
   let net = Thash.create 64 in
   let order = ref [] in
   List.iter
-    (fun p ->
-      let row = joined_tuple m p in
+    (fun (row, count) ->
       let keep = match m.filter_fn with Some pred -> pred row | None -> true in
       if keep then
         match Thash.find_opt net row with
-        | Some cell -> cell := !cell + p.sign
+        | Some cell -> cell := !cell + count
         | None ->
-            Thash.add net row (ref p.sign);
+            Thash.add net row (ref count);
             order := row :: !order)
-    full;
+    rows;
   List.rev !order
   |> List.map (fun row -> (row, !(Thash.find net row)))
   |> List.filter (fun (_, count) -> count <> 0)
+
+(* Compute the signed joined contributions of a batch of delta tuples from
+   table [i] by first-order delta join: expand across every other table,
+   then net. *)
+let expand_batch m i deltas =
+  let scope = Array.make (Viewdef.n_tables m.view) true in
+  let full = expand_scoped m ~scope ~delta:i deltas in
+  net_contributions m (List.map (fun p -> (joined_tuple m p, p.sign)) full)
+
+let create ?meter ?order view =
+  let tables = Viewdef.tables view in
+  let meter =
+    match meter with Some m -> m | None -> Relation.Table.meter tables.(0)
+  in
+  let joined_schema = Viewdef.joined_schema view in
+  let filter_fn =
+    Option.map (Relation.Expr.compile_pred joined_schema) (Viewdef.filter view)
+  in
+  let joined_rows = Relation.Ra.eval (Viewdef.joined_plan view) in
+  let content =
+    if Viewdef.aggs view <> [] then begin
+      let groups =
+        Groups.create ~schema:joined_schema ~group_by:(Viewdef.group_by view)
+          ~specs:(Viewdef.aggs view)
+      in
+      List.iter (fun row -> Groups.apply groups row 1) joined_rows;
+      Grouped groups
+    end
+    else begin
+      let positions =
+        match Viewdef.projection view with
+        | Some cols -> snd (Relation.Schema.project joined_schema cols)
+        | None ->
+            Array.init (Relation.Schema.arity joined_schema) (fun i -> i)
+      in
+      let counts = Thash.create 256 in
+      List.iter
+        (fun row -> bag_apply counts (Relation.Tuple.project row positions) 1)
+        joined_rows;
+      Bag { counts; positions }
+    end
+  in
+  let order = match order with Some o -> o | None -> Viewdef.order view in
+  let m =
+    {
+      view;
+      pending = Array.map (fun _ -> Pending.create ()) tables;
+      content;
+      filter_fn;
+      meter;
+      order;
+      dv = None;
+    }
+  in
+  (match order with
+  | Viewdef.First_order -> ()
+  | Viewdef.Higher_order ->
+      m.dv <- Some (Deltaview.create ~meter ~expand:(expander m) view));
+  m
 
 let apply_contribution m (row, sign) =
   Relation.Meter.bump_output m.meter 1;
@@ -367,8 +402,20 @@ let process m i k =
       let batch = Pending.take m.pending.(i) k in
       Relation.Meter.bump_batch_setup m.meter 1;
       let deltas = List.concat_map Change.signed_tuples batch in
-      let contributions = expand_batch m i deltas in
-      List.iter (apply_contribution m) contributions;
+      (match m.dv with
+      | None ->
+          let contributions = expand_batch m i deltas in
+          List.iter (apply_contribution m) contributions
+      | Some dv ->
+          (* Higher-order: the view delta is a lookup-and-merge against
+             [i]'s materialized delta view; then fold the batch into the
+             other tables' delta views while their components' base
+             tables still hold the pre-batch state. *)
+          let contributions =
+            net_contributions m (Deltaview.contributions dv i deltas)
+          in
+          List.iter (apply_contribution m) contributions;
+          Deltaview.update dv ~delta:i deltas ~expand:(expander m));
       List.iter (apply_to_base m i) batch
     end;
     let delta = Relation.Meter.diff (Relation.Meter.snapshot m.meter) before in
@@ -424,11 +471,16 @@ let check_consistent m =
   let actual = rows m in
   (* Approximate comparison: incremental float aggregates sum in a
      different order than the recompute. *)
-  if List.equal (Relation.Tuple.approx_equal ~eps:1e-9) reference actual then
-    Ok ()
-  else
+  if not (List.equal (Relation.Tuple.approx_equal ~eps:1e-9) reference actual)
+  then
     Error
       (Printf.sprintf
          "view %s: incremental content (%d rows) differs from reference (%d \
           rows)"
          (Viewdef.name m.view) (List.length actual) (List.length reference))
+  else
+    match m.dv with
+    | None -> Ok ()
+    | Some dv -> Deltaview.check dv ~expand:(expander m)
+
+let delta_view m = m.dv

@@ -22,13 +22,18 @@
 
 type t
 
-val create : ?meter:Relation.Meter.t -> Viewdef.t -> t
+val create : ?meter:Relation.Meter.t -> ?order:Viewdef.order -> Viewdef.t -> t
 (** Materializes the view's initial content from the current base tables.
     [meter] (default: the first base table's meter) also receives the
-    per-batch setup bumps. *)
+    per-batch setup bumps.  [order] (default: the view's
+    {!Viewdef.order}) selects the maintenance strategy; under
+    [Higher_order] every {!Deltaview} is also materialized here. *)
 
 val view : t -> Viewdef.t
 val meter : t -> Relation.Meter.t
+
+val order : t -> Viewdef.order
+(** The maintenance order this instance runs. *)
 
 val on_arrive : t -> int -> Change.t -> unit
 (** Append a modification to table [i]'s delta queue.  The base table is
@@ -42,6 +47,13 @@ val process : t -> int -> int -> Relation.Meter.snapshot
     [i].  Returns the meter delta attributable to the batch.  [k = 0] is a
     free no-op.  Raises [Invalid_argument] if [k] exceeds the pending count
     or a deletion targets a missing tuple (inconsistent stream).
+
+    Under [First_order] the batch is delta-joined against the other base
+    tables (the metered path is unchanged from previous releases).  Under
+    [Higher_order] the view delta is probed out of table [i]'s
+    materialized {!Deltaview} (hash probes + index-entry retrievals — flat
+    in the partner sizes), after which the batch is folded into the other
+    tables' delta views and applied to base table [i].
 
     When the {!Telemetry} collector is enabled each batch runs inside a
     ["maintainer.process"] span (attrs [table], [k]) and books the meter
@@ -71,4 +83,10 @@ val output_schema : t -> Relation.Schema.t
 
 val check_consistent : t -> (unit, string) result
 (** Compare the incrementally maintained content against a from-scratch
-    evaluation over the (processed) base tables. *)
+    evaluation over the (processed) base tables.  Under [Higher_order]
+    every materialized delta view is also checked against a recompute of
+    its sub-join. *)
+
+val delta_view : t -> Deltaview.t option
+(** The materialized delta views ([Some] iff the maintenance order is
+    [Higher_order]) — exposed for memory accounting in benches. *)

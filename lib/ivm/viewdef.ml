@@ -6,6 +6,11 @@ type join_edge = {
 }
 
 type join_order = Fixed | Adaptive
+type order = First_order | Higher_order
+
+let order_name = function
+  | First_order -> "first-order"
+  | Higher_order -> "higher-order"
 
 type t = {
   name : string;
@@ -18,6 +23,7 @@ type t = {
   projection : string list option;
   scan_hints : (int * int) list;
   join_order : join_order;
+  order : order;
   joined_schema : Relation.Schema.t;
 }
 
@@ -42,7 +48,7 @@ let check_connected n join =
   end
 
 let make ~name ~tables ?aliases ~join ?filter ?group_by ?aggs ?projection
-    ?(scan_hints = []) ?(join_order = Fixed) () =
+    ?(scan_hints = []) ?(join_order = Fixed) ?(order = First_order) () =
   let n = Array.length tables in
   if n = 0 then invalid_arg "Viewdef.make: no tables";
   let aliases =
@@ -133,6 +139,7 @@ let make ~name ~tables ?aliases ~join ?filter ?group_by ?aggs ?projection
     projection;
     scan_hints;
     join_order;
+    order;
     joined_schema;
   }
 
@@ -230,6 +237,8 @@ let force_scan v ~delta ~partner =
   List.exists (fun (a, b) -> a = delta && b = partner) v.scan_hints
 
 let join_order v = v.join_order
+let order v = v.order
+let with_order v order = { v with order }
 
 let edges_of_table v i =
   List.filter_map

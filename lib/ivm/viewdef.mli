@@ -23,6 +23,21 @@ type join_order =
           by expected probe fan-out, unindexed partners by table size —
           what a cost-based optimizer would emit *)
 
+type order =
+  | First_order
+      (** classic delta-join maintenance: each batch re-joins its delta
+          against the other base tables (the paper's setting) *)
+  | Higher_order
+      (** DBToaster-style second-order deltas: per base table, the view's
+          first-order delta query [d(V)/d(R_i)] is itself materialized
+          ({!Maintainer} keeps one {!Deltaview} per table), so applying a
+          batch is a hash lookup-and-merge instead of a delta join — the
+          batch cost curves [f_i(k)] become flat, index-like *)
+
+val order_name : order -> string
+(** ["first-order"] / ["higher-order"] — stable labels for telemetry,
+    bench JSON and CLI flags. *)
+
 val make :
   name:string ->
   tables:Relation.Table.t array ->
@@ -34,6 +49,7 @@ val make :
   ?projection:string list ->
   ?scan_hints:(int * int) list ->
   ?join_order:join_order ->
+  ?order:order ->
   unit ->
   t
 (** Raises [Invalid_argument] when the join graph is disconnected (for two
@@ -80,3 +96,10 @@ val force_scan : t -> delta:int -> partner:int -> bool
 
 val join_order : t -> join_order
 (** The configured expansion-order policy (default [Fixed]). *)
+
+val order : t -> order
+(** The configured maintenance order (default [First_order]). *)
+
+val with_order : t -> order -> t
+(** The same view definition under a different maintenance order — the
+    seam calibration uses to meter both paths over one logical view. *)

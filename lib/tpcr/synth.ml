@@ -88,3 +88,40 @@ let insert_feeds ~seed db =
     | _ -> invalid_arg "Synth.insert_feeds: only tables 0 and 1 exist"
   in
   { Updates.next }
+
+let zipf_feeds ~seed ?(exponent = 1.0) db =
+  let root = Util.Prng.create ~seed in
+  let r_prng = Util.Prng.split root and s_prng = Util.Prng.split root in
+  let domain_of table =
+    List.fold_left
+      (fun acc t -> max acc (Value.as_int (Tuple.get t 1)))
+      0
+      (Table.to_list_unmetered table)
+    + 1
+  in
+  let domain = max (domain_of db.r) (domain_of db.s) in
+  let sample = Util.Prng.zipf_sampler ~exponent ~n:domain in
+  let next_key = Array.make 2 2_000_000_000 in
+  let next i =
+    let fresh () =
+      next_key.(i) <- next_key.(i) + 1;
+      next_key.(i)
+    in
+    match i with
+    | 0 ->
+        Ivm.Change.Insert
+          [|
+            Value.Int (fresh ());
+            Value.Int (sample r_prng);
+            Value.Float (Util.Prng.float r_prng 100.0);
+          |]
+    | 1 ->
+        Ivm.Change.Insert
+          [|
+            Value.Int (fresh ());
+            Value.Int (sample s_prng);
+            Value.Float (Util.Prng.float s_prng 100.0);
+          |]
+    | _ -> invalid_arg "Synth.zipf_feeds: only tables 0 and 1 exist"
+  in
+  { Updates.next }

@@ -24,3 +24,10 @@ val join_view : db2 -> Ivm.Viewdef.t
 
 val insert_feeds : seed:int -> db2 -> Updates.feeds
 (** Insertion streams for both tables (the §1 example uses insertions). *)
+
+val zipf_feeds : seed:int -> ?exponent:float -> db2 -> Updates.feeds
+(** Skewed insertion streams: join keys are drawn Zipfian over the
+    recovered join domain (rank 0 hottest, weight [∝ 1/(rank+1)^exponent],
+    default exponent [1.0]) instead of uniformly, so a few hot keys carry
+    most of the join fan-out — the adversarial case for per-tuple probing
+    and the stress stream of the [ho] bench.  Deterministic in [seed]. *)

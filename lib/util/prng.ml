@@ -92,3 +92,23 @@ let sample_without_replacement g k n =
       Hashtbl.replace swapped j vi;
       Hashtbl.replace swapped i vj;
       vj)
+
+let zipf_sampler ~exponent ~n =
+  if n <= 0 then invalid_arg "Prng.zipf_sampler: n must be positive";
+  if exponent < 0.0 then invalid_arg "Prng.zipf_sampler: negative exponent";
+  (* Inverse-CDF sampling over the n ranks: cumulative weights are
+     precomputed once so each draw is one uniform plus a binary search. *)
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) exponent);
+    cum.(r) <- !total
+  done;
+  fun g ->
+    let u = float g !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) <= u then lo := mid + 1 else hi := mid
+    done;
+    !lo

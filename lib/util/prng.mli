@@ -55,3 +55,10 @@ val choose : t -> 'a array -> 'a
 val sample_without_replacement : t -> int -> int -> int array
 (** [sample_without_replacement g k n] returns [k] distinct integers drawn
     uniformly from [\[0, n)], in random order.  Requires [k <= n]. *)
+
+val zipf_sampler : exponent:float -> n:int -> t -> int
+(** [zipf_sampler ~exponent ~n] precomputes the cumulative Zipfian weights
+    [w_r ∝ 1 / (r + 1)^exponent] over ranks [0 .. n - 1] and returns a
+    sampler (one uniform draw plus a binary search per call).  Rank 0 is
+    the hottest value; [exponent = 0.] degrades to uniform.  Partial
+    application amortizes the precomputation across draws. *)

@@ -1,0 +1,347 @@
+(* Higher-order maintenance equivalence suite.
+
+   The contract under test: a [Higher_order] maintainer — view deltas
+   probed out of materialized per-table delta views instead of
+   delta-joined against the base tables — produces *bit-identical* view
+   content to the [First_order] maintainer and to a from-scratch
+   recompute, at every prefix of every update stream.
+
+   Structure:
+   - a 340+-seeded-instance property: FO/HO twin engines over identical
+     seeded databases and streams (uniform and Zipfian-skewed), driven
+     through a seeded arrival/batch schedule with rows compared after
+     every processed batch, plus [check_consistent] on both twins (under
+     HO that also re-derives every delta view from scratch);
+   - directed suites for the classic trouble spots: NULL join keys,
+     empty batches, duplicate rows in one batch, delete-to-empty, and
+     updates that move a tuple across join groups;
+   - a four-table directed run on the paper's MIN(supplycost) view.
+
+   Aggregates in the property views are COUNT and SUM over integer-valued
+   columns, so maintained floats are exact and order-independent —
+   bit-equality is the right assertion, not approximate equality. *)
+
+open Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let vi x = Value.Int x
+let vf x = Value.Float x
+let ti = Datatype.TInt
+let tf = Datatype.TFloat
+
+let consistent label m =
+  match Ivm.Maintainer.check_consistent m with
+  | Ok () -> true
+  | Error msg ->
+      Printf.eprintf "%s inconsistent: %s\n" label msg;
+      false
+
+let rows_equal fo ho =
+  List.equal Tuple.equal (Ivm.Maintainer.rows fo) (Ivm.Maintainer.rows ho)
+
+let fail_instance what descr =
+  Alcotest.failf "%s (instance %s)" what descr
+
+(* Drive both twins through an identical seeded schedule, checking
+   bit-equality after every processed batch and full consistency (which
+   under HO re-derives every delta view) at the end. *)
+let run_twins ~descr ~g (fo : Gen.engine) (ho : Gen.engine) =
+  let n = Ivm.Viewdef.n_tables (Ivm.Maintainer.view fo.Gen.maintainer) in
+  let steps = 3 + Util.Prng.int g 4 in
+  for _ = 1 to steps do
+    for i = 0 to n - 1 do
+      Gen.arrive_all [ fo; ho ] i (Util.Prng.int g 5)
+    done;
+    for i = 0 to n - 1 do
+      let pending = Ivm.Maintainer.pending_size fo.Gen.maintainer i in
+      if pending > 0 && Util.Prng.int g 4 > 0 then begin
+        let k = 1 + Util.Prng.int g pending in
+        ignore (Ivm.Maintainer.process fo.Gen.maintainer i k);
+        ignore (Ivm.Maintainer.process ho.Gen.maintainer i k);
+        if not (rows_equal fo.Gen.maintainer ho.Gen.maintainer) then
+          fail_instance "HO rows diverge from FO after batch" descr
+      end
+    done
+  done;
+  ignore (Ivm.Maintainer.refresh fo.Gen.maintainer);
+  ignore (Ivm.Maintainer.refresh ho.Gen.maintainer);
+  if not (rows_equal fo.Gen.maintainer ho.Gen.maintainer) then
+    fail_instance "HO rows diverge from FO after refresh" descr;
+  if not (consistent "FO" fo.Gen.maintainer) then
+    fail_instance "FO diverges from recompute" descr;
+  if not (consistent "HO" ho.Gen.maintainer) then
+    fail_instance "HO diverges from recompute" descr
+
+let test_equivalence_uniform () =
+  for seed = 0 to 139 do
+    let fo, ho = Gen.twin_engines ~seed () in
+    let descr = Gen.describe_engine (Gen.engine_params ~seed) in
+    run_twins ~descr ~g:(Util.Prng.create ~seed:(seed + 7000)) fo ho
+  done
+
+let test_equivalence_zipf () =
+  for seed = 200 to 339 do
+    let fo, ho = Gen.twin_engines ~zipf:true ~seed () in
+    let descr = "zipf " ^ Gen.describe_engine (Gen.engine_params ~seed) in
+    run_twins ~descr ~g:(Util.Prng.create ~seed:(seed + 9000)) fo ho
+  done
+
+(* Group-by twins: COUNT plus SUM over the (integer-valued) r.rk column,
+   so the maintained aggregate state is float-exact and bit-comparable. *)
+let grouped_twins ~seed =
+  let p = Gen.engine_params ~seed in
+  let mk order =
+    let e = Gen.engine_of_params ~order p in
+    let db = e.Gen.db in
+    let view =
+      Ivm.Viewdef.make ~name:"g"
+        ~tables:[| db.Tpcr.Synth.r; db.Tpcr.Synth.s |]
+        ~join:
+          [ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+        ~group_by:[ "r.jk" ]
+        ~aggs:[ Agg.count "n"; Agg.sum "r.rk" ~as_name:"sk" ]
+        ()
+    in
+    { e with Gen.maintainer = Ivm.Maintainer.create ~order view }
+  in
+  (mk Ivm.Viewdef.First_order, mk Ivm.Viewdef.Higher_order)
+
+let test_equivalence_grouped () =
+  for seed = 400 to 459 do
+    let fo, ho = grouped_twins ~seed in
+    let descr = "grouped " ^ Gen.describe_engine (Gen.engine_params ~seed) in
+    run_twins ~descr ~g:(Util.Prng.create ~seed:(seed + 11_000)) fo ho
+  done
+
+(* --- Directed suites ---------------------------------------------------- *)
+
+let r_schema = Schema.make [ ("rk", ti); ("jk", ti) ]
+let s_schema = Schema.make [ ("sk", ti); ("jk", ti); ("w", tf) ]
+
+(* A tiny hand-built R ⋈ S pair (R indexed on jk, S not) with FO/HO twin
+   maintainers over *independent* copies, plus a driver that applies the
+   same change sequence to both and checks bit-equality throughout. *)
+let directed_twins ?group_by ?aggs () =
+  let mk order =
+    let meter = Meter.create () in
+    let r = Table.create ~meter ~name:"r" ~schema:r_schema () in
+    let s = Table.create ~meter ~name:"s" ~schema:s_schema () in
+    Table.create_index r "jk";
+    for i = 0 to 5 do
+      ignore (Table.insert r (Tuple.make [ vi i; vi (i mod 3) ]))
+    done;
+    for i = 0 to 7 do
+      ignore (Table.insert s (Tuple.make [ vi i; vi (i mod 4); vf (float_of_int i) ]))
+    done;
+    let view =
+      Ivm.Viewdef.make ~name:"d" ~tables:[| r; s |]
+        ~join:
+          [ { Ivm.Viewdef.left = 0; left_col = "jk"; right = 1; right_col = "jk" } ]
+        ?group_by
+        ~aggs:(Option.value aggs ~default:[ Agg.count "n" ])
+        ()
+    in
+    Ivm.Maintainer.create ~order view
+  in
+  (mk Ivm.Viewdef.First_order, mk Ivm.Viewdef.Higher_order)
+
+let apply_batches fo ho batches =
+  List.iter
+    (fun (i, changes) ->
+      List.iter
+        (fun c ->
+          Ivm.Maintainer.on_arrive fo i c;
+          Ivm.Maintainer.on_arrive ho i c)
+        changes;
+      ignore (Ivm.Maintainer.process fo i (List.length changes));
+      ignore (Ivm.Maintainer.process ho i (List.length changes));
+      checkb "rows bit-equal after batch" true (rows_equal fo ho);
+      checkb "FO consistent" true (consistent "FO" fo);
+      checkb "HO consistent" true (consistent "HO" ho))
+    batches
+
+let test_directed_null_keys () =
+  let fo, ho = directed_twins () in
+  (* NULL join keys arriving on both sides, mixed with matchable rows:
+     whatever the engine's NULL-join semantics, HO must reproduce FO and
+     the recompute exactly. *)
+  apply_batches fo ho
+    [
+      (0, [ Ivm.Change.Insert (Tuple.make [ vi 100; Value.Null ]) ]);
+      ( 1,
+        [
+          Ivm.Change.Insert (Tuple.make [ vi 100; Value.Null; vf 1.0 ]);
+          Ivm.Change.Insert (Tuple.make [ vi 101; vi 0; vf 2.0 ]);
+        ] );
+      (0, [ Ivm.Change.Delete (Tuple.make [ vi 100; Value.Null ]) ]);
+    ]
+
+let test_directed_empty_delta () =
+  let fo, ho = directed_twins () in
+  let before = Ivm.Maintainer.rows ho in
+  let snap = Ivm.Maintainer.process ho 0 0 in
+  checkb "empty HO batch is free" true (Meter.cost_units snap = 0.0);
+  checkb "rows untouched" true (List.equal Tuple.equal before (Ivm.Maintainer.rows ho));
+  ignore (Ivm.Maintainer.process fo 0 0);
+  checkb "rows bit-equal" true (rows_equal fo ho)
+
+let test_directed_duplicate_keys () =
+  let fo, ho = directed_twins ~group_by:[ "r.jk" ] () in
+  let dup = Tuple.make [ vi 200; vi 1 ] in
+  (* The same physical row twice in one batch (multiplicity 2), then one
+     copy removed: exercises counted-bag semantics inside the delta
+     views' multiset merge. *)
+  apply_batches fo ho
+    [
+      (0, [ Ivm.Change.Insert dup; Ivm.Change.Insert dup ]);
+      (0, [ Ivm.Change.Delete dup ]);
+    ]
+
+let test_directed_delete_to_empty () =
+  let fo, ho = directed_twins () in
+  (* Drain S entirely: the join result and every anchored delta-view
+     entry must collapse to empty without leaving multiplicity
+     residue. *)
+  let deletes =
+    List.init 8 (fun i ->
+        Ivm.Change.Delete (Tuple.make [ vi i; vi (i mod 4); vf (float_of_int i) ]))
+  in
+  apply_batches fo ho [ (1, deletes) ];
+  (match Ivm.Maintainer.rows ho with
+  | [ row ] -> checkb "count collapsed to zero" true (Value.equal (vi 0) (Tuple.get row 0))
+  | [] -> ()
+  | _ -> Alcotest.fail "unexpected multi-row count view");
+  (* And refill — the delta views must rebuild from the empty state. *)
+  apply_batches fo ho
+    [ (1, [ Ivm.Change.Insert (Tuple.make [ vi 50; vi 2; vf 9.0 ]) ]) ]
+
+let test_directed_update_moves_join_key () =
+  let fo, ho = directed_twins ~group_by:[ "r.jk" ] () in
+  (* An Update that moves an R row across join groups is a signed
+     (-before, +after) pair hitting two different delta-view anchors in
+     one batch. *)
+  apply_batches fo ho
+    [
+      ( 0,
+        [
+          Ivm.Change.Update
+            {
+              before = Tuple.make [ vi 3; vi 0 ];
+              after = Tuple.make [ vi 3; vi 2 ];
+            };
+        ] );
+      ( 1,
+        [
+          Ivm.Change.Update
+            {
+              before = Tuple.make [ vi 2; vi 2; vf 2.0 ];
+              after = Tuple.make [ vi 2; vi 0; vf 2.0 ];
+            };
+        ] );
+    ]
+
+let test_directed_min_supplycost_view () =
+  (* The paper's four-table MIN view at tiny scale: delta views here span
+     multi-table components (e.g. Supplier's owner view joins PartSupp
+     with Nation ⋈ Region), and MIN is comparison-based so bit-equality
+     holds for float supplycosts too. *)
+  let mk order =
+    let db = Tpcr.Gen.generate ~seed:5 ~scale:0.002 () in
+    let m = Ivm.Maintainer.create ~order (Tpcr.Gen.min_supplycost_view db) in
+    let feeds = Tpcr.Updates.paper_feeds ~seed:21 db in
+    (m, feeds)
+  in
+  let fo, fo_feeds = mk Ivm.Viewdef.First_order in
+  let ho, ho_feeds = mk Ivm.Viewdef.Higher_order in
+  checkb "initial rows bit-equal" true (rows_equal fo ho);
+  for round = 1 to 4 do
+    for i = 0 to 1 do
+      for _ = 1 to 3 do
+        Ivm.Maintainer.on_arrive fo i (fo_feeds.Tpcr.Updates.next i);
+        Ivm.Maintainer.on_arrive ho i (ho_feeds.Tpcr.Updates.next i)
+      done;
+      ignore (Ivm.Maintainer.process fo i 3);
+      ignore (Ivm.Maintainer.process ho i 3);
+      checkb
+        (Printf.sprintf "rows bit-equal round %d table %d" round i)
+        true (rows_equal fo ho)
+    done
+  done;
+  checkb "FO consistent" true (consistent "FO" fo);
+  checkb "HO consistent" true (consistent "HO" ho)
+
+let test_ho_metering_flat_probe () =
+  (* The point of the whole exercise: under HO a batch against the
+     delta view costs hash probes + retrieved entries, not a scan of the
+     partner table — so doubling the partner's size must not change the
+     HO batch cost for a fixed delta. *)
+  let cost_at ~s_rows =
+    let db = Tpcr.Synth.generate ~seed:3 ~r_rows:50 ~s_rows () in
+    let m =
+      Ivm.Maintainer.create ~order:Ivm.Viewdef.Higher_order
+        (Tpcr.Synth.join_view db)
+    in
+    let feeds = Tpcr.Synth.insert_feeds ~seed:13 db in
+    for _ = 1 to 4 do
+      Ivm.Maintainer.on_arrive m 0 (feeds.Tpcr.Updates.next 0)
+    done;
+    Meter.cost_units (Ivm.Maintainer.process m 0 4)
+  in
+  let small = cost_at ~s_rows:100 and big = cost_at ~s_rows:400 in
+  checkb
+    (Printf.sprintf "HO ΔR cost flat in |S| (%.1f vs %.1f)" small big)
+    true
+    (big <= small *. 1.5)
+
+let test_order_accessors () =
+  let db = Tpcr.Synth.generate ~seed:1 ~r_rows:10 ~s_rows:10 () in
+  let v = Tpcr.Synth.join_view db in
+  checkb "view default FO" true (Ivm.Viewdef.order v = Ivm.Viewdef.First_order);
+  let v' = Ivm.Viewdef.with_order v Ivm.Viewdef.Higher_order in
+  checkb "with_order" true (Ivm.Viewdef.order v' = Ivm.Viewdef.Higher_order);
+  let m = Ivm.Maintainer.create v' in
+  checkb "maintainer inherits view order" true
+    (Ivm.Maintainer.order m = Ivm.Viewdef.Higher_order);
+  checkb "delta views materialized" true (Ivm.Maintainer.delta_view m <> None);
+  let fo = Ivm.Maintainer.create ~order:Ivm.Viewdef.First_order v' in
+  checkb "explicit order wins" true (Ivm.Maintainer.order fo = Ivm.Viewdef.First_order);
+  checkb "FO has no delta views" true (Ivm.Maintainer.delta_view fo = None);
+  checki "order names distinct" 2
+    (List.length
+       (List.sort_uniq compare
+          [
+            Ivm.Viewdef.order_name Ivm.Viewdef.First_order;
+            Ivm.Viewdef.order_name Ivm.Viewdef.Higher_order;
+          ]))
+
+let () =
+  Alcotest.run "ho"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "uniform streams, 140 seeds" `Quick
+            test_equivalence_uniform;
+          Alcotest.test_case "zipfian streams, 140 seeds" `Quick
+            test_equivalence_zipf;
+          Alcotest.test_case "grouped views, 60 seeds" `Quick
+            test_equivalence_grouped;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "null join keys" `Quick test_directed_null_keys;
+          Alcotest.test_case "empty delta is free" `Quick test_directed_empty_delta;
+          Alcotest.test_case "duplicate rows in batch" `Quick
+            test_directed_duplicate_keys;
+          Alcotest.test_case "delete to empty and refill" `Quick
+            test_directed_delete_to_empty;
+          Alcotest.test_case "update moves join key" `Quick
+            test_directed_update_moves_join_key;
+          Alcotest.test_case "four-table min view" `Quick
+            test_directed_min_supplycost_view;
+          Alcotest.test_case "HO probe cost flat in partner size" `Quick
+            test_ho_metering_flat_probe;
+          Alcotest.test_case "order plumbing" `Quick test_order_accessors;
+        ] );
+    ]

@@ -574,6 +574,162 @@ let test_seeded_theorems ~affine () =
     Alcotest.failf "only %d/250 instances were exactly solvable (need >= 200)"
       !solved
 
+(* --- higher-order metered curves: heuristic admissibility ------------------ *)
+
+(* The A* heuristic was re-derived for calibrated curves (DESIGN.md §13):
+   [lb_i(M)] is the DP optimum of the single-table relaxation, replacing
+   the paper's floor-term heuristic (unsound on subadditive non-concave
+   costs).  This suite pins the re-derivation against the curves the
+   engine actually produces: batch cost curves metered from live synth
+   engines under both maintenance orders, repaired to their greatest
+   subadditive minorant (raw HO curves violate subadditivity at small [k]
+   because the per-batch setup charge dominates), then fed through random
+   limit/arrival specs and checked four ways:
+
+   - A* with the heuristic returns the same cost as uniform-cost search
+     (Dijkstra), bit for bit — the admissibility/consistency witness;
+   - the plan is valid LGM;
+   - where Exact can solve the instance, [opt <= astar <= 2 opt];
+   - [table_lower_bound] never exceeds the cost of an explicit random
+     decomposition into batches within [batch_bounds]. *)
+
+let measured_order_costs ~engine_seed =
+  let sizes = [ 1; 2; 4; 8; 16 ] in
+  let make order =
+    let db = Tpcr.Synth.generate ~seed:engine_seed ~r_rows:120 ~s_rows:120 () in
+    let m =
+      Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter ~order
+        (Tpcr.Synth.join_view db)
+    in
+    (m, Tpcr.Synth.insert_feeds ~seed:(engine_seed + 1) db)
+  in
+  let c0 = Bridge.Calibrate.measure_orders ~make ~table:0 ~sizes in
+  let c1 = Bridge.Calibrate.measure_orders ~make ~table:1 ~sizes in
+  List.map
+    (fun order ->
+      let repaired t curves =
+        let name =
+          Printf.sprintf "measured-%s-t%d" (Ivm.Viewdef.order_name order) t
+        in
+        Cost.Func.subadditive_hull ~upto:48
+          (Bridge.Calibrate.tabulated ~name (List.assoc order curves))
+      in
+      (order, [| repaired 0 c0; repaired 1 c1 |]))
+    [ Ivm.Viewdef.First_order; Ivm.Viewdef.Higher_order ]
+
+let check_curve_instance ~seed ~label spec =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> Alcotest.failf "%s seed %d: %s" label seed msg)
+      fmt
+  in
+  let h = Abivm.Astar.solve spec in
+  let d = Abivm.Astar.solve ~use_heuristic:false spec in
+  if h.Abivm.Astar.cost <> d.Abivm.Astar.cost then
+    fail "A* with heuristic %.17g <> uniform-cost %.17g (admissibility broken)"
+      h.Abivm.Astar.cost d.Abivm.Astar.cost;
+  if not (Abivm.Plan.is_valid spec h.Abivm.Astar.plan) then fail "A* plan invalid";
+  if not (Abivm.Plan.is_lgm spec h.Abivm.Astar.plan) then fail "A* plan not LGM";
+  (match Abivm.Exact.solve ~max_expansions:300_000 spec with
+  | exception Abivm.Exact.Too_large _ -> ()
+  | opt, _ ->
+      if h.Abivm.Astar.cost < opt -. 1e-6 then
+        fail "A* %.6f below exact optimum %.6f" h.Abivm.Astar.cost opt;
+      if h.Abivm.Astar.cost > (2.0 *. opt) +. 1e-6 then
+        fail "A* %.6f exceeds 2 * OPT = %.6f" h.Abivm.Astar.cost (2.0 *. opt));
+  (* Admissibility of the tabulated single-table bound against explicit
+     random decompositions into batches within the batch bounds. *)
+  let g = Util.Prng.create ~seed:(seed + 555) in
+  let bounds = Abivm.Astar.batch_bounds spec in
+  let costs = Abivm.Spec.costs spec in
+  for table = 0 to Abivm.Spec.n_tables spec - 1 do
+    if Abivm.Astar.table_lower_bound spec ~table ~remaining:0 <> 0.0 then
+      fail "lb(0) <> 0 for table %d" table;
+    for _ = 1 to 8 do
+      let remaining = 1 + Util.Prng.int g 24 in
+      let rec decompose left acc =
+        if left = 0 then acc
+        else
+          let k = 1 + Util.Prng.int g (min bounds.(table) left) in
+          decompose (left - k) (k :: acc)
+      in
+      let parts = decompose remaining [] in
+      let explicit =
+        List.fold_left
+          (fun acc k -> acc +. Cost.Func.eval costs.(table) k)
+          0.0 parts
+      in
+      let lb = Abivm.Astar.table_lower_bound spec ~table ~remaining in
+      if lb > explicit +. 1e-9 then
+        fail
+          "lb_%d(%d) = %.6f exceeds explicit decomposition [%s] = %.6f"
+          table remaining lb
+          (String.concat ";" (List.map string_of_int parts))
+          explicit
+    done
+  done
+
+let test_ho_curve_theorems () =
+  List.iter
+    (fun engine_seed ->
+      List.iter
+        (fun (order, costs) ->
+          let label =
+            Printf.sprintf "engine=%d order=%s" engine_seed
+              (Ivm.Viewdef.order_name order)
+          in
+          for seed = 1 to 80 do
+            let g = Util.Prng.create ~seed:((engine_seed * 10_000) + seed) in
+            let n = Array.length costs in
+            let horizon = 2 + Util.Prng.int g 4 in
+            let arrivals =
+              Array.init (horizon + 1) (fun _ ->
+                  Array.init n (fun _ -> Util.Prng.int g 3))
+            in
+            (* Above the cheapest single modification so single-step
+               flushes exist, but low enough that batching matters. *)
+            let f1 =
+              Array.fold_left
+                (fun acc f -> Float.max acc (Cost.Func.eval f 1))
+                0.0 costs
+            in
+            let limit = f1 *. (1.2 +. Util.Prng.float g 2.0) in
+            let spec = Abivm.Spec.make ~costs ~limit ~arrivals in
+            check_curve_instance ~seed ~label spec
+          done)
+        (measured_order_costs ~engine_seed))
+    [ 3; 19 ]
+
+(* --- regression pin: first-order metering -------------------------------- *)
+
+(* The exact cost-unit curves the seed engine produced before the
+   higher-order refactor (synth seed 7, 400x400 rows, insert feeds seed
+   11, batches of 1/8/64/256 measured for table 0 then table 1 on one
+   engine).  The first-order path must re-meter bit-identically: any
+   drift here means the refactor changed FO behaviour, not just added HO
+   behaviour. *)
+let test_fo_metering_fixture () =
+  let db = Tpcr.Synth.generate ~seed:7 ~r_rows:400 ~s_rows:400 () in
+  let m =
+    Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter
+      ~order:Ivm.Viewdef.First_order
+      (Tpcr.Synth.join_view db)
+  in
+  let feeds = Tpcr.Synth.insert_feeds ~seed:11 db in
+  let sizes = [ 1; 8; 64; 256 ] in
+  let check table expected =
+    let got = Bridge.Calibrate.measure_curve m feeds ~table ~sizes in
+    List.iter2
+      (fun (k, cu) (k', cu') ->
+        if k <> k' || cu <> cu' then
+          Alcotest.failf
+            "FO metering drift on table %d: f(%d) = %.17g, seed fixture %.17g"
+            table k cu cu')
+      got expected
+  in
+  check 0 [ (1, 854.0); (8, 892.0); (64, 1190.0); (256, 2253.0) ];
+  check 1 [ (1, 65.0); (8, 191.0); (64, 1136.0); (256, 4443.5) ]
+
 let () =
   Alcotest.run "props"
     [
@@ -620,5 +776,11 @@ let () =
             (test_seeded_theorems ~affine:false);
           Alcotest.test_case "250 affine instances: Theorem 2 equality" `Quick
             (test_seeded_theorems ~affine:true);
+          Alcotest.test_case
+            "320 instances on metered HO/FO curves: heuristic = Dijkstra, \
+             bounds admissible"
+            `Quick test_ho_curve_theorems;
+          Alcotest.test_case "first-order metering matches seed fixtures"
+            `Quick test_fo_metering_fixture;
         ] );
     ]
