@@ -1,8 +1,25 @@
 type t = { time : int; state : Statevec.t; hash : int }
 
+(* Finalizing mix (xorshift–multiply–xorshift).  The FNV fold in
+   [Statevec.hash] is byte-oriented: over the short, small-valued vectors
+   the planner produces — and twice as wide once partitioned specs double
+   the table count — most of its entropy sits in the low bits.  The
+   parallel searches shard ownership by [hash mod k] and [Tbl] buckets by
+   the low bits too, so one avalanche round spreads every input bit across
+   the word.  The multiplier is any odd constant below [max_int]. *)
+let mix h =
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 32) in
+  h land max_int
+
 let make ~time state =
+  if time < -1 then invalid_arg "Statekey.make: time below -1";
   let hash =
-    Statevec.hash ~seed:((0x811c9dc5 lxor (time * 0x01000193)) land max_int) state
+    mix
+      (Statevec.hash
+         ~seed:((0x811c9dc5 lxor (time * 0x01000193)) land max_int)
+         state)
   in
   { time; state; hash }
 

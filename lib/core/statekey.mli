@@ -16,7 +16,13 @@
 type t
 
 val make : time:int -> Statevec.t -> t
-(** Aliases [state]; see the ownership note above. *)
+(** Aliases [state]; see the ownership note above.  The FNV fold over time
+    and every component is followed by an avalanche finalizer so hash
+    quality holds at any state width — partitioned specs double the table
+    count, and both the [Tbl] buckets and the parallel searches' shard
+    ownership ([hash mod domains]) read the mixed value.  Raises
+    [Invalid_argument] if [time < -1] ([-1] is the A* virtual source;
+    plan times are non-negative). *)
 
 val time : t -> int
 val state : t -> Statevec.t

@@ -28,6 +28,9 @@ type t = {
   mutable dv : Deltaview.t option;
       (** the materialized [d(V)/d(R_i)] structures; [Some] iff
           [order = Higher_order] *)
+  mutable path_override : [ `Index | `Scan ] option;
+      (** physical-path override for the batch currently inside
+          {!process}; [None] outside a batch and for default routing *)
 }
 
 let view m = m.view
@@ -126,7 +129,10 @@ let expand_step m ~delta partials (e : Viewdef.join_edge) =
   in
   if
     Relation.Table.has_index dst_table e.right_col
-    && not (Viewdef.force_scan m.view ~delta ~partner:e.right)
+    && (match m.path_override with
+       | Some `Scan -> false
+       | Some `Index -> true
+       | None -> not (Viewdef.force_scan m.view ~delta ~partner:e.right))
   then
     (* Indexed nested-loop: one probe per partial. *)
     List.concat_map
@@ -334,6 +340,7 @@ let create ?meter ?order view =
       meter;
       order;
       dv = None;
+      path_override = None;
     }
   in
   (match order with
@@ -392,11 +399,11 @@ let book_batch_telemetry ~table ~k (d : Relation.Meter.snapshot) =
     Telemetry.observe "maintainer.batch_size" (float_of_int k)
   end
 
-let process m i k =
+let process ?path m i k =
   if i < 0 || i >= Array.length m.pending then
     invalid_arg "Maintainer.process: bad table index";
   let table () = Relation.Table.name (Viewdef.tables m.view).(i) in
-  let run () =
+  let run_batch () =
     let before = Relation.Meter.snapshot m.meter in
     if k > 0 then begin
       let batch = Pending.take m.pending.(i) k in
@@ -422,18 +429,22 @@ let process m i k =
     if Telemetry.enabled () then book_batch_telemetry ~table:(table ()) ~k delta;
     delta
   in
+  let run () =
+    m.path_override <- path;
+    Fun.protect ~finally:(fun () -> m.path_override <- None) run_batch
+  in
   if not (Telemetry.enabled ()) then run ()
   else
     Telemetry.with_span ~name:"maintainer.process"
       ~attrs:[ ("table", table ()); ("k", string_of_int k) ]
       run
 
-let process_at_most m i k =
+let process_at_most ?path m i k =
   if i < 0 || i >= Array.length m.pending then
     invalid_arg "Maintainer.process_at_most: bad table index";
   if k < 0 then invalid_arg "Maintainer.process_at_most: negative count";
   let actual = min k (Pending.size m.pending.(i)) in
-  (actual, process m i actual)
+  (actual, process ?path m i actual)
 
 let pending_changes m i =
   if i < 0 || i >= Array.length m.pending then

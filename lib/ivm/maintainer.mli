@@ -42,11 +42,20 @@ val on_arrive : t -> int -> Change.t -> unit
 val pending_sizes : t -> int array
 val pending_size : t -> int -> int
 
-val process : t -> int -> int -> Relation.Meter.snapshot
+val process :
+  ?path:[ `Index | `Scan ] -> t -> int -> int -> Relation.Meter.snapshot
 (** [process m i k]: batch-process the earliest [k] modifications of table
     [i].  Returns the meter delta attributable to the batch.  [k = 0] is a
     free no-op.  Raises [Invalid_argument] if [k] exceeds the pending count
     or a deletion targets a missing tuple (inconsistent stream).
+
+    [path] overrides the physical delta-join path for this batch only:
+    [`Scan] forces the shared-scan-with-batch-hash path even when the
+    partner is indexed; [`Index] uses the index whenever one exists,
+    ignoring {!Viewdef.force_scan} hints.  The default ([None]) keeps the
+    view's own routing.  Partitioned maintenance uses this to give heavy
+    keys the eager indexed path and light keys the batched scan path; the
+    view content is identical either way — only the metered cost moves.
 
     Under [First_order] the batch is delta-joined against the other base
     tables (the metered path is unchanged from previous releases).  Under
@@ -61,7 +70,8 @@ val process : t -> int -> int -> Relation.Meter.snapshot
     [maintainer.batches], [maintainer.cost_units] and the
     [maintainer.batch_size] histogram. *)
 
-val process_at_most : t -> int -> int -> int * Relation.Meter.snapshot
+val process_at_most :
+  ?path:[ `Index | `Scan ] -> t -> int -> int -> int * Relation.Meter.snapshot
 (** [process_at_most m i k] processes [min k (pending_size m i)]
     modifications and returns the count actually processed with the
     meter delta — the forgiving variant used by rescue and recovery

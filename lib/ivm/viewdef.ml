@@ -12,6 +12,11 @@ let order_name = function
   | First_order -> "first-order"
   | Higher_order -> "higher-order"
 
+let order_of_name = function
+  | "first-order" -> Some First_order
+  | "higher-order" -> Some Higher_order
+  | _ -> None
+
 type t = {
   name : string;
   tables : Relation.Table.t array;

@@ -38,6 +38,9 @@ val order_name : order -> string
 (** ["first-order"] / ["higher-order"] — stable labels for telemetry,
     bench JSON and CLI flags. *)
 
+val order_of_name : string -> order option
+(** Inverse of {!order_name} — for manifests and CLI flags. *)
+
 val make :
   name:string ->
   tables:Relation.Table.t array ->

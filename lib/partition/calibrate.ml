@@ -1,0 +1,56 @@
+let sketch_of_table table ~col =
+  let pos = Relation.Schema.index_of (Relation.Table.schema table) col in
+  let sketch = Sketch.create () in
+  List.iter
+    (fun tuple ->
+      match Relation.Tuple.get tuple pos with
+      | Relation.Value.Int k -> Sketch.observe sketch k
+      | _ -> ())
+    (Relation.Table.to_list_unmetered table);
+  sketch
+
+let splits_of_view ?max_heavy ?min_share view =
+  let tables = Ivm.Viewdef.tables view in
+  let key_col i =
+    List.find_map
+      (fun (e : Ivm.Viewdef.join_edge) ->
+        if e.left = i then Some e.left_col
+        else if e.right = i then Some e.right_col
+        else None)
+      (Ivm.Viewdef.join_edges view)
+  in
+  Array.mapi
+    (fun i table ->
+      let sketch =
+        match key_col i with
+        | Some col -> sketch_of_table table ~col
+        | None -> Sketch.create ()
+      in
+      Split.calibrate ?max_heavy ?min_share sketch)
+    tables
+
+let measure_curve ?(max_draw = 200_000) e ~next ~table ~cls ~sizes =
+  if Array.exists (fun q -> q > 0) (Engine.pending e) then
+    invalid_arg
+      "Partition.Calibrate.measure_curve: engine has pending modifications";
+  let p = Pspec.index ~table cls in
+  List.map
+    (fun k ->
+      let drawn = ref 0 in
+      while Engine.pending_in e p < k do
+        incr drawn;
+        if !drawn > max_draw then
+          invalid_arg
+            (Printf.sprintf
+               "Partition.Calibrate.measure_curve: class %s of table %d too \
+                rare in the stream (%d draws for a %d-batch)"
+               (Split.cls_name cls) table max_draw k);
+        let change = next () in
+        (* Off-class draws are discarded — the curve prices this class
+           alone.  Only insertion streams can be filtered this way. *)
+        if Engine.partition_of e table change = p then
+          Engine.arrive e table change
+      done;
+      let snap = Engine.process e ~partition:p k in
+      (k, Relation.Meter.cost_units snap))
+    sizes

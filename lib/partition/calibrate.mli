@@ -1,0 +1,30 @@
+(** Calibration for partitioned maintenance: exact key-frequency sketches
+    from the current base tables, splits for every table of a view, and
+    per-partition metered cost curves in the style of
+    [Bridge.Calibrate.measure_curve]. *)
+
+val sketch_of_table : Relation.Table.t -> col:string -> Sketch.t
+(** Exact counts of the current rows' values in [col] (unmetered scan;
+    non-integer values are skipped). *)
+
+val splits_of_view :
+  ?max_heavy:int -> ?min_share:float -> Ivm.Viewdef.t -> Split.t array
+(** One calibrated split per table, sketched from each table's join
+    column; tables without a join edge get an all-light split. *)
+
+val measure_curve :
+  ?max_draw:int ->
+  Engine.t ->
+  next:(unit -> Ivm.Change.t) ->
+  table:int ->
+  cls:Split.cls ->
+  sizes:int list ->
+  (int * float) list
+(** Measured [(k, cost_units)] points for one partition: per size, draw
+    modifications from [next] — keeping only those the engine routes to
+    this partition — until [k] are queued, process them as one batch, and
+    record the metered cost.  Like the bridge-level calibration this
+    mutates the engine's database as it measures.  [max_draw] (default
+    200k) bounds the filtering per batch; a class too rare in the stream
+    raises [Invalid_argument].  Use insertion streams: discarding
+    shadow-generated updates or deletes would desynchronize the feed. *)

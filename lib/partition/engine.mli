@@ -1,0 +1,84 @@
+(** Partitioned maintenance engine: one {!Ivm.Maintainer} behind [2n]
+    per-partition delta queues.
+
+    Arriving modifications are classified by join key against each logical
+    table's {!Split} and queued per partition; {!process} forwards a
+    partition's batch into the maintainer with the partition's physical
+    path — heavy batches take the eager indexed path
+    ([Maintainer.process ~path:`Index]), light batches the batched shared
+    scan ([~path:`Scan]).  The view content is routing-independent (signed
+    multiset semantics), so a partitioned engine that drains everything is
+    bit-identical to an unpartitioned one fed the same stream; only the
+    metered cost of getting there moves — which is exactly what gives each
+    partition its own honest [f_i(k)].
+
+    Online, every arrival also feeds a decayed per-table frequency sketch.
+    When a {!Robust.Monitor} (created over per-{e partition} predicted
+    rates) trips on key-frequency drift, {!end_step} recalibrates the
+    splits from the decayed sketches, re-routes queued modifications, and
+    rebases the monitor — the repartitioning hook.
+
+    Routing requires per-key FIFO consistency: modifications touching the
+    same row must share a partition, which holds because classification is
+    a function of the join key.  Streams whose updates move a row's join
+    key should stay unpartitioned. *)
+
+type t
+
+val key_of_view : Ivm.Viewdef.t -> int -> Ivm.Change.t -> int option
+(** Join-key extractor for a view's tables: the change tuple's value in
+    table [i]'s join column ([after] for updates), [None] for non-integer
+    or NULL keys and for tables without a join edge. *)
+
+val create :
+  ?decay:float ->
+  ?monitor:Robust.Monitor.t ->
+  key_of:(int -> Ivm.Change.t -> int option) ->
+  splits:Split.t array ->
+  Ivm.Maintainer.t ->
+  t
+(** [decay] (default 0.98) is the per-step factor for the online sketches.
+    [monitor]'s predicted rates must be per partition (length [2n]).
+    Raises [Invalid_argument] if the maintainer already has pending
+    modifications — the engine owns its queues. *)
+
+val n_logical : t -> int
+val n_partitions : t -> int
+val maintainer : t -> Ivm.Maintainer.t
+val splits : t -> Split.t array
+
+val classify : t -> int -> Ivm.Change.t -> Split.cls
+val partition_of : t -> int -> Ivm.Change.t -> int
+
+val arrive : t -> int -> Ivm.Change.t -> unit
+(** Route a modification for logical table [i] to its partition queue and
+    feed the online sketch. *)
+
+val pending : t -> int array
+(** Queue sizes, indexed by partition ([2n] wide). *)
+
+val pending_in : t -> int -> int
+
+val process : t -> partition:int -> int -> Relation.Meter.snapshot
+(** Batch-process the earliest [k] modifications of one partition through
+    the maintainer on the partition's physical path; returns the meter
+    delta.  Raises [Invalid_argument] if [k] exceeds the partition's
+    queue. *)
+
+val end_step : t -> bool
+(** Close one time step: report the step's per-partition arrival counts to
+    the monitor, decay the online sketches, and — if the monitor is
+    tripped — repartition.  Returns whether a repartition happened. *)
+
+val drift : t -> int -> float
+(** |current heavy share − calibrated coverage| for table [i]'s split
+    against its online sketch: the key-frequency drift signal. *)
+
+val repartitions : t -> int
+val set_repartition_hook : t -> (t -> unit) -> unit
+
+val refresh : t -> Relation.Meter.snapshot
+(** Drain every partition (one batch each). *)
+
+val rows : t -> Relation.Tuple.t list
+val check_consistent : t -> (unit, string) result

@@ -1,6 +1,10 @@
-type config = { max_active : int; max_queued : int }
+type config = {
+  max_active : int;
+  max_queued : int;
+  max_delta_entries : int;
+}
 
-let default = { max_active = 8; max_queued = 8 }
+let default = { max_active = 8; max_queued = 8; max_delta_entries = max_int }
 
 type decision = Admit | Queue | Reject of string
 
@@ -9,17 +13,26 @@ let describe = function
   | Queue -> "queue"
   | Reject reason -> "reject: " ^ reason
 
-let decide config ~active ~queued ~known name =
+let decide config ~active ~queued ~delta_entries ~known name =
   if config.max_active < 1 then
     invalid_arg "Admission: max_active must be >= 1"
+  else if config.max_delta_entries < 0 then
+    invalid_arg "Admission: max_delta_entries must be >= 0"
   else if not (Durable.Fsutil.valid_tenant_name name) then
     Reject (Printf.sprintf "invalid tenant name %S" name)
   else if List.mem name known then
     Reject (Printf.sprintf "tenant %S already registered" name)
-  else if active < config.max_active then Admit
+  else if active < config.max_active && delta_entries < config.max_delta_entries
+  then Admit
   else if queued < config.max_queued then Queue
-  else
+  else if active >= config.max_active then
     Reject
       (Printf.sprintf
          "at capacity (%d active, %d queued) — retry after a tenant completes"
          active queued)
+  else
+    Reject
+      (Printf.sprintf
+         "delta-view memory budget exhausted (%d entries >= %d, %d queued) — \
+          retry after a tenant completes"
+         delta_entries config.max_delta_entries queued)

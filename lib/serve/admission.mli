@@ -4,20 +4,40 @@
     registrations beyond that wait in a bounded FIFO queue of
     [max_queued]; past both bounds (or with an invalid/duplicate name)
     the registration is rejected outright.  {!Service} promotes queued
-    tenants as active ones complete their horizons. *)
+    tenants as active ones complete their horizons.
 
-type config = { max_active : int; max_queued : int }
+    Memory accounting: higher-order tenants materialize {!Ivm.Deltaview}
+    structures whose size ([Deltaview.entries], summed over active
+    tenants) is charged against [max_delta_entries].  A registration that
+    arrives while the budget is exhausted queues instead of admitting —
+    it is promoted once enough materialization is released. *)
+
+type config = {
+  max_active : int;
+  max_queued : int;
+  max_delta_entries : int;
+      (** budget on the summed delta-view entries of active tenants;
+          [max_int] disables the accounting *)
+}
 
 val default : config
-(** [max_active = 8], [max_queued = 8]. *)
+(** [max_active = 8], [max_queued = 8], [max_delta_entries = max_int]. *)
 
 type decision = Admit | Queue | Reject of string
 
 val describe : decision -> string
 
 val decide :
-  config -> active:int -> queued:int -> known:string list -> string -> decision
-(** [decide config ~active ~queued ~known name] — [known] is every name
-    already registered (active, queued or completed); duplicates are
-    rejected, never queued.  Raises [Invalid_argument] if
-    [config.max_active < 1]. *)
+  config ->
+  active:int ->
+  queued:int ->
+  delta_entries:int ->
+  known:string list ->
+  string ->
+  decision
+(** [decide config ~active ~queued ~delta_entries ~known name] — [known]
+    is every name already registered (active, queued or completed);
+    duplicates are rejected, never queued.  [delta_entries] is the
+    current materialization charge of the active tenants.  Raises
+    [Invalid_argument] if [config.max_active < 1] or
+    [config.max_delta_entries < 0]. *)

@@ -98,6 +98,8 @@ let service_params t =
     ("sync", sync_to_string t.config.sync);
     ("max_active", string_of_int t.config.admission.Admission.max_active);
     ("max_queued", string_of_int t.config.admission.Admission.max_queued);
+    ( "max_delta_entries",
+      string_of_int t.config.admission.Admission.max_delta_entries );
     ( "tenants",
       String.concat ";"
         (List.map
@@ -150,6 +152,12 @@ let config_of_params params =
   let* sync = Result.bind (find "sync") sync_of_string in
   let* max_active = int_param "max_active" in
   let* max_queued = int_param "max_queued" in
+  (* Pre-budget manifests have no entry: unlimited, as before. *)
+  let* max_delta_entries =
+    match List.assoc_opt "max_delta_entries" params with
+    | None -> Ok max_int
+    | Some _ -> int_param "max_delta_entries"
+  in
   let* tenants =
     Result.bind (find "tenants") (fun v ->
         let entries =
@@ -173,7 +181,7 @@ let config_of_params params =
   in
   Ok
     ( {
-        admission = { Admission.max_active; max_queued };
+        admission = { Admission.max_active; max_queued; max_delta_entries };
         coordinate;
         discount_factor;
         shed_budget;
@@ -219,10 +227,15 @@ let admit t cfg =
       save_manifest t;
       Ok ()
 
+let delta_entries_in_use t =
+  List.fold_left (fun acc tenant -> acc + Tenant.delta_entries tenant) 0
+    t.active
+
 let register t cfg =
   let decision =
     Admission.decide t.config.admission ~active:(List.length t.active)
-      ~queued:(List.length t.waiting) ~known:t.known cfg.Tenant.name
+      ~queued:(List.length t.waiting)
+      ~delta_entries:(delta_entries_in_use t) ~known:t.known cfg.Tenant.name
   in
   match decision with
   | Admission.Admit ->
@@ -240,6 +253,8 @@ let promote_waiting t =
   let rec loop () =
     if
       List.length t.active < t.config.admission.Admission.max_active
+      && delta_entries_in_use t
+         < t.config.admission.Admission.max_delta_entries
       && t.waiting <> []
     then begin
       match t.waiting with

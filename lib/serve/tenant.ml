@@ -8,6 +8,7 @@ type config = {
   horizon : int;
   limit_factor : float;
   streams : string list;
+  order : Ivm.Viewdef.order;
 }
 
 let params_of_config c =
@@ -18,6 +19,7 @@ let params_of_config c =
     ("horizon", string_of_int c.horizon);
     ("limit_factor", Printf.sprintf "%h" c.limit_factor);
     ("streams", String.concat ";" c.streams);
+    ("order", Ivm.Viewdef.order_name c.order);
   ]
 
 let config_of_params params =
@@ -44,7 +46,16 @@ let config_of_params params =
         | None -> Error (Printf.sprintf "bad limit_factor parameter %S" v))
   in
   let* streams = Result.map (String.split_on_char ';') (find "streams") in
-  Ok { name; seed; rows; horizon; limit_factor; streams }
+  (* Absent in pre-order manifests: those tenants ran first-order. *)
+  let* order =
+    match List.assoc_opt "order" params with
+    | None -> Ok Ivm.Viewdef.First_order
+    | Some v -> (
+        match Ivm.Viewdef.order_of_name v with
+        | Some o -> Ok o
+        | None -> Error (Printf.sprintf "bad order parameter %S" v))
+  in
+  Ok { name; seed; rows; horizon; limit_factor; streams; order }
 
 type t = {
   config : config;
@@ -89,6 +100,11 @@ let replayed t = t.replayed
 let replayed_flushes t = List.rev t.flush_log
 let pending t = Abivm.Online.pending t.controller
 let controller t = t.controller
+
+let delta_entries t =
+  match Ivm.Maintainer.delta_view t.maintainer with
+  | Some dv -> Ivm.Deltaview.entries dv
+  | None -> 0
 
 let model_cost t i k = Cost.Func.eval t.costs.(i) k
 
@@ -137,7 +153,8 @@ let build ~dir ~sync config =
       ~s_rows:config.rows ()
   in
   let cal_m =
-    Ivm.Maintainer.create ~meter:cal.Tpcr.Synth.meter (Tpcr.Synth.join_view cal)
+    Ivm.Maintainer.create ~meter:cal.Tpcr.Synth.meter ~order:config.order
+      (Tpcr.Synth.join_view cal)
   in
   Relation.Meter.reset cal.Tpcr.Synth.meter;
   let cal_feeds = Tpcr.Synth.insert_feeds ~seed:(config.seed + 1) cal in
@@ -158,7 +175,8 @@ let build ~dir ~sync config =
       ~s_rows:config.rows ()
   in
   let maintainer =
-    Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter (Tpcr.Synth.join_view db)
+    Ivm.Maintainer.create ~meter:db.Tpcr.Synth.meter ~order:config.order
+      (Tpcr.Synth.join_view db)
   in
   Relation.Meter.reset db.Tpcr.Synth.meter;
   let feeds = Tpcr.Synth.insert_feeds ~seed:(config.seed + 1) db in

@@ -37,6 +37,12 @@ type config = {
   streams : string list;
       (** per-table arrival stream descriptors
           ({!Workload.Arrivals.stream_of_string} grammar), length 2 *)
+  order : Ivm.Viewdef.order;
+      (** maintenance order of the tenant's engine (and of the
+          calibration twin, so the cost model prices the same paths);
+          higher-order tenants materialize delta views, charged against
+          the service's {!Admission} memory budget.  Manifests persist it
+          as ["order"]; absent (pre-order manifests) means first-order. *)
 }
 
 val params_of_config : config -> (string * string) list
@@ -79,6 +85,12 @@ val model_cost : t -> int -> int -> float
 (** [model_cost t i k] — current model cost of a [k]-batch of table [i]. *)
 
 val controller : t -> Abivm.Online.controller
+
+val delta_entries : t -> int
+(** Current {!Ivm.Deltaview} materialization size (total subtuple
+    entries); 0 for first-order tenants.  The service charges this
+    against {!Admission.config.max_delta_entries}. *)
+
 val metered_cost : t -> float
 val charged_cost : t -> float  (** model-cost units, pre-discount *)
 

@@ -45,6 +45,80 @@ let prop_statevec_hash_equal =
       Abivm.Statevec.hash s = Abivm.Statevec.hash (Abivm.Statevec.copy s)
       && Abivm.Statevec.hash s >= 0)
 
+(* --- packed keys at partitioned width ---------------------------------------- *)
+
+(* Partitioned specs double the table count, so the key must round-trip and
+   keep hash quality at 2n-wide states.  The population below is the
+   adversarial shape for a prefix- or low-entropy hash: wide vectors with
+   tiny component values, many of them differing only in one component or
+   only in the time. *)
+let test_statekey_width () =
+  let widths = [ 12; 16 ] in
+  List.iter
+    (fun n ->
+      let s = Array.init n (fun i -> i mod 4) in
+      let k = Abivm.Statekey.make ~time:7 (Abivm.Statevec.copy s) in
+      Alcotest.(check int) "time round-trips" 7 (Abivm.Statekey.time k);
+      Alcotest.(check bool)
+        "state round-trips" true
+        (Abivm.Statevec.equal s (Abivm.Statekey.state k)))
+    widths;
+  (match Abivm.Statekey.make ~time:(-2) [| 0 |] with
+  | _ -> Alcotest.fail "time -2 accepted"
+  | exception Invalid_argument _ -> ());
+  (* -1 stays legal: it is A*'s virtual source. *)
+  ignore (Abivm.Statekey.make ~time:(-1) [| 0 |]);
+  let n = 12 in
+  let tbl = Abivm.Statekey.Tbl.create 64 in
+  let bindings = ref 0 in
+  for time = 0 to 9 do
+    let base = Array.make n 0 in
+    let rec fill i =
+      if i >= 3 then begin
+        let key = Abivm.Statekey.make ~time (Array.copy base) in
+        if not (Abivm.Statekey.Tbl.mem tbl key) then begin
+          Abivm.Statekey.Tbl.add tbl key ();
+          incr bindings
+        end
+      end
+      else
+        for v = 0 to 7 do
+          base.(i) <- v;
+          fill (i + 1);
+          base.(i) <- 0
+        done
+    in
+    fill 0
+  done;
+  (* 10 * 8^3 = 5120 distinct keys.  A uniform hash at this load factor
+     leaves well under half the bindings sharing buckets; a degraded hash
+     (prefix-only, or entropy collapsed into a few bits) collides on
+     nearly all of them since the keys differ in 3 of 13 dimensions. *)
+  let collisions = Abivm.Statekey.collisions tbl in
+  if float_of_int collisions > 0.5 *. float_of_int !bindings then
+    Alcotest.failf "hash quality degraded at width %d: %d/%d colliding" n
+      collisions !bindings
+
+(* --- parallel exact DP ------------------------------------------------------- *)
+
+(* The layered parallel DP must return the bit-identical optimum (cost and
+   plan) at every domain count, including on specs wider than the pool. *)
+let prop_exact_parallel =
+  QCheck.Test.make ~name:"Exact.solve domains in {1,2,4} bit-identical"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let spec = Gen.instance ~seed () in
+      let cost1, plan1 = Abivm.Exact.solve spec in
+      List.for_all
+        (fun domains ->
+          let cost, plan = Abivm.Exact.solve ~domains spec in
+          Int64.equal (Int64.bits_of_float cost) (Int64.bits_of_float cost1)
+          && List.equal
+               (fun (t1, a1) (t2, a2) -> t1 = t2 && Abivm.Statevec.equal a1 a2)
+               (Abivm.Plan.actions plan1) (Abivm.Plan.actions plan))
+        [ 2; 4 ])
+
 (* --- memoized heuristic ----------------------------------------------------- *)
 
 let random_spec seed =
@@ -177,8 +251,12 @@ let () =
   Alcotest.run "search"
     [
       ( "keys",
-        List.map to_alcotest [ prop_key_structural; prop_statevec_hash_equal ] );
+        Alcotest.test_case "round-trip and hash quality at partitioned width"
+          `Quick test_statekey_width
+        :: List.map to_alcotest [ prop_key_structural; prop_statevec_hash_equal ]
+      );
       ("heuristic", List.map to_alcotest [ prop_heuristic_memo ]);
+      ("exact-parallel", List.map to_alcotest [ prop_exact_parallel ]);
       ( "engine",
         [
           Alcotest.test_case "fixture costs and node counts" `Quick

@@ -34,7 +34,8 @@ let scratch () =
 (* Small but busy: limit_factor 1.2 keeps capacity tight enough that
    tenants flush throughout the run, exercising coordination, discounts
    and mid-run WAL [Applied] records. *)
-let tenant_cfg ?(rows = 50) ?(horizon = 15) ?(limit_factor = 1.2) ~seed name =
+let tenant_cfg ?(rows = 50) ?(horizon = 15) ?(limit_factor = 1.2)
+    ?(order = Ivm.Viewdef.First_order) ~seed name =
   {
     Serve.Tenant.name;
     seed;
@@ -42,6 +43,7 @@ let tenant_cfg ?(rows = 50) ?(horizon = 15) ?(limit_factor = 1.2) ~seed name =
     horizon;
     limit_factor;
     streams = [ "ss"; "ss" ];
+    order;
   }
 
 let fleet ?rows ?horizon ?limit_factor n =
@@ -110,8 +112,14 @@ let all_consistent (o : Serve.Service.outcome) =
 (* --- admission ------------------------------------------------------------ *)
 
 let test_admission_decisions () =
-  let cfg = { Serve.Admission.max_active = 2; max_queued = 1 } in
-  let decide = Serve.Admission.decide cfg in
+  let cfg =
+    {
+      Serve.Admission.max_active = 2;
+      max_queued = 1;
+      max_delta_entries = max_int;
+    }
+  in
+  let decide = Serve.Admission.decide cfg ~delta_entries:0 in
   (match decide ~active:0 ~queued:0 ~known:[] "t0" with
   | Serve.Admission.Admit -> ()
   | d -> Alcotest.failf "expected admit, got %s" (Serve.Admission.describe d));
@@ -132,6 +140,41 @@ let test_admission_decisions () =
   | Serve.Admission.Reject _ -> ()
   | d ->
       Alcotest.failf "expected reject (bad name), got %s"
+        (Serve.Admission.describe d))
+
+(* With the delta-entry budget in play the decision depends on the active
+   tenants' current materialization charge, not just their count. *)
+let test_admission_memory_budget () =
+  let cfg =
+    {
+      Serve.Admission.max_active = 4;
+      max_queued = 1;
+      max_delta_entries = 100;
+    }
+  in
+  (match
+     Serve.Admission.decide cfg ~active:1 ~queued:0 ~delta_entries:99
+       ~known:[ "t0" ] "t1"
+   with
+  | Serve.Admission.Admit -> ()
+  | d ->
+      Alcotest.failf "expected admit under budget, got %s"
+        (Serve.Admission.describe d));
+  (match
+     Serve.Admission.decide cfg ~active:1 ~queued:0 ~delta_entries:100
+       ~known:[ "t0" ] "t1"
+   with
+  | Serve.Admission.Queue -> ()
+  | d ->
+      Alcotest.failf "expected queue at budget, got %s"
+        (Serve.Admission.describe d));
+  (match
+     Serve.Admission.decide cfg ~active:1 ~queued:1 ~delta_entries:100
+       ~known:[ "t0"; "t1" ] "t2"
+   with
+  | Serve.Admission.Reject _ -> ()
+  | d ->
+      Alcotest.failf "expected reject (budget + queue full), got %s"
         (Serve.Admission.describe d))
 
 (* --- pool-parallel vs sequential ------------------------------------------ *)
@@ -263,7 +306,13 @@ let test_queue_and_promotion () =
   Fun.protect
     ~finally:(fun () -> rmtree root)
     (fun () ->
-      let admission = { Serve.Admission.max_active = 2; max_queued = 4 } in
+      let admission =
+        {
+          Serve.Admission.max_active = 2;
+          max_queued = 4;
+          max_delta_entries = max_int;
+        }
+      in
       let svc = Serve.Service.create ~root (service_cfg ~admission ()) in
       let decisions =
         List.map
@@ -291,11 +340,57 @@ let test_queue_and_promotion () =
       checki "queue peak" 2 outcome.Serve.Service.queued_peak;
       checki "one rejected" 1 outcome.Serve.Service.rejected)
 
+(* Higher-order tenants materialize delta views from the moment they are
+   created, so with a 1-entry budget the first registration admits (charge
+   is still 0 when it is decided) and every later one must wait for the
+   active tenant to finish and release its materialization. *)
+let test_delta_budget_queues_higher_order () =
+  let cfgs =
+    List.init 2 (fun i ->
+        tenant_cfg ~rows:40 ~horizon:8 ~order:Ivm.Viewdef.Higher_order
+          ~seed:(42 + (10 * i))
+          (Printf.sprintf "t%d" i))
+  in
+  let root = scratch () in
+  Fun.protect
+    ~finally:(fun () -> rmtree root)
+    (fun () ->
+      let admission =
+        {
+          Serve.Admission.max_active = 2;
+          max_queued = 4;
+          max_delta_entries = 1;
+        }
+      in
+      let svc = Serve.Service.create ~root (service_cfg ~admission ()) in
+      let decisions =
+        List.map
+          (fun cfg ->
+            match Serve.Service.register svc cfg with
+            | Ok d -> d
+            | Error e -> Alcotest.failf "register: %s" e)
+          cfgs
+      in
+      (match decisions with
+      | [ Serve.Admission.Admit; Serve.Admission.Queue ] -> ()
+      | ds ->
+          Alcotest.failf "expected [admit; queue], got [%s]"
+            (String.concat "; " (List.map Serve.Admission.describe ds)));
+      let outcome = Serve.Service.run svc in
+      checki "both completed" 2 (List.length outcome.Serve.Service.tenants);
+      checkb "all consistent" true (all_consistent outcome);
+      checki "queue peak" 1 outcome.Serve.Service.queued_peak;
+      checki "none rejected" 0 outcome.Serve.Service.rejected)
+
 let () =
   Alcotest.run "serve"
     [
       ( "admission",
-        [ Alcotest.test_case "decisions" `Quick test_admission_decisions ] );
+        [
+          Alcotest.test_case "decisions" `Quick test_admission_decisions;
+          Alcotest.test_case "delta-view memory budget" `Quick
+            test_admission_memory_budget;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "4-domain pool bit-identical" `Quick
@@ -319,5 +414,7 @@ let () =
         [
           Alcotest.test_case "queue + promotion" `Quick
             test_queue_and_promotion;
+          Alcotest.test_case "delta budget queues higher-order" `Quick
+            test_delta_budget_queues_higher_order;
         ] );
     ]

@@ -299,9 +299,84 @@ let test_tablefmt_float_cell () =
   Alcotest.check Alcotest.string "zero decimals" "3"
     (Util.Tablefmt.float_cell ~decimals:0 3.14159)
 
+(* --- zipf sampler statistics -------------------------------------------------- *)
+
+let zipf_histogram ~seed ~exponent ~n ~draws =
+  let g = Util.Prng.create ~seed in
+  let sample = Util.Prng.zipf_sampler ~exponent ~n in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = sample g in
+    if r < 0 || r >= n then Alcotest.failf "rank %d out of [0, %d)" r n;
+    counts.(r) <- counts.(r) + 1
+  done;
+  counts
+
+let test_zipf_deterministic () =
+  let draw seed =
+    let g = Util.Prng.create ~seed in
+    let sample = Util.Prng.zipf_sampler ~exponent:1.1 ~n:50 in
+    List.init 200 (fun _ -> sample g)
+  in
+  Alcotest.(check (list int)) "same seed, same sequence" (draw 42) (draw 42);
+  if draw 42 = draw 43 then Alcotest.fail "different seeds, same sequence"
+
+let test_zipf_rank_frequency () =
+  (* exponent 1 over 100 ranks: the theoretical top-rank share is
+     1/H_100 ~ 0.193 and the tail (ranks >= 50) carries ~13.4% of the
+     mass.  20k draws put the sample well inside the loose bounds. *)
+  let n = 100 and draws = 20_000 in
+  let counts = zipf_histogram ~seed:7 ~exponent:1.0 ~n ~draws in
+  let share r = float_of_int counts.(r) /. float_of_int draws in
+  let top = share 0 in
+  if not (top > 0.15 && top < 0.25) then
+    Alcotest.failf "top-rank share %.3f outside [0.15, 0.25]" top;
+  if not (counts.(0) > counts.(9) && counts.(9) > counts.(49)) then
+    Alcotest.failf "rank frequencies not decreasing: %d, %d, %d" counts.(0)
+      counts.(9) counts.(49);
+  let tail = ref 0 in
+  for r = 50 to n - 1 do
+    tail := !tail + counts.(r)
+  done;
+  let tail_share = float_of_int !tail /. float_of_int draws in
+  if not (tail_share > 0.06 && tail_share < 0.25) then
+    Alcotest.failf "tail mass %.3f outside [0.06, 0.25]" tail_share
+
+let test_zipf_exponent_zero_uniform () =
+  let n = 10 and draws = 20_000 in
+  let counts = zipf_histogram ~seed:11 ~exponent:0.0 ~n ~draws in
+  Array.iteri
+    (fun r c ->
+      let share = float_of_int c /. float_of_int draws in
+      if not (share > 0.05 && share < 0.15) then
+        Alcotest.failf "exponent 0: rank %d share %.3f not near uniform" r
+          share)
+    counts
+
+let test_zipf_exponent_sharpens () =
+  (* A higher exponent concentrates strictly more mass on the top rank. *)
+  let top exponent =
+    (zipf_histogram ~seed:3 ~exponent ~n:50 ~draws:10_000).(0)
+  in
+  let t05 = top 0.5 and t10 = top 1.0 and t20 = top 2.0 in
+  if not (t05 < t10 && t10 < t20) then
+    Alcotest.failf "top-rank counts not increasing in exponent: %d, %d, %d"
+      t05 t10 t20
+
 let () =
   Alcotest.run "util"
     [
+      ( "zipf",
+        [
+          Alcotest.test_case "seeded determinism" `Quick
+            test_zipf_deterministic;
+          Alcotest.test_case "rank-frequency and tail mass" `Quick
+            test_zipf_rank_frequency;
+          Alcotest.test_case "exponent 0 is uniform" `Quick
+            test_zipf_exponent_zero_uniform;
+          Alcotest.test_case "exponent sharpens the head" `Quick
+            test_zipf_exponent_sharpens;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
