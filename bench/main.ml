@@ -8,7 +8,8 @@
    Sections: fig1 intro fig4 fig5 fig6 fig7 tightness ablation opflow
    conjectures multiview multiview-par multiview-par-smoke astar
    astar-smoke robust robust-smoke durable durable-smoke columnar
-   columnar-smoke serve serve-smoke ho ho-smoke micro
+   columnar-smoke serve serve-smoke serve-io serve-io-smoke ho ho-smoke
+   micro
    Flags: --csv DIR (also write tables as CSV), --trace FILE.jsonl
    (telemetry trace), --metrics (print the metrics table at the end),
    --domains 1,2,4 (domain counts swept by the parallel sections; the
@@ -21,7 +22,10 @@
    overhead and recovery time), the multiview-par sections
    BENCH_multiview.json (pooled coordinator + concurrent flush data), the
    serve sections BENCH_serve.json (shared SLO scheduler vs independent
-   per-tenant ONLINE) and the ho sections BENCH_ho.json (first-order vs
+   per-tenant ONLINE), the serve-io sections BENCH_serveio.json
+   (group-commit window fsync accounting, throughput vs per-tenant
+   Always WALs, off-thread checkpoint stall — each a hard gate) and the
+   ho sections BENCH_ho.json (first-order vs
    higher-order cost curves and re-derived planner bounds) to
    the working directory, each stamped with a "meta" block (commit,
    ocaml_version, domains swept, host cores); the -smoke variants are
@@ -1520,6 +1524,7 @@ let run_serve_grid ~name ~tenants ~rows ~horizon ~limit_factor () =
           limit_factor;
           streams = [ "ss"; "ss" ];
           order = Ivm.Viewdef.First_order;
+          sync = None;
         })
   in
   let run_mode ~coordinate =
@@ -1662,6 +1667,321 @@ let run_serve () =
 let run_serve_smoke () =
   run_serve_grid ~name:"smoke" ~tenants:4 ~rows:60 ~horizon:25
     ~limit_factor:1.2 ()
+
+(* --- serve-io: group-commit window + off-thread checkpoints ----------------- *)
+
+(* The serve-path I/O experiment (DESIGN.md §15).  Three claims, each a
+   hard gate (exit 1 on regression):
+
+   1. Under the shared group-commit window a scheduler round costs ONE
+      data fsync — the window close — however many tenants committed,
+      where per-tenant [Always] WALs pay one fsync per commit.
+   2. That converts into wall-clock throughput: the grouped service
+      finishes the same workload at least 2x faster than per-tenant
+      [Always] WALs, at equal recovered state — both roots are recovered
+      from disk after the timed runs and every outcome bit (per-tenant
+      costs, aggregates, discounts, round count) must agree between the
+      two layouts, live and recovered alike.
+   3. Off-thread checkpoints ([Durable.Exec] with a pool) stall the
+      maintenance thread no more than synchronous ones do
+      ([durable.ckpt_stall_ms]), with the total cost bit-identical. *)
+
+let telemetry_diff f =
+  let owned = not (Telemetry.enabled ()) in
+  if owned then Telemetry.enable ();
+  let before = Telemetry.snapshot () in
+  let v = f () in
+  let diff = Telemetry.Metrics.diff (Telemetry.snapshot ()) before in
+  if owned then Telemetry.disable ();
+  (v, diff)
+
+let serveio_digest (o : Serve.Service.outcome) =
+  String.concat ","
+    (Printf.sprintf "%Lx" (Int64.bits_of_float o.Serve.Service.aggregate_charged)
+    :: Printf.sprintf "%Lx"
+         (Int64.bits_of_float o.Serve.Service.aggregate_undiscounted)
+    :: string_of_int o.Serve.Service.co_flushes
+    :: string_of_int o.Serve.Service.rounds
+    :: List.concat_map
+         (fun (t : Serve.Service.tenant_outcome) ->
+           [
+             t.Serve.Service.tenant;
+             string_of_int t.Serve.Service.steps;
+             Printf.sprintf "%Lx" (Int64.bits_of_float t.Serve.Service.metered_cost);
+             Printf.sprintf "%Lx" (Int64.bits_of_float t.Serve.Service.charged_cost);
+             string_of_int t.Serve.Service.violations;
+           ])
+         o.Serve.Service.tenants)
+
+let run_serveio_grid ~name ~tenants ~rows ~horizon ~limit_factor ~repeat
+    ~ckpt_rows ~ckpt_horizon () =
+  section
+    (Printf.sprintf
+       "Serve I/O (%s grid) — shared group-commit window vs per-tenant \
+        Always WALs (%d tenants, %d rows, horizon %d), plus off-thread \
+        checkpoint stall"
+       name tenants rows horizon);
+  let tenant_cfgs =
+    List.init tenants (fun i ->
+        {
+          Serve.Tenant.name = Printf.sprintf "t%d" i;
+          seed = base_seed + (10 * i);
+          rows;
+          horizon;
+          limit_factor;
+          streams = [ "ss"; "ss" ];
+          order = Ivm.Viewdef.First_order;
+          sync = None;
+        })
+  in
+  (* One timed run of the fleet under a WAL layout; best-of-[repeat].
+     Only [Serve.Service.run] is timed — tenant admission (synthetic DB
+     generation) is identical across layouts and not the claim under
+     test.  The root is left on disk so the caller can recover it. *)
+  let run_mode ~label ~wal_mode ~scheduler =
+    let root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abivm-bench-serveio-%d-%s-%s" (Unix.getpid ()) name
+           label)
+    in
+    let best = ref infinity and out = ref None in
+    for _ = 1 to repeat do
+      bench_rmtree root;
+      let config =
+        {
+          Serve.Service.default_config with
+          admission =
+            {
+              Serve.Admission.max_active = tenants;
+              max_queued = tenants;
+              max_delta_entries = max_int;
+            };
+          (* Coordination is the serve grid's subject; here it would only
+             add co-flush journal manifest writes to both layouts and
+             blur the fsync accounting under test. *)
+          coordinate = false;
+          discount_factor = 0.0;
+          sync = Durable.Wal.Always;
+          wal_mode;
+          scheduler;
+        }
+      in
+      let svc = Serve.Service.create ~root config in
+      List.iter
+        (fun cfg ->
+          match Serve.Service.register svc cfg with
+          | Ok Serve.Admission.Admit -> ()
+          | Ok d ->
+              Printf.eprintf "FAIL: serveio: tenant %s not admitted (%s)\n"
+                cfg.Serve.Tenant.name
+                (Serve.Admission.describe d);
+              exit 1
+          | Error e ->
+              Printf.eprintf "FAIL: serveio: tenant %s: %s\n"
+                cfg.Serve.Tenant.name e;
+              exit 1)
+        tenant_cfgs;
+      let (outcome, wall_ms), metrics =
+        telemetry_diff (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let o = Serve.Service.run svc in
+            (o, 1000.0 *. (Unix.gettimeofday () -. t0)))
+      in
+      if wall_ms < !best then best := wall_ms;
+      out :=
+        Some
+          ( outcome,
+            Serve.Service.rounds svc,
+            Serve.Service.idle_rounds svc,
+            Serve.Service.window_closes svc,
+            Telemetry.Metrics.value metrics "durable.fsyncs" )
+    done;
+    let outcome, rounds, idle_rounds, window_closes, fsyncs =
+      Option.get !out
+    in
+    (label, root, outcome, rounds, idle_rounds, window_closes, fsyncs, !best)
+  in
+  let grouped =
+    run_mode ~label:"grouped" ~wal_mode:Serve.Service.Grouped
+      ~scheduler:Serve.Service.Event
+  in
+  let private_ =
+    run_mode ~label:"private-always" ~wal_mode:Serve.Service.Private
+      ~scheduler:Serve.Service.Lockstep
+  in
+  let recovered_digest (_, root, _, _, _, _, _, _) =
+    match Serve.Service.recover ~root () with
+    | Error e ->
+        Printf.eprintf "FAIL: serveio: recover %s: %s\n" root e;
+        exit 1
+    | Ok svc -> serveio_digest (Serve.Service.run svc)
+  in
+  let grouped_rec = recovered_digest grouped in
+  let private_rec = recovered_digest private_ in
+  let row (label, _, o, rounds, idle, closes, fsyncs, wall_ms) =
+    let busy = max 1 (rounds - idle) in
+    [
+      label;
+      string_of_int rounds;
+      string_of_int idle;
+      string_of_int closes;
+      fcell ~decimals:0 fsyncs;
+      fcell ~decimals:2 (fsyncs /. float_of_int busy);
+      fcell ~decimals:2 o.Serve.Service.aggregate_charged;
+      fcell ~decimals:1 wall_ms;
+    ]
+  in
+  emit ~name:("serveio_" ^ name)
+    ~aligns:
+      [ Util.Tablefmt.Left; Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "wal layout"; "rounds"; "idle"; "window closes"; "fsyncs";
+        "fsyncs/busy round"; "aggregate charged"; "wall (ms)" ]
+    [ row grouped; row private_ ];
+  let ( _, groot, g_out, g_rounds, g_idle, g_closes, g_fsyncs, g_ms ) =
+    grouped
+  in
+  let _, proot, p_out, _, _, _, p_fsyncs, p_ms = private_ in
+  let g_busy = max 1 (g_rounds - g_idle) in
+  let speedup = p_ms /. Float.max 1e-9 g_ms in
+  Printf.printf
+    "grouped window: %.0f fsyncs over %d busy rounds (%.2f/round) vs %.0f \
+     per-tenant; %.2fx throughput at equal recovered state\n"
+    g_fsyncs g_busy
+    (g_fsyncs /. float_of_int g_busy)
+    p_fsyncs speedup;
+  (* Gate 1: one fsync per busy round.  Every busy round closes the
+     window exactly once ([sync = Always]); the only uncounted extras
+     allowed are the shutdown flush and segment rotation. *)
+  let gate_window = g_closes = g_busy && g_fsyncs <= float_of_int (g_closes + 2) in
+  if not gate_window then begin
+    Printf.eprintf
+      "FAIL: serveio: grouped window fsync accounting: %d closes, %d busy \
+       rounds, %.0f fsyncs\n"
+      g_closes g_busy g_fsyncs;
+    exit 1
+  end;
+  (* Gate 2a: bit-identical outcomes across layouts, live and recovered. *)
+  let g_dig = serveio_digest g_out and p_dig = serveio_digest p_out in
+  if not (g_dig = p_dig && grouped_rec = g_dig && private_rec = p_dig) then begin
+    Printf.eprintf
+      "FAIL: serveio: outcome digests diverge (grouped %s / private %s / \
+       recovered %s %s)\n"
+      g_dig p_dig grouped_rec private_rec;
+    exit 1
+  end;
+  (* Gate 2b: the shared window converts saved fsyncs into throughput. *)
+  if speedup < 2.0 then begin
+    Printf.eprintf
+      "FAIL: serveio: grouped throughput %.2fx < 2x per-tenant Always\n"
+      speedup;
+    exit 1
+  end;
+  bench_rmtree groot;
+  bench_rmtree proot;
+  (* Gate 3: off-thread checkpoints must not stall the maintenance
+     thread more than synchronous ones ([Durable.Exec], same workload,
+     same checkpoint cadence; stalls best-of-[repeat] to damp noise). *)
+  let env = durable_env ~rows:ckpt_rows ~join_domain:25 ~horizon:ckpt_horizon in
+  let ckpt_counter = ref 0 in
+  let ckpt_run ~label ~pool () =
+    incr ckpt_counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abivm-bench-serveio-ckpt-%d-%s-%s-%d" (Unix.getpid ())
+           name label !ckpt_counter)
+    in
+    bench_rmtree dir;
+    let config =
+      {
+        (Durable.Exec.default_config ~dir) with
+        Durable.Exec.ckpt_actions = 8;
+        sync = Durable.Wal.Always;
+        pool;
+      }
+    in
+    let outcome, metrics = telemetry_diff (fun () -> Durable.Exec.run config env) in
+    bench_rmtree dir;
+    (outcome, Telemetry.Metrics.value metrics "durable.ckpt_stall_ms")
+  in
+  let best_stall ~label ~pool =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to repeat do
+      let o, stall = ckpt_run ~label ~pool () in
+      if stall < !best then best := stall;
+      out := Some o
+    done;
+    (Option.get !out, !best)
+  in
+  let sync_out, sync_stall = best_stall ~label:"sync" ~pool:None in
+  let async_out, async_stall =
+    Parallel.Pool.with_pool ~domains:2 (fun pool ->
+        best_stall ~label:"async" ~pool:(Some pool))
+  in
+  Printf.printf
+    "checkpoint stall: %.2f ms sync vs %.2f ms off-thread (%d checkpoints)\n"
+    sync_stall async_stall sync_out.Durable.Exec.checkpoints;
+  if sync_out.Durable.Exec.checkpoints = 0 then begin
+    Printf.eprintf "FAIL: serveio: checkpoint grid wrote no checkpoints\n";
+    exit 1
+  end;
+  if
+    Int64.bits_of_float sync_out.Durable.Exec.total_cost
+    <> Int64.bits_of_float async_out.Durable.Exec.total_cost
+  then begin
+    Printf.eprintf
+      "FAIL: serveio: off-thread checkpoints changed the total cost\n";
+    exit 1
+  end;
+  if async_stall > (sync_stall *. 1.25) +. 2.0 then begin
+    Printf.eprintf
+      "FAIL: serveio: off-thread checkpoint stall regressed (%.2f ms vs \
+       %.2f ms sync)\n"
+      async_stall sync_stall;
+    exit 1
+  end;
+  (* Machine-readable copy for regression tracking across PRs. *)
+  let path = "BENCH_serveio.json" in
+  let oc = open_out path in
+  let mode_json (label, _, o, rounds, idle, closes, fsyncs, wall_ms) digest =
+    Printf.sprintf
+      "  \"%s\": {\n    \"rounds\": %d,\n    \"idle_rounds\": %d,\n    \
+       \"window_closes\": %d,\n    \"fsyncs\": %.0f,\n    \
+       \"fsyncs_per_busy_round\": %.4f,\n    \"aggregate_charged\": %.6f,\n    \
+       \"wall_ms\": %.3f,\n    \"digest_matches_recovered\": %b\n  }"
+      label rounds idle closes fsyncs
+      (fsyncs /. float_of_int (max 1 (rounds - idle)))
+      o.Serve.Service.aggregate_charged wall_ms
+      (serveio_digest o = digest)
+  in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  %s,\n  \"tenants\": %d,\n  \"rows\": %d,\n  \
+     \"horizon\": %d,\n  \"limit_factor\": %.2f,\n%s,\n%s,\n  \
+     \"throughput_ratio\": %.4f,\n  \"outcomes_bit_identical\": %b,\n  \
+     \"checkpoint\": {\n    \"rows\": %d,\n    \"horizon\": %d,\n    \
+     \"checkpoints\": %d,\n    \"sync_stall_ms\": %.3f,\n    \
+     \"async_stall_ms\": %.3f,\n    \"cost_bits_equal\": %b\n  }\n}\n"
+    name (meta_json ()) tenants rows horizon limit_factor
+    (mode_json grouped grouped_rec)
+    (mode_json private_ private_rec)
+    speedup
+    (g_dig = p_dig)
+    ckpt_rows ckpt_horizon sync_out.Durable.Exec.checkpoints sync_stall
+    async_stall
+    (Int64.bits_of_float sync_out.Durable.Exec.total_cost
+    = Int64.bits_of_float async_out.Durable.Exec.total_cost);
+  close_out oc;
+  Printf.printf "(written to %s)\n" path
+
+let run_serveio () =
+  run_serveio_grid ~name:"reference" ~tenants:8 ~rows:16 ~horizon:60
+    ~limit_factor:1.3 ~repeat:3 ~ckpt_rows:800 ~ckpt_horizon:400 ()
+
+let run_serveio_smoke () =
+  run_serveio_grid ~name:"smoke" ~tenants:6 ~rows:12 ~horizon:30
+    ~limit_factor:1.2 ~repeat:2 ~ckpt_rows:250 ~ckpt_horizon:160 ()
 
 (* --- ho: first-order vs higher-order maintenance --------------------------- *)
 
@@ -2351,6 +2671,8 @@ let sections =
     ("columnar-smoke", run_columnar_smoke);
     ("serve", run_serve);
     ("serve-smoke", run_serve_smoke);
+    ("serve-io", run_serveio);
+    ("serve-io-smoke", run_serveio_smoke);
     ("ho", run_ho);
     ("ho-smoke", run_ho_smoke);
     ("partition", run_partition);
@@ -2420,7 +2742,8 @@ let () =
         (fun s ->
           s <> "astar-smoke" && s <> "robust-smoke" && s <> "durable-smoke"
           && s <> "multiview-par-smoke" && s <> "columnar-smoke"
-          && s <> "ho-smoke" && s <> "partition-smoke")
+          && s <> "ho-smoke" && s <> "partition-smoke"
+          && s <> "serve-io-smoke")
         (List.map fst sections)
   in
   List.iter

@@ -1003,12 +1003,45 @@ let with_serve_pool domains f =
   if domains <= 1 then f None
   else Parallel.Pool.with_pool ~domains (fun p -> f (Some p))
 
+(* [--tenant-sync t3=always] overrides: parsed here, validated against
+   the registered tenant names before any registration happens. *)
+let parse_tenant_syncs ~tenants specs =
+  let known = List.init tenants (Printf.sprintf "t%d") in
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun acc ->
+          match String.index_opt spec '=' with
+          | None ->
+              Error
+                (Printf.sprintf "--tenant-sync %s: expected NAME=POLICY" spec)
+          | Some i -> (
+              let name = String.sub spec 0 i in
+              let policy =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              if not (List.mem name known) then
+                Error
+                  (Printf.sprintf
+                     "--tenant-sync %s: no such tenant (run has %s)" spec
+                     (String.concat ", " known))
+              else
+                match Serve.Service.sync_of_string policy with
+                | Ok p -> Ok ((name, p) :: acc)
+                | Error e ->
+                    Error (Printf.sprintf "--tenant-sync %s: %s" spec e))))
+    (Ok []) specs
+
 let serve_run dir tenants rows horizon limit_factor seed streams discount
-    budget no_coordinate domains sync kill_at_round trace metrics =
+    budget no_coordinate domains sync wal_mode scheduler tenant_syncs
+    kill_at_round trace metrics =
   let streams = if streams = [] then [ "ss"; "ss" ] else streams in
   if List.length streams <> Serve.Tenant.n_tables then
     `Error (false, "need exactly two --stream arguments (tables R and S)")
   else begin
+    match parse_tenant_syncs ~tenants tenant_syncs with
+    | Error e -> `Error (false, e)
+    | Ok sync_overrides ->
+    let tenant_sync_for name = List.assoc_opt name sync_overrides in
     with_telemetry ~trace ~metrics (fun () ->
         let hook =
           match kill_at_round with
@@ -1028,6 +1061,8 @@ let serve_run dir tenants rows horizon limit_factor seed streams discount
             discount_factor = discount;
             shed_budget = budget;
             sync;
+            wal_mode;
+            scheduler;
             hook;
           }
         in
@@ -1035,15 +1070,17 @@ let serve_run dir tenants rows horizon limit_factor seed streams discount
             let svc = Serve.Service.create ?pool ~root:dir config in
             let ok = ref true in
             for i = 0 to tenants - 1 do
+              let cfg_name = Printf.sprintf "t%d" i in
               let cfg =
                 {
-                  Serve.Tenant.name = Printf.sprintf "t%d" i;
+                  Serve.Tenant.name = cfg_name;
                   seed = seed + (10 * i);
                   rows;
                   horizon;
                   limit_factor;
                   streams;
                   order = Ivm.Viewdef.First_order;
+                  sync = tenant_sync_for cfg_name;
                 }
               in
               match Serve.Service.register svc cfg with
@@ -1156,7 +1193,55 @@ let serve_run_cmd =
       value
       & opt sync_conv Durable.Wal.Always
       & info [ "sync" ] ~docv:"POLICY"
-          ~doc:"Per-tenant WAL fsync policy: always, never, or interval:N.")
+          ~doc:
+            "Durability cadence: always, never, or interval:N.  Grouped WAL: \
+             the shared window closes (one fsync for every tenant's commits) \
+             every round / never / every N-th round.  Private WALs: each \
+             tenant's fsync policy.")
+  in
+  let wal_mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("grouped", Serve.Service.Grouped);
+               ("private", Serve.Service.Private);
+             ])
+          Serve.Service.Grouped
+      & info [ "wal" ] ~docv:"MODE"
+          ~doc:
+            "WAL layout: $(b,grouped) multiplexes every tenant into one \
+             shared group-commit log (one fsync per round); $(b,private) \
+             keeps the original per-tenant WALs (default grouped).")
+  in
+  let scheduler =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("event", Serve.Service.Event);
+               ("lockstep", Serve.Service.Lockstep);
+             ])
+          Serve.Service.Event
+      & info [ "scheduler" ] ~docv:"MODE"
+          ~doc:
+            "$(b,event) dispatches only tenants whose step does real work \
+             (idle tenants cost no WAL traffic or pool work); \
+             $(b,lockstep) dispatches everyone every round.  Outcomes are \
+             bit-identical (default event).")
+  in
+  let tenant_sync =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant-sync" ] ~docv:"NAME=POLICY"
+          ~doc:
+            "Per-tenant durability override (repeatable), e.g. \
+             $(b,--tenant-sync t0=always).  Under the grouped WAL a strict \
+             tenant forces the shared window closed at its own commits; \
+             under private WALs it sets that tenant's fsync policy.  \
+             Validated against the run's tenant names at startup.")
   in
   let kill_at_round =
     Arg.(
@@ -1171,12 +1256,14 @@ let serve_run_cmd =
     (Cmd.info "run"
        ~doc:
          "run N tenants' maintenance concurrently under the shared SLO \
-          scheduler, each with a private WAL")
+          scheduler, journaling into a shared group-commit WAL (or private \
+          per-tenant WALs with $(b,--wal private))")
     Term.(
       ret
         (const serve_run $ serve_dir_arg $ tenants $ rows $ horizon
        $ limit_factor $ seed $ streams $ discount $ budget $ no_coordinate
-       $ serve_domains_arg $ sync $ kill_at_round $ trace_arg $ metrics_arg))
+       $ serve_domains_arg $ sync $ wal_mode $ scheduler $ tenant_sync
+       $ kill_at_round $ trace_arg $ metrics_arg))
 
 let serve_recover_cmd =
   Cmd.v

@@ -131,6 +131,31 @@ let write ~dir ?(hook = Hook.none) t =
   Telemetry.incr "durable.checkpoints";
   name
 
+(* ---- background writes ------------------------------------------- *)
+
+type inflight = { file : string; job : Parallel.Pool.job }
+
+(* The snapshot [t] is already detached from live state ([capture] copies
+   rows and queues), so the worker can serialize + fsync + rename it
+   while the maintenance thread keeps executing steps.  The caller must
+   not let a manifest reference the checkpoint until the job settles —
+   the data fsync inside [write] strictly precedes the rename, and the
+   manifest update comes strictly after {!await}/{!poll} reports done,
+   which is the ARIES ordering argument. *)
+let write_async ~dir ?(hook = Hook.none) ~pool t =
+  let file = filename ~lsn:t.lsn in
+  let job =
+    Parallel.Pool.detach pool (fun () -> ignore (write ~dir ~hook t))
+  in
+  { file; job }
+
+let inflight_file p = p.file
+let poll p = Parallel.Pool.poll p.job
+
+let await p =
+  Parallel.Pool.await p.job;
+  p.file
+
 (* ---- parsing ----------------------------------------------------- *)
 
 exception Bad of string

@@ -51,6 +51,31 @@ val write : dir:string -> ?hook:(Hook.point -> unit) -> t -> string
     [Hook.Ckpt_temp] after the temp file is complete and
     [Hook.Ckpt_done] after the rename. *)
 
+type inflight
+(** A checkpoint being serialized + fsynced on a pool worker. *)
+
+val write_async :
+  dir:string -> ?hook:(Hook.point -> unit) -> pool:Parallel.Pool.t -> t ->
+  inflight
+(** Hand the (already-detached) snapshot to a background pool task that
+    runs {!write}.  With a 1-domain pool the write happens inline before
+    returning — bit-identical to the synchronous path.  The caller MUST
+    NOT update any manifest to reference the checkpoint until {!poll}
+    reports done / {!await} returns: the data fsync inside the job must
+    strictly precede the manifest update (ARIES ordering), otherwise a
+    crash could leave a manifest pointing at a missing or torn file. *)
+
+val inflight_file : inflight -> string
+(** The basename the job is writing (known upfront — deterministic from
+    the LSN). *)
+
+val poll : inflight -> [ `Running | `Done | `Failed ]
+
+val await : inflight -> string
+(** Block until the background write finishes; returns the basename.
+    Re-raises the job's exception (e.g. an injected [Hook.Crash]) if it
+    failed. *)
+
 val load : string -> (t, string) result
 (** Parse a checkpoint file; [Error] describes the first defect. *)
 

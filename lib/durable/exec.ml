@@ -6,6 +6,7 @@ type config = {
   sync : Wal.sync;
   keep_checkpoints : int;
   hook : Hook.point -> unit;
+  pool : Parallel.Pool.t option;
 }
 
 let default_config ~dir =
@@ -17,6 +18,7 @@ let default_config ~dir =
     sync = Wal.Always;
     keep_checkpoints = 2;
     hook = Hook.none;
+    pool = None;
   }
 
 type env = {
@@ -53,18 +55,18 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
   let bytes_mark = ref (Wal.total_bytes wal) in
   let manifest = ref manifest in
   let ckpts = ref 0 in
-  let checkpoint t =
-    (* The WAL records this checkpoint claims to supersede must be on
-       disk before the manifest can point at it. *)
-    Wal.sync_now wal;
-    let c =
-      Checkpoint.capture ~lsn:(Wal.lsn wal) ~next_step:(t + 1) ~cost:!total
-        ~draws ~params:env.params m
-    in
-    let file = Checkpoint.write ~dir:config.dir ~hook:config.hook c in
-    let with_new =
-      Manifest.add_checkpoint !manifest ~lsn:c.Checkpoint.lsn ~file
-    in
+  let inflight = ref None in
+  (* Stall accounting: wall time the maintenance thread itself spends on
+     checkpoint work (snapshot + apply under async; the whole write when
+     synchronous).  This is the number background checkpointing shrinks. *)
+  let stall_since t0 =
+    Telemetry.add "durable.ckpt_stall_ms" ((Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  (* Once the background write has settled, the manifest may reference
+     the checkpoint: the job's data fsync strictly precedes this point
+     (ARIES ordering). *)
+  let apply_ckpt lsn file =
+    let with_new = Manifest.add_checkpoint !manifest ~lsn ~file in
     let pruned, dropped = Manifest.prune ~keep:config.keep_checkpoints with_new in
     Manifest.save ~dir:config.dir ~hook:config.hook pruned;
     manifest := pruned;
@@ -78,13 +80,51 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
           try Sys.remove (Filename.concat config.dir f) with Sys_error _ -> ())
       dropped;
     Fsutil.fsync_dir config.dir;
-    Wal.truncate_before wal c.Checkpoint.lsn;
+    Wal.truncate_before wal lsn;
+    incr ckpts
+  in
+  let settle_inflight ~wait =
+    match !inflight with
+    | None -> ()
+    | Some (lsn, p) ->
+        let settled =
+          if wait then true
+          else match Checkpoint.poll p with `Running -> false | _ -> true
+        in
+        if settled then begin
+          let t0 = Unix.gettimeofday () in
+          let file = Checkpoint.await p in
+          (* re-raises an injected crash *)
+          inflight := None;
+          apply_ckpt lsn file;
+          stall_since t0
+        end
+  in
+  let checkpoint ?(background = true) t =
+    (* The WAL records this checkpoint claims to supersede must be on
+       disk before the manifest can point at it. *)
+    let t0 = Unix.gettimeofday () in
+    Wal.sync_now wal;
+    let c =
+      Checkpoint.capture ~lsn:(Wal.lsn wal) ~next_step:(t + 1) ~cost:!total
+        ~draws ~params:env.params m
+    in
+    (match config.pool with
+    | Some pool when background && Parallel.Pool.domains pool > 1 ->
+        (* Snapshot taken; serialization + fsync move off-thread.  The
+           manifest update waits for the job — see [settle_inflight]. *)
+        let p = Checkpoint.write_async ~dir:config.dir ~hook:config.hook ~pool c in
+        inflight := Some (c.Checkpoint.lsn, p)
+    | _ ->
+        let file = Checkpoint.write ~dir:config.dir ~hook:config.hook c in
+        apply_ckpt c.Checkpoint.lsn file);
     actions_since := 0;
     bytes_mark := Wal.total_bytes wal;
-    incr ckpts
+    stall_since t0
   in
   for t = start_step to horizon do
     config.hook (Hook.Step_start t);
+    settle_inflight ~wait:false;
     let d = (Abivm.Spec.arrivals spec).(t) in
     Array.iteri
       (fun i count ->
@@ -118,15 +158,20 @@ let execute config env ~wal ~manifest ~m ~(feeds : Tpcr.Updates.feeds)
     if
       t < horizon
       && (!actions_since >= config.ckpt_actions || bytes_since >= config.ckpt_bytes)
+      && !inflight = None
+      (* one background checkpoint at a time — a second trigger while
+         one is in flight just waits for the next step's settle *)
     then checkpoint t
   done;
+  settle_inflight ~wait:true;
   (* Final checkpoint: marks the run complete (next_step past the
      horizon) and lets a later [verify] work from snapshot + empty
      tail.  Resuming an already-finished run (no steps, no new WAL
      records) skips it — the directory already holds exactly this
-     checkpoint, and re-adding it would only churn the manifest. *)
+     checkpoint, and re-adding it would only churn the manifest.  Always
+     synchronous: the process is about to report completion. *)
   let already_complete = start_step > horizon && Wal.lsn wal = lsn0 in
-  if not already_complete then checkpoint horizon;
+  if not already_complete then checkpoint ~background:false horizon;
   {
     total_cost = !total;
     rows = Ivm.Maintainer.rows m;

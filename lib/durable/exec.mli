@@ -23,11 +23,21 @@ type config = {
   sync : Wal.sync;
   keep_checkpoints : int;  (** manifest retains this many, oldest pruned *)
   hook : Hook.point -> unit;  (** crash-point instrumentation *)
+  pool : Parallel.Pool.t option;
+      (** when present (and multi-domain), checkpoint serialization +
+          data fsync run as a background pool task; the maintenance
+          thread only snapshots, and the manifest update is deferred
+          until the job settles — strictly after the data fsync, so a
+          crash at any point recovers to a valid earlier checkpoint.
+          [None] (default) keeps the original synchronous path.
+          Telemetry: [durable.ckpt_stall_ms] accumulates the wall time
+          the maintenance thread itself spends on checkpoint work. *)
 }
 
 val default_config : dir:string -> config
 (** 256 KiB segments, checkpoint every 32 actions or 512 KiB of WAL,
-    [Wal.Always], 2 checkpoints kept, no hook. *)
+    [Wal.Always], 2 checkpoints kept, no hook, no pool (synchronous
+    checkpoints). *)
 
 type env = {
   fresh : unit -> Ivm.Maintainer.t * Tpcr.Updates.feeds;

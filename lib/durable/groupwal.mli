@@ -1,0 +1,91 @@
+(** Shared cross-tenant group-commit WAL.
+
+    One physical segment log (the {!Wal.Make} machine over
+    tenant-tagged {!Record.t} lines) multiplexes the commit batches of
+    every attached tenant.  Committed bytes accumulate in a shared
+    {e group-commit window}; {!close_window} writes and fsyncs the whole
+    window at once, so a round of the serve scheduler costs {e one}
+    fsync total instead of one per tenant.
+
+    Durability contract: a record is durable once the first window close
+    (or log {!close}) after its commit returns.  A crash ({!abandon})
+    loses exactly the open window — every tenant loses the (aligned)
+    tail of records committed since the last close, which the serve
+    recovery path already tolerates per tenant.  Per-tenant [sync]
+    policy overrides are honored by {e forcing} the window closed at
+    that tenant's commits ([Always]: every commit; [Interval n]: every
+    n-th commit) — the strict tenant pays the fsync and everyone else's
+    pending commits become durable with it.
+
+    Handles may append/commit from pool worker domains concurrently (the
+    window is mutex-protected); each tenant's own records keep their
+    order, and replay demuxes per tenant, so the cross-tenant
+    interleaving inside the file is irrelevant to recovery.
+
+    Telemetry: [durable.window_closes], plus the underlying WAL
+    counters. *)
+
+type t
+type handle
+
+val open_ :
+  dir:string ->
+  ?segment_bytes:int ->
+  ?hook:(Hook.point -> unit) ->
+  unit ->
+  t
+(** Open (or create) the shared log.  The underlying WAL runs with
+    [sync = Never]; every durability point is an explicit window close.
+    [hook] additionally fires [Hook.Window_closed] after each close. *)
+
+val attach : t -> tenant:string -> ?policy:Wal.sync -> unit -> handle
+(** A per-tenant view of the shared log.  [policy] [None] defers
+    entirely to the window cadence; [Some Always] / [Some (Interval n)]
+    force the window closed at that tenant's commits.  Raises
+    [Invalid_argument] on an invalid tenant name. *)
+
+val tenant : handle -> string
+
+val append : handle -> Record.t -> unit
+(** Buffer a record on the handle; nothing reaches the shared window
+    until {!commit}. *)
+
+val buffered : handle -> int
+
+val commit : handle -> unit
+(** Move the handle's buffered batch into the shared window (tagged,
+    in order), then apply the handle's forcing policy.  No-op when
+    nothing is buffered. *)
+
+val close_window : t -> bool
+(** Write + fsync the open window; the one durability point of a
+    scheduler round.  Returns whether an fsync actually happened
+    ([false] when the window was empty — idle rounds cost nothing). *)
+
+val detach : handle -> unit
+(** Drop the handle (uncommitted appends are discarded, as a crash
+    would).  The shared log stays open — it belongs to the service. *)
+
+val close : t -> unit
+(** Flush the open window and close the log (clean shutdown). *)
+
+val abandon : t -> unit
+(** Simulated crash: the open window dies unwritten. *)
+
+val lsn : t -> int
+val total_bytes : t -> int
+val pending_bytes : t -> int
+
+val window_closes : t -> int
+(** Window closes since {!open_} (each is exactly one fsync). *)
+
+val forced_closes : t -> int
+(** The subset of {!window_closes} forced by per-tenant policies. *)
+
+val read : dir:string -> ((string * Record.t list) list, string) result
+(** Demux the whole log into per-tenant record lists (tenant order =
+    first appearance; record order = that tenant's commit order) —
+    each list replays exactly like a private per-tenant WAL.
+    [Ok []] for a missing directory. *)
+
+val exists : dir:string -> bool

@@ -8,6 +8,7 @@ type point =
   | Ckpt_done of string
   | Manifest_updated
   | Truncated of { upto : int }
+  | Window_closed of { lsn : int }
 
 let describe = function
   | Step_start t -> Printf.sprintf "step-start t=%d" t
@@ -17,6 +18,7 @@ let describe = function
   | Ckpt_done name -> Printf.sprintf "checkpoint-renamed %s" name
   | Manifest_updated -> "manifest-updated"
   | Truncated { upto } -> Printf.sprintf "wal-truncated upto=%d" upto
+  | Window_closed { lsn } -> Printf.sprintf "group-window-closed lsn=%d" lsn
 
 let none (_ : point) = ()
 

@@ -20,6 +20,8 @@ type point =
   | Ckpt_done of string  (** checkpoint renamed into place *)
   | Manifest_updated  (** manifest rewritten (rename done) *)
   | Truncated of { upto : int }  (** WAL segments below [upto] deleted *)
+  | Window_closed of { lsn : int }
+      (** a shared group-commit window was fsynced at [lsn] *)
 
 val describe : point -> string
 

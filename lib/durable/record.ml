@@ -61,7 +61,7 @@ let parse_payload text =
       | _ -> Error (Printf.sprintf "malformed applied record %S" text))
   | _ -> Error (Printf.sprintf "unknown record kind in %S" text)
 
-let of_line line =
+let checked_body line =
   match String.index_opt line '\t' with
   | None -> Error (Printf.sprintf "unframed WAL line %S" line)
   | Some i when i <> 8 -> Error (Printf.sprintf "bad CRC framing in %S" line)
@@ -73,4 +73,33 @@ let of_line line =
       | Some crc ->
           if Int64.to_int32 crc <> crc32 body then
             Error (Printf.sprintf "CRC mismatch on %S" line)
-          else parse_payload body)
+          else Ok body)
+
+let of_line line =
+  match checked_body line with
+  | Error _ as e -> e
+  | Ok body -> parse_payload body
+
+(* Tenant-tagged framing for the shared group-commit log: the CRC covers
+   the tenant tag too, so a line can never silently migrate between
+   tenants on replay.  Tenant names are directory-name-safe
+   ([Fsutil.valid_tenant_name]) and thus tab-free. *)
+let to_tagged_line ~tenant r =
+  let p = Printf.sprintf "%s\t%s" tenant (payload r) in
+  Printf.sprintf "%08lx\t%s" (crc32 p) p
+
+let of_tagged_line line =
+  match checked_body line with
+  | Error _ as e -> e
+  | Ok body -> (
+      match String.index_opt body '\t' with
+      | None -> Error (Printf.sprintf "untagged group WAL line %S" line)
+      | Some i -> (
+          let tenant = String.sub body 0 i in
+          let rest = String.sub body (i + 1) (String.length body - i - 1) in
+          if not (Fsutil.valid_tenant_name tenant) then
+            Error (Printf.sprintf "invalid tenant tag %S in %S" tenant line)
+          else
+            match parse_payload rest with
+            | Ok r -> Ok (tenant, r)
+            | Error _ as e -> e))

@@ -25,3 +25,12 @@ val to_line : t -> string
 val of_line : string -> (t, string) result
 (** [Error] on CRC mismatch, malformed framing, or an undecodable
     payload — any of which recovery treats as damage. *)
+
+val to_tagged_line : tenant:string -> t -> string
+(** Tenant-tagged framing for the shared cross-tenant group log
+    ({!Groupwal}): CRC, tab, tenant name, tab, payload.  The CRC covers
+    the tag, so damage can never re-home a record to another tenant. *)
+
+val of_tagged_line : string -> (string * t, string) result
+(** Decode a {!to_tagged_line} line into [(tenant, record)].  Rejects
+    tags that are not valid tenant names. *)

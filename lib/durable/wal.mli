@@ -19,6 +19,11 @@
     CRC in an earlier segment, a gap in the segment chain — is refused
     as corruption.
 
+    The segment machinery is a functor over the line codec ({!Make});
+    the default instance below logs {!Record.t} lines (one WAL per
+    engine / tenant), and {!Groupwal} instantiates it with tenant-tagged
+    lines to multiplex many tenants into one physical log.
+
     Telemetry (when enabled): [durable.appends], [durable.commits],
     [durable.fsyncs], [durable.segments], [durable.truncations]. *)
 
@@ -34,62 +39,92 @@ type sync =
           cheapest, loses the whole tail since the last of those on a
           crash *)
 
-type t
+val sync_to_string : sync -> string
+(** ["always"], ["never"], ["interval:<n>"]. *)
 
-val open_ :
-  dir:string ->
-  ?segment_bytes:int ->
-  ?sync:sync ->
-  ?hook:(Hook.point -> unit) ->
-  unit ->
-  t
-(** Create the directory (and a first segment) if needed, or continue an
-    existing log after repairing its tail.  [segment_bytes] (default
-    [1 lsl 20]) is the rotation threshold; [sync] defaults to [Always].
-    Raises [Failure] on corruption before the tail. *)
+val sync_of_string : string -> (sync, string) result
+(** Inverse of {!sync_to_string} (case-insensitive); [Interval] must be
+    positive. *)
 
-val lsn : t -> int
-(** Records committed since genesis. *)
+module type LINE = sig
+  type r
 
-val total_bytes : t -> int
-(** Bytes committed since this handle was opened — the checkpoint
-    policy's "wall bytes of WAL" counter. *)
+  val to_line : r -> string
+  (** Full framed line (CRC included), without the trailing newline. *)
 
-val append : t -> Record.t -> unit
-(** Buffer a record; nothing reaches the file until {!commit}. *)
+  val of_line : string -> (r, string) result
+  (** [Error] on any damage — CRC mismatch, framing, payload. *)
+end
 
-val buffered : t -> int
+module type S = sig
+  type r
+  type t
 
-val commit : t -> unit
-(** Commit the buffered batch: advance the LSN, write + fsync per the
-    {!sync} policy (deferred under [Interval]/[Never] — group commit),
-    fire [Hook.Committed], and rotate if the segment is over budget.
-    No-op when nothing is buffered. *)
+  val open_ :
+    dir:string ->
+    ?segment_bytes:int ->
+    ?sync:sync ->
+    ?hook:(Hook.point -> unit) ->
+    unit ->
+    t
+  (** Create the directory (and a first segment) if needed, or continue an
+      existing log after repairing its tail.  [segment_bytes] (default
+      [1 lsl 20]) is the rotation threshold; [sync] defaults to [Always].
+      Raises [Failure] on corruption before the tail. *)
 
-val sync_now : t -> unit
-(** Force an fsync regardless of policy — checkpointing calls this so a
-    checkpoint never claims to supersede records that are not yet on
-    disk. *)
+  val lsn : t -> int
+  (** Records committed since genesis. *)
 
-val truncate_before : t -> int -> unit
-(** Delete every segment whose records all precede the given LSN (the
-    current segment is never deleted).  Checkpointing calls this with
-    the checkpoint's LSN. *)
+  val total_bytes : t -> int
+  (** Bytes committed since this handle was opened — the checkpoint
+      policy's "wall bytes of WAL" counter. *)
 
-val close : t -> unit
-(** Flush committed records and close the file descriptor.  Uncommitted
-    buffered records are dropped, exactly as a crash would drop them —
-    {!commit} first. *)
+  val pending_bytes : t -> int
+  (** Committed-but-unwritten group-commit bytes currently deferred in
+      memory.  Zero right after any durability point — the group-commit
+      window driver checks this to skip a no-op fsync. *)
 
-val abandon : t -> unit
-(** Simulated-crash shutdown: close the file descriptor {e without}
-    flushing, so committed-but-unwritten group-commit bytes are lost
-    exactly as a real crash would lose them.  Fault-injection harnesses
-    call this instead of {!close} when a [Hook.Crash] fires. *)
+  val append : t -> r -> unit
+  (** Buffer a record; nothing reaches the file until {!commit}. *)
 
-val read : dir:string -> from_lsn:int -> (Record.t list, string) result
-(** All committed records with LSN >= [from_lsn], in order, tolerating a
-    damaged tail in the last segment.  [Ok []] for a missing directory.
-    [Error] on mid-log corruption, and when the first surviving segment
-    starts past [from_lsn] (truncation outran the caller's snapshot —
-    the gap cannot be replayed). *)
+  val buffered : t -> int
+
+  val commit : t -> unit
+  (** Commit the buffered batch: advance the LSN, write + fsync per the
+      {!sync} policy (deferred under [Interval]/[Never] — group commit),
+      fire [Hook.Committed], and rotate if the segment is over budget.
+      No-op when nothing is buffered. *)
+
+  val sync_now : t -> unit
+  (** Force an fsync regardless of policy — checkpointing calls this so a
+      checkpoint never claims to supersede records that are not yet on
+      disk. *)
+
+  val truncate_before : t -> int -> unit
+  (** Delete every segment whose records all precede the given LSN (the
+      current segment is never deleted).  Checkpointing calls this with
+      the checkpoint's LSN. *)
+
+  val close : t -> unit
+  (** Flush committed records and close the file descriptor.  Uncommitted
+      buffered records are dropped, exactly as a crash would drop them —
+      {!commit} first. *)
+
+  val abandon : t -> unit
+  (** Simulated-crash shutdown: close the file descriptor {e without}
+      flushing, so committed-but-unwritten group-commit bytes are lost
+      exactly as a real crash would lose them.  Fault-injection harnesses
+      call this instead of {!close} when a [Hook.Crash] fires. *)
+
+  val read : dir:string -> from_lsn:int -> (r list, string) result
+  (** All committed records with LSN >= [from_lsn], in order, tolerating a
+      damaged tail in the last segment.  [Ok []] for a missing directory.
+      [Error] on mid-log corruption, and when the first surviving segment
+      starts past [from_lsn] (truncation outran the caller's snapshot —
+      the gap cannot be replayed). *)
+end
+
+module Make (C : LINE) : S with type r = C.r
+(** The full segment machine over an arbitrary line codec. *)
+
+include S with type r = Record.t

@@ -1,22 +1,33 @@
 type task = unit -> unit
 
+(* Every submitted task belongs to a batch; the batch tracks how many of
+   its tasks are still outstanding and the first failure among them.  A
+   synchronous [exec] is a batch the caller waits on; a [detach]ed job is
+   a single-task batch nobody waits on until [await]. *)
+type batch = {
+  mutable remaining : int;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  finished : Condition.t;  (* signalled when [remaining] drops to zero *)
+}
+
 type t = {
   domains : int;
   m : Mutex.t;
   work : Condition.t;  (* signalled when the queue gains tasks / on close *)
-  idle : Condition.t;  (* signalled when [pending] drops to zero *)
-  queue : task Queue.t;
-  mutable pending : int;  (* tasks submitted but not yet finished *)
+  queue : (batch * task) Queue.t;
   mutable closing : bool;
-  mutable first_exn : (exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
 }
 
+type job = { owner : t; b : batch }
+
 let domains t = t.domains
+
+let new_batch n = { remaining = n; failure = None; finished = Condition.create () }
 
 (* Run one task outside the lock, recording the first failure and the
    batch-completion signal under it. *)
-let run_task t task =
+let run_item t (b, task) =
   let failure =
     try
       task ();
@@ -25,10 +36,10 @@ let run_task t task =
   in
   Mutex.lock t.m;
   (match failure with
-  | Some _ when t.first_exn = None -> t.first_exn <- failure
+  | Some _ when b.failure = None -> b.failure <- failure
   | _ -> ());
-  t.pending <- t.pending - 1;
-  if t.pending = 0 then Condition.broadcast t.idle;
+  b.remaining <- b.remaining - 1;
+  if b.remaining = 0 then Condition.broadcast b.finished;
   Mutex.unlock t.m
 
 let rec worker_loop t =
@@ -38,9 +49,9 @@ let rec worker_loop t =
   done;
   if Queue.is_empty t.queue then Mutex.unlock t.m (* closing *)
   else begin
-    let task = Queue.pop t.queue in
+    let item = Queue.pop t.queue in
     Mutex.unlock t.m;
-    run_task t task;
+    run_item t item;
     worker_loop t
   end
 
@@ -55,11 +66,8 @@ let create ?domains () =
       domains;
       m = Mutex.create ();
       work = Condition.create ();
-      idle = Condition.create ();
       queue = Queue.create ();
-      pending = 0;
       closing = false;
-      first_exn = None;
       workers = [];
     }
   in
@@ -67,38 +75,44 @@ let create ?domains () =
     List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
+(* With the lock held: help run queued items until [b] completes or the
+   queue is empty, then wait on the batch condition.  Items from other
+   batches may be picked up along the way — they always terminate on
+   their own, so this only reorders work, never blocks progress. *)
+let wait_batch t b =
+  let rec drain () =
+    if b.remaining > 0 && not (Queue.is_empty t.queue) then begin
+      let item = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      run_item t item;
+      Mutex.lock t.m;
+      drain ()
+    end
+  in
+  drain ();
+  while b.remaining > 0 do
+    Condition.wait b.finished t.m
+  done;
+  let failure = b.failure in
+  Mutex.unlock t.m;
+  match failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
 (* Submit a batch and participate until it fully drains. *)
 let exec t tasks =
   match tasks with
   | [] -> ()
   | tasks ->
+      let b = new_batch (List.length tasks) in
       Mutex.lock t.m;
       if t.closing then begin
         Mutex.unlock t.m;
         invalid_arg "Pool: pool is shut down"
       end;
-      List.iter (fun task -> Queue.push task t.queue) tasks;
-      t.pending <- t.pending + List.length tasks;
+      List.iter (fun task -> Queue.push (b, task) t.queue) tasks;
       Condition.broadcast t.work;
-      let rec drain () =
-        if not (Queue.is_empty t.queue) then begin
-          let task = Queue.pop t.queue in
-          Mutex.unlock t.m;
-          run_task t task;
-          Mutex.lock t.m;
-          drain ()
-        end
-      in
-      drain ();
-      while t.pending > 0 do
-        Condition.wait t.idle t.m
-      done;
-      let failure = t.first_exn in
-      t.first_exn <- None;
-      Mutex.unlock t.m;
-      (match failure with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ())
+      wait_batch t b
 
 let run t tasks =
   if List.length tasks > t.domains then
@@ -115,6 +129,40 @@ let map t f arr =
       (List.init n (fun i -> fun () -> results.(i) <- Some (f arr.(i))));
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+let detach t task =
+  let b = new_batch 1 in
+  if t.domains = 1 then
+    (* No workers to hand the task to: run it here, synchronously.  The
+       job is already settled when it is returned — bit-identical to the
+       pre-pool sequential path. *)
+    run_item t (b, task)
+  else begin
+    Mutex.lock t.m;
+    if t.closing then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool: pool is shut down"
+    end;
+    Queue.push (b, task) t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.m
+  end;
+  { owner = t; b }
+
+let poll job =
+  let t = job.owner in
+  Mutex.lock t.m;
+  let state =
+    if job.b.remaining > 0 then `Running
+    else match job.b.failure with None -> `Done | Some _ -> `Failed
+  in
+  Mutex.unlock t.m;
+  state
+
+let await job =
+  let t = job.owner in
+  Mutex.lock t.m;
+  wait_batch t job.b
 
 let shutdown t =
   Mutex.lock t.m;

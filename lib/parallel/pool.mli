@@ -32,6 +32,27 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     another); any number of them is fine — excess tasks queue.  Order of
     side effects is unspecified, results are in input order. *)
 
+type job
+(** A detached single task running in the background.  Unlike {!run} /
+    {!map} batches, the submitter does not wait: it keeps working and
+    later {!poll}s or {!await}s the job.  Used to move checkpoint
+    serialization off the maintenance thread. *)
+
+val detach : t -> (unit -> unit) -> job
+(** Submit one background task.  With [domains t = 1] there are no worker
+    domains, so the task runs inline before [detach] returns and the job
+    is already settled — the sequential degenerate case stays
+    bit-identical.  The task must terminate without depending on further
+    pool progress.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val poll : job -> [ `Running | `Done | `Failed ]
+(** Non-blocking completion check. *)
+
+val await : job -> unit
+(** Block until the job finishes, helping to drain the queue meanwhile.
+    Re-raises the job's exception (with backtrace) if it failed.  Safe to
+    call more than once; later calls return (or re-raise) immediately. *)
+
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent.  Using the pool afterwards
     raises [Invalid_argument]. *)

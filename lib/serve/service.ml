@@ -1,9 +1,14 @@
+type wal_mode = Grouped | Private
+type scheduler = Event | Lockstep
+
 type config = {
   admission : Admission.config;
   coordinate : bool;
   discount_factor : float;
   shed_budget : float option;
   sync : Durable.Wal.sync;
+  wal_mode : wal_mode;
+  scheduler : scheduler;
   hook : Durable.Hook.point -> unit;
 }
 
@@ -14,6 +19,8 @@ let default_config =
     discount_factor = 0.0;
     shed_budget = None;
     sync = Durable.Wal.Always;
+    wal_mode = Grouped;
+    scheduler = Event;
     hook = Durable.Hook.none;
   }
 
@@ -45,6 +52,7 @@ type t = {
   root : string;
   config : config;
   pool : Parallel.Pool.t option;
+  group : Durable.Groupwal.t option;  (* the shared log, grouped mode *)
   mutable active : Tenant.t list;  (* registration order *)
   mutable waiting : Tenant.config list;  (* FIFO, creation deferred *)
   mutable completed : (Tenant.t * bool) list;  (* newest first *)
@@ -53,32 +61,92 @@ type t = {
   mutable rejected : int;
   mutable queued_peak : int;
   mutable rounds : int;
+  mutable idle_rounds : int;
   mutable agg_charged : float;
   mutable agg_raw : float;
   mutable co_flushes : int;
+  mutable journal : (int * (string * int array) list) list;
+      (* phase-B co-flush decisions, newest round first: every flushing
+         tenant's final (post-invite, post-shed) batch row for rounds
+         where some table had >= 2 participants — persisted in the
+         manifest before phase C so a mid-round crash can replay the
+         round's coordination exactly instead of re-deriving it *)
+  pending_groups : (int * int, (int * float * float) list) Hashtbl.t;
+      (* recovery only: (global round, table) -> participants as
+         (registration index, batch model cost, single-mod setup cost);
+         folded into the aggregates in key order by [settle_recovered]
+         once catch-up has re-added any crashed-away participants *)
 }
 
 (* --- service manifest ----------------------------------------------------- *)
 
-let sync_to_string = function
-  | Durable.Wal.Always -> "always"
-  | Durable.Wal.Never -> "never"
-  | Durable.Wal.Interval n -> Printf.sprintf "interval:%d" n
+let sync_to_string = Durable.Wal.sync_to_string
+let sync_of_string = Durable.Wal.sync_of_string
 
-let sync_of_string text =
-  match String.lowercase_ascii text with
-  | "always" -> Ok Durable.Wal.Always
-  | "never" -> Ok Durable.Wal.Never
-  | other -> (
-      match String.index_opt other ':' with
-      | Some i when String.sub other 0 i = "interval" -> (
-          match
-            int_of_string_opt
-              (String.sub other (i + 1) (String.length other - i - 1))
-          with
-          | Some n when n > 0 -> Ok (Durable.Wal.Interval n)
-          | _ -> Error (Printf.sprintf "bad sync policy %S" text))
-      | _ -> Error (Printf.sprintf "bad sync policy %S" text))
+(* How many journalled rounds the manifest retains.  Recovery only ever
+   consults rounds a tenant's replay stopped short of, and a tenant can
+   trail by at most the records lost in one open group-commit window (or
+   one private Interval depth) plus its trailing no-trace idle steps —
+   the journal is only needed for the former, which is bounded by a
+   round or two; 8 leaves slack for deep Interval policies. *)
+let journal_depth = 8
+
+let journal_to_string entries =
+  entries
+  |> List.map (fun (round, rows) ->
+         Printf.sprintf "%d:%s" round
+           (String.concat ","
+              (List.map
+                 (fun (name, row) ->
+                   Printf.sprintf "%s=%s" name
+                     (String.concat "/"
+                        (List.map string_of_int (Array.to_list row))))
+                 rows)))
+  |> String.concat ";"
+
+let journal_of_string text =
+  let ( let* ) = Result.bind in
+  let entries = List.filter (fun s -> s <> "") (String.split_on_char ';' text) in
+  List.fold_left
+    (fun acc entry ->
+      let* acc = acc in
+      match String.index_opt entry ':' with
+      | None -> Error (Printf.sprintf "bad coflush entry %S" entry)
+      | Some i -> (
+          match int_of_string_opt (String.sub entry 0 i) with
+          | None -> Error (Printf.sprintf "bad coflush round in %S" entry)
+          | Some round ->
+              let rest =
+                String.sub entry (i + 1) (String.length entry - i - 1)
+              in
+              let* rows =
+                List.fold_left
+                  (fun acc cell ->
+                    let* acc = acc in
+                    match String.index_opt cell '=' with
+                    | None -> Error (Printf.sprintf "bad coflush cell %S" cell)
+                    | Some j ->
+                        let name = String.sub cell 0 j in
+                        let nums =
+                          String.sub cell (j + 1) (String.length cell - j - 1)
+                          |> String.split_on_char '/'
+                          |> List.map int_of_string_opt
+                        in
+                        if List.exists Option.is_none nums then
+                          Error (Printf.sprintf "bad coflush batch %S" cell)
+                        else
+                          Ok
+                            ((name,
+                              Array.of_list (List.map Option.get nums))
+                            :: acc))
+                  (Ok [])
+                  (List.filter (fun s -> s <> "")
+                     (String.split_on_char ',' rest))
+                |> Result.map List.rev
+              in
+              Ok ((round, rows) :: acc)))
+    (Ok []) entries
+  |> Result.map List.rev
 
 (* The root manifest pins everything recovery needs to continue the run
    identically: the scheduler's coordination parameters and the admitted
@@ -96,6 +164,12 @@ let service_params t =
       | None -> "none"
       | Some b -> Printf.sprintf "%h" b );
     ("sync", sync_to_string t.config.sync);
+    ( "wal_mode",
+      match t.config.wal_mode with Grouped -> "grouped" | Private -> "private"
+    );
+    ( "scheduler",
+      match t.config.scheduler with Event -> "event" | Lockstep -> "lockstep"
+    );
     ("max_active", string_of_int t.config.admission.Admission.max_active);
     ("max_queued", string_of_int t.config.admission.Admission.max_queued);
     ( "max_delta_entries",
@@ -106,6 +180,10 @@ let service_params t =
            (fun (name, start) -> Printf.sprintf "%s:%d" name start)
            t.starts) );
   ]
+  @
+  match t.journal with
+  | [] -> []
+  | entries -> [ ("coflush", journal_to_string entries) ]
 
 let save_manifest t =
   Durable.Manifest.save ~dir:t.root
@@ -150,6 +228,22 @@ let config_of_params params =
           | None -> Error (Printf.sprintf "bad shed_budget parameter %S" v))
   in
   let* sync = Result.bind (find "sync") sync_of_string in
+  (* Absent in pre-group-commit manifests: those runs used private
+     per-tenant WALs driven in lockstep. *)
+  let* wal_mode =
+    match List.assoc_opt "wal_mode" params with
+    | None -> Ok Private
+    | Some "grouped" -> Ok Grouped
+    | Some "private" -> Ok Private
+    | Some v -> Error (Printf.sprintf "bad wal_mode parameter %S" v)
+  in
+  let* scheduler =
+    match List.assoc_opt "scheduler" params with
+    | None -> Ok Lockstep
+    | Some "event" -> Ok Event
+    | Some "lockstep" -> Ok Lockstep
+    | Some v -> Error (Printf.sprintf "bad scheduler parameter %S" v)
+  in
   let* max_active = int_param "max_active" in
   let* max_queued = int_param "max_queued" in
   (* Pre-budget manifests have no entry: unlimited, as before. *)
@@ -186,21 +280,32 @@ let config_of_params params =
         discount_factor;
         shed_budget;
         sync;
+        wal_mode;
+        scheduler;
         hook = Durable.Hook.none;
       },
       tenants )
 
 (* --- lifecycle ------------------------------------------------------------ *)
 
+let group_dir root = Filename.concat root "groupwal"
+
 let create ?pool ~root config =
   if config.discount_factor < 0.0 then
     invalid_arg "Service: discount_factor must be >= 0";
   Durable.Fsutil.mkdirs root;
+  let group =
+    match config.wal_mode with
+    | Private -> None
+    | Grouped ->
+        Some (Durable.Groupwal.open_ ~dir:(group_dir root) ~hook:config.hook ())
+  in
   let t =
     {
       root;
       config;
       pool;
+      group;
       active = [];
       waiting = [];
       completed = [];
@@ -209,16 +314,19 @@ let create ?pool ~root config =
       rejected = 0;
       queued_peak = 0;
       rounds = 0;
+      idle_rounds = 0;
       agg_charged = 0.0;
       agg_raw = 0.0;
       co_flushes = 0;
+      journal = [];
+      pending_groups = Hashtbl.create 16;
     }
   in
   save_manifest t;
   t
 
 let admit t cfg =
-  match Tenant.create ~root:t.root ~sync:t.config.sync cfg with
+  match Tenant.create ~hook:t.config.hook ~root:t.root ~sync:t.config.sync ?group:t.group cfg with
   | Error e -> Error e
   | Ok tenant ->
       t.active <- t.active @ [ tenant ];
@@ -261,7 +369,9 @@ let promote_waiting t =
       | [] -> ()
       | cfg :: rest -> (
           t.waiting <- rest;
-          match Tenant.create ~root:t.root ~sync:t.config.sync cfg with
+          match
+            Tenant.create ~hook:t.config.hook ~root:t.root ~sync:t.config.sync ?group:t.group cfg
+          with
           | Ok tenant ->
               t.active <- t.active @ [ tenant ];
               t.starts <- t.starts @ [ (cfg.Tenant.name, t.rounds) ];
@@ -299,36 +409,96 @@ let pmap t f arr =
 let start_of t name =
   match List.assoc_opt name t.starts with Some s -> s | None -> 0
 
+(* Position in the registration order — the order coordination iterates
+   tenants in, which fixes the float-summation order inside a co-flush
+   group and hence the aggregate's exact bits. *)
+let reg_index t name =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Service: unknown tenant %S" name)
+    | (n, _) :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 t.starts
+
+let add_pending_group t key entry =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.pending_groups key) in
+  Hashtbl.replace t.pending_groups key (entry :: prev)
+
+let journal_row t ~round ~name =
+  match List.find_opt (fun (r, _) -> r = round) t.journal with
+  | None -> None
+  | Some (_, rows) -> List.assoc_opt name rows
+
+(* Price every recovered (round, table) co-flush group and fold it into
+   the aggregates, in ascending key order — exactly the chronological
+   order the uninterrupted run accumulated them in, so the float sums
+   come out bit-identical.  Within a group, participants are ordered by
+   descending registration index, matching the live phase-B cons order.
+   Runs once, after catch-up has re-added any crashed-away
+   participants. *)
+let settle_recovered t =
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending_groups [])
+  in
+  List.iter
+    (fun key ->
+      let entries =
+        Hashtbl.find t.pending_groups key
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare (b : int) a)
+      in
+      let costs = List.map (fun (_, c, _) -> c) entries in
+      let min_setup =
+        List.fold_left (fun acc (_, _, s) -> Float.min acc s) infinity entries
+      in
+      let discount =
+        if t.config.coordinate then t.config.discount_factor *. min_setup
+        else 0.0
+      in
+      let charged = Multiview.Coordinator.charge_shared ~discount costs in
+      let raw = List.fold_left ( +. ) 0.0 costs in
+      t.agg_charged <- t.agg_charged +. charged;
+      t.agg_raw <- t.agg_raw +. raw;
+      if t.config.coordinate then
+        t.co_flushes <- t.co_flushes + (List.length costs - 1))
+    keys;
+  Hashtbl.reset t.pending_groups
+
 (* A tenant lagging behind the global round only happens after recovery:
    trailing zero-arrival no-flush steps leave no WAL trace, so replay
    stops short of them and the tenant's local clock trails the others'.
    Re-executing those steps solo before the round proper reproduces the
-   crashed run exactly (they were pure-observe steps, and [mandatory] is
-   deterministic in the replayed controller state) and restores the
-   invariant that every active tenant's local step [k] runs at global
-   round [start + k] — which the co-flush coincidence structure, and
-   hence the discounted aggregate, depends on.  A crash mid-round can
-   additionally leave one real ingested-but-unflushed step behind; it is
-   executed here with its mandatory flush, charged undiscounted (its
-   round's coordination died with the crash and was never journalled). *)
+   crashed run exactly and restores the invariant that every active
+   tenant's local step [k] runs at global round [start + k] — which the
+   co-flush coincidence structure, and hence the discounted aggregate,
+   depends on.  A crash mid-round can additionally leave one real
+   ingested-but-unflushed step behind; the phase-B journal holds that
+   round's exact coordination decision (every flusher's final batch
+   row), so the step re-executes the identical — possibly
+   invite-enlarged — batch, and its charge folds into the recovered
+   group via [pending_groups], reproducing the lost round's discount
+   bit-for-bit.  Unjournalled rounds had no >= 2 co-flush group, so the
+   deterministic [mandatory] recompute is already exact. *)
 let catch_up t tenant =
+  let name = Tenant.name tenant in
+  let start = start_of t name in
+  let idx = reg_index t name in
   while
-    (not (Tenant.finished tenant))
-    && start_of t (Tenant.name tenant) + Tenant.time tenant < t.rounds
+    (not (Tenant.finished tenant)) && start + Tenant.time tenant < t.rounds
   do
+    let round = start + Tenant.time tenant in
     Tenant.begin_step tenant;
     let batch =
-      match Tenant.mandatory tenant with
-      | Some action -> Array.copy action
-      | None -> Array.make Tenant.n_tables 0
+      match journal_row t ~round ~name with
+      | Some row -> Array.copy row
+      | None -> (
+          match Tenant.mandatory tenant with
+          | Some action -> Array.copy action
+          | None -> Array.make Tenant.n_tables 0)
     in
     Array.iteri
       (fun i b ->
-        if b > 0 then begin
-          let c = Tenant.model_cost tenant i b in
-          t.agg_charged <- t.agg_charged +. c;
-          t.agg_raw <- t.agg_raw +. c
-        end)
+        if b > 0 then
+          add_pending_group t (round, i)
+            (idx, Tenant.model_cost tenant i b, Tenant.model_cost tenant i 1))
       batch;
     Tenant.execute tenant batch;
     Tenant.close_step tenant
@@ -338,103 +508,193 @@ let run_round t =
   t.config.hook (Durable.Hook.Step_start t.rounds);
   let tenants = Array.of_list t.active in
   let k = Array.length tenants in
-  (* Phase A: ingest + observe + mandatory proposal, per tenant. *)
-  let proposals =
-    pmap t
-      (fun tenant ->
-        Tenant.begin_step tenant;
-        Tenant.mandatory tenant)
-      tenants
+  (* Ready mask: the event scheduler only dispatches tenants whose step
+     does real work (arrivals due per their next-arrival clock, refresh
+     budget already exceeded, or the final horizon flush).  Lockstep
+     mode is the all-true mask — both modes then share one code path,
+     which is what makes them bit-identical by construction. *)
+  let ready =
+    match t.config.scheduler with
+    | Lockstep -> Array.make k true
+    | Event -> Array.map Tenant.ready tenants
   in
-  let batches =
-    Array.map
-      (function
-        | Some action -> Array.copy action
-        | None -> Array.make Tenant.n_tables 0)
-      proposals
-  in
-  (* Phase B: coordination.  A tenant forced to flush table [i] invites
-     every other tenant whose own table-[i] flush is nearly due
-     (pending >= 60% of its budgeted batch capacity, the multiview
-     piggyback rule) — optional work the shed budget may refuse. *)
-  let round_model_cost = ref 0.0 in
-  for v = 0 to k - 1 do
+  if not (Array.exists Fun.id ready) then begin
+    (* Nobody can propose (readiness subsumes [propose]'s fullness gate)
+       and nobody flushes, so phases B and C degenerate: step every
+       tenant inline — no pool dispatch, no WAL bytes, no window work. *)
+    Array.iter Tenant.idle_step tenants;
+    t.idle_rounds <- t.idle_rounds + 1;
+    Telemetry.incr "serve.idle_rounds"
+  end
+  else begin
+    (* Phase A: ingest + observe + mandatory proposal, ready tenants
+       only.  A non-ready tenant's proposal would be [None] (zero
+       arrivals leave its controller exactly as the readiness check saw
+       it), so skipping it changes nothing downstream. *)
+    let batches = Array.init k (fun _ -> Array.make Tenant.n_tables 0) in
+    let ready_idx =
+      Array.of_list (List.filter (fun v -> ready.(v)) (List.init k Fun.id))
+    in
+    let proposals =
+      pmap t
+        (fun v ->
+          Tenant.begin_step tenants.(v);
+          Tenant.mandatory tenants.(v))
+        ready_idx
+    in
     Array.iteri
-      (fun i b ->
-        if b > 0 then
-          round_model_cost :=
-            !round_model_cost +. Tenant.model_cost tenants.(v) i b)
-      batches.(v)
-  done;
-  if t.config.coordinate then
-    for i = 0 to Tenant.n_tables - 1 do
-      let someone_flushes =
-        Array.exists (fun row -> row.(i) > 0) batches
-      in
-      if someone_flushes then
-        Array.iteri
-          (fun v tenant ->
-            if batches.(v).(i) = 0 then begin
-              let pending_i = (Tenant.pending tenant).(i) in
-              if
-                pending_i > 0
-                && float_of_int pending_i
-                   >= 0.6 *. float_of_int (max 1 (Tenant.capacity tenant i))
-              then begin
-                let c = Tenant.model_cost tenant i pending_i in
-                match t.config.shed_budget with
-                | Some budget when !round_model_cost +. c > budget ->
-                    Tenant.shed tenant
-                | _ ->
-                    batches.(v).(i) <- pending_i;
-                    round_model_cost := !round_model_cost +. c
-              end
-            end)
-          tenants
-    done;
-  (* Accounting: per table, the co-flush price across tenants under the
-     multiview shared-setup rule.  The discount is a fraction of the
-     cheapest participant's single-modification cost — the shared part of
-     the scan, in calibrated units. *)
-  for i = 0 to Tenant.n_tables - 1 do
-    let costs = ref [] in
-    let min_setup = ref infinity in
+      (fun j v ->
+        match proposals.(j) with
+        | Some action -> batches.(v) <- Array.copy action
+        | None -> ())
+      ready_idx;
+    (* Phase B: coordination.  A tenant forced to flush table [i] invites
+       every other tenant whose own table-[i] flush is nearly due
+       (pending >= 60% of its budgeted batch capacity, the multiview
+       piggyback rule) — optional work the shed budget may refuse.
+       Non-ready tenants are invite-eligible like everyone else: their
+       pending/capacity state is exactly what a lockstep [begin_step]
+       would have left (zero arrivals). *)
+    let round_model_cost = ref 0.0 in
     for v = 0 to k - 1 do
-      let b = batches.(v).(i) in
-      if b > 0 then begin
-        costs := Tenant.model_cost tenants.(v) i b :: !costs;
-        min_setup := Float.min !min_setup (Tenant.model_cost tenants.(v) i 1)
-      end
+      Array.iteri
+        (fun i b ->
+          if b > 0 then
+            round_model_cost :=
+              !round_model_cost +. Tenant.model_cost tenants.(v) i b)
+        batches.(v)
     done;
-    match !costs with
-    | [] -> ()
-    | costs ->
-        (* Without coordination, tenants flushing the same table in the
-           same round is coincidence, not a shared scan: full price, no
-           join counted. *)
-        let discount =
-          if t.config.coordinate then t.config.discount_factor *. !min_setup
-          else 0.0
-        in
-        let charged = Multiview.Coordinator.charge_shared ~discount costs in
-        let raw = List.fold_left ( +. ) 0.0 costs in
-        t.agg_charged <- t.agg_charged +. charged;
-        t.agg_raw <- t.agg_raw +. raw;
-        if t.config.coordinate then
-          t.co_flushes <- t.co_flushes + (List.length costs - 1)
-  done;
-  (* Phase C: execute + close, per tenant. *)
-  ignore
-    (pmap t
-       (fun (tenant, batch) ->
-         Tenant.execute tenant batch;
-         Tenant.close_step tenant)
-       (Array.init k (fun v -> (tenants.(v), batches.(v)))));
+    if t.config.coordinate then
+      for i = 0 to Tenant.n_tables - 1 do
+        let someone_flushes = Array.exists (fun row -> row.(i) > 0) batches in
+        if someone_flushes then
+          Array.iteri
+            (fun v tenant ->
+              if batches.(v).(i) = 0 then begin
+                let pending_i = (Tenant.pending tenant).(i) in
+                if
+                  pending_i > 0
+                  && float_of_int pending_i
+                     >= 0.6 *. float_of_int (max 1 (Tenant.capacity tenant i))
+                then begin
+                  let c = Tenant.model_cost tenant i pending_i in
+                  match t.config.shed_budget with
+                  | Some budget when !round_model_cost +. c > budget ->
+                      Tenant.shed tenant
+                  | _ ->
+                      batches.(v).(i) <- pending_i;
+                      round_model_cost := !round_model_cost +. c
+                end
+              end)
+            tenants
+      done;
+    (* Journal the round's coordination decision before any of phase C
+       can reach disk.  Only rounds with a >= 2-participant group need
+       it: a lost singleton flush re-derives identically from the
+       deterministic controller at catch-up, but a lost co-flush
+       participant (above all an *invited* one, whose batch is not its
+       own proposal) cannot be re-derived without the decision — the
+       pre-fix recovery caveat.  Written into the service manifest
+       (atomic rename), strictly before the first Applied record of
+       this round can become durable. *)
+    if t.config.coordinate then begin
+      let multi = ref false in
+      for i = 0 to Tenant.n_tables - 1 do
+        let flushers = ref 0 in
+        Array.iter (fun row -> if row.(i) > 0 then incr flushers) batches;
+        if !flushers >= 2 then multi := true
+      done;
+      if !multi then begin
+        let rows = ref [] in
+        for v = k - 1 downto 0 do
+          if Array.exists (fun b -> b > 0) batches.(v) then
+            rows :=
+              (Tenant.name tenants.(v), Array.copy batches.(v)) :: !rows
+        done;
+        t.journal <-
+          (t.rounds, !rows)
+          :: List.filter
+               (fun (r, _) -> r <> t.rounds && r > t.rounds - journal_depth)
+               t.journal;
+        save_manifest t
+      end
+    end;
+    (* Accounting: per table, the co-flush price across tenants under the
+       multiview shared-setup rule.  The discount is a fraction of the
+       cheapest participant's single-modification cost — the shared part
+       of the scan, in calibrated units. *)
+    for i = 0 to Tenant.n_tables - 1 do
+      let costs = ref [] in
+      let min_setup = ref infinity in
+      for v = 0 to k - 1 do
+        let b = batches.(v).(i) in
+        if b > 0 then begin
+          costs := Tenant.model_cost tenants.(v) i b :: !costs;
+          min_setup := Float.min !min_setup (Tenant.model_cost tenants.(v) i 1)
+        end
+      done;
+      match !costs with
+      | [] -> ()
+      | costs ->
+          (* Without coordination, tenants flushing the same table in the
+             same round is coincidence, not a shared scan: full price, no
+             join counted. *)
+          let discount =
+            if t.config.coordinate then t.config.discount_factor *. !min_setup
+            else 0.0
+          in
+          let charged = Multiview.Coordinator.charge_shared ~discount costs in
+          let raw = List.fold_left ( +. ) 0.0 costs in
+          t.agg_charged <- t.agg_charged +. charged;
+          t.agg_raw <- t.agg_raw +. raw;
+          if t.config.coordinate then
+            t.co_flushes <- t.co_flushes + (List.length costs - 1)
+    done;
+    (* Phase C: execute + close, over the tenants with work (plus every
+       ready tenant, flushing or not — matching lockstep exactly).  An
+       invited non-ready tenant ingests its (empty) step here first;
+       the rest idle-step inline, off the pool. *)
+    let in_c = Array.init k (fun v -> ready.(v) || Array.exists (fun b -> b > 0) batches.(v)) in
+    for v = 0 to k - 1 do
+      if not ready.(v) then
+        if in_c.(v) then Tenant.begin_step tenants.(v)
+        else Tenant.idle_step tenants.(v)
+    done;
+    ignore
+      (pmap t
+         (fun v ->
+           Tenant.execute tenants.(v) batches.(v);
+           Tenant.close_step tenants.(v))
+         (Array.of_list (List.filter (fun v -> in_c.(v)) (List.init k Fun.id))))
+  end;
+  (* The round's single durability point: close the shared group-commit
+     window per the service cadence ([Always]: every round; [Interval n]:
+     every n-th; [Never]: only rotation and shutdown).  One fsync covers
+     every tenant's commits of the round; a no-op when the window is
+     empty, so idle rounds stay free.  Tenants with forcing policies
+     already closed the window at their own commits inside the round. *)
+  (match t.group with
+  | None -> ()
+  | Some gw ->
+      let due =
+        match t.config.sync with
+        | Durable.Wal.Always -> true
+        | Durable.Wal.Interval n -> (t.rounds + 1) mod n = 0
+        | Durable.Wal.Never -> false
+      in
+      if due then ignore (Durable.Groupwal.close_window gw));
   if Telemetry.enabled () then begin
     Telemetry.set_gauge "serve.tenants_active"
       (float_of_int (List.length t.active));
     Telemetry.set_gauge "serve.tenants_queued"
-      (float_of_int (List.length t.waiting))
+      (float_of_int (List.length t.waiting));
+    (match t.group with
+    | Some gw ->
+        let closes = Durable.Groupwal.window_closes gw in
+        Telemetry.set_gauge "serve.window_closes" (float_of_int closes);
+        Telemetry.set_gauge "serve.fsyncs_per_round"
+          (float_of_int closes /. float_of_int (t.rounds + 1))
+    | None -> ())
   end;
   t.rounds <- t.rounds + 1
 
@@ -475,19 +735,25 @@ let outcome_of t =
 let run t =
   try
     (* Lag exists only immediately after recovery; one catch-up pass
-       re-aligns every tenant's local clock with the global round. *)
+       re-aligns every tenant's local clock with the global round, then
+       the recovered co-flush groups — now complete — are priced in
+       chronological order and folded into the aggregates. *)
     List.iter (catch_up t) t.active;
+    settle_recovered t;
     sweep_completed t;
     while t.active <> [] || t.waiting <> [] do
       if t.active = [] then promote_waiting t;
       run_round t;
       sweep_completed t
     done;
+    (match t.group with Some gw -> Durable.Groupwal.close gw | None -> ());
     outcome_of t
   with Durable.Hook.Crash _ as crash ->
-    (* Simulated process death: drop every tenant's unflushed WAL tail
-       exactly as a real crash would, then let the exception out. *)
+    (* Simulated process death: drop every tenant's unflushed tail — and
+       the shared log's open window — exactly as a real crash would,
+       then let the exception out. *)
     List.iter Tenant.abandon t.active;
+    (match t.group with Some gw -> Durable.Groupwal.abandon gw | None -> ());
     raise crash
 
 (* --- recovery ------------------------------------------------------------- *)
@@ -500,13 +766,40 @@ let recover ?pool ~root () =
     | Ok None -> Error (Printf.sprintf "%s: no serve manifest" root)
     | Error e -> Error (Printf.sprintf "%s: manifest: %s" root e)
   in
-  let* config, starts = config_of_params manifest.Durable.Manifest.params in
+  let params = manifest.Durable.Manifest.params in
+  let* config, starts = config_of_params params in
+  let* journal =
+    match List.assoc_opt "coflush" params with
+    | None -> Ok []
+    | Some text -> journal_of_string text
+  in
   let names = List.map fst starts in
+  (* Grouped mode: reopen the shared log first (repairing any torn
+     tail), then demux it once into per-tenant record slices. *)
+  let* group, demux =
+    match config.wal_mode with
+    | Private -> Ok (None, [])
+    | Grouped -> (
+        let dir = group_dir root in
+        let gw = Durable.Groupwal.open_ ~dir ~hook:config.hook () in
+        match Durable.Groupwal.read ~dir with
+        | Ok demux -> Ok (Some gw, demux)
+        | Error e ->
+            Durable.Groupwal.abandon gw;
+            Error (Printf.sprintf "%s: group wal: %s" root e))
+  in
+  let fail e =
+    (match group with
+    | Some gw -> Durable.Groupwal.abandon gw
+    | None -> ());
+    Error e
+  in
   let t =
     {
       root;
       config;
       pool;
+      group;
       active = [];
       waiting = [];
       completed = [];
@@ -515,12 +808,15 @@ let recover ?pool ~root () =
       rejected = 0;
       queued_peak = 0;
       rounds = 0;
+      idle_rounds = 0;
       agg_charged = 0.0;
       agg_raw = 0.0;
       co_flushes = 0;
+      journal;
+      pending_groups = Hashtbl.create 64;
     }
   in
-  let* tenants =
+  let tenants_r =
     List.fold_left
       (fun acc name ->
         let* acc = acc in
@@ -534,66 +830,81 @@ let recover ?pool ~root () =
         let* cfg =
           Tenant.config_of_params tenant_manifest.Durable.Manifest.params
         in
-        let* tenant = Tenant.recover ~root ~sync:config.sync cfg in
+        let records =
+          match config.wal_mode with
+          | Private -> None
+          | Grouped ->
+              Some (Option.value ~default:[] (List.assoc_opt name demux))
+        in
+        let* tenant =
+          Tenant.recover ~hook:config.hook ~root ~sync:config.sync ?group ?records cfg
+        in
         Ok (tenant :: acc))
       (Ok []) names
     |> Result.map List.rev
   in
-  t.active <- tenants;
-  t.known <- List.rev names;
-  (* Resume at the furthest round any tenant reached; the others catch up
-     their unjournalled trailing steps at the head of the next round. *)
-  t.rounds <-
-    List.fold_left
-      (fun acc tenant ->
-        max acc (start_of t (Tenant.name tenant) + Tenant.time tenant))
-      0 tenants;
-  (* Rebuild the coordination accounting for the replayed portion.  The
-     live scheduler grouped flushes by (global round, table), priced each
-     group in ascending (round, table) order, and listed participants in
-     registration order; every replayed flush carries its local time and
-     its model costs as evaluated at that point of the replay, so the
-     same groups — and bit-identical aggregates — fall out. *)
-  let groups : (int * int, (float * float) list) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  List.iter
-    (fun tenant ->
-      let start = start_of t (Tenant.name tenant) in
+  match tenants_r with
+  | Error e -> fail e
+  | Ok tenants ->
+      t.active <- tenants;
+      t.known <- List.rev names;
+      (* Resume at the furthest round any tenant reached; the others
+         catch up their unjournalled trailing steps at the head of the
+         next round. *)
+      t.rounds <-
+        List.fold_left
+          (fun acc tenant ->
+            max acc (start_of t (Tenant.name tenant) + Tenant.time tenant))
+          0 tenants;
+      (* Stage the replayed flushes as (round, table) co-flush groups.
+         The live scheduler grouped flushes by (global round, table) and
+         listed participants in registration order; every replayed flush
+         carries its local time and its model costs as evaluated at that
+         point of the replay, so the same groups fall out.  Pricing is
+         deferred to [settle_recovered] (at the head of {!run}) so
+         catch-up can first re-add participants whose flush died with
+         the crash — the journalled decision makes the regrouping exact,
+         and the sorted fold keeps the float accumulation order, and
+         hence the aggregate bits, identical to the uninterrupted
+         run's. *)
       List.iter
-        (fun (time, table, cost, setup) ->
-          let key = (start + time, table) in
-          let prev =
-            Option.value ~default:[] (Hashtbl.find_opt groups key)
-          in
-          Hashtbl.replace groups key ((cost, setup) :: prev))
-        (Tenant.replayed_flushes tenant))
-    tenants;
-  let keys =
-    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
-  in
-  List.iter
-    (fun key ->
-      let entries = Hashtbl.find groups key in
-      let costs = List.map fst entries in
-      let min_setup =
-        List.fold_left (fun acc (_, s) -> Float.min acc s) infinity entries
-      in
-      let discount =
-        if t.config.coordinate then t.config.discount_factor *. min_setup
-        else 0.0
-      in
-      let charged = Multiview.Coordinator.charge_shared ~discount costs in
-      let raw = List.fold_left ( +. ) 0.0 costs in
-      t.agg_charged <- t.agg_charged +. charged;
-      t.agg_raw <- t.agg_raw +. raw;
-      if t.config.coordinate then
-        t.co_flushes <- t.co_flushes + (List.length entries - 1))
-    keys;
-  Ok t
+        (fun tenant ->
+          let start = start_of t (Tenant.name tenant) in
+          let idx = reg_index t (Tenant.name tenant) in
+          List.iter
+            (fun (time, table, cost, setup) ->
+              add_pending_group t (start + time, table) (idx, cost, setup))
+            (Tenant.replayed_flushes tenant))
+        tenants;
+      Ok t
 
 let total_replayed t =
   List.fold_left (fun acc tenant -> acc + Tenant.replayed tenant) 0 t.active
   + List.fold_left
       (fun acc (tenant, _) -> acc + Tenant.replayed tenant)
       0 t.completed
+
+let window_closes t =
+  match t.group with
+  | Some gw -> Durable.Groupwal.window_closes gw
+  | None -> 0
+
+let forced_closes t =
+  match t.group with
+  | Some gw -> Durable.Groupwal.forced_closes gw
+  | None -> 0
+
+let idle_rounds t = t.idle_rounds
+let rounds t = t.rounds
+
+(* Mode-aware journal reader for tests and tooling: a tenant's durable
+   record sequence regardless of where it physically lives. *)
+let tenant_records ~root ~name =
+  let gdir = group_dir root in
+  if Durable.Groupwal.exists ~dir:gdir then
+    Result.map
+      (fun demux -> Option.value ~default:[] (List.assoc_opt name demux))
+      (Durable.Groupwal.read ~dir:gdir)
+  else
+    let dir = Filename.concat (Filename.concat root "tenants") name in
+    Durable.Wal.read ~dir ~from_lsn:0

@@ -2,8 +2,9 @@
 
     Tenants register with a {!Tenant.config}; {!Admission} admits,
     queues, or rejects them.  {!run} then drives every active tenant in
-    lockstep rounds, each round one time step per tenant, in three
-    phases:
+    rounds, each round one time step per tenant, in three phases (under
+    the {!scheduler} of choice — [Event] only dispatches tenants whose
+    step does real work; [Lockstep] dispatches everyone):
 
     + {b ingest + propose} (parallelizable over a {!Parallel.Pool}):
       each tenant journals its arrivals into its private WAL (group
@@ -31,6 +32,23 @@
     durability directory per tenant; {!recover} rebuilds the whole
     service from those files alone and replays every tenant's WAL. *)
 
+type wal_mode =
+  | Grouped
+      (** one shared group-commit log ({!Durable.Groupwal}) multiplexes
+          every tenant; a scheduler round costs one fsync total (the
+          window close), not one per tenant *)
+  | Private  (** the original per-tenant WAL under [root/tenants/<name>] *)
+
+type scheduler =
+  | Event
+      (** ready-queue scheduling: each round only dispatches tenants
+          whose per-tenant next-arrival clock, refresh budget, or
+          horizon makes the step do real work; idle tenants advance
+          inline with no WAL traffic, no proposal and no pool dispatch.
+          Bit-identical to [Lockstep] by construction (one shared round
+          code path under a ready mask). *)
+  | Lockstep  (** every active tenant dispatched every round *)
+
 type config = {
   admission : Admission.config;
   coordinate : bool;  (** enable cross-tenant piggyback co-flushes *)
@@ -39,13 +57,22 @@ type config = {
           single-modification cost (>= 0; 0 disables discounts) *)
   shed_budget : float option;
       (** model-cost budget per round; optional joins beyond it are shed *)
-  sync : Durable.Wal.sync;  (** per-tenant WAL sync policy *)
+  sync : Durable.Wal.sync;
+      (** durability cadence.  [Private] mode: each tenant WAL's sync
+          policy (unless the tenant overrides it).  [Grouped] mode: the
+          shared window cadence — [Always] closes (one fsync) every
+          round, [Interval n] every n-th round, [Never] only at rotation
+          and shutdown.  Tenants with a [Some] {!Tenant.config.sync}
+          force additional closes at their own commits. *)
+  wal_mode : wal_mode;
+  scheduler : scheduler;
   hook : Durable.Hook.point -> unit;
       (** fires [Step_start round] before every round — crash injection *)
 }
 
 val default_config : config
-(** Coordinating, no discounts, no shed budget, [sync = Always]. *)
+(** Coordinating, no discounts, no shed budget, [sync = Always],
+    grouped WAL, event scheduler. *)
 
 type tenant_outcome = {
   tenant : string;
@@ -101,13 +128,33 @@ val recover : ?pool:Parallel.Pool.t -> root:string -> unit -> (t, string) result
     replayed flushes' coordination accounting is rebuilt group by group,
     so after a crash at a round boundary the finished run's outcome —
     per-tenant costs, aggregates, discounts, co-flush counts and round
-    numbering — is bit-identical to the uninterrupted run's.  (A crash
-    mid-round can lose a not-yet-committed participant of that round's
-    co-flush; the recovered run is then a valid execution in which that
-    tenant flushes later, but the lost round's discount differs.) *)
+    numbering — is bit-identical to the uninterrupted run's.  A crash
+    mid-round that loses a not-yet-durable co-flush participant is
+    covered by the phase-B journal: the manifest records every flusher's
+    final batch row (durably, before phase C), so catch-up re-executes
+    the identical decision and the regrouped charge reproduces the lost
+    round's discount exactly.  (Sub-record torn writes inside one commit
+    batch remain a valid-but-different execution, as before.) *)
 
 val total_replayed : t -> int
 (** WAL records replayed across all recovered tenants. *)
+
+val rounds : t -> int
+val idle_rounds : t -> int
+(** Rounds the event scheduler retired with no ready tenant (no pool
+    dispatch, no WAL bytes, no window work). *)
+
+val window_closes : t -> int
+(** Shared-window fsyncs so far (0 in [Private] mode). *)
+
+val forced_closes : t -> int
+(** The subset of {!window_closes} forced by per-tenant sync policies. *)
+
+val tenant_records :
+  root:string -> name:string -> (Durable.Record.t list, string) result
+(** A tenant's durable record sequence, wherever it physically lives:
+    demuxed from the shared group log when [root/groupwal] exists, read
+    from the private per-tenant WAL otherwise. *)
 
 val sync_to_string : Durable.Wal.sync -> string
 val sync_of_string : string -> (Durable.Wal.sync, string) result

@@ -9,6 +9,7 @@ type config = {
   limit_factor : float;
   streams : string list;
   order : Ivm.Viewdef.order;
+  sync : Durable.Wal.sync option;
 }
 
 let params_of_config c =
@@ -21,6 +22,10 @@ let params_of_config c =
     ("streams", String.concat ";" c.streams);
     ("order", Ivm.Viewdef.order_name c.order);
   ]
+  @
+  match c.sync with
+  | None -> []
+  | Some s -> [ ("sync", Durable.Wal.sync_to_string s) ]
 
 let config_of_params params =
   let ( let* ) = Result.bind in
@@ -55,21 +60,46 @@ let config_of_params params =
         | Some o -> Ok o
         | None -> Error (Printf.sprintf "bad order parameter %S" v))
   in
-  Ok { name; seed; rows; horizon; limit_factor; streams; order }
+  (* Absent means "no override": the tenant follows the service's
+     durability policy (the window cadence, in grouped mode). *)
+  let* sync =
+    match List.assoc_opt "sync" params with
+    | None -> Ok None
+    | Some v -> Result.map Option.some (Durable.Wal.sync_of_string v)
+  in
+  Ok { name; seed; rows; horizon; limit_factor; streams; order; sync }
+
+(* Where this tenant's records go: a private per-tenant WAL, or a handle
+   on the service's shared group-commit log.  The tenant never closes or
+   syncs the shared log itself — it only detaches; the window (and hence
+   durability cadence) belongs to the service. *)
+type log =
+  | Private of Durable.Wal.t
+  | Shared of Durable.Groupwal.handle
 
 type t = {
   config : config;
   dir : string;
   arrivals : int array array;
+  next_busy : int array;
+      (* next_busy.(s): earliest step >= s with nonzero arrivals, or
+         horizon + 1 — the event scheduler's next-arrival clock *)
   maintainer : Ivm.Maintainer.t;
   feeds : Tpcr.Updates.feeds;
   controller : Abivm.Online.controller;
   monitor : Robust.Monitor.t;
-  wal : Durable.Wal.t;
+  log : log;
   base_costs : Cost.Func.t array;
   limit : float;
   mutable costs : Cost.Func.t array;  (* base_costs scaled by [corr] *)
   mutable next_step : int;
+  mutable begun : bool;
+      (* [next_step]'s ingest + observe already ran ([begin_step] is a
+         no-op until [close_step]) — set live per step, and by replay
+         when the WAL tail ends with a step's arrivals but no flush:
+         that step's decision was lost mid-round, and the service
+         either re-runs the round (nobody flushed — phase B re-derives
+         the identical invites) or catches it up from the journal *)
   mutable corr : float;
   mutable next_allowed : int;  (* reanchor backoff *)
   mutable gap : int;
@@ -101,6 +131,21 @@ let replayed_flushes t = List.rev t.flush_log
 let pending t = Abivm.Online.pending t.controller
 let controller t = t.controller
 
+let log_append t r =
+  match t.log with
+  | Private w -> Durable.Wal.append w r
+  | Shared h -> Durable.Groupwal.append h r
+
+let log_buffered t =
+  match t.log with
+  | Private w -> Durable.Wal.buffered w
+  | Shared h -> Durable.Groupwal.buffered h
+
+let log_commit t =
+  match t.log with
+  | Private w -> Durable.Wal.commit w
+  | Shared h -> Durable.Groupwal.commit h
+
 let delta_entries t =
   match Ivm.Maintainer.delta_view t.maintainer with
   | Some dv -> Ivm.Deltaview.entries dv
@@ -127,6 +172,9 @@ let validate config =
   else if List.length config.streams <> n_tables then
     Error
       (Printf.sprintf "tenant %S needs exactly %d streams" config.name n_tables)
+  else if
+    match config.sync with Some (Durable.Wal.Interval n) -> n <= 0 | _ -> false
+  then Error (Printf.sprintf "tenant %S: sync interval must be > 0" config.name)
   else
     List.fold_left
       (fun acc text ->
@@ -142,12 +190,18 @@ let validate config =
    so calibration batches never pollute the live engine's meter).  This
    is what lets a manifest holding only the params rebuild the tenant
    bit-identically at recovery. *)
-let build ~dir ~sync config =
+let build ~dir ~mklog config =
   let* streams = validate config in
   let arrivals =
     Workload.Arrivals.generate ~seed:(config.seed + 2) ~horizon:config.horizon
       streams
   in
+  let next_busy = Array.make (config.horizon + 2) (config.horizon + 1) in
+  for s = config.horizon downto 0 do
+    next_busy.(s) <-
+      (if Array.exists (fun c -> c > 0) arrivals.(s) then s
+       else next_busy.(s + 1))
+  done;
   let cal =
     Tpcr.Synth.generate ~seed:config.seed ~r_rows:config.rows
       ~s_rows:config.rows ()
@@ -186,21 +240,23 @@ let build ~dir ~sync config =
       ~predicted_rates:(Workload.Arrivals.mean_rates arrivals)
       ()
   in
-  let wal = Durable.Wal.open_ ~dir ~sync () in
+  let log = mklog () in
   Ok
     {
       config;
       dir;
       arrivals;
+      next_busy;
       maintainer;
       feeds;
       controller;
       monitor;
-      wal;
+      log;
       base_costs;
       limit;
       costs = base_costs;
       next_step = 0;
+      begun = false;
       corr = 1.0;
       next_allowed = 0;
       gap = 2;
@@ -213,7 +269,23 @@ let build ~dir ~sync config =
       flush_log = [];
     }
 
-let create ~root ?(sync = Durable.Wal.Always) config =
+(* In private mode a tenant [sync] override replaces the service default;
+   in grouped mode it becomes the handle's forcing policy (None defers
+   entirely to the service's window cadence).  [hook] reaches the
+   private WAL so crash injection can fire between two tenants'
+   commits inside one scheduler round (the grouped log gets it from
+   the service when it is opened). *)
+let mklog_of ~dir ~sync ~hook ~group config () =
+  match group with
+  | Some gw ->
+      Shared
+        (Durable.Groupwal.attach gw ~tenant:config.name ?policy:config.sync ())
+  | None ->
+      let sync = Option.value config.sync ~default:sync in
+      Private (Durable.Wal.open_ ~dir ~sync ~hook ())
+
+let create ?(hook = Durable.Hook.none) ~root ?(sync = Durable.Wal.Always)
+    ?group config =
   let* () =
     if Durable.Fsutil.valid_tenant_name config.name then Ok ()
     else Error (Printf.sprintf "invalid tenant name %S" config.name)
@@ -229,25 +301,27 @@ let create ~root ?(sync = Durable.Wal.Always) config =
         Error (Printf.sprintf "tenant %S already exists in %s" config.name root)
     | Error e -> Error (Printf.sprintf "tenant %S manifest: %s" config.name e)
   in
-  build ~dir ~sync config
+  build ~dir ~mklog:(mklog_of ~dir ~sync ~hook ~group config) config
 
 (* --- one time step, in scheduler-driven phases --------------------------- *)
 
 let begin_step t =
-  let time = t.next_step in
-  let d = t.arrivals.(time) in
-  Array.iteri
-    (fun i count ->
-      for _ = 1 to count do
-        let change = t.feeds.Tpcr.Updates.next i in
-        Ivm.Maintainer.on_arrive t.maintainer i change;
-        Durable.Wal.append t.wal
-          (Durable.Record.Arrival { time; table = i; change })
-      done)
-    d;
-  if Durable.Wal.buffered t.wal > 0 then Durable.Wal.commit t.wal;
-  Robust.Monitor.observe_arrivals t.monitor d;
-  Abivm.Online.observe t.controller ~arrivals:d
+  if not t.begun then begin
+    let time = t.next_step in
+    let d = t.arrivals.(time) in
+    Array.iteri
+      (fun i count ->
+        for _ = 1 to count do
+          let change = t.feeds.Tpcr.Updates.next i in
+          Ivm.Maintainer.on_arrive t.maintainer i change;
+          log_append t (Durable.Record.Arrival { time; table = i; change })
+        done)
+      d;
+    if log_buffered t > 0 then log_commit t;
+    Robust.Monitor.observe_arrivals t.monitor d;
+    Abivm.Online.observe t.controller ~arrivals:d;
+    t.begun <- true
+  end
 
 let mandatory t =
   if t.next_step >= t.config.horizon then begin
@@ -255,6 +329,24 @@ let mandatory t =
     if Abivm.Statevec.is_zero p then None else Some p
   end
   else Abivm.Online.propose t.controller
+
+(* Event-scheduler readiness: would this step do anything beyond a pure
+   zero-arrival observe?  Ready iff arrivals land now (the precomputed
+   next-arrival clock), the controller is already over the refresh limit
+   ([refresh_cost > limit] is exactly [propose]'s fullness gate —
+   [Spec.f] and {!refresh_cost} are the same sum — and a zero-arrival
+   observe leaves pending unchanged, so evaluating before [begin_step]
+   is exact), or the tenant sits at the horizon with pending work (the
+   final mandatory flush).  A non-ready tenant can be stepped by
+   {!idle_step} with no WAL traffic and no proposal; it stays
+   invite-eligible because nothing phase B reads (pending, capacity,
+   model costs) changes in a zero-arrival [begin_step]. *)
+let ready t =
+  let time = t.next_step in
+  t.next_busy.(min time (t.config.horizon + 1)) = time
+  || (time >= t.config.horizon
+     && not (Abivm.Statevec.is_zero (Abivm.Online.pending t.controller)))
+  || refresh_cost t > t.limit
 
 let shed t =
   t.sheds <- t.sheds + 1;
@@ -267,15 +359,14 @@ let execute t batches =
       if k > 0 then begin
         let delta = Ivm.Maintainer.process t.maintainer i k in
         let cost = Relation.Meter.cost_units delta in
-        Durable.Wal.append t.wal
-          (Durable.Record.Applied { time; table = i; count = k; cost });
+        log_append t (Durable.Record.Applied { time; table = i; count = k; cost });
         let expected = Cost.Func.eval t.costs.(i) k in
         Robust.Monitor.observe_cost t.monitor ~expected ~observed:cost;
         t.metered <- t.metered +. cost;
         t.charged <- t.charged +. expected
       end)
     batches;
-  if Durable.Wal.buffered t.wal > 0 then Durable.Wal.commit t.wal;
+  if log_buffered t > 0 then log_commit t;
   Abivm.Online.absorb t.controller batches
 
 let close_step t =
@@ -305,6 +396,7 @@ let close_step t =
       (float_of_int (Abivm.Statevec.total (Abivm.Online.pending t.controller)));
     Telemetry.set_gauge ~labels "serve.shed" (float_of_int t.sheds)
   end;
+  t.begun <- false;
   t.next_step <- time + 1
 
 let step t batches =
@@ -312,12 +404,27 @@ let step t batches =
   execute t batches;
   close_step t
 
+(* One zero-work step: the identical call sequence the lockstep scheduler
+   makes for a tenant whose proposal is [None] and who is not invited —
+   minus the pool dispatch.  [execute] on an all-zero batch journals
+   nothing and [absorb] is a no-op, so only the observe/close
+   bookkeeping advances, exactly as in a lockstep round. *)
+let idle_step t =
+  begin_step t;
+  execute t (Array.make n_tables 0);
+  close_step t
+
 let finish t =
   let consistent = Ivm.Maintainer.check_consistent t.maintainer = Ok () in
-  Durable.Wal.close t.wal;
+  (match t.log with
+  | Private w -> Durable.Wal.close w
+  | Shared h -> Durable.Groupwal.detach h);
   consistent
 
-let abandon t = Durable.Wal.abandon t.wal
+let abandon t =
+  match t.log with
+  | Private w -> Durable.Wal.abandon w
+  | Shared h -> Durable.Groupwal.detach h
 
 (* --- recovery ------------------------------------------------------------ *)
 
@@ -330,8 +437,11 @@ let abandon t = Durable.Wal.abandon t.wal
    cut mid-ingest (a crash between arrival commits) is completed: the
    missing arrivals of that step are drawn, ingested and journalled, so a
    committed arrival is never dropped and the schedule stays whole.  A
-   step whose arrivals all committed but whose flush was lost replays as
-   a no-flush step; the still-pending work is flushed by a later step. *)
+   trailing step whose arrivals committed but whose flush never did is
+   left OPEN ([begun] set, [close_step] not called): its flush decision
+   died with the crash, and only the service can reproduce it — by
+   re-running the round (no tenant flushed, so phase B re-derives the
+   identical invites) or from the phase-B journal (some did). *)
 let replay t records =
   let rest = ref records in
   let result = ref (Ok ()) in
@@ -375,8 +485,7 @@ let replay t records =
                 topped_up := true;
                 let change = t.feeds.Tpcr.Updates.next i in
                 Ivm.Maintainer.on_arrive t.maintainer i change;
-                Durable.Wal.append t.wal
-                  (Durable.Record.Arrival { time; table = i; change })
+                log_append t (Durable.Record.Arrival { time; table = i; change })
             | _ :: _ ->
                 fail
                   (Printf.sprintf
@@ -385,8 +494,7 @@ let replay t records =
                      t.config.name time i)
         done
       done;
-      if !topped_up && Durable.Wal.buffered t.wal > 0 then
-        Durable.Wal.commit t.wal;
+      if !topped_up && log_buffered t > 0 then log_commit t;
       if !result = Ok () then begin
         (match !rest with
         | Durable.Record.Arrival { time = rt; _ } :: _ when rt = time ->
@@ -397,6 +505,7 @@ let replay t records =
         Robust.Monitor.observe_arrivals t.monitor d;
         Abivm.Online.observe t.controller ~arrivals:d;
         let batches = Array.make n_tables 0 in
+        let applied_any = ref false in
         let continue_applied = ref true in
         while !continue_applied && !result = Ok () do
           match !rest with
@@ -428,21 +537,33 @@ let replay t records =
                     :: t.flush_log;
                   batches.(table) <- batches.(table) + count;
                   t.replayed <- t.replayed + 1;
+                  applied_any := true;
                   rest := tl
                 end
               end
           | _ -> continue_applied := false
         done;
-        if !result = Ok () then begin
-          Abivm.Online.absorb t.controller batches;
-          close_step t
-        end
+        if !result = Ok () then
+          if (not !applied_any) && !rest = [] then
+            (* The WAL tail ends with this step's arrivals and no flush.
+               [execute] commits a step's Applied records atomically, so
+               this is a crash between the ingest and the flush decision
+               — NOT evidence of a no-flush step (a closed no-flush step
+               is always followed by later records).  Leave the step
+               open: the ingest ran, the flush belongs to the service
+               (re-run round or journal catch-up). *)
+            t.begun <- true
+          else begin
+            Abivm.Online.absorb t.controller batches;
+            close_step t
+          end
       end
     end
   done;
   Result.map (fun () -> t.replayed) !result
 
-let recover ~root ?(sync = Durable.Wal.Always) config =
+let recover ?(hook = Durable.Hook.none) ~root ?(sync = Durable.Wal.Always)
+    ?group ?records config =
   let dir =
     Filename.concat (Filename.concat root "tenants") config.name
   in
@@ -450,10 +571,20 @@ let recover ~root ?(sync = Durable.Wal.Always) config =
     Error (Printf.sprintf "tenant %S: no durable state in %s" config.name root)
   else
     let* records =
-      match Durable.Wal.read ~dir ~from_lsn:0 with
-      | Ok records -> Ok records
-      | Error e -> Error (Printf.sprintf "tenant %S wal: %s" config.name e)
+      match (records, group) with
+      | Some r, _ -> Ok r
+      | None, Some _ ->
+          (* The shared log can only be demuxed once for all tenants —
+             the service does that and passes each slice down. *)
+          Error
+            (Printf.sprintf
+               "tenant %S: grouped recovery requires pre-demuxed records"
+               config.name)
+      | None, None -> (
+          match Durable.Wal.read ~dir ~from_lsn:0 with
+          | Ok records -> Ok records
+          | Error e -> Error (Printf.sprintf "tenant %S wal: %s" config.name e))
     in
-    let* t = build ~dir ~sync config in
+    let* t = build ~dir ~mklog:(mklog_of ~dir ~sync ~hook ~group config) config in
     let* _replayed = replay t records in
     Ok t

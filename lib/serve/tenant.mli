@@ -43,6 +43,14 @@ type config = {
           higher-order tenants materialize delta views, charged against
           the service's {!Admission} memory budget.  Manifests persist it
           as ["order"]; absent (pre-order manifests) means first-order. *)
+  sync : Durable.Wal.sync option;
+      (** per-tenant durability override.  [None] follows the service
+          policy (private mode: the service-wide WAL sync; grouped mode:
+          the shared window cadence).  [Some p] in private mode opens the
+          tenant WAL with [p]; in grouped mode it becomes the handle's
+          forcing policy — [Always] closes the shared window at every one
+          of this tenant's commits, [Interval n] at every n-th.
+          Manifests persist it as ["sync"]; absent means [None]. *)
 }
 
 val params_of_config : config -> (string * string) list
@@ -51,16 +59,32 @@ val config_of_params : (string * string) list -> (config, string) result
 type t
 
 val create :
-  root:string -> ?sync:Durable.Wal.sync -> config -> (t, string) result
+  ?hook:(Durable.Hook.point -> unit) ->
+  root:string ->
+  ?sync:Durable.Wal.sync ->
+  ?group:Durable.Groupwal.t ->
+  config ->
+  (t, string) result
 (** Build the tenant fresh: calibrate, construct the engine, write the
     manifest (refusing a name whose directory already holds one), open
-    the WAL.  [sync] defaults to [Always]. *)
+    the log.  Without [group]: a private WAL under the tenant directory,
+    synced per [config.sync] (falling back to [sync], default [Always]).
+    With [group]: a handle on the service's shared group-commit log,
+    with [config.sync] as the forcing policy. *)
 
 val recover :
-  root:string -> ?sync:Durable.Wal.sync -> config -> (t, string) result
-(** Rebuild the tenant from its config and replay its WAL.  Every
-    journalled arrival must equal the deterministic feed's re-draw and
-    every batch must re-meter to the bit-identical cost; a tail cut
+  ?hook:(Durable.Hook.point -> unit) ->
+  root:string ->
+  ?sync:Durable.Wal.sync ->
+  ?group:Durable.Groupwal.t ->
+  ?records:Durable.Record.t list ->
+  config ->
+  (t, string) result
+(** Rebuild the tenant from its config and replay its journal — the
+    private WAL's records, or (grouped mode) this tenant's pre-demuxed
+    slice of the shared log, which the caller must pass as [records].
+    Every journalled arrival must equal the deterministic feed's re-draw
+    and every batch must re-meter to the bit-identical cost; a tail cut
     mid-step is completed (the missing arrivals are drawn and
     journalled), so no committed arrival is ever dropped.  The tenant
     resumes at the step after the last journalled one. *)
@@ -120,6 +144,22 @@ val mandatory : t -> Abivm.Statevec.t option
     horizon, [None] otherwise.  Pure — the coordinator may enlarge the
     result before {!execute} but must never shrink it. *)
 
+val ready : t -> bool
+(** Would this tenant's next step do anything beyond a pure zero-arrival
+    observe?  True iff arrivals land at the current step (per the
+    precomputed next-arrival clock), the refresh cost already exceeds
+    the budget (so {!mandatory} would fire — the check is exact, not a
+    heuristic), or the tenant is at the horizon with pending work.  The
+    event scheduler steps non-ready tenants with {!idle_step}; they stay
+    invite-eligible because nothing phase B reads changes in a
+    zero-arrival [begin_step]. *)
+
+val idle_step : t -> unit
+(** [begin_step]; [execute] all-zero; [close_step] — the exact call
+    sequence a lockstep round makes for an uninvited no-proposal tenant,
+    so event-mode idling is bit-identical to lockstep by construction.
+    Journals nothing (there are no arrivals to ingest). *)
+
 val shed : t -> unit
 (** Record that optional co-flush work for this tenant was shed by the
     scheduler's backpressure. *)
@@ -142,7 +182,11 @@ val step : t -> int array -> unit
 
 val finish : t -> bool
 (** Final consistency check (incremental content vs from-scratch
-    recompute) and WAL close.  [true] iff consistent. *)
+    recompute) and log close — private WALs are flushed and closed,
+    shared-log handles only detach (the window belongs to the service).
+    [true] iff consistent. *)
 
 val abandon : t -> unit
-(** Simulated-crash shutdown: close the WAL without flushing. *)
+(** Simulated-crash shutdown: close the private WAL without flushing, or
+    detach from the shared log (whose open window the service abandons
+    separately). *)

@@ -240,6 +240,166 @@ let test_wal_mid_log_corruption_refused () =
       Alcotest.fail "open_ accepted mid-log corruption");
   rmtree dir
 
+(* --- shared group-commit log ---------------------------------------------- *)
+
+let group_read_ok ~dir =
+  match Durable.Groupwal.read ~dir with
+  | Ok per_tenant -> per_tenant
+  | Error e -> Alcotest.failf "Groupwal.read: %s" e
+
+let group_total per_tenant =
+  List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 per_tenant
+
+let test_groupwal_demux_roundtrip () =
+  let dir = scratch () in
+  let gw = Durable.Groupwal.open_ ~dir () in
+  let a = Durable.Groupwal.attach gw ~tenant:"t0" () in
+  let b = Durable.Groupwal.attach gw ~tenant:"t1" () in
+  (* Interleave the two tenants' commits inside one window — each
+     tenant's own order must survive the physical interleaving, and one
+     window close makes all ten commits durable at once. *)
+  for t = 0 to 4 do
+    Durable.Groupwal.append a (arrival t 0 t);
+    Durable.Groupwal.append b (arrival t 1 (100 + t));
+    Durable.Groupwal.commit b;
+    (* b commits first: demux order is first physical appearance *)
+    Durable.Groupwal.commit a
+  done;
+  checkb "window close reports an fsync" true (Durable.Groupwal.close_window gw);
+  checkb "closing an empty window is free" false
+    (Durable.Groupwal.close_window gw);
+  checki "one fsync for ten commits" 1 (Durable.Groupwal.window_closes gw);
+  checki "nothing was forced" 0 (Durable.Groupwal.forced_closes gw);
+  Durable.Groupwal.close gw;
+  let expect table base = List.init 5 (fun t -> arrival t table (base + t)) in
+  (match group_read_ok ~dir with
+  | [ (n1, r1); (n0, r0) ] ->
+      checks "first-appearance tenant order" "t1" n1;
+      checks "second tenant" "t0" n0;
+      checkb "t1 records in commit order" true (r1 = expect 1 100);
+      checkb "t0 records in commit order" true (r0 = expect 0 0)
+  | per ->
+      Alcotest.failf "unexpected demux shape (%d tenants)" (List.length per));
+  rmtree dir
+
+let test_groupwal_abandon_loses_window () =
+  let dir = scratch () in
+  let gw = Durable.Groupwal.open_ ~dir () in
+  let a = Durable.Groupwal.attach gw ~tenant:"t0" () in
+  let b = Durable.Groupwal.attach gw ~tenant:"t1" () in
+  Durable.Groupwal.append a (arrival 0 0 1);
+  Durable.Groupwal.commit a;
+  Durable.Groupwal.append b (arrival 0 1 2);
+  Durable.Groupwal.commit b;
+  ignore (Durable.Groupwal.close_window gw);
+  (* A second window accumulates commits from both tenants, then the
+     process dies: every tenant loses exactly its tail of the open
+     window, nothing more. *)
+  Durable.Groupwal.append a (arrival 1 0 3);
+  Durable.Groupwal.commit a;
+  Durable.Groupwal.append b (arrival 1 1 4);
+  Durable.Groupwal.commit b;
+  checki "handle lsn counts the open window" 4 (Durable.Groupwal.lsn gw);
+  Durable.Groupwal.abandon gw;
+  let per = group_read_ok ~dir in
+  checki "both tenants present" 2 (List.length per);
+  List.iter
+    (fun (n, rs) ->
+      checki (n ^ " keeps only the closed window") 1 (List.length rs))
+    per;
+  rmtree dir
+
+let test_groupwal_forced_close_policy () =
+  let dir = scratch () in
+  let gw = Durable.Groupwal.open_ ~dir () in
+  let lax = Durable.Groupwal.attach gw ~tenant:"lax" () in
+  let strict =
+    Durable.Groupwal.attach gw ~tenant:"strict" ~policy:Durable.Wal.Always ()
+  in
+  (* The lax tenant's pending commit rides the strict tenant's forced
+     fsync: abandoning right after must lose neither. *)
+  Durable.Groupwal.append lax (arrival 0 0 1);
+  Durable.Groupwal.commit lax;
+  Durable.Groupwal.append strict (arrival 0 1 2);
+  Durable.Groupwal.commit strict;
+  checki "strict commit forced the close" 1 (Durable.Groupwal.forced_closes gw);
+  checki "forced closes count as window closes" 1
+    (Durable.Groupwal.window_closes gw);
+  Durable.Groupwal.abandon gw;
+  checki "both records rode the forced fsync" 2 (group_total (group_read_ok ~dir));
+  rmtree dir;
+  (* Interval k forces every k-th commit of that tenant only. *)
+  let dir = scratch () in
+  let gw = Durable.Groupwal.open_ ~dir () in
+  let every2 =
+    Durable.Groupwal.attach gw ~tenant:"t0" ~policy:(Durable.Wal.Interval 2) ()
+  in
+  for t = 0 to 5 do
+    Durable.Groupwal.append every2 (arrival t 0 t);
+    Durable.Groupwal.commit every2
+  done;
+  checki "every second commit forces" 3 (Durable.Groupwal.forced_closes gw);
+  (match Durable.Groupwal.attach gw ~tenant:"t1" ~policy:(Durable.Wal.Interval 0) () with
+  | _ -> Alcotest.fail "Interval 0 accepted at attach"
+  | exception Invalid_argument _ -> ());
+  (match Durable.Groupwal.attach gw ~tenant:"no/slashes here" () with
+  | _ -> Alcotest.fail "invalid tenant name accepted"
+  | exception Invalid_argument _ -> ());
+  Durable.Groupwal.close gw;
+  rmtree dir
+
+let test_groupwal_torn_tail_and_rehoming () =
+  let dir = scratch () in
+  (* Small segments force rotation: tag-tampering below must land in a
+     non-final segment, where damage is corruption (refused), not a torn
+     tail (repaired). *)
+  let gw = Durable.Groupwal.open_ ~dir ~segment_bytes:256 () in
+  let a = Durable.Groupwal.attach gw ~tenant:"t0" () in
+  let b = Durable.Groupwal.attach gw ~tenant:"t1" () in
+  for t = 0 to 7 do
+    Durable.Groupwal.append a (arrival t 0 t);
+    Durable.Groupwal.commit a;
+    Durable.Groupwal.append b (arrival t 1 t);
+    Durable.Groupwal.commit b
+  done;
+  ignore (Durable.Groupwal.close_window gw);
+  Durable.Groupwal.close gw;
+  (* A torn final write (half a tagged record, no newline) must not cost
+     any intact record of any tenant. *)
+  let last_seg = last_segment dir in
+  let oc = open_out_gen [ Open_append ] 0o644 last_seg in
+  output_string oc "deadbeef\tt0\tA\t9";
+  close_out oc;
+  checki "torn tail tolerated, all records kept" 16
+    (group_total (group_read_ok ~dir));
+  (* Re-homing: flip one record's tenant tag to another (valid) tenant.
+     The CRC covers the tag, so the tampered line must be refused
+     outright — a record can never silently migrate between tenants. *)
+  let first_seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.sort compare |> List.hd |> Filename.concat dir
+  in
+  checkb "setup produced multiple segments" true (first_seg <> last_seg);
+  let ic = open_in_bin first_seg in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let bytes = Bytes.of_string content in
+  let rec find i =
+    if i + 4 > Bytes.length bytes then
+      Alcotest.fail "no t0-tagged line found in the segment"
+    else if Bytes.sub_string bytes i 4 = "\tt0\t" then i
+    else find (i + 1)
+  in
+  Bytes.set bytes (find 0 + 2) '1';
+  let oc = open_out_bin first_seg in
+  output_bytes oc bytes;
+  close_out oc;
+  (match Durable.Groupwal.read ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "re-homed tenant tag replayed as Ok");
+  rmtree dir
+
 (* --- checkpoint + manifest ------------------------------------------------ *)
 
 let small_maintainer () =
@@ -372,7 +532,7 @@ let make_env ~seed ~rows ~horizon () =
 
 (* Tight budgets so a short horizon still exercises rotation,
    checkpointing, pruning and group commit inside the matrix. *)
-let matrix_config ~dir ~hook =
+let matrix_config ?pool ~dir ~hook () =
   {
     Durable.Exec.dir;
     segment_bytes = 2048;
@@ -381,13 +541,14 @@ let matrix_config ~dir ~hook =
     sync = Durable.Wal.Interval 3;
     keep_checkpoints = 2;
     hook;
+    pool;
   }
 
 let test_crash_matrix () =
   let env = make_env ~seed:11 ~rows:120 ~horizon:12 () in
   let base_dir = scratch () in
   let record, points = Durable.Hook.counting () in
-  let baseline = Durable.Exec.run (matrix_config ~dir:base_dir ~hook:record) env in
+  let baseline = Durable.Exec.run (matrix_config ~dir:base_dir ~hook:record ()) env in
   rmtree base_dir;
   checkb "baseline consistent" true baseline.Durable.Exec.consistent;
   checkb "baseline wrote checkpoints" true
@@ -401,7 +562,7 @@ let test_crash_matrix () =
       let dir = scratch () in
       (match
          Durable.Exec.run
-           (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:k))
+           (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:k) ())
            env
        with
       | _ ->
@@ -409,7 +570,7 @@ let test_crash_matrix () =
             (Durable.Hook.describe point)
       | exception Durable.Hook.Crash _ -> ());
       (match
-         Durable.Exec.resume (matrix_config ~dir ~hook:Durable.Hook.none) env
+         Durable.Exec.resume (matrix_config ~dir ~hook:Durable.Hook.none ()) env
        with
       | Error e ->
           Alcotest.failf "crash point %d [%s]: resume failed: %s" k
@@ -429,15 +590,83 @@ let test_crash_matrix () =
       rmtree dir)
     pts
 
+let test_async_checkpoint_matrix () =
+  (* Background (off-thread) checkpoints must not change a single bit of
+     the outcome, and a crash at either boundary of the background job —
+     after serialization but before the rename, or after the data fsync
+     and rename but before the manifest update — must recover to the
+     uninterrupted run exactly (ARIES ordering: the manifest may only
+     reference a checkpoint whose data fsync already returned). *)
+  let env = make_env ~seed:11 ~rows:120 ~horizon:12 () in
+  let sync_dir = scratch () in
+  let sync_o =
+    Durable.Exec.run (matrix_config ~dir:sync_dir ~hook:Durable.Hook.none ()) env
+  in
+  rmtree sync_dir;
+  let sync_bits = Int64.bits_of_float sync_o.Durable.Exec.total_cost in
+  let sync_rows = sorted_rows sync_o.Durable.Exec.rows in
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let async_dir = scratch () in
+      let async_o =
+        Durable.Exec.run
+          (matrix_config ~pool ~dir:async_dir ~hook:Durable.Hook.none ())
+          env
+      in
+      rmtree async_dir;
+      checkb "off-thread checkpoints leave the cost bits unchanged" true
+        (Int64.bits_of_float async_o.Durable.Exec.total_cost = sync_bits);
+      checkb "off-thread checkpoints leave the view unchanged" true
+        (sorted_rows async_o.Durable.Exec.rows = sync_rows);
+      checkb "the async run actually checkpointed in the background" true
+        (async_o.Durable.Exec.checkpoints > 1);
+      (* Targeted crashes at the two background-job boundaries.  The
+         selector keys on the point kind, not a global index, because
+         the job's points fire on a worker domain concurrently with the
+         maintenance thread's own. *)
+      List.iter
+        (fun (label, selects) ->
+          let dir = scratch () in
+          let fired = Atomic.make false in
+          let hook p =
+            if (not (Atomic.get fired)) && selects p then begin
+              Atomic.set fired true;
+              raise (Durable.Hook.Crash label)
+            end
+          in
+          (match Durable.Exec.run (matrix_config ~pool ~dir ~hook ()) env with
+          | _ -> Alcotest.failf "%s: the injected crash did not surface" label
+          | exception Durable.Hook.Crash _ -> ());
+          checkb (label ^ ": crash point reached") true (Atomic.get fired);
+          (match
+             Durable.Exec.resume
+               (matrix_config ~dir ~hook:Durable.Hook.none ())
+               env
+           with
+          | Error e -> Alcotest.failf "%s: resume failed: %s" label e
+          | Ok o ->
+              checkb (label ^ ": recovered cost bits identical") true
+                (Int64.bits_of_float o.Durable.Exec.total_cost = sync_bits);
+              checkb (label ^ ": recovered view identical") true
+                (sorted_rows o.Durable.Exec.rows = sync_rows);
+              checkb (label ^ ": recovered view consistent") true
+                o.Durable.Exec.consistent);
+          rmtree dir)
+        [
+          ( "crash mid-serialization (temp written, never renamed)",
+            function Durable.Hook.Ckpt_temp _ -> true | _ -> false );
+          ( "crash between checkpoint fsync and manifest update",
+            function Durable.Hook.Ckpt_done _ -> true | _ -> false );
+        ])
+
 let test_genesis_recovery_and_refusal () =
   let env = make_env ~seed:11 ~rows:120 ~horizon:12 () in
   let dir = scratch () in
-  let config = matrix_config ~dir ~hook:Durable.Hook.none in
+  let config = matrix_config ~dir ~hook:Durable.Hook.none () in
   (* Die at the very first crash point: manifest exists, no checkpoint,
      empty log — the genesis path. *)
   (match
      Durable.Exec.run
-       (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:0))
+       (matrix_config ~dir ~hook:(Durable.Hook.crash_after ~n:0) ())
        env
    with
   | _ -> Alcotest.fail "expected the injected crash"
@@ -587,6 +816,17 @@ let () =
           Alcotest.test_case "mid-log corruption refused" `Quick
             test_wal_mid_log_corruption_refused;
         ] );
+      ( "groupwal",
+        [
+          Alcotest.test_case "demux roundtrip, one fsync per window" `Quick
+            test_groupwal_demux_roundtrip;
+          Alcotest.test_case "abandon loses exactly the open window" `Quick
+            test_groupwal_abandon_loses_window;
+          Alcotest.test_case "per-tenant policies force closes" `Quick
+            test_groupwal_forced_close_policy;
+          Alcotest.test_case "torn tail repaired, re-homed tag refused" `Quick
+            test_groupwal_torn_tail_and_rehoming;
+        ] );
       ( "snapshot",
         [
           Alcotest.test_case "checkpoint roundtrip + restore" `Quick
@@ -598,6 +838,8 @@ let () =
         [
           Alcotest.test_case "crash matrix is bit-identical" `Quick
             test_crash_matrix;
+          Alcotest.test_case "async checkpoint crash matrix" `Quick
+            test_async_checkpoint_matrix;
           Alcotest.test_case "genesis recovery, refusal, idempotence" `Quick
             test_genesis_recovery_and_refusal;
           Alcotest.test_case "runner journals a replayable WAL" `Quick

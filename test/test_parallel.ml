@@ -53,6 +53,54 @@ let test_pool_run_guard () =
       | () -> Alcotest.fail "expected Invalid_argument"
       | exception Invalid_argument _ -> ())
 
+let test_pool_detach () =
+  (* Detached background jobs: poll/await semantics, failure re-raise at
+     await (not at detach), and the domains:1 inline degenerate case —
+     the surface [Durable.Checkpoint.write_async] is built on. *)
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let cell = Atomic.make 0 in
+      let gate = Atomic.make false in
+      let job =
+        Parallel.Pool.detach pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            Atomic.set cell 42)
+      in
+      check Alcotest.bool "running while gated" true
+        (Parallel.Pool.poll job = `Running);
+      Atomic.set gate true;
+      Parallel.Pool.await job;
+      check Alcotest.bool "done after await" true
+        (Parallel.Pool.poll job = `Done);
+      check Alcotest.int "effect visible to the submitter" 42 (Atomic.get cell);
+      (* Await is idempotent. *)
+      Parallel.Pool.await job;
+      (* A failing job re-raises at await and reports `Failed. *)
+      let bad = Parallel.Pool.detach pool (fun () -> failwith "bg boom") in
+      (match Parallel.Pool.await bad with
+      | () -> Alcotest.fail "expected the job failure to re-raise"
+      | exception Failure m -> check Alcotest.string "message" "bg boom" m);
+      check Alcotest.bool "failed poll" true (Parallel.Pool.poll bad = `Failed);
+      (* The failed job must not poison later batches. *)
+      let out = Parallel.Pool.map pool (fun x -> x * 2) [| 1; 2 |] in
+      check Alcotest.(array int) "pool still works" [| 2; 4 |] out);
+  (* domains:1 — no worker domains: the task runs inline before [detach]
+     returns, keeping the sequential path bit-identical. *)
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      let cell = ref 0 in
+      let job = Parallel.Pool.detach pool (fun () -> cell := 7) in
+      check Alcotest.int "inline job already ran" 7 !cell;
+      check Alcotest.bool "already settled" true
+        (Parallel.Pool.poll job = `Done);
+      Parallel.Pool.await job);
+  (* Detaching onto a shut-down pool is refused. *)
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Parallel.Pool.shutdown pool;
+  match Parallel.Pool.detach pool (fun () -> ()) with
+  | _ -> Alcotest.fail "detach after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
 let test_pool_cooperative () =
   (* [run] tasks may block on each other: a two-task rendezvous. *)
   Parallel.Pool.with_pool ~domains:2 (fun pool ->
@@ -220,6 +268,8 @@ let () =
             test_pool_exception;
           Alcotest.test_case "run batch-size guard" `Quick test_pool_run_guard;
           Alcotest.test_case "cooperative tasks" `Quick test_pool_cooperative;
+          Alcotest.test_case "detached jobs: poll, await, inline" `Quick
+            test_pool_detach;
         ] );
       ( "astar",
         [

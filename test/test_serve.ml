@@ -44,6 +44,7 @@ let tenant_cfg ?(rows = 50) ?(horizon = 15) ?(limit_factor = 1.2)
     limit_factor;
     streams = [ "ss"; "ss" ];
     order;
+    sync = None;
   }
 
 let fleet ?rows ?horizon ?limit_factor n =
@@ -52,13 +53,17 @@ let fleet ?rows ?horizon ?limit_factor n =
         (Printf.sprintf "t%d" i))
 
 let service_cfg ?(coordinate = true) ?(discount_factor = 0.8) ?shed_budget
-    ?(hook = Durable.Hook.none) ?(admission = Serve.Admission.default) () =
+    ?(hook = Durable.Hook.none) ?(admission = Serve.Admission.default)
+    ?(sync = Durable.Wal.Always) ?(wal_mode = Serve.Service.Grouped)
+    ?(scheduler = Serve.Service.Event) () =
   {
     Serve.Service.admission;
     coordinate;
     discount_factor;
     shed_budget;
-    sync = Durable.Wal.Always;
+    sync;
+    wal_mode;
+    scheduler;
     hook;
   }
 
@@ -255,10 +260,11 @@ let test_recovered_wal_replays_full_history () =
 
 (* --- backpressure never drops a committed arrival ------------------------- *)
 
+(* [Service.tenant_records] finds the records wherever they physically
+   live — demuxed from the shared group log or read from a private WAL. *)
 let arrival_count root name =
-  let dir = Filename.concat (Filename.concat root "tenants") name in
-  match Durable.Wal.read ~dir ~from_lsn:0 with
-  | Error e -> Alcotest.failf "wal read %s: %s" name e
+  match Serve.Service.tenant_records ~root ~name with
+  | Error e -> Alcotest.failf "records of %s: %s" name e
   | Ok records ->
       List.fold_left
         (fun n r ->
@@ -292,11 +298,214 @@ let test_shedding_never_drops_arrivals () =
       List.iter
         (fun cfg ->
           let name = cfg.Serve.Tenant.name in
+          let free_arrivals = arrival_count free_root name in
+          checkb
+            (Printf.sprintf "%s: arrivals were journalled" name)
+            true (free_arrivals > 0);
           checki
             (Printf.sprintf "%s: same committed arrivals" name)
-            (arrival_count free_root name)
+            free_arrivals
             (arrival_count tight_root name))
         cfgs)
+
+(* --- WAL layouts and schedulers are bit-identical ------------------------- *)
+
+(* The grouped WAL and the event scheduler are pure I/O / dispatch
+   optimizations: every combination must reproduce the original
+   private-WAL lockstep run bit for bit. *)
+let test_layouts_and_schedulers_bit_identical () =
+  let cfgs = fleet 3 in
+  let run ~wal_mode ~scheduler =
+    let root = scratch () in
+    Fun.protect
+      ~finally:(fun () -> rmtree root)
+      (fun () -> run_service ~root (service_cfg ~wal_mode ~scheduler ()) cfgs)
+  in
+  let base =
+    run ~wal_mode:Serve.Service.Private ~scheduler:Serve.Service.Lockstep
+  in
+  checkb "baseline consistent" true (all_consistent base);
+  List.iter
+    (fun (label, wal_mode, scheduler) ->
+      check_outcomes_equal label base (run ~wal_mode ~scheduler))
+    [
+      ("grouped+event", Serve.Service.Grouped, Serve.Service.Event);
+      ("grouped+lockstep", Serve.Service.Grouped, Serve.Service.Lockstep);
+      ("private+event", Serve.Service.Private, Serve.Service.Event);
+    ]
+
+(* On-off arrival streams leave whole rounds with nothing to do; the
+   event scheduler must retire them without dispatching anyone — and
+   still finish bit-identical to lockstep. *)
+let test_event_scheduler_skips_idle_rounds () =
+  let cfgs =
+    List.init 2 (fun i ->
+        {
+          (tenant_cfg ~seed:(42 + (10 * i)) (Printf.sprintf "t%d" i)) with
+          Serve.Tenant.streams = [ "onoff:2,4,2"; "onoff:2,4,1" ];
+        })
+  in
+  let run ~scheduler =
+    let root = scratch () in
+    Fun.protect
+      ~finally:(fun () -> rmtree root)
+      (fun () ->
+        let svc = Serve.Service.create ~root (service_cfg ~scheduler ()) in
+        List.iter
+          (fun cfg ->
+            match Serve.Service.register svc cfg with
+            | Ok _ -> ()
+            | Error e ->
+                Alcotest.failf "register %s: %s" cfg.Serve.Tenant.name e)
+          cfgs;
+        let outcome = Serve.Service.run svc in
+        (outcome, Serve.Service.idle_rounds svc))
+  in
+  let event, event_idle = run ~scheduler:Serve.Service.Event in
+  let lockstep, lockstep_idle = run ~scheduler:Serve.Service.Lockstep in
+  checkb "event scheduler skipped idle rounds" true (event_idle > 0);
+  checki "lockstep never idles" 0 lockstep_idle;
+  check_outcomes_equal "event-vs-lockstep" lockstep event
+
+(* --- per-tenant sync policies --------------------------------------------- *)
+
+(* A strict tenant under the grouped WAL forces the shared window closed
+   at its own commits — even when the service cadence alone would never
+   fsync — without perturbing any outcome bit. *)
+let test_tenant_sync_override_forces_window () =
+  let strict_cfgs =
+    List.mapi
+      (fun i cfg ->
+        if i = 0 then { cfg with Serve.Tenant.sync = Some Durable.Wal.Always }
+        else cfg)
+      (fleet 3)
+  in
+  let run ~cfgs ~sync =
+    let root = scratch () in
+    Fun.protect
+      ~finally:(fun () -> rmtree root)
+      (fun () ->
+        let svc =
+          Serve.Service.create ~root
+            (service_cfg ~sync ~wal_mode:Serve.Service.Grouped ())
+        in
+        List.iter
+          (fun cfg ->
+            match Serve.Service.register svc cfg with
+            | Ok _ -> ()
+            | Error e ->
+                Alcotest.failf "register %s: %s" cfg.Serve.Tenant.name e)
+          cfgs;
+        let outcome = Serve.Service.run svc in
+        (outcome, Serve.Service.window_closes svc, Serve.Service.forced_closes svc))
+  in
+  let strict, closes, forced = run ~cfgs:strict_cfgs ~sync:Durable.Wal.Never in
+  checkb "strict tenant forced window closes" true (forced > 0);
+  checkb "forced closes are window closes" true (closes >= forced);
+  let relaxed, _, relaxed_forced =
+    run ~cfgs:(fleet 3) ~sync:Durable.Wal.Always
+  in
+  checki "no overrides, no forced closes" 0 relaxed_forced;
+  check_outcomes_equal "sync-policy-neutral" relaxed strict
+
+let test_tenant_sync_validated_at_admission () =
+  let root = scratch () in
+  Fun.protect
+    ~finally:(fun () -> rmtree root)
+    (fun () ->
+      let svc = Serve.Service.create ~root (service_cfg ()) in
+      match
+        Serve.Service.register svc
+          {
+            (tenant_cfg ~seed:42 "t0") with
+            Serve.Tenant.sync = Some (Durable.Wal.Interval 0);
+          }
+      with
+      | Error _ -> ()
+      | Ok d ->
+          Alcotest.failf "expected a validation error, got %s"
+            (Serve.Admission.describe d))
+
+(* --- mid-round crash matrix ------------------------------------------------ *)
+
+(* Crash at every durable commit boundary the uninterrupted twin fires —
+   including between two tenants' phase-C commits inside one round, the
+   case the phase-B co-flush journal exists for (a lost participant's
+   batch must be re-executed as journalled, not re-derived as a solo
+   mandatory flush), and during forced group-window closes.  Recovery +
+   resume must reproduce the twin bit for bit at every point. *)
+let crash_matrix_case ~wal_mode ~cfgs () =
+  let base_root = scratch () in
+  let record, points = Durable.Hook.counting () in
+  let baseline =
+    Fun.protect
+      ~finally:(fun () -> rmtree base_root)
+      (fun () -> run_service ~root:base_root (service_cfg ~wal_mode ~hook:record ()) cfgs)
+  in
+  checkb "baseline consistent" true (all_consistent baseline);
+  let indexed =
+    List.mapi (fun i p -> (i, p)) (points ())
+    |> List.filter (fun (_, p) ->
+           match p with
+           | Durable.Hook.Committed _ | Durable.Hook.Window_closed _ -> true
+           | _ -> false)
+  in
+  checkb "matrix is non-trivial" true (List.length indexed > 5);
+  List.iter
+    (fun (n, point) ->
+      let crash_root = scratch () in
+      Fun.protect
+        ~finally:(fun () -> rmtree crash_root)
+        (fun () ->
+          let crashed =
+            try
+              ignore
+                (run_service ~root:crash_root
+                   (service_cfg ~wal_mode
+                      ~hook:(Durable.Hook.crash_after ~n)
+                      ())
+                   cfgs);
+              false
+            with Durable.Hook.Crash _ -> true
+          in
+          checkb
+            (Printf.sprintf "point %d (%s) killed the run" n
+               (Durable.Hook.describe point))
+            true crashed;
+          match Serve.Service.recover ~root:crash_root () with
+          | Error e ->
+              Alcotest.failf "recover at point %d (%s): %s" n
+                (Durable.Hook.describe point)
+                e
+          | Ok svc ->
+              let recovered = Serve.Service.run svc in
+              check_outcomes_equal
+                (Printf.sprintf "point %d (%s)" n
+                   (Durable.Hook.describe point))
+                baseline recovered))
+    indexed
+
+(* Private Always WALs: each tenant's phase-C commit is durable the
+   moment it happens, so a crash between two of them loses a co-flush
+   participant — the journal regression case (fails without the
+   phase-B journal). *)
+let test_crash_matrix_private_midround () =
+  crash_matrix_case ~wal_mode:Serve.Service.Private
+    ~cfgs:(fleet ~rows:30 ~horizon:8 3)
+    ()
+
+(* Grouped WAL with one strict tenant: forced window closes make partial
+   rounds durable mid-phase, exercising crashes during and between
+   group-window closes. *)
+let test_crash_matrix_grouped_forced () =
+  let cfgs =
+    List.mapi
+      (fun i cfg ->
+        if i = 0 then { cfg with Serve.Tenant.sync = Some Durable.Wal.Always }
+        else cfg)
+      (fleet ~rows:30 ~horizon:8 3)
+  in
+  crash_matrix_case ~wal_mode:Serve.Service.Grouped ~cfgs ()
 
 (* --- queueing and promotion ----------------------------------------------- *)
 
@@ -404,6 +613,21 @@ let () =
             test_crash_recover_late;
           Alcotest.test_case "finished dir replays in full" `Quick
             test_recovered_wal_replays_full_history;
+        ] );
+      ( "serve-io",
+        [
+          Alcotest.test_case "layouts + schedulers bit-identical" `Quick
+            test_layouts_and_schedulers_bit_identical;
+          Alcotest.test_case "event scheduler skips idle rounds" `Quick
+            test_event_scheduler_skips_idle_rounds;
+          Alcotest.test_case "tenant sync forces window closes" `Quick
+            test_tenant_sync_override_forces_window;
+          Alcotest.test_case "tenant sync validated at admission" `Quick
+            test_tenant_sync_validated_at_admission;
+          Alcotest.test_case "crash matrix: private mid-round" `Quick
+            test_crash_matrix_private_midround;
+          Alcotest.test_case "crash matrix: grouped forced closes" `Quick
+            test_crash_matrix_grouped_forced;
         ] );
       ( "backpressure",
         [
